@@ -1,0 +1,107 @@
+//! The node-level ball bound (Theorem 2 of the paper).
+
+use p2h_core::Scalar;
+
+/// Node-level (and point-level) ball bound.
+///
+/// Given `|⟨q, c⟩|` (absolute inner product of the query and a ball center), `‖q‖`, and
+/// the ball radius `r`, every point `x` inside the ball satisfies
+///
+/// ```text
+/// |⟨x, q⟩| ≥ max(|⟨q, c⟩| − ‖q‖·r, 0)
+/// ```
+///
+/// This is Theorem 2 for tree nodes and Corollary 1 for individual leaf points (where `r`
+/// becomes the point's own distance to the leaf center).
+#[inline]
+pub fn node_ball_bound(abs_ip: Scalar, query_norm: Scalar, radius: Scalar) -> Scalar {
+    (abs_ip - query_norm * radius).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2h_core::distance;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn bound_cases_of_theorem_2() {
+        // Case 1: ball entirely on the positive side -> positive bound.
+        assert_eq!(node_ball_bound(10.0, 2.0, 1.0), 8.0);
+        // Case 3: ball crosses the hyperplane -> bound clamps to zero.
+        assert_eq!(node_ball_bound(1.0, 2.0, 1.0), 0.0);
+        // Boundary: exactly touching.
+        assert_eq!(node_ball_bound(2.0, 2.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn bound_is_nonnegative_and_monotone_in_radius() {
+        let b1 = node_ball_bound(5.0, 1.0, 1.0);
+        let b2 = node_ball_bound(5.0, 1.0, 2.0);
+        assert!(b1 >= b2);
+        assert!(b2 >= 0.0);
+    }
+
+    /// Brute-force check of Theorem 2: sample a ball of points, compute the true minimum
+    /// absolute inner product, and verify the bound never exceeds it.
+    #[test]
+    fn bound_never_exceeds_true_minimum() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let dim = 8;
+        for _ in 0..50 {
+            let center: Vec<Scalar> = (0..dim).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            let radius: Scalar = rng.gen_range(0.1..3.0);
+            let query: Vec<Scalar> = (0..dim).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let qnorm = distance::norm(&query);
+            if qnorm < 1e-3 {
+                continue;
+            }
+            // Sample points inside the ball.
+            let mut true_min = Scalar::INFINITY;
+            for _ in 0..200 {
+                let mut offset: Vec<Scalar> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let onorm = distance::norm(&offset).max(1e-6);
+                let scale = rng.gen_range(0.0..radius) / onorm;
+                for o in offset.iter_mut() {
+                    *o *= scale;
+                }
+                let point: Vec<Scalar> =
+                    center.iter().zip(offset.iter()).map(|(c, o)| c + o).collect();
+                true_min = true_min.min(distance::abs_dot(&point, &query));
+            }
+            let bound = node_ball_bound(distance::abs_dot(&center, &query), qnorm, radius);
+            assert!(
+                bound <= true_min + 1e-3,
+                "bound {bound} exceeds true minimum {true_min}"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn bound_is_valid_for_any_point_in_ball(
+            center in proptest::collection::vec(-10.0f32..10.0, 4),
+            direction in proptest::collection::vec(-1.0f32..1.0, 4),
+            query in proptest::collection::vec(-5.0f32..5.0, 4),
+            radius in 0.01f32..5.0,
+            t in 0.0f32..1.0,
+        ) {
+            let dnorm = distance::norm(&direction);
+            prop_assume!(dnorm > 1e-3);
+            let qnorm = distance::norm(&query);
+            prop_assume!(qnorm > 1e-3);
+            // x = center + t * radius * unit(direction) is inside the ball.
+            let x: Vec<Scalar> = center
+                .iter()
+                .zip(direction.iter())
+                .map(|(c, d)| c + t * radius * d / dnorm)
+                .collect();
+            let bound = node_ball_bound(distance::abs_dot(&center, &query), qnorm, radius);
+            let actual = distance::abs_dot(&x, &query);
+            prop_assert!(bound <= actual + 1e-2 * (1.0 + actual.abs()),
+                "bound {} vs actual {}", bound, actual);
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! Ball-Tree construction (Algorithm 1 of the paper).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use p2h_core::{distance, Error, PointSet, Result, Scalar};
+
+use crate::node::{Node, NO_CHILD};
+use crate::split::seed_grow_split;
+
+/// Default maximum leaf size `N0` (the paper sweeps 100–10,000; 100 is its reference
+/// setting for the indexing-cost experiments).
+pub const DEFAULT_LEAF_SIZE: usize = 100;
+
+/// Configuration for building a [`BallTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BallTreeBuilder {
+    /// Maximum number of points in a leaf node (`N0` in the paper).
+    pub leaf_size: usize,
+    /// Seed for the random seed-grow pivot selection, so builds are reproducible.
+    pub seed: u64,
+}
+
+impl Default for BallTreeBuilder {
+    fn default() -> Self {
+        Self { leaf_size: DEFAULT_LEAF_SIZE, seed: 0 }
+    }
+}
+
+impl BallTreeBuilder {
+    /// Creates a builder with the given maximum leaf size and the default seed.
+    pub fn new(leaf_size: usize) -> Self {
+        Self { leaf_size, ..Self::default() }
+    }
+
+    /// Sets the RNG seed used by the split rule.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds a Ball-Tree over the given (augmented) point set.
+    ///
+    /// Construction runs in `O(d · n · log n)` expected time and `O(n · d)` space
+    /// (Theorem 1): every level of the recursion touches every point a constant number
+    /// of times, and the tree has `O(log(n / N0))` expected levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `leaf_size` is zero and
+    /// [`Error::EmptyDataSet`] if the point set is empty.
+    pub fn build(&self, points: &PointSet) -> Result<BallTree> {
+        if self.leaf_size == 0 {
+            return Err(Error::InvalidParameter {
+                name: "leaf_size",
+                message: "the maximum leaf size N0 must be at least 1".into(),
+            });
+        }
+        if points.is_empty() {
+            return Err(Error::EmptyDataSet);
+        }
+        let n = points.len();
+        let dim = points.dim();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let mut order: Vec<usize> = (0..n).collect();
+        // Rough capacity guess: ~2·n/N0 nodes for a balanced tree.
+        let expected_nodes = (2 * n / self.leaf_size.max(1)).max(1) + 8;
+        let mut arena = Arena {
+            nodes: Vec::with_capacity(expected_nodes),
+            centers: Vec::with_capacity(expected_nodes * dim),
+            dim,
+        };
+
+        build_recursive(points, &mut order, 0, self.leaf_size, &mut arena, &mut rng);
+
+        // Re-materialize the points in tree order so that every leaf scan is sequential.
+        let mut reordered = Vec::with_capacity(n * dim);
+        let mut original_ids = Vec::with_capacity(n);
+        for &idx in &order {
+            reordered.extend_from_slice(points.point(idx));
+            original_ids.push(idx as u32);
+        }
+        let reordered = PointSet::from_flat(dim, reordered)?;
+
+        Ok(BallTree {
+            points: reordered,
+            original_ids,
+            nodes: arena.nodes,
+            centers: arena.centers,
+            leaf_size: self.leaf_size,
+        })
+    }
+}
+
+/// Growable node + center storage used during construction.
+struct Arena {
+    nodes: Vec<Node>,
+    centers: Vec<Scalar>,
+    dim: usize,
+}
+
+impl Arena {
+    fn push(&mut self, center: Vec<Scalar>, radius: Scalar, start: usize, end: usize) -> u32 {
+        let id = self.nodes.len() as u32;
+        let center_offset = (self.centers.len() / self.dim) as u32;
+        self.centers.extend_from_slice(&center);
+        self.nodes.push(Node {
+            center_offset,
+            radius,
+            start: start as u32,
+            end: end as u32,
+            left: NO_CHILD,
+            right: NO_CHILD,
+        });
+        id
+    }
+}
+
+/// Recursively builds the subtree covering `order[offset..offset + len]` (the slice
+/// passed as `slice`), returning the node id.
+fn build_recursive(
+    points: &PointSet,
+    slice: &mut [usize],
+    offset: usize,
+    leaf_size: usize,
+    arena: &mut Arena,
+    rng: &mut StdRng,
+) -> u32 {
+    let len = slice.len();
+    let center = points.centroid_of(slice);
+    let radius = slice
+        .iter()
+        .map(|&i| distance::euclidean(points.point(i), &center))
+        .fold(0.0 as Scalar, Scalar::max);
+    let node_id = arena.push(center, radius, offset, offset + len);
+
+    if len > leaf_size {
+        let split = seed_grow_split(points, slice, rng);
+        let (left_slice, right_slice) = slice.split_at_mut(split);
+        let left = build_recursive(points, left_slice, offset, leaf_size, arena, rng);
+        let right = build_recursive(points, right_slice, offset + split, leaf_size, arena, rng);
+        let node = &mut arena.nodes[node_id as usize];
+        node.left = left;
+        node.right = right;
+    }
+    node_id
+}
+
+/// A Ball-Tree index over an augmented point set (Section III of the paper).
+///
+/// Build one with [`BallTreeBuilder`]; query it through the
+/// [`p2h_core::P2hIndex`] trait (implemented in the `search` module).
+#[derive(Debug, Clone)]
+pub struct BallTree {
+    /// Points reordered so that every node covers a contiguous range.
+    pub(crate) points: PointSet,
+    /// Mapping from reordered position to the original point index.
+    pub(crate) original_ids: Vec<u32>,
+    /// Node arena; node 0 is the root.
+    pub(crate) nodes: Vec<Node>,
+    /// Flat buffer of node centers (`nodes[i]` uses `centers[i·dim .. (i+1)·dim]`).
+    pub(crate) centers: Vec<Scalar>,
+    /// Maximum leaf size `N0` the tree was built with.
+    pub(crate) leaf_size: usize,
+}
+
+impl BallTree {
+    /// Builds a Ball-Tree with the default configuration (leaf size 100, seed 0).
+    pub fn build(points: &PointSet) -> Result<Self> {
+        BallTreeBuilder::default().build(points)
+    }
+
+    /// The maximum leaf size `N0` used for this tree.
+    pub fn leaf_size(&self) -> usize {
+        self.leaf_size
+    }
+
+    /// Total number of nodes (internal + leaf).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaf nodes.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// Depth of the tree (number of edges on the longest root-to-leaf path).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], id: u32) -> usize {
+            let node = &nodes[id as usize];
+            if node.is_leaf() {
+                0
+            } else {
+                1 + depth_of(nodes, node.left).max(depth_of(nodes, node.right))
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_of(&self.nodes, 0)
+        }
+    }
+
+    /// The node arena (root is node 0). Exposed for inspection and for the BC-Tree crate.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The center of a node as a slice.
+    #[inline]
+    pub(crate) fn center(&self, node: &Node) -> &[Scalar] {
+        let dim = self.points.dim();
+        let start = node.center_offset as usize * dim;
+        &self.centers[start..start + dim]
+    }
+
+    /// The reordered point at position `pos`.
+    #[inline]
+    pub(crate) fn point(&self, pos: usize) -> &[Scalar] {
+        self.points.point(pos)
+    }
+
+    /// The original index of the reordered point at position `pos`.
+    #[inline]
+    pub(crate) fn original_id(&self, pos: usize) -> usize {
+        self.original_ids[pos] as usize
+    }
+
+    /// The reordered point set (contiguous per leaf).
+    pub fn points(&self) -> &PointSet {
+        &self.points
+    }
+
+    /// Memory used by the tree structure (nodes, centers, id mapping), excluding the raw
+    /// data points. This is the "Index Size" quantity of Table III.
+    pub fn structure_size_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self.centers.len() * std::mem::size_of::<Scalar>()
+            + self.original_ids.len() * std::mem::size_of::<u32>()
+            + std::mem::size_of::<Self>()
+    }
+
+    /// Validates the structural invariants of the tree. Used by tests; cheap enough to
+    /// call on moderately sized trees.
+    ///
+    /// Checks that: children partition their parent's range, every leaf has at most `N0`
+    /// points, every point lies inside its node's ball (within a small tolerance), and
+    /// the id mapping is a permutation.
+    pub fn check_invariants(&self) -> Result<()> {
+        let n = self.points.len();
+        let mut seen = vec![false; n];
+        for &id in &self.original_ids {
+            let id = id as usize;
+            if id >= n || seen[id] {
+                return Err(Error::InvalidParameter {
+                    name: "original_ids",
+                    message: "id mapping is not a permutation".into(),
+                });
+            }
+            seen[id] = true;
+        }
+        for node in &self.nodes {
+            if node.is_leaf() && node.size() > self.leaf_size {
+                return Err(Error::InvalidParameter {
+                    name: "leaf_size",
+                    message: format!("leaf with {} points exceeds N0 = {}", node.size(), self.leaf_size),
+                });
+            }
+            if !node.is_leaf() {
+                let left = &self.nodes[node.left as usize];
+                let right = &self.nodes[node.right as usize];
+                if left.start != node.start || right.end != node.end || left.end != right.start {
+                    return Err(Error::InvalidParameter {
+                        name: "nodes",
+                        message: "children do not partition the parent range".into(),
+                    });
+                }
+            }
+            let center = self.center(node);
+            for pos in node.start..node.end {
+                let d = distance::euclidean(self.point(pos as usize), center);
+                if d > node.radius * (1.0 + 1e-4) + 1e-4 {
+                    return Err(Error::InvalidParameter {
+                        name: "radius",
+                        message: format!("point at distance {d} outside ball of radius {}", node.radius),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2h_data::{DataDistribution, SyntheticDataset};
+
+    fn dataset(n: usize, dim: usize) -> PointSet {
+        SyntheticDataset::new(
+            "bt-build",
+            n,
+            dim,
+            DataDistribution::GaussianClusters { clusters: 8, std_dev: 1.0 },
+            13,
+        )
+        .generate()
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_and_satisfies_invariants() {
+        let ps = dataset(2_000, 16);
+        let tree = BallTreeBuilder::new(50).with_seed(1).build(&ps).unwrap();
+        tree.check_invariants().unwrap();
+        assert_eq!(tree.points().len(), 2_000);
+        assert!(tree.node_count() >= 2_000 / 50);
+        assert!(tree.leaf_count() >= 2_000 / 50);
+        assert!(tree.depth() >= 4, "depth {} too small for 2000/50 points", tree.depth());
+        assert_eq!(tree.leaf_size(), 50);
+    }
+
+    #[test]
+    fn default_build_works() {
+        let ps = dataset(500, 8);
+        let tree = BallTree::build(&ps).unwrap();
+        tree.check_invariants().unwrap();
+        assert_eq!(tree.leaf_size(), DEFAULT_LEAF_SIZE);
+    }
+
+    #[test]
+    fn single_leaf_when_n_below_leaf_size() {
+        let ps = dataset(64, 8);
+        let tree = BallTreeBuilder::new(100).build(&ps).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.depth(), 0);
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn smaller_leaves_mean_more_nodes() {
+        let ps = dataset(3_000, 8);
+        let coarse = BallTreeBuilder::new(500).build(&ps).unwrap();
+        let fine = BallTreeBuilder::new(20).build(&ps).unwrap();
+        assert!(fine.node_count() > coarse.node_count());
+        assert!(fine.structure_size_bytes() > coarse.structure_size_bytes());
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        let ps = dataset(100, 4);
+        assert!(matches!(
+            BallTreeBuilder::new(0).build(&ps),
+            Err(Error::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn identical_points_still_build() {
+        let rows = vec![vec![1.0 as Scalar, 2.0, 3.0]; 500];
+        let ps = PointSet::augment(&rows).unwrap();
+        let tree = BallTreeBuilder::new(32).build(&ps).unwrap();
+        tree.check_invariants().unwrap();
+        assert!(tree.node_count() > 1);
+        // Every node's radius is 0 for identical points.
+        assert!(tree.nodes().iter().all(|n| n.radius < 1e-5));
+    }
+
+    #[test]
+    fn construction_is_deterministic_for_a_seed() {
+        let ps = dataset(1_000, 8);
+        let a = BallTreeBuilder::new(64).with_seed(5).build(&ps).unwrap();
+        let b = BallTreeBuilder::new(64).with_seed(5).build(&ps).unwrap();
+        assert_eq!(a.original_ids, b.original_ids);
+        assert_eq!(a.node_count(), b.node_count());
+    }
+
+    #[test]
+    fn structure_is_lightweight_relative_to_data() {
+        // With N0 = 100 the paper observes index sizes much smaller than the data size;
+        // the structure (centers + nodes + ids) should be well under the raw point bytes.
+        let ps = dataset(10_000, 32);
+        let tree = BallTreeBuilder::new(100).build(&ps).unwrap();
+        let data_bytes = ps.size_bytes();
+        assert!(
+            tree.structure_size_bytes() < data_bytes,
+            "structure {} should be smaller than data {}",
+            tree.structure_size_bytes(),
+            data_bytes
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Arena node representation shared by the Ball-Tree (and reused by the BC-Tree crate).
+
+use p2h_core::Scalar;
+
+/// Sentinel child id meaning "no child" (leaf node).
+pub const NO_CHILD: u32 = u32::MAX;
+
+/// One node of a ball tree, stored in an arena (`Vec<Node>`).
+///
+/// Centers are kept in a separate flat buffer (one `dim`-sized slice per node) so the
+/// node array itself stays small and cache friendly; `center_offset` indexes into that
+/// buffer. The points covered by a node are the contiguous range `start..end` of the
+/// tree's reordered point array, which makes leaf scans sequential (the property the
+/// paper relies on for cheap candidate verification).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Node {
+    /// Offset (in points, not scalars) of this node's center in the centers buffer.
+    pub center_offset: u32,
+    /// Radius: maximum Euclidean distance from the center to any covered point.
+    pub radius: Scalar,
+    /// First covered position in the reordered point array.
+    pub start: u32,
+    /// One past the last covered position in the reordered point array.
+    pub end: u32,
+    /// Left child node id, or [`NO_CHILD`] for a leaf.
+    pub left: u32,
+    /// Right child node id, or [`NO_CHILD`] for a leaf.
+    pub right: u32,
+}
+
+impl Node {
+    /// Number of points covered by this node.
+    #[inline]
+    pub fn size(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether this node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.left == NO_CHILD
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_and_leaf_flags() {
+        let leaf = Node {
+            center_offset: 0,
+            radius: 1.0,
+            start: 10,
+            end: 25,
+            left: NO_CHILD,
+            right: NO_CHILD,
+        };
+        assert_eq!(leaf.size(), 15);
+        assert!(leaf.is_leaf());
+
+        let internal = Node { left: 3, right: 4, ..leaf };
+        assert!(!internal.is_leaf());
+    }
+
+    #[test]
+    fn node_is_small() {
+        // The node must stay compact: 6 fields, at most 32 bytes on 64-bit targets.
+        assert!(std::mem::size_of::<Node>() <= 32);
+    }
+}

@@ -1,0 +1,318 @@
+//! Branch-and-bound search over the Ball-Tree (Algorithm 3 of the paper).
+
+use std::time::Instant;
+
+use p2h_core::{
+    distance, BranchPreference, HyperplaneQuery, P2hIndex, Scalar, SearchParams, SearchResult,
+    SearchStats, TopKCollector,
+};
+
+use crate::bound::node_ball_bound;
+use crate::build::BallTree;
+use crate::node::Node;
+
+/// Mutable state threaded through the recursive traversal.
+struct Ctx<'a> {
+    query: &'a [Scalar],
+    query_norm: Scalar,
+    preference: BranchPreference,
+    collector: TopKCollector,
+    stats: SearchStats,
+    candidate_limit: u64,
+    /// Set when the candidate budget is exhausted; stops the whole traversal.
+    exhausted: bool,
+    timing: bool,
+}
+
+impl Ctx<'_> {
+    #[inline]
+    fn threshold(&self) -> Scalar {
+        self.collector.threshold()
+    }
+}
+
+impl BallTree {
+    /// Scans a leaf exhaustively (the `ExhaustiveScan` routine of Algorithm 3).
+    fn scan_leaf(&self, node: &Node, ctx: &mut Ctx<'_>) {
+        let timer = ctx.timing.then(Instant::now);
+        for pos in node.start..node.end {
+            if ctx.stats.candidates_verified >= ctx.candidate_limit {
+                ctx.exhausted = true;
+                break;
+            }
+            let point = self.point(pos as usize);
+            let dist = distance::abs_dot(point, ctx.query);
+            ctx.stats.inner_products += 1;
+            ctx.stats.candidates_verified += 1;
+            ctx.collector.offer(self.original_id(pos as usize), dist);
+        }
+        if let Some(t) = timer {
+            ctx.stats.time_verify_ns += t.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Visits a node whose center inner product `ip = ⟨q, N.c⟩` has already been
+    /// computed (by the parent, or at the root by [`BallTree::run_search`]).
+    fn visit(&self, node_id: u32, ip: Scalar, ctx: &mut Ctx<'_>) {
+        if ctx.exhausted {
+            return;
+        }
+        let node = &self.nodes[node_id as usize];
+        ctx.stats.nodes_visited += 1;
+
+        let lb = node_ball_bound(ip.abs(), ctx.query_norm, node.radius);
+        if lb >= ctx.threshold() {
+            ctx.stats.pruned_subtrees += 1;
+            return;
+        }
+
+        if node.is_leaf() {
+            ctx.stats.leaves_visited += 1;
+            self.scan_leaf(node, ctx);
+            return;
+        }
+
+        // Compute the child center inner products once here; they are reused by the
+        // recursive calls, so Ball-Tree performs exactly two O(d) inner products per
+        // expanded internal node (the cost model of Theorem 5).
+        let timer = ctx.timing.then(Instant::now);
+        let left = &self.nodes[node.left as usize];
+        let right = &self.nodes[node.right as usize];
+        let ip_left = distance::dot(ctx.query, self.center(left));
+        let ip_right = distance::dot(ctx.query, self.center(right));
+        ctx.stats.inner_products += 2;
+        if let Some(t) = timer {
+            ctx.stats.time_bounds_ns += t.elapsed().as_nanos() as u64;
+        }
+
+        let left_first = match ctx.preference {
+            BranchPreference::Center => ip_left.abs() < ip_right.abs(),
+            BranchPreference::LowerBound => {
+                node_ball_bound(ip_left.abs(), ctx.query_norm, left.radius)
+                    < node_ball_bound(ip_right.abs(), ctx.query_norm, right.radius)
+            }
+        };
+        if left_first {
+            self.visit(node.left, ip_left, ctx);
+            self.visit(node.right, ip_right, ctx);
+        } else {
+            self.visit(node.right, ip_right, ctx);
+            self.visit(node.left, ip_left, ctx);
+        }
+    }
+
+    /// Runs one query against the tree and returns the result with statistics.
+    fn run_search(&self, query: &HyperplaneQuery, params: &SearchParams) -> SearchResult {
+        assert_eq!(
+            query.dim(),
+            self.points.dim(),
+            "query dimension must match the augmented data dimension"
+        );
+        let start = Instant::now();
+        let mut ctx = Ctx {
+            query: query.coeffs(),
+            query_norm: query.norm(),
+            preference: params.branch_preference,
+            collector: TopKCollector::new(params.k),
+            stats: SearchStats::default(),
+            candidate_limit: params.candidate_limit.map_or(u64::MAX, |c| c as u64),
+            exhausted: false,
+            timing: params.collect_timing,
+        };
+
+        let root = &self.nodes[0];
+        let timer = ctx.timing.then(Instant::now);
+        let ip_root = distance::dot(ctx.query, self.center(root));
+        ctx.stats.inner_products += 1;
+        if let Some(t) = timer {
+            ctx.stats.time_bounds_ns += t.elapsed().as_nanos() as u64;
+        }
+        self.visit(0, ip_root, &mut ctx);
+
+        let mut stats = ctx.stats;
+        stats.time_total_ns = start.elapsed().as_nanos() as u64;
+        SearchResult { neighbors: ctx.collector.into_sorted_vec(), stats }
+    }
+}
+
+impl P2hIndex for BallTree {
+    fn name(&self) -> &'static str {
+        "Ball-Tree"
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.points.dim()
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.structure_size_bytes()
+    }
+
+    fn search(&self, query: &HyperplaneQuery, params: &SearchParams) -> SearchResult {
+        self.run_search(query, params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::BallTreeBuilder;
+    use p2h_core::{LinearScan, PointSet};
+    use p2h_data::{generate_queries, DataDistribution, QueryDistribution, SyntheticDataset};
+
+    fn dataset(n: usize, dim: usize, seed: u64) -> PointSet {
+        SyntheticDataset::new(
+            "bt-search",
+            n,
+            dim,
+            DataDistribution::GaussianClusters { clusters: 6, std_dev: 1.5 },
+            seed,
+        )
+        .generate()
+        .unwrap()
+    }
+
+    fn queries(ps: &PointSet, count: usize) -> Vec<HyperplaneQuery> {
+        generate_queries(ps, count, QueryDistribution::DataDifference, 77).unwrap()
+    }
+
+    #[test]
+    fn exact_search_matches_linear_scan() {
+        let ps = dataset(3_000, 12, 1);
+        let tree = BallTreeBuilder::new(64).build(&ps).unwrap();
+        let scan = LinearScan::new(ps.clone());
+        for (qi, q) in queries(&ps, 10).iter().enumerate() {
+            for k in [1, 5, 20] {
+                let exact = scan.search_exact(q, k);
+                let got = tree.search_exact(q, k);
+                assert_eq!(
+                    got.distances(),
+                    exact.distances(),
+                    "query {qi}, k={k}: distances differ"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exact_search_prunes_work() {
+        let ps = dataset(20_000, 16, 2);
+        let tree = BallTreeBuilder::new(100).build(&ps).unwrap();
+        let q = &queries(&ps, 1)[0];
+        let result = tree.search_exact(q, 10);
+        assert!(
+            result.stats.candidates_verified < 20_000,
+            "branch-and-bound should verify fewer than all points, verified {}",
+            result.stats.candidates_verified
+        );
+        assert!(result.stats.pruned_subtrees > 0);
+        assert_eq!(result.neighbors.len(), 10);
+    }
+
+    #[test]
+    fn candidate_limit_bounds_verification() {
+        let ps = dataset(5_000, 8, 3);
+        let tree = BallTreeBuilder::new(100).build(&ps).unwrap();
+        let q = &queries(&ps, 1)[0];
+        let result = tree.search(q, &SearchParams::approximate(10, 500));
+        assert!(result.stats.candidates_verified <= 500);
+        assert_eq!(result.neighbors.len(), 10);
+    }
+
+    #[test]
+    fn larger_candidate_budget_never_hurts_recall() {
+        let ps = dataset(5_000, 12, 4);
+        let tree = BallTreeBuilder::new(100).build(&ps).unwrap();
+        let scan = LinearScan::new(ps.clone());
+        let q = &queries(&ps, 1)[0];
+        let exact: Vec<usize> = scan.search_exact(q, 10).indices();
+        let recall = |limit: usize| {
+            let result = tree.search(q, &SearchParams::approximate(10, limit));
+            result.indices().iter().filter(|i| exact.contains(i)).count()
+        };
+        let small = recall(200);
+        let large = recall(5_000);
+        assert!(large >= small);
+        assert_eq!(large, 10, "with an unlimited budget the search is exact");
+    }
+
+    #[test]
+    fn both_branch_preferences_give_exact_results() {
+        let ps = dataset(2_000, 8, 5);
+        let tree = BallTreeBuilder::new(50).build(&ps).unwrap();
+        let scan = LinearScan::new(ps.clone());
+        for q in &queries(&ps, 5) {
+            let exact = scan.search_exact(q, 5);
+            for pref in [BranchPreference::Center, BranchPreference::LowerBound] {
+                let params = SearchParams::exact(5).with_branch_preference(pref);
+                let got = tree.search(q, &params);
+                assert_eq!(got.distances(), exact.distances());
+            }
+        }
+    }
+
+    #[test]
+    fn center_preference_verifies_no_more_than_lower_bound_on_average() {
+        // Section III-C argues the center preference reaches good candidates sooner.
+        // With a limited budget it should therefore achieve at least comparable recall.
+        let ps = dataset(10_000, 16, 6);
+        let tree = BallTreeBuilder::new(100).build(&ps).unwrap();
+        let scan = LinearScan::new(ps.clone());
+        let qs = queries(&ps, 20);
+        let mut center_hits = 0usize;
+        let mut lb_hits = 0usize;
+        for q in &qs {
+            let exact: Vec<usize> = scan.search_exact(q, 10).indices();
+            let count = |pref| {
+                let params =
+                    SearchParams::approximate(10, 1_000).with_branch_preference(pref);
+                tree.search(q, &params).indices().iter().filter(|i| exact.contains(i)).count()
+            };
+            center_hits += count(BranchPreference::Center);
+            lb_hits += count(BranchPreference::LowerBound);
+        }
+        assert!(
+            center_hits + 10 >= lb_hits,
+            "center preference should not be much worse: center={center_hits}, lb={lb_hits}"
+        );
+    }
+
+    #[test]
+    fn timing_collection_populates_phase_timers() {
+        let ps = dataset(2_000, 8, 7);
+        let tree = BallTreeBuilder::new(50).build(&ps).unwrap();
+        let q = &queries(&ps, 1)[0];
+        let result = tree.search(q, &SearchParams::exact(5).with_timing());
+        assert!(result.stats.time_total_ns > 0);
+        assert!(result.stats.time_verify_ns > 0);
+        // Without timing the phase timers stay zero.
+        let untimed = tree.search_exact(q, 5);
+        assert_eq!(untimed.stats.time_verify_ns, 0);
+        assert_eq!(untimed.stats.time_bounds_ns, 0);
+    }
+
+    #[test]
+    fn index_trait_metadata() {
+        let ps = dataset(1_000, 8, 8);
+        let tree = BallTreeBuilder::new(100).build(&ps).unwrap();
+        assert_eq!(tree.name(), "Ball-Tree");
+        assert_eq!(tree.len(), 1_000);
+        assert_eq!(tree.dim(), 9);
+        assert!(tree.index_size_bytes() > 0);
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all_points() {
+        let ps = dataset(50, 4, 9);
+        let tree = BallTreeBuilder::new(10).build(&ps).unwrap();
+        let q = &queries(&ps, 1)[0];
+        let result = tree.search_exact(q, 100);
+        assert_eq!(result.neighbors.len(), 50);
+        let d = result.distances();
+        assert!(d.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

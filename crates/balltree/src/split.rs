@@ -1,0 +1,176 @@
+//! The seed-grow splitting rule (Algorithm 2 of the paper).
+//!
+//! Given a subset of points, pick a random seed `v`, let `x_l` be the point furthest from
+//! `v` and `x_r` the point furthest from `x_l`; every point is then assigned to whichever
+//! pivot is closer. The rule is cheap (two linear passes) yet produces splits whose
+//! children have well-separated centroids, which is what makes the ball bounds effective.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use p2h_core::{distance, PointSet, Scalar};
+
+/// The two pivot points chosen by the seed-grow rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pivots {
+    /// Position (within the index slice handed to [`choose_pivots`]) of the left pivot.
+    pub left: usize,
+    /// Position of the right pivot.
+    pub right: usize,
+}
+
+/// Chooses the two split pivots for `indices` using the seed-grow rule.
+///
+/// Returns positions *into `indices`*, not original point ids. If all points coincide the
+/// two pivots may be the same position; [`partition`] handles that case by falling back
+/// to a balanced halving.
+pub fn choose_pivots(points: &PointSet, indices: &[usize], rng: &mut StdRng) -> Pivots {
+    debug_assert!(indices.len() >= 2, "splitting needs at least two points");
+    let seed_pos = rng.gen_range(0..indices.len());
+    let seed = points.point(indices[seed_pos]);
+
+    let mut left = 0usize;
+    let mut best = -1.0 as Scalar;
+    for (pos, &idx) in indices.iter().enumerate() {
+        let d = distance::euclidean_sq(seed, points.point(idx));
+        if d > best {
+            best = d;
+            left = pos;
+        }
+    }
+
+    let left_point = points.point(indices[left]);
+    let mut right = 0usize;
+    let mut best = -1.0 as Scalar;
+    for (pos, &idx) in indices.iter().enumerate() {
+        let d = distance::euclidean_sq(left_point, points.point(idx));
+        if d > best {
+            best = d;
+            right = pos;
+        }
+    }
+    Pivots { left, right }
+}
+
+/// Partitions `indices` in place into a left part (closer to the left pivot) and a right
+/// part (closer to the right pivot), returning the size of the left part.
+///
+/// Guarantees that both parts are non-empty: if the distance-based assignment would put
+/// every point on one side (which happens when all points coincide, or when ties all
+/// resolve one way), the split falls back to a balanced halving so that tree construction
+/// always terminates.
+pub fn partition(points: &PointSet, indices: &mut [usize], pivots: Pivots) -> usize {
+    let n = indices.len();
+    debug_assert!(n >= 2);
+    let left_pivot = points.point(indices[pivots.left]).to_vec();
+    let right_pivot = points.point(indices[pivots.right]).to_vec();
+
+    // Stable two-pass partition: collect assignments first, then reorder.
+    let mut left_ids = Vec::with_capacity(n);
+    let mut right_ids = Vec::with_capacity(n);
+    for &idx in indices.iter() {
+        let p = points.point(idx);
+        let dl = distance::euclidean_sq(p, &left_pivot);
+        let dr = distance::euclidean_sq(p, &right_pivot);
+        if dl <= dr {
+            left_ids.push(idx);
+        } else {
+            right_ids.push(idx);
+        }
+    }
+
+    if left_ids.is_empty() || right_ids.is_empty() {
+        // Degenerate split (identical points): halve deterministically.
+        let mid = n / 2;
+        return mid;
+    }
+
+    let split = left_ids.len();
+    for (slot, idx) in indices.iter_mut().zip(left_ids.into_iter().chain(right_ids)) {
+        *slot = idx;
+    }
+    split
+}
+
+/// Convenience wrapper: chooses pivots and partitions in one call, returning the left
+/// part size.
+pub fn seed_grow_split(points: &PointSet, indices: &mut [usize], rng: &mut StdRng) -> usize {
+    let pivots = choose_pivots(points, indices, rng);
+    partition(points, indices, pivots)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn two_blob_points() -> PointSet {
+        // Two well-separated blobs around (0,0) and (100,100).
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            let jitter = i as Scalar * 0.01;
+            rows.push(vec![jitter, -jitter]);
+            rows.push(vec![100.0 + jitter, 100.0 - jitter]);
+        }
+        PointSet::augment(&rows).unwrap()
+    }
+
+    #[test]
+    fn pivots_come_from_opposite_blobs() {
+        let ps = two_blob_points();
+        let indices: Vec<usize> = (0..ps.len()).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let pivots = choose_pivots(&ps, &indices, &mut rng);
+        let a = ps.point(indices[pivots.left]);
+        let b = ps.point(indices[pivots.right]);
+        assert!(
+            distance::euclidean(a, b) > 100.0,
+            "pivots should span the two blobs: {a:?} vs {b:?}"
+        );
+    }
+
+    #[test]
+    fn partition_separates_blobs() {
+        let ps = two_blob_points();
+        let mut indices: Vec<usize> = (0..ps.len()).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let split = seed_grow_split(&ps, &mut indices, &mut rng);
+        assert_eq!(split, 20, "each blob has 20 points");
+        // All points on each side belong to the same blob (blob is determined by the
+        // parity of the original index in `two_blob_points`).
+        let left_parities: Vec<usize> = indices[..split].iter().map(|i| i % 2).collect();
+        let right_parities: Vec<usize> = indices[split..].iter().map(|i| i % 2).collect();
+        assert!(left_parities.windows(2).all(|w| w[0] == w[1]));
+        assert!(right_parities.windows(2).all(|w| w[0] == w[1]));
+        assert_ne!(left_parities[0], right_parities[0]);
+    }
+
+    #[test]
+    fn degenerate_identical_points_split_in_half() {
+        let rows = vec![vec![3.0 as Scalar, 4.0]; 9];
+        let ps = PointSet::augment(&rows).unwrap();
+        let mut indices: Vec<usize> = (0..9).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let split = seed_grow_split(&ps, &mut indices, &mut rng);
+        assert!(split > 0 && split < 9, "split must leave both sides non-empty");
+        assert_eq!(split, 4);
+    }
+
+    #[test]
+    fn both_sides_always_nonempty_on_random_data() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..20 {
+            let rows: Vec<Vec<Scalar>> = (0..50)
+                .map(|_| (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                .collect();
+            let ps = PointSet::augment(&rows).unwrap();
+            let mut indices: Vec<usize> = (0..50).collect();
+            let split = seed_grow_split(&ps, &mut indices, &mut rng);
+            assert!(split > 0 && split < 50, "trial {trial}: split {split} out of range");
+            // The partition is a permutation of the original indices.
+            let mut sorted = indices.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Integration tests of the Ball-Tree against its own theory: the node-level ball bound
+//! (Theorem 2) must lower-bound the true minimum absolute inner product of every node's
+//! points, for real trees built on real (synthetic) data.
+
+use p2h_balltree::bound::node_ball_bound;
+use p2h_balltree::BallTreeBuilder;
+use p2h_core::{distance, P2hIndex, SearchParams};
+use p2h_data::{generate_queries, DataDistribution, QueryDistribution, SyntheticDataset};
+
+fn dataset(distribution: DataDistribution, seed: u64) -> p2h_core::PointSet {
+    SyntheticDataset::new("bound-invariants", 1_200, 12, distribution, seed).generate().unwrap()
+}
+
+#[test]
+fn node_bound_is_valid_for_every_node_of_a_real_tree() {
+    for (i, distribution) in [
+        DataDistribution::GaussianClusters { clusters: 5, std_dev: 1.0 },
+        DataDistribution::Uniform { scale: 4.0 },
+        DataDistribution::HeavyTailedNorms { mu: 0.5, sigma: 0.7 },
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let points = dataset(distribution, 200 + i as u64);
+        let tree = BallTreeBuilder::new(40).build(&points).unwrap();
+        let reordered = tree.points();
+        let queries =
+            generate_queries(&points, 3, QueryDistribution::DataDifference, 11).unwrap();
+        for query in &queries {
+            for node in tree.nodes() {
+                // Recompute the node's center from its range in the reordered points.
+                let indices: Vec<usize> = (node.start..node.end).map(|p| p as usize).collect();
+                let center = reordered.centroid_of(&indices);
+                let bound = node_ball_bound(
+                    distance::abs_dot(query.coeffs(), &center),
+                    query.norm(),
+                    node.radius,
+                );
+                let true_min = indices
+                    .iter()
+                    .map(|&p| query.p2h_distance(reordered.point(p)))
+                    .fold(f32::INFINITY, f32::min);
+                assert!(
+                    bound <= true_min + 1e-2 * (1.0 + true_min),
+                    "node bound {bound} exceeds true minimum {true_min} (radius {})",
+                    node.radius
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn exact_search_never_reports_a_distance_below_the_global_minimum() {
+    let points = dataset(DataDistribution::Correlated { rank: 3, noise: 0.4 }, 300);
+    let tree = BallTreeBuilder::new(64).build(&points).unwrap();
+    let queries = generate_queries(&points, 5, QueryDistribution::RandomNormal, 13).unwrap();
+    for query in &queries {
+        let global_min = points
+            .iter()
+            .map(|x| query.p2h_distance(x))
+            .fold(f32::INFINITY, f32::min);
+        let result = tree.search_exact(query, 1);
+        assert!((result.neighbors[0].distance - global_min).abs() < 1e-5);
+    }
+}
+
+#[test]
+fn pruned_work_grows_with_k() {
+    // Larger k means a looser pruning threshold, hence at least as many candidates.
+    let points = dataset(DataDistribution::GaussianClusters { clusters: 6, std_dev: 1.2 }, 400);
+    let tree = BallTreeBuilder::new(40).build(&points).unwrap();
+    let queries = generate_queries(&points, 5, QueryDistribution::DataDifference, 17).unwrap();
+    for query in &queries {
+        let small = tree.search(query, &SearchParams::exact(1));
+        let large = tree.search(query, &SearchParams::exact(50));
+        assert!(
+            large.stats.candidates_verified >= small.stats.candidates_verified,
+            "k=50 should verify at least as many candidates as k=1"
+        );
+    }
+}
+
+#[test]
+fn stats_are_internally_consistent() {
+    let points = dataset(DataDistribution::Uniform { scale: 2.0 }, 500);
+    let tree = BallTreeBuilder::new(50).build(&points).unwrap();
+    let queries = generate_queries(&points, 5, QueryDistribution::DataDifference, 19).unwrap();
+    for query in &queries {
+        let result = tree.search_exact(query, 10);
+        let stats = result.stats;
+        assert!(stats.leaves_visited <= stats.nodes_visited);
+        assert!(stats.nodes_visited as usize <= tree.node_count());
+        assert!(stats.candidates_verified <= points.len() as u64);
+        // Inner products = candidate verifications + center evaluations.
+        assert!(stats.inner_products >= stats.candidates_verified);
+        assert_eq!(stats.buckets_probed, 0, "trees never probe hash buckets");
+    }
+}

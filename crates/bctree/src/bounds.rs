@@ -1,0 +1,199 @@
+//! Point-level lower bounds used inside BC-Tree leaves.
+//!
+//! * [`point_ball_bound`] — Corollary 1: the ball structure shares the leaf center, so
+//!   each point only needs its own radius `r_x`.
+//! * [`point_cone_bound`] — Theorem 3: the cone structure uses the point's norm and its
+//!   angle to the leaf center; the bound is provably at least as tight as the ball bound
+//!   (Theorem 4), which the property tests below verify numerically.
+
+use p2h_core::Scalar;
+
+/// Point-level ball bound (Corollary 1): `|⟨x, q⟩| ≥ max(|⟨q, c⟩| − ‖q‖·r_x, 0)`.
+///
+/// `abs_ip` is `|⟨q, c⟩|` for the leaf center `c`, and `r_x = ‖x − c‖`.
+#[inline]
+pub fn point_ball_bound(abs_ip: Scalar, query_norm: Scalar, r_x: Scalar) -> Scalar {
+    (abs_ip - query_norm * r_x).max(0.0)
+}
+
+/// Point-level cone bound (Theorem 3).
+///
+/// Inputs are the precomputed products
+///
+/// * `q_cos = ‖q‖·cos θ = ⟨q, c⟩ / ‖c‖` (signed),
+/// * `q_sin = ‖q‖·sin θ ≥ 0`,
+/// * `x_cos = ‖x‖·cos φ_x` (signed),
+/// * `x_sin = ‖x‖·sin φ_x ≥ 0`,
+///
+/// where `θ` is the angle between the query and the leaf center and `φ_x` the angle
+/// between the point and the leaf center. Using the product-to-sum identities,
+/// `‖x‖‖q‖·cos(θ + φ_x) = q_cos·x_cos − q_sin·x_sin` and
+/// `‖x‖‖q‖·cos(|θ − φ_x|) = q_cos·x_cos + q_sin·x_sin`, so the three cases of Theorem 3
+/// become sign tests on the two products — an O(1) computation.
+#[inline]
+pub fn point_cone_bound(q_cos: Scalar, q_sin: Scalar, x_cos: Scalar, x_sin: Scalar) -> Scalar {
+    let cos_sum = q_cos * x_cos - q_sin * x_sin; // ‖x‖‖q‖·cos(θ + φ)
+    let cos_diff = q_cos * x_cos + q_sin * x_sin; // ‖x‖‖q‖·cos(|θ − φ|)
+    if cos_sum > 0.0 && q_cos > 0.0 && x_cos > 0.0 {
+        cos_sum
+    } else if cos_diff < 0.0 {
+        -cos_diff
+    } else {
+        0.0
+    }
+}
+
+/// Decomposes the query against a leaf center: returns `(q_cos, q_sin)` given the signed
+/// inner product `⟨q, c⟩`, the center norm `‖c‖`, and the query norm `‖q‖`.
+///
+/// When the center is (numerically) the origin the angle is undefined; the conservative
+/// decomposition `(0, ‖q‖)` is returned, which makes the cone bound evaluate to 0 and
+/// never prunes incorrectly.
+#[inline]
+pub fn query_decomposition(ip_center: Scalar, center_norm: Scalar, query_norm: Scalar) -> (Scalar, Scalar) {
+    if center_norm <= Scalar::EPSILON {
+        return (0.0, query_norm);
+    }
+    let q_cos = ip_center / center_norm;
+    let q_sin = (query_norm * query_norm - q_cos * q_cos).max(0.0).sqrt();
+    (q_cos, q_sin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2h_core::distance;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Builds the exact cone-structure inputs for a point/center/query triple.
+    fn setup(
+        point: &[Scalar],
+        center: &[Scalar],
+        query: &[Scalar],
+    ) -> ((Scalar, Scalar), (Scalar, Scalar), Scalar, Scalar) {
+        let ip_center = distance::dot(query, center);
+        let center_norm = distance::norm(center);
+        let query_norm = distance::norm(query);
+        let (q_cos, q_sin) = query_decomposition(ip_center, center_norm, query_norm);
+        let x_norm = distance::norm(point);
+        let cos_phi = distance::cosine(point, center);
+        let x_cos = x_norm * cos_phi;
+        let x_sin = x_norm * (1.0 - cos_phi * cos_phi).max(0.0).sqrt();
+        let r_x = distance::euclidean(point, center);
+        let actual = distance::abs_dot(point, query);
+        ((q_cos, q_sin), (x_cos, x_sin), r_x, actual)
+    }
+
+    #[test]
+    fn ball_bound_matches_corollary_cases() {
+        assert_eq!(point_ball_bound(10.0, 2.0, 1.0), 8.0);
+        assert_eq!(point_ball_bound(1.0, 2.0, 4.0), 0.0);
+        assert_eq!(point_ball_bound(0.0, 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn cone_bound_simple_geometry() {
+        // Query along +x, center along +x, point along +x at norm 2: everything aligned,
+        // the inner product is exactly 2·‖q‖ and the bound must not exceed it.
+        let point = [2.0, 0.0];
+        let center = [1.0, 0.0];
+        let query = [3.0, 0.0];
+        let ((qc, qs), (xc, xs), _r, actual) = setup(&point, &center, &query);
+        let bound = point_cone_bound(qc, qs, xc, xs);
+        assert!(bound <= actual + 1e-5);
+        assert!(bound > 0.0, "aligned vectors must give a positive bound");
+
+        // Orthogonal point: the bound must be 0 (the point can lie on the hyperplane).
+        let point = [0.0, 1.0];
+        let ((qc, qs), (xc, xs), _r, actual) = setup(&point, &center, &query);
+        assert!(actual < 1e-6);
+        assert_eq!(point_cone_bound(qc, qs, xc, xs), 0.0);
+    }
+
+    #[test]
+    fn query_decomposition_degenerate_center() {
+        let (qc, qs) = query_decomposition(0.0, 0.0, 2.5);
+        assert_eq!(qc, 0.0);
+        assert_eq!(qs, 2.5);
+    }
+
+    #[test]
+    fn decomposition_satisfies_pythagoras() {
+        let (qc, qs) = query_decomposition(3.0, 2.0, 2.0);
+        assert!((qc * qc + qs * qs - 4.0).abs() < 1e-5);
+        assert!(qs >= 0.0);
+    }
+
+    #[test]
+    fn cone_bound_is_valid_and_tighter_randomized() {
+        // Theorem 3 (validity) and Theorem 4 (cone ≥ ball) on random leaf geometry.
+        let mut rng = StdRng::seed_from_u64(31);
+        let dim = 6;
+        let mut tighter_cases = 0usize;
+        for _ in 0..500 {
+            let center: Vec<Scalar> = (0..dim).map(|_| rng.gen_range(-4.0..4.0)).collect();
+            let query: Vec<Scalar> = (0..dim).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            let point: Vec<Scalar> = center
+                .iter()
+                .map(|c| c + rng.gen_range(-1.5..1.5))
+                .collect();
+            let qn = distance::norm(&query);
+            if qn < 1e-3 {
+                continue;
+            }
+            let ((qc, qs), (xc, xs), r_x, actual) = setup(&point, &center, &query);
+            let cone = point_cone_bound(qc, qs, xc, xs);
+            let ball = point_ball_bound(distance::dot(&query, &center).abs(), qn, r_x);
+            let tol = 1e-3 * (1.0 + actual.abs());
+            assert!(cone <= actual + tol, "cone bound {cone} exceeds |<x,q>| = {actual}");
+            assert!(ball <= actual + tol, "ball bound {ball} exceeds |<x,q>| = {actual}");
+            assert!(
+                cone + tol >= ball,
+                "Theorem 4 violated: cone {cone} < ball {ball} (actual {actual})"
+            );
+            if cone > ball + tol {
+                tighter_cases += 1;
+            }
+        }
+        assert!(
+            tighter_cases > 20,
+            "the cone bound should be strictly tighter reasonably often, got {tighter_cases}"
+        );
+    }
+
+    proptest! {
+        /// Theorem 3 validity under proptest-generated geometry.
+        #[test]
+        fn cone_bound_never_exceeds_true_distance(
+            center in proptest::collection::vec(-5.0f32..5.0, 4),
+            offset in proptest::collection::vec(-2.0f32..2.0, 4),
+            query in proptest::collection::vec(-3.0f32..3.0, 4),
+        ) {
+            let point: Vec<Scalar> = center.iter().zip(offset.iter()).map(|(c, o)| c + o).collect();
+            prop_assume!(distance::norm(&query) > 1e-3);
+            let ((qc, qs), (xc, xs), _r, actual) = setup(&point, &center, &query);
+            let cone = point_cone_bound(qc, qs, xc, xs);
+            prop_assert!(cone <= actual + 1e-2 * (1.0 + actual.abs()),
+                "cone {} vs actual {}", cone, actual);
+        }
+
+        /// Theorem 4: the cone bound dominates the ball bound.
+        #[test]
+        fn cone_bound_dominates_ball_bound(
+            center in proptest::collection::vec(-5.0f32..5.0, 4),
+            offset in proptest::collection::vec(-2.0f32..2.0, 4),
+            query in proptest::collection::vec(-3.0f32..3.0, 4),
+        ) {
+            let point: Vec<Scalar> = center.iter().zip(offset.iter()).map(|(c, o)| c + o).collect();
+            let qn = distance::norm(&query);
+            prop_assume!(qn > 1e-3);
+            let ((qc, qs), (xc, xs), r_x, actual) = setup(&point, &center, &query);
+            let cone = point_cone_bound(qc, qs, xc, xs);
+            let ball = point_ball_bound(distance::dot(&query, &center).abs(), qn, r_x);
+            prop_assert!(cone + 1e-2 * (1.0 + actual.abs()) >= ball,
+                "cone {} < ball {}", cone, ball);
+        }
+    }
+}

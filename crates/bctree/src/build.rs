@@ -1,0 +1,512 @@
+//! BC-Tree construction (Algorithm 4 of the paper).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use p2h_balltree::split::seed_grow_split;
+use p2h_balltree::Node;
+use p2h_core::{distance, Error, PointSet, Result, Scalar};
+
+/// Sentinel child id meaning "no child" (leaf node); same convention as the Ball-Tree.
+const NO_CHILD: u32 = u32::MAX;
+
+/// Default maximum leaf size `N0`.
+pub const DEFAULT_LEAF_SIZE: usize = 100;
+
+/// The per-point leaf structures of BC-Tree: the **B**all radius and the **C**one
+/// decomposition of the point against its leaf center.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LeafPointAux {
+    /// `r_x = ‖x − c‖`, the point's distance to its leaf center (ball structure).
+    pub radius: Scalar,
+    /// `‖x‖·cos φ_x`, where `φ_x` is the angle between the point and the leaf center.
+    pub x_cos: Scalar,
+    /// `‖x‖·sin φ_x` (always non-negative).
+    pub x_sin: Scalar,
+}
+
+/// Configuration for building a [`BcTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BcTreeBuilder {
+    /// Maximum number of points in a leaf node (`N0` in the paper).
+    pub leaf_size: usize,
+    /// Seed for the random seed-grow pivot selection.
+    pub seed: u64,
+}
+
+impl Default for BcTreeBuilder {
+    fn default() -> Self {
+        Self { leaf_size: DEFAULT_LEAF_SIZE, seed: 0 }
+    }
+}
+
+impl BcTreeBuilder {
+    /// Creates a builder with the given maximum leaf size and the default seed.
+    pub fn new(leaf_size: usize) -> Self {
+        Self { leaf_size, ..Self::default() }
+    }
+
+    /// Sets the RNG seed used by the split rule.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds a BC-Tree over the given (augmented) point set.
+    ///
+    /// Construction follows Algorithm 4: the same seed-grow splits as the Ball-Tree,
+    /// leaf centers computed directly, internal centers combined from the children in
+    /// O(d) via Lemma 1, and per-point ball/cone structures computed and sorted by
+    /// descending `r_x` in every leaf. Total cost is `O(d·n·log n)` time and `O(n·d)`
+    /// space (Theorem 6).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `leaf_size` is zero and
+    /// [`Error::EmptyDataSet`] if the point set is empty.
+    pub fn build(&self, points: &PointSet) -> Result<BcTree> {
+        if self.leaf_size == 0 {
+            return Err(Error::InvalidParameter {
+                name: "leaf_size",
+                message: "the maximum leaf size N0 must be at least 1".into(),
+            });
+        }
+        if points.is_empty() {
+            return Err(Error::EmptyDataSet);
+        }
+        let n = points.len();
+        let dim = points.dim();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        let expected_nodes = (2 * n / self.leaf_size.max(1)).max(1) + 8;
+        let mut arena = Arena {
+            nodes: Vec::with_capacity(expected_nodes),
+            centers: Vec::with_capacity(expected_nodes * dim),
+            dim,
+        };
+
+        build_recursive(points, &mut order, 0, self.leaf_size, &mut arena, &mut rng);
+
+        // Materialize the reordered points (leaf points are now sorted by descending
+        // r_x within each leaf).
+        let mut reordered = Vec::with_capacity(n * dim);
+        let mut original_ids = Vec::with_capacity(n);
+        for &idx in &order {
+            reordered.extend_from_slice(points.point(idx));
+            original_ids.push(idx as u32);
+        }
+        let reordered = PointSet::from_flat(dim, reordered)?;
+
+        // Second pass: per-node center norms and per-point leaf structures.
+        let mut center_norms = Vec::with_capacity(arena.nodes.len());
+        for node in &arena.nodes {
+            let start = node.center_offset as usize * dim;
+            center_norms.push(distance::norm(&arena.centers[start..start + dim]));
+        }
+        let mut aux = vec![LeafPointAux::default(); n];
+        for (node_idx, node) in arena.nodes.iter().enumerate() {
+            if !node.is_leaf() {
+                continue;
+            }
+            let c_start = node.center_offset as usize * dim;
+            let center = &arena.centers[c_start..c_start + dim];
+            let center_norm = center_norms[node_idx];
+            for pos in node.start..node.end {
+                let x = reordered.point(pos as usize);
+                let r_x = distance::euclidean(x, center);
+                let x_norm = distance::norm(x);
+                let cos_phi = if center_norm <= Scalar::EPSILON || x_norm <= Scalar::EPSILON {
+                    0.0
+                } else {
+                    (distance::dot(x, center) / (x_norm * center_norm)).clamp(-1.0, 1.0)
+                };
+                aux[pos as usize] = LeafPointAux {
+                    radius: r_x,
+                    x_cos: x_norm * cos_phi,
+                    x_sin: x_norm * (1.0 - cos_phi * cos_phi).max(0.0).sqrt(),
+                };
+            }
+        }
+
+        Ok(BcTree {
+            points: reordered,
+            original_ids,
+            nodes: arena.nodes,
+            centers: arena.centers,
+            center_norms,
+            aux,
+            leaf_size: self.leaf_size,
+        })
+    }
+}
+
+struct Arena {
+    nodes: Vec<Node>,
+    centers: Vec<Scalar>,
+    dim: usize,
+}
+
+impl Arena {
+    /// Reserves a node slot (center zeroed) so the parent can be node 0 even though its
+    /// center is only known after its children are built (Lemma 1).
+    fn reserve(&mut self, start: usize, end: usize) -> u32 {
+        let id = self.nodes.len() as u32;
+        let center_offset = (self.centers.len() / self.dim) as u32;
+        self.centers.extend(std::iter::repeat(0.0).take(self.dim));
+        self.nodes.push(Node {
+            center_offset,
+            radius: 0.0,
+            start: start as u32,
+            end: end as u32,
+            left: NO_CHILD,
+            right: NO_CHILD,
+        });
+        id
+    }
+
+    fn center_mut(&mut self, id: u32) -> &mut [Scalar] {
+        let offset = self.nodes[id as usize].center_offset as usize * self.dim;
+        &mut self.centers[offset..offset + self.dim]
+    }
+
+    fn center(&self, id: u32) -> &[Scalar] {
+        let offset = self.nodes[id as usize].center_offset as usize * self.dim;
+        &self.centers[offset..offset + self.dim]
+    }
+}
+
+fn build_recursive(
+    points: &PointSet,
+    slice: &mut [usize],
+    offset: usize,
+    leaf_size: usize,
+    arena: &mut Arena,
+    rng: &mut StdRng,
+) -> u32 {
+    let len = slice.len();
+    let node_id = arena.reserve(offset, offset + len);
+
+    if len <= leaf_size {
+        // Leaf: compute the center directly, sort by descending r_x (Algorithm 4,
+        // lines 3-9), and record the radius.
+        let center = points.centroid_of(slice);
+        slice.sort_by(|&a, &b| {
+            let da = distance::euclidean_sq(points.point(a), &center);
+            let db = distance::euclidean_sq(points.point(b), &center);
+            db.total_cmp(&da).then_with(|| a.cmp(&b))
+        });
+        let radius = slice
+            .first()
+            .map(|&i| distance::euclidean(points.point(i), &center))
+            .unwrap_or(0.0);
+        arena.center_mut(node_id).copy_from_slice(&center);
+        arena.nodes[node_id as usize].radius = radius;
+        return node_id;
+    }
+
+    let split = seed_grow_split(points, slice, rng);
+    let (left_slice, right_slice) = slice.split_at_mut(split);
+    let left_len = left_slice.len();
+    let right_len = right_slice.len();
+    let left = build_recursive(points, left_slice, offset, leaf_size, arena, rng);
+    let right = build_recursive(points, right_slice, offset + split, leaf_size, arena, rng);
+
+    // Lemma 1: the parent center is the size-weighted combination of the child centers,
+    // computed in O(d) instead of O(d·|N|).
+    let mut center = vec![0.0 as Scalar; arena.dim];
+    {
+        let lc = arena.center(left);
+        let rc = arena.center(right);
+        let total = len as Scalar;
+        for ((c, &l), &r) in center.iter_mut().zip(lc.iter()).zip(rc.iter()) {
+            *c = (l * left_len as Scalar + r * right_len as Scalar) / total;
+        }
+    }
+    let radius = slice
+        .iter()
+        .map(|&i| distance::euclidean(points.point(i), &center))
+        .fold(0.0 as Scalar, Scalar::max);
+    arena.center_mut(node_id).copy_from_slice(&center);
+    let node = &mut arena.nodes[node_id as usize];
+    node.radius = radius;
+    node.left = left;
+    node.right = right;
+    node_id
+}
+
+/// The BC-Tree index (Section IV of the paper).
+///
+/// Build one with [`BcTreeBuilder`]; query it through [`p2h_core::P2hIndex`] (the default
+/// full variant) or [`BcTree::search_variant`] for the ablation variants of Figure 8.
+#[derive(Debug, Clone)]
+pub struct BcTree {
+    pub(crate) points: PointSet,
+    pub(crate) original_ids: Vec<u32>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) centers: Vec<Scalar>,
+    pub(crate) center_norms: Vec<Scalar>,
+    pub(crate) aux: Vec<LeafPointAux>,
+    pub(crate) leaf_size: usize,
+}
+
+impl BcTree {
+    /// Builds a BC-Tree with the default configuration (leaf size 100, seed 0).
+    pub fn build(points: &PointSet) -> Result<Self> {
+        BcTreeBuilder::default().build(points)
+    }
+
+    /// The maximum leaf size `N0` used for this tree.
+    pub fn leaf_size(&self) -> usize {
+        self.leaf_size
+    }
+
+    /// Total number of nodes (internal + leaf).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaf nodes.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_leaf()).count()
+    }
+
+    /// The node arena (root is node 0).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The per-point leaf structures, indexed by reordered position.
+    pub fn leaf_aux(&self) -> &[LeafPointAux] {
+        &self.aux
+    }
+
+    /// The reordered point set (contiguous and `r_x`-sorted per leaf).
+    pub fn points(&self) -> &PointSet {
+        &self.points
+    }
+
+    #[inline]
+    pub(crate) fn center(&self, node: &Node) -> &[Scalar] {
+        let dim = self.points.dim();
+        let start = node.center_offset as usize * dim;
+        &self.centers[start..start + dim]
+    }
+
+    #[inline]
+    pub(crate) fn point(&self, pos: usize) -> &[Scalar] {
+        self.points.point(pos)
+    }
+
+    #[inline]
+    pub(crate) fn original_id(&self, pos: usize) -> usize {
+        self.original_ids[pos] as usize
+    }
+
+    /// Memory used by the tree structure (nodes, centers, center norms, id mapping, and
+    /// the three per-point leaf arrays), excluding the raw data points. This is the
+    /// "Index Size" quantity of Table III; it exceeds the Ball-Tree's by the `Θ(n)` leaf
+    /// structures, exactly as Theorem 6 predicts.
+    pub fn structure_size_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self.centers.len() * std::mem::size_of::<Scalar>()
+            + self.center_norms.len() * std::mem::size_of::<Scalar>()
+            + self.original_ids.len() * std::mem::size_of::<u32>()
+            + self.aux.len() * std::mem::size_of::<LeafPointAux>()
+            + std::mem::size_of::<Self>()
+    }
+
+    /// Validates the structural invariants of the tree (used by tests).
+    ///
+    /// Beyond the Ball-Tree invariants (range partition, leaf size, ball containment,
+    /// permutation), this checks the BC-Tree-specific ones: leaf points sorted by
+    /// descending `r_x`, the cone decomposition satisfying
+    /// `x_cos² + x_sin² = ‖x‖²`, and the Pythagorean relation of Figure 4,
+    /// `x_sin² + (‖c‖ − x_cos)² = r_x²`.
+    pub fn check_invariants(&self) -> Result<()> {
+        let invalid = |message: String| Error::InvalidParameter { name: "bctree", message };
+        let n = self.points.len();
+        let mut seen = vec![false; n];
+        for &id in &self.original_ids {
+            let id = id as usize;
+            if id >= n || seen[id] {
+                return Err(invalid("id mapping is not a permutation".into()));
+            }
+            seen[id] = true;
+        }
+        for (node_idx, node) in self.nodes.iter().enumerate() {
+            let center = self.center(node);
+            let center_norm = self.center_norms[node_idx];
+            if (distance::norm(center) - center_norm).abs() > 1e-3 * (1.0 + center_norm) {
+                return Err(invalid("cached center norm is stale".into()));
+            }
+            if !node.is_leaf() {
+                let left = &self.nodes[node.left as usize];
+                let right = &self.nodes[node.right as usize];
+                if left.start != node.start || right.end != node.end || left.end != right.start {
+                    return Err(invalid("children do not partition the parent range".into()));
+                }
+                continue;
+            }
+            if node.size() > self.leaf_size {
+                return Err(invalid(format!(
+                    "leaf with {} points exceeds N0 = {}",
+                    node.size(),
+                    self.leaf_size
+                )));
+            }
+            let mut prev_r = Scalar::INFINITY;
+            for pos in node.start..node.end {
+                let x = self.point(pos as usize);
+                let aux = self.aux[pos as usize];
+                let r = distance::euclidean(x, center);
+                let tol = 1e-2 * (1.0 + r);
+                if (r - aux.radius).abs() > tol {
+                    return Err(invalid(format!("stored r_x {} != recomputed {r}", aux.radius)));
+                }
+                if r > node.radius * (1.0 + 1e-4) + 1e-3 {
+                    return Err(invalid(format!(
+                        "point at distance {r} outside leaf ball of radius {}",
+                        node.radius
+                    )));
+                }
+                if aux.radius > prev_r + tol {
+                    return Err(invalid("leaf points are not sorted by descending r_x".into()));
+                }
+                prev_r = aux.radius;
+                let x_norm = distance::norm(x);
+                if (aux.x_cos * aux.x_cos + aux.x_sin * aux.x_sin - x_norm * x_norm).abs()
+                    > 1e-2 * (1.0 + x_norm * x_norm)
+                {
+                    return Err(invalid("cone decomposition does not reconstruct ‖x‖²".into()));
+                }
+                let pythagoras = aux.x_sin * aux.x_sin
+                    + (center_norm - aux.x_cos) * (center_norm - aux.x_cos);
+                if (pythagoras - aux.radius * aux.radius).abs()
+                    > 5e-2 * (1.0 + aux.radius * aux.radius)
+                {
+                    return Err(invalid(format!(
+                        "Figure-4 Pythagorean relation violated: {pythagoras} vs r_x² {}",
+                        aux.radius * aux.radius
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2h_data::{DataDistribution, SyntheticDataset};
+
+    fn dataset(n: usize, dim: usize) -> PointSet {
+        SyntheticDataset::new(
+            "bc-build",
+            n,
+            dim,
+            DataDistribution::GaussianClusters { clusters: 6, std_dev: 1.2 },
+            19,
+        )
+        .generate()
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_and_satisfies_invariants() {
+        let ps = dataset(2_500, 12);
+        let tree = BcTreeBuilder::new(64).with_seed(2).build(&ps).unwrap();
+        tree.check_invariants().unwrap();
+        assert!(tree.node_count() > 2_500 / 64);
+        assert!(tree.leaf_count() >= 2_500 / 64);
+        assert_eq!(tree.points().len(), 2_500);
+        assert_eq!(tree.leaf_size(), 64);
+        assert_eq!(tree.leaf_aux().len(), 2_500);
+    }
+
+    #[test]
+    fn default_build_works() {
+        let ps = dataset(300, 8);
+        let tree = BcTree::build(&ps).unwrap();
+        tree.check_invariants().unwrap();
+        assert_eq!(tree.leaf_size(), DEFAULT_LEAF_SIZE);
+    }
+
+    #[test]
+    fn lemma_1_internal_centers_match_centroids() {
+        let ps = dataset(1_500, 10);
+        let tree = BcTreeBuilder::new(50).build(&ps).unwrap();
+        for node in tree.nodes() {
+            if node.is_leaf() {
+                continue;
+            }
+            // Recompute the centroid of the node's points from the reordered set.
+            let indices: Vec<usize> = (node.start..node.end).map(|p| p as usize).collect();
+            let direct = tree.points().centroid_of(&indices);
+            let stored = tree.center(node);
+            for (a, b) in direct.iter().zip(stored.iter()) {
+                assert!(
+                    (a - b).abs() < 1e-2 * (1.0 + a.abs()),
+                    "Lemma 1 center differs from direct centroid: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_sorted_by_descending_radius() {
+        let ps = dataset(1_000, 8);
+        let tree = BcTreeBuilder::new(40).build(&ps).unwrap();
+        for node in tree.nodes().iter().filter(|n| n.is_leaf()) {
+            let radii: Vec<Scalar> = (node.start..node.end)
+                .map(|p| tree.leaf_aux()[p as usize].radius)
+                .collect();
+            assert!(
+                radii.windows(2).all(|w| w[0] + 1e-5 >= w[1]),
+                "leaf radii not descending: {radii:?}"
+            );
+            // The first point attains the leaf radius.
+            if let Some(&first) = radii.first() {
+                assert!((first - node.radius).abs() < 1e-3 * (1.0 + node.radius));
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        let ps = dataset(100, 4);
+        assert!(matches!(BcTreeBuilder::new(0).build(&ps), Err(Error::InvalidParameter { .. })));
+    }
+
+    #[test]
+    fn identical_points_still_build() {
+        let rows = vec![vec![2.0 as Scalar, -1.0, 0.5]; 300];
+        let ps = PointSet::augment(&rows).unwrap();
+        let tree = BcTreeBuilder::new(25).build(&ps).unwrap();
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn bc_tree_is_larger_than_ball_tree_but_same_order() {
+        use p2h_balltree::BallTreeBuilder;
+        let ps = dataset(5_000, 16);
+        let bc = BcTreeBuilder::new(100).build(&ps).unwrap();
+        let ball = BallTreeBuilder::new(100).build(&ps).unwrap();
+        let bc_size = bc.structure_size_bytes();
+        let ball_size = ball.structure_size_bytes();
+        assert!(bc_size > ball_size, "BC-Tree stores extra Θ(n) leaf structures");
+        assert!(
+            (bc_size as f64) < ball_size as f64 * 3.0,
+            "the overhead is Θ(n), not Θ(n·d): bc={bc_size}, ball={ball_size}"
+        );
+    }
+
+    #[test]
+    fn construction_is_deterministic_for_a_seed() {
+        let ps = dataset(800, 8);
+        let a = BcTreeBuilder::new(64).with_seed(9).build(&ps).unwrap();
+        let b = BcTreeBuilder::new(64).with_seed(9).build(&ps).unwrap();
+        assert_eq!(a.original_ids, b.original_ids);
+        assert_eq!(a.node_count(), b.node_count());
+    }
+}

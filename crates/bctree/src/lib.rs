@@ -1,0 +1,91 @@
+//! # p2h-bctree
+//!
+//! The BC-Tree index for point-to-hyperplane nearest neighbor search, implementing
+//! Section IV of "Lightweight-Yet-Efficient: Revitalizing Ball-Tree for
+//! Point-to-Hyperplane Nearest Neighbor Search" (Huang & Tung, ICDE 2023).
+//!
+//! BC-Tree is a Ball-Tree whose leaf nodes additionally maintain a **B**all and a
+//! **C**one structure for every data point:
+//!
+//! * the ball structure is the point's distance `r_x = ‖x − c‖` to the leaf center,
+//!   enabling the point-level ball bound (Corollary 1) and, because leaf points are
+//!   sorted by descending `r_x`, *batch* pruning of whole suffixes of a leaf;
+//! * the cone structure is the pair `(‖x‖·cos φ_x, ‖x‖·sin φ_x)` where `φ_x` is the angle
+//!   between the point and the leaf center, enabling the tighter point-level cone bound
+//!   (Theorem 3).
+//!
+//! Internal nodes reuse the node-level ball bound of the Ball-Tree; traversal uses the
+//! collaborative inner-product computing strategy (Lemmas 1–2) so only one O(d) inner
+//! product is spent per expanded internal node instead of two.
+//!
+//! The [`BcTreeVariant`] enum exposes the ablation variants of Figure 8
+//! (BC-Tree-wo-B / -wo-C / -wo-BC).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bounds;
+mod build;
+mod search;
+
+pub use build::{BcTree, BcTreeBuilder, LeafPointAux};
+pub use search::BcTreeVariantView;
+
+/// Which point-level lower bounds the search uses (the ablation of Figure 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BcTreeVariant {
+    /// Both point-level bounds (the full BC-Tree).
+    #[default]
+    Full,
+    /// Only the point-level ball bound ("BC-Tree-wo-C" in the paper).
+    WithoutCone,
+    /// Only the point-level cone bound ("BC-Tree-wo-B" in the paper).
+    WithoutBall,
+    /// Neither point-level bound ("BC-Tree-wo-BC"): leaves are scanned exhaustively, but
+    /// the collaborative inner-product strategy is still used.
+    WithoutBoth,
+}
+
+impl BcTreeVariant {
+    /// Whether the point-level ball bound is active.
+    pub fn uses_ball_bound(self) -> bool {
+        matches!(self, BcTreeVariant::Full | BcTreeVariant::WithoutCone)
+    }
+
+    /// Whether the point-level cone bound is active.
+    pub fn uses_cone_bound(self) -> bool {
+        matches!(self, BcTreeVariant::Full | BcTreeVariant::WithoutBall)
+    }
+
+    /// The label the paper uses for this variant.
+    pub fn label(self) -> &'static str {
+        match self {
+            BcTreeVariant::Full => "BC-Tree",
+            BcTreeVariant::WithoutCone => "BC-Tree-wo-C",
+            BcTreeVariant::WithoutBall => "BC-Tree-wo-B",
+            BcTreeVariant::WithoutBoth => "BC-Tree-wo-BC",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_flags_match_labels() {
+        assert!(BcTreeVariant::Full.uses_ball_bound());
+        assert!(BcTreeVariant::Full.uses_cone_bound());
+        assert!(BcTreeVariant::WithoutCone.uses_ball_bound());
+        assert!(!BcTreeVariant::WithoutCone.uses_cone_bound());
+        assert!(!BcTreeVariant::WithoutBall.uses_ball_bound());
+        assert!(BcTreeVariant::WithoutBall.uses_cone_bound());
+        assert!(!BcTreeVariant::WithoutBoth.uses_ball_bound());
+        assert!(!BcTreeVariant::WithoutBoth.uses_cone_bound());
+        assert_eq!(BcTreeVariant::Full.label(), "BC-Tree");
+        assert_eq!(BcTreeVariant::WithoutCone.label(), "BC-Tree-wo-C");
+        assert_eq!(BcTreeVariant::WithoutBall.label(), "BC-Tree-wo-B");
+        assert_eq!(BcTreeVariant::WithoutBoth.label(), "BC-Tree-wo-BC");
+        assert_eq!(BcTreeVariant::default(), BcTreeVariant::Full);
+    }
+}

@@ -1,0 +1,447 @@
+//! BC-Tree search (Algorithm 5 of the paper): collaborative inner-product computing at
+//! internal nodes and point-level (ball + cone) pruning inside the leaves.
+
+use std::time::Instant;
+
+use p2h_balltree::bound::node_ball_bound;
+use p2h_balltree::Node;
+use p2h_core::{
+    distance, BranchPreference, HyperplaneQuery, P2hIndex, Scalar, SearchParams, SearchResult,
+    SearchStats, TopKCollector,
+};
+
+use crate::bounds::{point_ball_bound, point_cone_bound, query_decomposition};
+use crate::build::BcTree;
+use crate::BcTreeVariant;
+
+struct Ctx<'a> {
+    query: &'a [Scalar],
+    query_norm: Scalar,
+    preference: BranchPreference,
+    variant: BcTreeVariant,
+    collector: TopKCollector,
+    stats: SearchStats,
+    candidate_limit: u64,
+    exhausted: bool,
+    timing: bool,
+}
+
+impl Ctx<'_> {
+    #[inline]
+    fn threshold(&self) -> Scalar {
+        self.collector.threshold()
+    }
+}
+
+impl BcTree {
+    /// The `ScanWithPruning` routine of Algorithm 5.
+    ///
+    /// `ip_node` is the (signed) inner product `⟨q, N.c⟩`, already available from the
+    /// traversal thanks to the collaborative inner-product strategy.
+    fn scan_leaf(&self, node_idx: usize, node: &Node, ip_node: Scalar, ctx: &mut Ctx<'_>) {
+        let bounds_timer = ctx.timing.then(Instant::now);
+        let center_norm = self.center_norms[node_idx];
+        let (q_cos, q_sin) = query_decomposition(ip_node, center_norm, ctx.query_norm);
+        let abs_ip = ip_node.abs();
+        if let Some(t) = bounds_timer {
+            ctx.stats.time_bounds_ns += t.elapsed().as_nanos() as u64;
+        }
+
+        for pos in node.start..node.end {
+            if ctx.stats.candidates_verified >= ctx.candidate_limit {
+                ctx.exhausted = true;
+                return;
+            }
+            let aux = self.aux[pos as usize];
+            let lambda = ctx.threshold();
+
+            if ctx.variant.uses_ball_bound() {
+                let timer = ctx.timing.then(Instant::now);
+                let lb_ball = point_ball_bound(abs_ip, ctx.query_norm, aux.radius);
+                if let Some(t) = timer {
+                    ctx.stats.time_bounds_ns += t.elapsed().as_nanos() as u64;
+                }
+                if lb_ball >= lambda {
+                    // Points are sorted by descending r_x, so every remaining point has a
+                    // bound at least as large: prune the whole suffix in one batch.
+                    ctx.stats.pruned_by_ball_bound += u64::from(node.end - pos);
+                    return;
+                }
+            }
+
+            if ctx.variant.uses_cone_bound() {
+                let timer = ctx.timing.then(Instant::now);
+                let lb_cone = point_cone_bound(q_cos, q_sin, aux.x_cos, aux.x_sin);
+                if let Some(t) = timer {
+                    ctx.stats.time_bounds_ns += t.elapsed().as_nanos() as u64;
+                }
+                if lb_cone >= lambda {
+                    ctx.stats.pruned_by_cone_bound += 1;
+                    continue;
+                }
+            }
+
+            let timer = ctx.timing.then(Instant::now);
+            let dist = distance::abs_dot(self.point(pos as usize), ctx.query);
+            ctx.stats.inner_products += 1;
+            ctx.stats.candidates_verified += 1;
+            ctx.collector.offer(self.original_id(pos as usize), dist);
+            if let Some(t) = timer {
+                ctx.stats.time_verify_ns += t.elapsed().as_nanos() as u64;
+            }
+        }
+    }
+
+    /// Visits a node whose center inner product `ip = ⟨q, N.c⟩` is already known.
+    fn visit(&self, node_id: u32, ip: Scalar, ctx: &mut Ctx<'_>) {
+        if ctx.exhausted {
+            return;
+        }
+        let node = &self.nodes[node_id as usize];
+        ctx.stats.nodes_visited += 1;
+
+        let lb = node_ball_bound(ip.abs(), ctx.query_norm, node.radius);
+        if lb >= ctx.threshold() {
+            ctx.stats.pruned_subtrees += 1;
+            return;
+        }
+
+        if node.is_leaf() {
+            ctx.stats.leaves_visited += 1;
+            self.scan_leaf(node_id as usize, node, ip, ctx);
+            return;
+        }
+
+        // Collaborative inner-product computing (Lemma 2): one O(d) inner product for the
+        // left child, O(1) arithmetic for the right child.
+        let timer = ctx.timing.then(Instant::now);
+        let left = &self.nodes[node.left as usize];
+        let right = &self.nodes[node.right as usize];
+        let ip_left = distance::dot(ctx.query, self.center(left));
+        ctx.stats.inner_products += 1;
+        let size = node.size() as Scalar;
+        let size_l = left.size() as Scalar;
+        let size_r = right.size() as Scalar;
+        let ip_right = (size / size_r) * ip - (size_l / size_r) * ip_left;
+        if let Some(t) = timer {
+            ctx.stats.time_bounds_ns += t.elapsed().as_nanos() as u64;
+        }
+
+        let left_first = match ctx.preference {
+            BranchPreference::Center => ip_left.abs() < ip_right.abs(),
+            BranchPreference::LowerBound => {
+                node_ball_bound(ip_left.abs(), ctx.query_norm, left.radius)
+                    < node_ball_bound(ip_right.abs(), ctx.query_norm, right.radius)
+            }
+        };
+        if left_first {
+            self.visit(node.left, ip_left, ctx);
+            self.visit(node.right, ip_right, ctx);
+        } else {
+            self.visit(node.right, ip_right, ctx);
+            self.visit(node.left, ip_left, ctx);
+        }
+    }
+
+    /// Runs one query with an explicit ablation [`BcTreeVariant`] (Figure 8).
+    pub fn search_variant(
+        &self,
+        query: &HyperplaneQuery,
+        params: &SearchParams,
+        variant: BcTreeVariant,
+    ) -> SearchResult {
+        assert_eq!(
+            query.dim(),
+            self.points.dim(),
+            "query dimension must match the augmented data dimension"
+        );
+        let start = Instant::now();
+        let mut ctx = Ctx {
+            query: query.coeffs(),
+            query_norm: query.norm(),
+            preference: params.branch_preference,
+            variant,
+            collector: TopKCollector::new(params.k),
+            stats: SearchStats::default(),
+            candidate_limit: params.candidate_limit.map_or(u64::MAX, |c| c as u64),
+            exhausted: false,
+            timing: params.collect_timing,
+        };
+
+        let root = &self.nodes[0];
+        let timer = ctx.timing.then(Instant::now);
+        let ip_root = distance::dot(ctx.query, self.center(root));
+        ctx.stats.inner_products += 1;
+        if let Some(t) = timer {
+            ctx.stats.time_bounds_ns += t.elapsed().as_nanos() as u64;
+        }
+        self.visit(0, ip_root, &mut ctx);
+
+        let mut stats = ctx.stats;
+        stats.time_total_ns = start.elapsed().as_nanos() as u64;
+        SearchResult { neighbors: ctx.collector.into_sorted_vec(), stats }
+    }
+}
+
+/// A borrowed view of a [`BcTree`] that answers queries with a fixed ablation
+/// [`BcTreeVariant`], so the variants can be used anywhere a [`P2hIndex`] is expected
+/// (e.g. the evaluation harness for Figure 8).
+#[derive(Debug, Clone, Copy)]
+pub struct BcTreeVariantView<'a> {
+    tree: &'a BcTree,
+    variant: BcTreeVariant,
+}
+
+impl BcTree {
+    /// Returns a view of this tree that searches with the given ablation variant.
+    pub fn with_variant(&self, variant: BcTreeVariant) -> BcTreeVariantView<'_> {
+        BcTreeVariantView { tree: self, variant }
+    }
+}
+
+impl P2hIndex for BcTreeVariantView<'_> {
+    fn name(&self) -> &'static str {
+        self.variant.label()
+    }
+
+    fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.tree.dim()
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.tree.index_size_bytes()
+    }
+
+    fn search(&self, query: &HyperplaneQuery, params: &SearchParams) -> SearchResult {
+        self.tree.search_variant(query, params, self.variant)
+    }
+}
+
+impl P2hIndex for BcTree {
+    fn name(&self) -> &'static str {
+        "BC-Tree"
+    }
+
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.points.dim()
+    }
+
+    fn index_size_bytes(&self) -> usize {
+        self.structure_size_bytes()
+    }
+
+    fn search(&self, query: &HyperplaneQuery, params: &SearchParams) -> SearchResult {
+        self.search_variant(query, params, BcTreeVariant::Full)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::BcTreeBuilder;
+    use p2h_balltree::BallTreeBuilder;
+    use p2h_core::{LinearScan, PointSet};
+    use p2h_data::{generate_queries, DataDistribution, QueryDistribution, SyntheticDataset};
+
+    fn dataset(n: usize, dim: usize, seed: u64) -> PointSet {
+        SyntheticDataset::new(
+            "bc-search",
+            n,
+            dim,
+            DataDistribution::GaussianClusters { clusters: 6, std_dev: 1.5 },
+            seed,
+        )
+        .generate()
+        .unwrap()
+    }
+
+    fn queries(ps: &PointSet, count: usize) -> Vec<HyperplaneQuery> {
+        generate_queries(ps, count, QueryDistribution::DataDifference, 123).unwrap()
+    }
+
+    #[test]
+    fn exact_search_matches_linear_scan_for_all_variants() {
+        let ps = dataset(3_000, 12, 1);
+        let tree = BcTreeBuilder::new(64).build(&ps).unwrap();
+        let scan = LinearScan::new(ps.clone());
+        for (qi, q) in queries(&ps, 8).iter().enumerate() {
+            for k in [1, 10] {
+                let exact = scan.search_exact(q, k);
+                for variant in [
+                    BcTreeVariant::Full,
+                    BcTreeVariant::WithoutCone,
+                    BcTreeVariant::WithoutBall,
+                    BcTreeVariant::WithoutBoth,
+                ] {
+                    let got = tree.search_variant(q, &SearchParams::exact(k), variant);
+                    assert_eq!(
+                        got.distances(),
+                        exact.distances(),
+                        "query {qi}, k={k}, variant {variant:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn point_level_pruning_reduces_verification() {
+        let ps = dataset(20_000, 16, 2);
+        let tree = BcTreeBuilder::new(200).build(&ps).unwrap();
+        let q = &queries(&ps, 1)[0];
+        let full = tree.search_variant(q, &SearchParams::exact(10), BcTreeVariant::Full);
+        let none = tree.search_variant(q, &SearchParams::exact(10), BcTreeVariant::WithoutBoth);
+        assert_eq!(full.distances(), none.distances(), "pruning must not change the answer");
+        assert!(
+            full.stats.candidates_verified <= none.stats.candidates_verified,
+            "point-level pruning should not increase verification: {} vs {}",
+            full.stats.candidates_verified,
+            none.stats.candidates_verified
+        );
+        assert!(
+            full.stats.pruned_by_ball_bound + full.stats.pruned_by_cone_bound > 0,
+            "the point-level bounds should prune something on clustered data"
+        );
+    }
+
+    #[test]
+    fn collaborative_ip_roughly_halves_center_inner_products() {
+        // Theorem 5: BC-Tree spends about half the O(d) center inner products a Ball-Tree
+        // spends on the same traversal. The traversal order is identical (same splits,
+        // same preference), so compare the `inner_products` spent on internal nodes,
+        // i.e. total minus candidate verifications.
+        let ps = dataset(10_000, 16, 3);
+        let bc = BcTreeBuilder::new(100).with_seed(5).build(&ps).unwrap();
+        let ball = BallTreeBuilder::new(100).with_seed(5).build(&ps).unwrap();
+        let q = &queries(&ps, 1)[0];
+        // Disable point-level pruning so both trees verify identical candidate sets.
+        let bc_result = bc.search_variant(q, &SearchParams::exact(10), BcTreeVariant::WithoutBoth);
+        let ball_result = ball.search_exact(q, 10);
+        assert_eq!(bc_result.distances(), ball_result.distances());
+        let bc_center_ips = bc_result.stats.inner_products - bc_result.stats.candidates_verified;
+        let ball_center_ips =
+            ball_result.stats.inner_products - ball_result.stats.candidates_verified;
+        assert!(
+            bc_center_ips <= ball_center_ips / 2 + 1,
+            "collaborative computing should halve center inner products: bc={bc_center_ips}, ball={ball_center_ips}"
+        );
+    }
+
+    #[test]
+    fn candidate_limit_is_respected() {
+        let ps = dataset(5_000, 8, 4);
+        let tree = BcTreeBuilder::new(100).build(&ps).unwrap();
+        let q = &queries(&ps, 1)[0];
+        for limit in [100, 500, 2_000] {
+            let result = tree.search(q, &SearchParams::approximate(10, limit));
+            assert!(result.stats.candidates_verified <= limit as u64);
+        }
+    }
+
+    #[test]
+    fn recall_improves_with_budget() {
+        let ps = dataset(8_000, 12, 5);
+        let tree = BcTreeBuilder::new(100).build(&ps).unwrap();
+        let scan = LinearScan::new(ps.clone());
+        let qs = queries(&ps, 10);
+        let mut small_hits = 0;
+        let mut large_hits = 0;
+        for q in &qs {
+            let exact: Vec<usize> = scan.search_exact(q, 10).indices();
+            let hits = |limit| {
+                tree.search(q, &SearchParams::approximate(10, limit))
+                    .indices()
+                    .iter()
+                    .filter(|i| exact.contains(i))
+                    .count()
+            };
+            small_hits += hits(200);
+            large_hits += hits(4_000);
+        }
+        assert!(large_hits >= small_hits);
+        // Half the data set as candidate budget should recover the large majority of the
+        // exact top-10 (the branch-and-bound order visits promising leaves first).
+        assert!(
+            large_hits as f64 >= 0.7 * (10 * qs.len()) as f64,
+            "large-budget recall too low: {large_hits}/{}",
+            10 * qs.len()
+        );
+    }
+
+    #[test]
+    fn both_branch_preferences_are_exact() {
+        let ps = dataset(2_000, 8, 6);
+        let tree = BcTreeBuilder::new(50).build(&ps).unwrap();
+        let scan = LinearScan::new(ps.clone());
+        for q in &queries(&ps, 5) {
+            let exact = scan.search_exact(q, 5);
+            for pref in [BranchPreference::Center, BranchPreference::LowerBound] {
+                let got = tree.search(q, &SearchParams::exact(5).with_branch_preference(pref));
+                assert_eq!(got.distances(), exact.distances());
+            }
+        }
+    }
+
+    #[test]
+    fn timing_collection_populates_phase_timers() {
+        let ps = dataset(3_000, 8, 7);
+        let tree = BcTreeBuilder::new(100).build(&ps).unwrap();
+        let q = &queries(&ps, 1)[0];
+        let result = tree.search(q, &SearchParams::exact(5).with_timing());
+        assert!(result.stats.time_total_ns > 0);
+        assert!(result.stats.time_bounds_ns > 0);
+        let untimed = tree.search_exact(q, 5);
+        assert_eq!(untimed.stats.time_bounds_ns, 0);
+    }
+
+    #[test]
+    fn trait_metadata() {
+        let ps = dataset(1_000, 8, 8);
+        let tree = BcTreeBuilder::new(100).build(&ps).unwrap();
+        assert_eq!(tree.name(), "BC-Tree");
+        assert_eq!(tree.len(), 1_000);
+        assert_eq!(tree.dim(), 9);
+        assert!(tree.index_size_bytes() > 0);
+    }
+
+    #[test]
+    fn heavy_tailed_data_is_handled() {
+        // Data far from the unit hypersphere: exactly the regime in which the paper's
+        // trees must keep working while normalized hashing schemes fail.
+        let ps = SyntheticDataset::new(
+            "heavy",
+            4_000,
+            16,
+            DataDistribution::HeavyTailedNorms { mu: 1.5, sigma: 1.0 },
+            9,
+        )
+        .generate()
+        .unwrap();
+        let tree = BcTreeBuilder::new(100).build(&ps).unwrap();
+        tree.check_invariants().unwrap();
+        let scan = LinearScan::new(ps.clone());
+        for q in &queries(&ps, 5) {
+            assert_eq!(
+                tree.search_exact(q, 10).distances(),
+                scan.search_exact(q, 10).distances()
+            );
+        }
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all_points() {
+        let ps = dataset(60, 4, 10);
+        let tree = BcTreeBuilder::new(16).build(&ps).unwrap();
+        let q = &queries(&ps, 1)[0];
+        let result = tree.search_exact(q, 500);
+        assert_eq!(result.neighbors.len(), 60);
+    }
+}

@@ -1,0 +1,40 @@
+//! Table II: statistics of the data sets (paper values and the scaled synthetic
+//! stand-ins used by this reproduction).
+
+use p2h_bench::{emit, BenchConfig};
+use p2h_data::{large_scale_catalog, paper_catalog};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    println!("# Table II — data-set statistics (scale = {})\n", cfg.scale);
+
+    let mut rows = Vec::new();
+    for entry in paper_catalog(cfg.scale).iter().chain(large_scale_catalog(cfg.scale).iter()) {
+        if !cfg.selects(&entry.dataset.name) {
+            continue;
+        }
+        rows.push(vec![
+            entry.dataset.name.clone(),
+            entry.paper_n.to_string(),
+            entry.paper_dim.to_string(),
+            entry.data_type.to_string(),
+            entry.dataset.n.to_string(),
+            format!("{:.1}", entry.dataset.raw_size_bytes() as f64 / (1024.0 * 1024.0)),
+            format!("{:?}", entry.dataset.distribution),
+        ]);
+    }
+    emit(
+        &cfg,
+        "table2_datasets",
+        &[
+            "Data Set",
+            "Paper n",
+            "Paper d",
+            "Data Type",
+            "Synthetic n",
+            "Synthetic Size (MiB)",
+            "Generator",
+        ],
+        &rows,
+    );
+}

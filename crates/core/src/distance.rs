@@ -1,0 +1,193 @@
+//! Dense vector kernels: inner products, norms, and Euclidean distances.
+//!
+//! These are the innermost loops of every index in the workspace. They are written as
+//! straightforward slice iterations (with a 4-way unrolled inner product for the hot
+//! path) so that the compiler can auto-vectorize them in release builds.
+
+use crate::Scalar;
+
+/// Computes the inner product `⟨a, b⟩` of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slices have different lengths; in release builds the
+/// shorter length is used (consistent with `zip`).
+#[inline]
+pub fn dot(a: &[Scalar], b: &[Scalar]) -> Scalar {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    // 4-way unrolled accumulation: keeps independent dependency chains so the optimizer
+    // can vectorize and pipeline the loop.
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    for i in 0..chunks {
+        let j = i * 4;
+        s0 += a[j] * b[j];
+        s1 += a[j + 1] * b[j + 1];
+        s2 += a[j + 2] * b[j + 2];
+        s3 += a[j + 3] * b[j + 3];
+    }
+    let mut tail = 0.0;
+    for j in chunks * 4..a.len() {
+        tail += a[j] * b[j];
+    }
+    s0 + s1 + s2 + s3 + tail
+}
+
+/// Computes the squared Euclidean norm `‖a‖²`.
+#[inline]
+pub fn norm_sq(a: &[Scalar]) -> Scalar {
+    dot(a, a)
+}
+
+/// Computes the Euclidean norm `‖a‖`.
+#[inline]
+pub fn norm(a: &[Scalar]) -> Scalar {
+    norm_sq(a).sqrt()
+}
+
+/// Computes the squared Euclidean distance `‖a − b‖²`.
+#[inline]
+pub fn euclidean_sq(a: &[Scalar], b: &[Scalar]) -> Scalar {
+    debug_assert_eq!(a.len(), b.len(), "euclidean_sq: length mismatch");
+    let mut sum = 0.0;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let diff = x - y;
+        sum += diff * diff;
+    }
+    sum
+}
+
+/// Computes the Euclidean distance `‖a − b‖`.
+#[inline]
+pub fn euclidean(a: &[Scalar], b: &[Scalar]) -> Scalar {
+    euclidean_sq(a, b).sqrt()
+}
+
+/// Computes the absolute inner product `|⟨a, b⟩|`, the P2H distance after the
+/// normalization of Section II of the paper.
+#[inline]
+pub fn abs_dot(a: &[Scalar], b: &[Scalar]) -> Scalar {
+    dot(a, b).abs()
+}
+
+/// Computes the cosine of the angle between `a` and `b`.
+///
+/// Returns 0 when either vector has zero norm (the angle is undefined; treating it as
+/// orthogonal is the conservative choice for the bounds in this workspace).
+#[inline]
+pub fn cosine(a: &[Scalar], b: &[Scalar]) -> Scalar {
+    let na = norm(a);
+    let nb = norm(b);
+    if na <= Scalar::EPSILON || nb <= Scalar::EPSILON {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Adds `src` into `dst` element-wise (`dst += src`).
+#[inline]
+pub fn add_assign(dst: &mut [Scalar], src: &[Scalar]) {
+    debug_assert_eq!(dst.len(), src.len(), "add_assign: length mismatch");
+    for (d, &s) in dst.iter_mut().zip(src.iter()) {
+        *d += s;
+    }
+}
+
+/// Scales every element of `v` by `factor`.
+#[inline]
+pub fn scale(v: &mut [Scalar], factor: Scalar) {
+    for x in v.iter_mut() {
+        *x *= factor;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive_dot(a: &[Scalar], b: &[Scalar]) -> Scalar {
+        a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+    }
+
+    #[test]
+    fn dot_small_vectors() {
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(dot(&[2.0], &[3.0]), 6.0);
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        // Length 5 exercises both the unrolled chunk and the tail.
+        assert_eq!(dot(&[1.0; 5], &[2.0; 5]), 10.0);
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        let a = [3.0, 4.0];
+        assert_eq!(norm_sq(&a), 25.0);
+        assert_eq!(norm(&a), 5.0);
+        assert_eq!(euclidean_sq(&a, &[0.0, 0.0]), 25.0);
+        assert_eq!(euclidean(&a, &[0.0, 0.0]), 5.0);
+        assert_eq!(euclidean(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn abs_dot_is_absolute() {
+        assert_eq!(abs_dot(&[1.0, -2.0], &[3.0, 1.0]), 1.0);
+        assert_eq!(abs_dot(&[-1.0, 0.0], &[5.0, 7.0]), 5.0);
+    }
+
+    #[test]
+    fn cosine_basic_angles() {
+        let x = [1.0, 0.0];
+        let y = [0.0, 1.0];
+        assert!((cosine(&x, &y)).abs() < 1e-6);
+        assert!((cosine(&x, &x) - 1.0).abs() < 1e-6);
+        assert!((cosine(&x, &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        // Degenerate: zero vector treated as orthogonal.
+        assert_eq!(cosine(&x, &[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn add_assign_and_scale() {
+        let mut v = vec![1.0, 2.0, 3.0];
+        add_assign(&mut v, &[1.0, 1.0, 1.0]);
+        assert_eq!(v, vec![2.0, 3.0, 4.0]);
+        scale(&mut v, 0.5);
+        assert_eq!(v, vec![1.0, 1.5, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn dot_matches_naive(v in proptest::collection::vec(-100.0f32..100.0, 0..64)) {
+            let w: Vec<Scalar> = v.iter().map(|x| x * 0.5 + 1.0).collect();
+            let fast = dot(&v, &w);
+            let slow = naive_dot(&v, &w);
+            prop_assert!((fast - slow).abs() <= 1e-2 * (1.0 + slow.abs()));
+        }
+
+        #[test]
+        fn cauchy_schwarz(v in proptest::collection::vec(-10.0f32..10.0, 1..32),
+                          w in proptest::collection::vec(-10.0f32..10.0, 1..32)) {
+            let n = v.len().min(w.len());
+            let (v, w) = (&v[..n], &w[..n]);
+            prop_assert!(dot(v, w).abs() <= norm(v) * norm(w) * (1.0 + 1e-4) + 1e-4);
+        }
+
+        #[test]
+        fn triangle_inequality(a in proptest::collection::vec(-10.0f32..10.0, 4usize..4+1),
+                               b in proptest::collection::vec(-10.0f32..10.0, 4usize..4+1),
+                               c in proptest::collection::vec(-10.0f32..10.0, 4usize..4+1)) {
+            let ab = euclidean(&a, &b);
+            let bc = euclidean(&b, &c);
+            let ac = euclidean(&a, &c);
+            prop_assert!(ac <= ab + bc + 1e-3);
+        }
+
+        #[test]
+        fn cosine_in_range(v in proptest::collection::vec(-10.0f32..10.0, 1..32),
+                           w in proptest::collection::vec(-10.0f32..10.0, 1..32)) {
+            let n = v.len().min(w.len());
+            let c = cosine(&v[..n], &w[..n]);
+            prop_assert!((-1.0..=1.0).contains(&c));
+        }
+    }
+}

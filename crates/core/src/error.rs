@@ -1,0 +1,90 @@
+//! Error type shared by the P2HNNS crates.
+
+use std::fmt;
+
+/// Convenience result alias for fallible operations in the P2HNNS crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors that can arise when constructing data sets, queries, or indexes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The data set is empty but the operation requires at least one point.
+    EmptyDataSet,
+    /// A point or query had a dimensionality different from the one expected.
+    DimensionMismatch {
+        /// The dimensionality required by the container or index.
+        expected: usize,
+        /// The dimensionality that was actually supplied.
+        actual: usize,
+    },
+    /// The requested dimension is too small to be meaningful (must be at least 2
+    /// after the append-one augmentation).
+    InvalidDimension(usize),
+    /// A query hyperplane had a (near-)zero normal vector and cannot be normalized.
+    DegenerateQuery,
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        message: String,
+    },
+    /// An I/O error occurred while reading or writing a data set.
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyDataSet => write!(f, "the data set is empty"),
+            Error::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            Error::InvalidDimension(d) => {
+                write!(f, "invalid dimension {d}: must be at least 2")
+            }
+            Error::DegenerateQuery => {
+                write!(f, "degenerate hyperplane query: normal vector has zero norm")
+            }
+            Error::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            Error::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(err: std::io::Error) -> Self {
+        Error::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(Error::EmptyDataSet.to_string().contains("empty"));
+        assert!(Error::DimensionMismatch { expected: 4, actual: 7 }
+            .to_string()
+            .contains("expected 4"));
+        assert!(Error::InvalidDimension(1).to_string().contains('1'));
+        assert!(Error::DegenerateQuery.to_string().contains("zero norm"));
+        let e = Error::InvalidParameter { name: "k", message: "must be positive".into() };
+        assert!(e.to_string().contains('k'));
+        assert!(e.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing file");
+        let err: Error = io.into();
+        assert!(matches!(err, Error::Io(_)));
+        assert!(err.to_string().contains("missing file"));
+    }
+}

@@ -1,0 +1,45 @@
+//! # p2h-core
+//!
+//! Core types and primitives for Point-to-Hyperplane Nearest Neighbor Search (P2HNNS).
+//!
+//! This crate defines the shared vocabulary used by every index in the workspace:
+//!
+//! * [`PointSet`] — a dense, row-major collection of data points, with the
+//!   dimension-append convention of the paper (`x = (p; 1)`),
+//! * [`HyperplaneQuery`] — a hyperplane query normalized so that the point-to-hyperplane
+//!   distance reduces to an absolute inner product,
+//! * [`TopKCollector`] and [`Neighbor`] — a bounded max-heap for maintaining the current
+//!   top-k answers and the pruning threshold `q.λ`,
+//! * [`P2hIndex`] — the trait every index (linear scan, Ball-Tree, BC-Tree, NH, FH)
+//!   implements, together with [`SearchParams`], [`SearchResult`] and [`SearchStats`],
+//! * [`LinearScan`] — the exhaustive-scan baseline used for ground truth,
+//! * low-level dense kernels in [`distance`].
+//!
+//! The formulation follows Section II of "Lightweight-Yet-Efficient: Revitalizing
+//! Ball-Tree for Point-to-Hyperplane Nearest Neighbor Search" (Huang & Tung, ICDE 2023):
+//! data points `p ∈ R^{d-1}` are augmented to `x = (p; 1) ∈ R^d`, queries `q ∈ R^d` are
+//! rescaled so that the norm of their first `d-1` coordinates is 1, and the
+//! point-to-hyperplane distance is `|⟨x, q⟩|`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod distance;
+mod error;
+mod index;
+mod linear_scan;
+mod point_set;
+mod query;
+mod topk;
+
+pub use error::{Error, Result};
+pub use index::{BranchPreference, P2hIndex, SearchParams, SearchResult, SearchStats};
+pub use linear_scan::LinearScan;
+pub use point_set::PointSet;
+pub use query::HyperplaneQuery;
+pub use topk::{Neighbor, TopKCollector};
+
+/// The floating point type used for data points and queries throughout the workspace.
+///
+/// The reference implementation of the paper uses single-precision floats; so do we.
+pub type Scalar = f32;

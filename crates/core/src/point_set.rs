@@ -1,0 +1,266 @@
+//! Dense, row-major storage for the data points of a P2HNNS instance.
+
+use crate::distance;
+use crate::{Error, Result, Scalar};
+
+/// A dense collection of `n` points in `R^dim`, stored row-major in a single allocation.
+///
+/// Following Section II of the paper, indexes operate on *augmented* points
+/// `x = (p; 1) ∈ R^d` obtained from raw data points `p ∈ R^{d-1}` by appending a constant
+/// 1. [`PointSet::augment`] performs that augmentation; [`PointSet::from_rows`] accepts
+/// points that are already in the index dimension (useful for tests and synthetic data).
+///
+/// Points are immutable once the set is created: every index in this workspace stores
+/// either a reference to the [`PointSet`] or a reordered copy of its rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSet {
+    /// Row-major data: `data[i * dim .. (i + 1) * dim]` is point `i`.
+    data: Vec<Scalar>,
+    /// Number of points.
+    len: usize,
+    /// Dimensionality of each point (after augmentation, if any).
+    dim: usize,
+}
+
+impl PointSet {
+    /// Creates a point set from a flat row-major buffer of points already in `R^dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDimension`] if `dim < 2`, [`Error::EmptyDataSet`] if the
+    /// buffer is empty, and [`Error::DimensionMismatch`] if the buffer length is not a
+    /// multiple of `dim`.
+    pub fn from_flat(dim: usize, data: Vec<Scalar>) -> Result<Self> {
+        if dim < 2 {
+            return Err(Error::InvalidDimension(dim));
+        }
+        if data.is_empty() {
+            return Err(Error::EmptyDataSet);
+        }
+        if data.len() % dim != 0 {
+            return Err(Error::DimensionMismatch { expected: dim, actual: data.len() % dim });
+        }
+        let len = data.len() / dim;
+        Ok(Self { data, len, dim })
+    }
+
+    /// Creates a point set from per-point rows already in `R^dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the rows are empty, have inconsistent lengths, or `dim < 2`.
+    pub fn from_rows(rows: &[Vec<Scalar>]) -> Result<Self> {
+        let first = rows.first().ok_or(Error::EmptyDataSet)?;
+        let dim = first.len();
+        if dim < 2 {
+            return Err(Error::InvalidDimension(dim));
+        }
+        let mut data = Vec::with_capacity(rows.len() * dim);
+        for row in rows {
+            if row.len() != dim {
+                return Err(Error::DimensionMismatch { expected: dim, actual: row.len() });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Self { data, len: rows.len(), dim })
+    }
+
+    /// Creates a point set by appending the constant 1 to every raw data point
+    /// (`x = (p; 1)`, Section II of the paper).
+    ///
+    /// The resulting dimensionality is `raw_dim + 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the rows are empty or have inconsistent lengths.
+    pub fn augment(raw_rows: &[Vec<Scalar>]) -> Result<Self> {
+        let first = raw_rows.first().ok_or(Error::EmptyDataSet)?;
+        let raw_dim = first.len();
+        if raw_dim < 1 {
+            return Err(Error::InvalidDimension(raw_dim + 1));
+        }
+        let dim = raw_dim + 1;
+        let mut data = Vec::with_capacity(raw_rows.len() * dim);
+        for row in raw_rows {
+            if row.len() != raw_dim {
+                return Err(Error::DimensionMismatch { expected: raw_dim, actual: row.len() });
+            }
+            data.extend_from_slice(row);
+            data.push(1.0);
+        }
+        Ok(Self { data, len: raw_rows.len(), dim })
+    }
+
+    /// Creates a point set by appending the constant 1 to every row of a flat buffer of
+    /// raw points in `R^{raw_dim}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the buffer is empty or its length is not a multiple of
+    /// `raw_dim`.
+    pub fn augment_flat(raw_dim: usize, raw: &[Scalar]) -> Result<Self> {
+        if raw_dim < 1 {
+            return Err(Error::InvalidDimension(raw_dim + 1));
+        }
+        if raw.is_empty() {
+            return Err(Error::EmptyDataSet);
+        }
+        if raw.len() % raw_dim != 0 {
+            return Err(Error::DimensionMismatch { expected: raw_dim, actual: raw.len() % raw_dim });
+        }
+        let n = raw.len() / raw_dim;
+        let dim = raw_dim + 1;
+        let mut data = Vec::with_capacity(n * dim);
+        for i in 0..n {
+            data.extend_from_slice(&raw[i * raw_dim..(i + 1) * raw_dim]);
+            data.push(1.0);
+        }
+        Ok(Self { data, len: n, dim })
+    }
+
+    /// Number of points in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set contains no points. Always `false` for successfully constructed
+    /// sets, but provided for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality of each point.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Returns point `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn point(&self, i: usize) -> &[Scalar] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Returns the underlying row-major buffer.
+    #[inline]
+    pub fn as_flat(&self) -> &[Scalar] {
+        &self.data
+    }
+
+    /// Iterates over all points in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &[Scalar]> + '_ {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// Computes the centroid (arithmetic mean) of a subset of points given by `indices`.
+    ///
+    /// Returns the centroid of the whole set when `indices` is empty.
+    pub fn centroid_of(&self, indices: &[usize]) -> Vec<Scalar> {
+        let mut center = vec![0.0; self.dim];
+        if indices.is_empty() {
+            for p in self.iter() {
+                distance::add_assign(&mut center, p);
+            }
+            distance::scale(&mut center, 1.0 / self.len as Scalar);
+        } else {
+            for &i in indices {
+                distance::add_assign(&mut center, self.point(i));
+            }
+            distance::scale(&mut center, 1.0 / indices.len() as Scalar);
+        }
+        center
+    }
+
+    /// Computes the centroid of the whole point set.
+    pub fn centroid(&self) -> Vec<Scalar> {
+        self.centroid_of(&[])
+    }
+
+    /// Approximate memory footprint of the stored points in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<Scalar>() + std::mem::size_of::<Self>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_round_trip() {
+        let rows = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let ps = PointSet::from_rows(&rows).unwrap();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps.dim(), 3);
+        assert!(!ps.is_empty());
+        assert_eq!(ps.point(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(ps.point(1), &[4.0, 5.0, 6.0]);
+        let collected: Vec<&[Scalar]> = ps.iter().collect();
+        assert_eq!(collected.len(), 2);
+    }
+
+    #[test]
+    fn from_flat_checks_shape() {
+        assert!(matches!(
+            PointSet::from_flat(3, vec![1.0, 2.0]),
+            Err(Error::DimensionMismatch { .. })
+        ));
+        assert!(matches!(PointSet::from_flat(1, vec![1.0]), Err(Error::InvalidDimension(1))));
+        assert!(matches!(PointSet::from_flat(2, vec![]), Err(Error::EmptyDataSet)));
+        let ps = PointSet::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(ps.len(), 2);
+    }
+
+    #[test]
+    fn augmentation_appends_one() {
+        let raw = vec![vec![0.5, -0.5], vec![2.0, 3.0]];
+        let ps = PointSet::augment(&raw).unwrap();
+        assert_eq!(ps.dim(), 3);
+        assert_eq!(ps.point(0), &[0.5, -0.5, 1.0]);
+        assert_eq!(ps.point(1), &[2.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn augment_flat_matches_augment() {
+        let raw_rows = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let flat: Vec<Scalar> = raw_rows.iter().flatten().copied().collect();
+        let a = PointSet::augment(&raw_rows).unwrap();
+        let b = PointSet::augment_flat(2, &flat).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0]];
+        assert!(matches!(PointSet::from_rows(&rows), Err(Error::DimensionMismatch { .. })));
+        assert!(matches!(PointSet::augment(&rows), Err(Error::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let rows: Vec<Vec<Scalar>> = vec![];
+        assert!(matches!(PointSet::from_rows(&rows), Err(Error::EmptyDataSet)));
+        assert!(matches!(PointSet::augment(&rows), Err(Error::EmptyDataSet)));
+        assert!(matches!(PointSet::augment_flat(2, &[]), Err(Error::EmptyDataSet)));
+    }
+
+    #[test]
+    fn centroid_is_mean() {
+        let rows = vec![vec![0.0, 0.0], vec![2.0, 4.0]];
+        let ps = PointSet::from_rows(&rows).unwrap();
+        assert_eq!(ps.centroid(), vec![1.0, 2.0]);
+        assert_eq!(ps.centroid_of(&[1]), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn size_bytes_counts_data() {
+        let ps = PointSet::from_flat(2, vec![0.0; 64]).unwrap();
+        assert!(ps.size_bytes() >= 64 * std::mem::size_of::<Scalar>());
+    }
+}

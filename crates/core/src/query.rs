@@ -1,0 +1,197 @@
+//! Hyperplane queries and the point-to-hyperplane distance.
+
+use crate::distance;
+use crate::{Error, Result, Scalar};
+
+/// A hyperplane query `q ∈ R^d`.
+///
+/// The hyperplane is the set `{ p ∈ R^{d-1} : q_d + Σ_{i<d} p_i q_i = 0 }`, i.e. the
+/// first `d-1` coordinates are the normal vector and the last coordinate is the offset.
+///
+/// On construction the query is rescaled so that the norm of its first `d-1` coordinates
+/// is 1 (the simplification of Section II of the paper). With that normalization and the
+/// dimension-append convention of [`crate::PointSet::augment`], the point-to-hyperplane
+/// distance of a data point is exactly `|⟨x, q⟩|`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HyperplaneQuery {
+    /// Normalized coefficients; `coeffs.len() == dim`.
+    coeffs: Vec<Scalar>,
+    /// Euclidean norm of the full normalized coefficient vector (used by the ball
+    /// bounds, which need `‖q‖`).
+    norm: Scalar,
+}
+
+impl HyperplaneQuery {
+    /// Creates a query from raw hyperplane coefficients `(q_1, …, q_{d-1}, q_d)`.
+    ///
+    /// The coefficients are rescaled so `‖(q_1, …, q_{d-1})‖ = 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDimension`] if fewer than 2 coefficients are supplied and
+    /// [`Error::DegenerateQuery`] if the normal vector has (near-)zero norm.
+    pub fn new(mut coeffs: Vec<Scalar>) -> Result<Self> {
+        if coeffs.len() < 2 {
+            return Err(Error::InvalidDimension(coeffs.len()));
+        }
+        let d = coeffs.len();
+        let normal_norm = distance::norm(&coeffs[..d - 1]);
+        if !normal_norm.is_finite() || normal_norm <= Scalar::EPSILON {
+            return Err(Error::DegenerateQuery);
+        }
+        distance::scale(&mut coeffs, 1.0 / normal_norm);
+        let norm = distance::norm(&coeffs);
+        Ok(Self { coeffs, norm })
+    }
+
+    /// Creates a query from a normal vector `w ∈ R^{d-1}` and an offset `b`, describing
+    /// the hyperplane `{ p : ⟨w, p⟩ + b = 0 }`.
+    ///
+    /// # Errors
+    ///
+    /// Same error conditions as [`HyperplaneQuery::new`].
+    pub fn from_normal_and_bias(normal: &[Scalar], bias: Scalar) -> Result<Self> {
+        let mut coeffs = Vec::with_capacity(normal.len() + 1);
+        coeffs.extend_from_slice(normal);
+        coeffs.push(bias);
+        Self::new(coeffs)
+    }
+
+    /// The normalized coefficient vector, of length [`Self::dim`].
+    #[inline]
+    pub fn coeffs(&self) -> &[Scalar] {
+        &self.coeffs
+    }
+
+    /// Dimensionality `d` of the query (equals the augmented data dimension).
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Euclidean norm `‖q‖` of the normalized coefficient vector.
+    ///
+    /// Because the first `d-1` coordinates have unit norm this equals
+    /// `sqrt(1 + q_d²)` and is always at least 1.
+    #[inline]
+    pub fn norm(&self) -> Scalar {
+        self.norm
+    }
+
+    /// Point-to-hyperplane distance of an *augmented* point `x = (p; 1) ∈ R^d`.
+    ///
+    /// This is `|⟨x, q⟩|` (Equation 2 of the paper).
+    #[inline]
+    pub fn p2h_distance(&self, augmented_point: &[Scalar]) -> Scalar {
+        debug_assert_eq!(augmented_point.len(), self.coeffs.len());
+        distance::abs_dot(augmented_point, &self.coeffs)
+    }
+
+    /// Signed inner product `⟨x, q⟩` of an augmented point and the query.
+    ///
+    /// The sign tells which side of the hyperplane the point lies on; the absolute value
+    /// is the P2H distance.
+    #[inline]
+    pub fn signed_margin(&self, augmented_point: &[Scalar]) -> Scalar {
+        debug_assert_eq!(augmented_point.len(), self.coeffs.len());
+        distance::dot(augmented_point, &self.coeffs)
+    }
+
+    /// Point-to-hyperplane distance of a *raw* point `p ∈ R^{d-1}` (Equation 1 of the
+    /// paper), without requiring the caller to augment it.
+    #[inline]
+    pub fn p2h_distance_raw(&self, raw_point: &[Scalar]) -> Scalar {
+        debug_assert_eq!(raw_point.len() + 1, self.coeffs.len());
+        let d = self.coeffs.len();
+        (distance::dot(raw_point, &self.coeffs[..d - 1]) + self.coeffs[d - 1]).abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normalization_makes_normal_unit() {
+        let q = HyperplaneQuery::new(vec![3.0, 4.0, 10.0]).unwrap();
+        let normal = &q.coeffs()[..2];
+        assert!((distance::norm(normal) - 1.0).abs() < 1e-6);
+        assert!((q.coeffs()[2] - 2.0).abs() < 1e-6);
+        assert!((q.norm() - (1.0f32 + 4.0).sqrt()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn degenerate_queries_rejected() {
+        assert!(matches!(HyperplaneQuery::new(vec![0.0, 0.0, 5.0]), Err(Error::DegenerateQuery)));
+        assert!(matches!(HyperplaneQuery::new(vec![1.0]), Err(Error::InvalidDimension(1))));
+        assert!(matches!(
+            HyperplaneQuery::new(vec![Scalar::NAN, 1.0, 0.0]),
+            Err(Error::DegenerateQuery)
+        ));
+    }
+
+    #[test]
+    fn distance_matches_geometry() {
+        // Hyperplane x + y - 1 = 0 in R^2; the point (1, 1) is at distance 1/sqrt(2).
+        let q = HyperplaneQuery::from_normal_and_bias(&[1.0, 1.0], -1.0).unwrap();
+        let raw = [1.0, 1.0];
+        let expected = 1.0 / (2.0f32).sqrt();
+        assert!((q.p2h_distance_raw(&raw) - expected).abs() < 1e-6);
+        let augmented = [1.0, 1.0, 1.0];
+        assert!((q.p2h_distance(&augmented) - expected).abs() < 1e-6);
+        // A point on the hyperplane has zero distance.
+        assert!(q.p2h_distance_raw(&[1.0, 0.0]).abs() < 1e-6);
+        assert!(q.p2h_distance_raw(&[0.0, 1.0]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn signed_margin_sign_distinguishes_sides() {
+        let q = HyperplaneQuery::from_normal_and_bias(&[1.0, 0.0], 0.0).unwrap();
+        assert!(q.signed_margin(&[2.0, 0.0, 1.0]) > 0.0);
+        assert!(q.signed_margin(&[-2.0, 0.0, 1.0]) < 0.0);
+    }
+
+    #[test]
+    fn rescaling_invariance() {
+        // Scaling all coefficients by a positive constant must not change the distance.
+        let q1 = HyperplaneQuery::new(vec![1.0, 2.0, 3.0]).unwrap();
+        let q2 = HyperplaneQuery::new(vec![10.0, 20.0, 30.0]).unwrap();
+        let x = [0.5, -1.5, 1.0];
+        assert!((q1.p2h_distance(&x) - q2.p2h_distance(&x)).abs() < 1e-5);
+    }
+
+    proptest! {
+        #[test]
+        fn raw_and_augmented_distances_agree(
+            normal in proptest::collection::vec(-10.0f32..10.0, 3..8),
+            bias in -10.0f32..10.0,
+            point in proptest::collection::vec(-10.0f32..10.0, 3..8),
+        ) {
+            let d = normal.len().min(point.len());
+            let normal = &normal[..d];
+            let point = &point[..d];
+            prop_assume!(distance::norm(normal) > 1e-3);
+            let q = HyperplaneQuery::from_normal_and_bias(normal, bias).unwrap();
+            let mut augmented = point.to_vec();
+            augmented.push(1.0);
+            let via_raw = q.p2h_distance_raw(point);
+            let via_aug = q.p2h_distance(&augmented);
+            prop_assert!((via_raw - via_aug).abs() < 1e-3 * (1.0 + via_raw.abs()));
+        }
+
+        #[test]
+        fn distance_is_nonnegative(
+            point in proptest::collection::vec(-10.0f32..10.0, 2..7),
+            extra in -10.0f32..10.0,
+            bias in -10.0f32..10.0,
+        ) {
+            // Build coefficients with exactly one more entry than the point.
+            let mut coeffs: Vec<Scalar> = point.iter().map(|x| x + extra + 0.1).collect();
+            coeffs.push(bias);
+            prop_assume!(distance::norm(&coeffs[..coeffs.len()-1]) > 1e-3);
+            let q = HyperplaneQuery::new(coeffs).unwrap();
+            prop_assert!(q.p2h_distance_raw(&point) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Bounded top-k collection for nearest-neighbor candidates.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Scalar;
+
+/// One answer of a P2HNNS query: a data point index together with its point-to-hyperplane
+/// distance `|⟨x, q⟩|`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index of the data point in the original [`crate::PointSet`].
+    pub index: usize,
+    /// Point-to-hyperplane distance of the data point to the query.
+    pub distance: Scalar,
+}
+
+impl Neighbor {
+    /// Creates a new neighbor record.
+    #[inline]
+    pub fn new(index: usize, distance: Scalar) -> Self {
+        Self { index, distance }
+    }
+}
+
+impl Eq for Neighbor {}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Neighbor {
+    /// Orders by distance (total order on floats), breaking ties by index so results are
+    /// deterministic.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.distance
+            .total_cmp(&other.distance)
+            .then_with(|| self.index.cmp(&other.index))
+    }
+}
+
+/// A bounded max-heap that keeps the `k` smallest-distance neighbors seen so far.
+///
+/// This is the `q.bm` / `q.λ` pair of Algorithms 3 and 5 in the paper generalized to
+/// top-k: [`TopKCollector::threshold`] is the current `q.λ`, i.e. the distance that a new
+/// candidate must beat to enter the result set.
+#[derive(Debug, Clone)]
+pub struct TopKCollector {
+    k: usize,
+    heap: BinaryHeap<Neighbor>,
+}
+
+impl TopKCollector {
+    /// Creates a collector for the `k` nearest neighbors. `k` is clamped to at least 1.
+    pub fn new(k: usize) -> Self {
+        let k = k.max(1);
+        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    /// The `k` this collector was created with.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of neighbors currently held (at most `k`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no neighbor has been offered yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Whether the collector already holds `k` neighbors.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.heap.len() >= self.k
+    }
+
+    /// The current pruning threshold `q.λ`: the k-th smallest distance seen so far, or
+    /// `+∞` while fewer than `k` candidates have been accepted.
+    ///
+    /// Any candidate (or subtree) whose lower bound is at least this value cannot improve
+    /// the result set and can be pruned.
+    #[inline]
+    pub fn threshold(&self) -> Scalar {
+        if self.is_full() {
+            self.heap.peek().map_or(Scalar::INFINITY, |n| n.distance)
+        } else {
+            Scalar::INFINITY
+        }
+    }
+
+    /// Offers a candidate; returns `true` if it entered the current top-k.
+    pub fn offer(&mut self, index: usize, distance: Scalar) -> bool {
+        if self.heap.len() < self.k {
+            self.heap.push(Neighbor::new(index, distance));
+            return true;
+        }
+        // Heap is full: replace the current worst if the candidate is strictly better.
+        if distance < self.threshold() {
+            self.heap.pop();
+            self.heap.push(Neighbor::new(index, distance));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the collector and returns the neighbors sorted by ascending distance.
+    pub fn into_sorted_vec(self) -> Vec<Neighbor> {
+        let mut v = self.heap.into_vec();
+        v.sort_unstable();
+        v
+    }
+
+    /// Returns the neighbors sorted by ascending distance without consuming the
+    /// collector.
+    pub fn to_sorted_vec(&self) -> Vec<Neighbor> {
+        let mut v: Vec<Neighbor> = self.heap.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn keeps_k_smallest() {
+        let mut c = TopKCollector::new(3);
+        assert!(c.is_empty());
+        assert_eq!(c.threshold(), Scalar::INFINITY);
+        for (i, d) in [5.0, 1.0, 4.0, 2.0, 3.0, 0.5].iter().enumerate() {
+            c.offer(i, *d);
+        }
+        assert!(c.is_full());
+        let result = c.into_sorted_vec();
+        let distances: Vec<Scalar> = result.iter().map(|n| n.distance).collect();
+        assert_eq!(distances, vec![0.5, 1.0, 2.0]);
+        assert_eq!(result[0].index, 5);
+    }
+
+    #[test]
+    fn threshold_tracks_kth_best() {
+        let mut c = TopKCollector::new(2);
+        c.offer(0, 10.0);
+        assert_eq!(c.threshold(), Scalar::INFINITY, "not full yet");
+        c.offer(1, 5.0);
+        assert_eq!(c.threshold(), 10.0);
+        assert!(c.offer(2, 1.0));
+        assert_eq!(c.threshold(), 5.0);
+        assert!(!c.offer(3, 9.0), "worse than threshold must be rejected");
+        assert_eq!(c.threshold(), 5.0);
+    }
+
+    #[test]
+    fn k_zero_clamps_to_one() {
+        let mut c = TopKCollector::new(0);
+        assert_eq!(c.k(), 1);
+        c.offer(0, 2.0);
+        c.offer(1, 1.0);
+        let v = c.into_sorted_vec();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].index, 1);
+    }
+
+    #[test]
+    fn equal_distances_break_ties_by_index() {
+        let a = Neighbor::new(3, 1.0);
+        let b = Neighbor::new(5, 1.0);
+        assert!(a < b);
+        let mut c = TopKCollector::new(1);
+        c.offer(5, 1.0);
+        // An equal distance does not displace the incumbent (strictly-better rule).
+        assert!(!c.offer(3, 1.0));
+    }
+
+    #[test]
+    fn to_sorted_vec_does_not_consume() {
+        let mut c = TopKCollector::new(2);
+        c.offer(0, 3.0);
+        c.offer(1, 1.0);
+        let snapshot = c.to_sorted_vec();
+        assert_eq!(snapshot.len(), 2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(snapshot, c.into_sorted_vec());
+    }
+
+    proptest! {
+        #[test]
+        fn matches_full_sort(
+            distances in proptest::collection::vec(0.0f32..100.0, 1..200),
+            k in 1usize..20,
+        ) {
+            let mut c = TopKCollector::new(k);
+            for (i, &d) in distances.iter().enumerate() {
+                c.offer(i, d);
+            }
+            let got: Vec<Scalar> = c.into_sorted_vec().iter().map(|n| n.distance).collect();
+
+            let mut expected = distances.clone();
+            expected.sort_by(|a, b| a.total_cmp(b));
+            expected.truncate(k);
+            prop_assert_eq!(got, expected);
+        }
+
+        #[test]
+        fn threshold_is_monotone_nonincreasing(
+            distances in proptest::collection::vec(0.0f32..100.0, 1..100),
+            k in 1usize..10,
+        ) {
+            let mut c = TopKCollector::new(k);
+            let mut prev = Scalar::INFINITY;
+            for (i, &d) in distances.iter().enumerate() {
+                c.offer(i, d);
+                let t = c.threshold();
+                prop_assert!(t <= prev);
+                prev = t;
+            }
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Exact ground truth for recall evaluation.
+
+use crossbeam::thread;
+
+use p2h_core::{HyperplaneQuery, Neighbor, PointSet, Scalar, TopKCollector};
+
+/// The exact top-k point-to-hyperplane neighbors of a batch of queries.
+///
+/// Ground truth is computed by exhaustive scan, parallelized over queries with scoped
+/// threads. The recall of any approximate method is then the fraction of its returned
+/// indices that appear in the corresponding ground-truth list (Section V-B of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundTruth {
+    k: usize,
+    results: Vec<Vec<Neighbor>>,
+}
+
+impl GroundTruth {
+    /// Computes the exact top-k answers for every query with an exhaustive scan.
+    ///
+    /// Queries are distributed over `threads` worker threads (clamped to at least 1).
+    pub fn compute(
+        points: &PointSet,
+        queries: &[HyperplaneQuery],
+        k: usize,
+        threads: usize,
+    ) -> Self {
+        let k = k.max(1);
+        let threads = threads.clamp(1, queries.len().max(1));
+        if queries.is_empty() {
+            return Self { k, results: Vec::new() };
+        }
+        let chunk = queries.len().div_ceil(threads);
+        let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
+
+        thread::scope(|scope| {
+            let mut remaining: &mut [Vec<Neighbor>] = &mut results;
+            for (t, query_chunk) in queries.chunks(chunk).enumerate() {
+                let (slot, rest) = remaining.split_at_mut(query_chunk.len().min(remaining.len()));
+                remaining = rest;
+                let _ = t;
+                scope.spawn(move |_| {
+                    for (q, out) in query_chunk.iter().zip(slot.iter_mut()) {
+                        *out = exact_top_k(points, q, k);
+                    }
+                });
+            }
+        })
+        .expect("ground-truth worker thread panicked");
+
+        Self { k, results }
+    }
+
+    /// The `k` used for this ground truth.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of queries covered.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether the ground truth covers no queries.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// The exact neighbors of query `i`, sorted by ascending distance.
+    pub fn neighbors(&self, i: usize) -> &[Neighbor] {
+        &self.results[i]
+    }
+
+    /// The exact k-th nearest distance of query `i` (the largest distance in its
+    /// ground-truth list).
+    pub fn kth_distance(&self, i: usize) -> Scalar {
+        self.results[i].last().map_or(Scalar::INFINITY, |n| n.distance)
+    }
+
+    /// Recall of a returned index list for query `i`: `|returned ∩ exact| / k`.
+    ///
+    /// Ties at the k-th distance are treated generously: a returned point whose distance
+    /// equals the exact k-th distance counts as a hit even if the tie-break placed a
+    /// different index in the stored list. This mirrors the standard recall evaluation
+    /// used by ANN benchmarks (and the paper), which compare distances, not identities.
+    pub fn recall(&self, i: usize, returned: &[usize], distances: &[Scalar]) -> f64 {
+        let exact = &self.results[i];
+        if exact.is_empty() {
+            return if returned.is_empty() { 1.0 } else { 0.0 };
+        }
+        let kth = self.kth_distance(i);
+        let mut hits = 0usize;
+        for (pos, idx) in returned.iter().enumerate() {
+            let in_exact = exact.iter().any(|n| n.index == *idx);
+            let tie = distances.get(pos).is_some_and(|d| *d <= kth + 1e-6);
+            if in_exact || tie {
+                hits += 1;
+            }
+        }
+        hits.min(exact.len()) as f64 / exact.len() as f64
+    }
+}
+
+/// Exhaustive exact top-k for one query.
+fn exact_top_k(points: &PointSet, query: &HyperplaneQuery, k: usize) -> Vec<Neighbor> {
+    let mut collector = TopKCollector::new(k);
+    for (i, x) in points.iter().enumerate() {
+        collector.offer(i, query.p2h_distance(x));
+    }
+    collector.into_sorted_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{DataDistribution, SyntheticDataset};
+    use crate::{generate_queries, QueryDistribution};
+    use p2h_core::{LinearScan, P2hIndex};
+
+    fn setup() -> (PointSet, Vec<HyperplaneQuery>) {
+        let ps = SyntheticDataset::new(
+            "gt",
+            300,
+            8,
+            DataDistribution::GaussianClusters { clusters: 4, std_dev: 1.5 },
+            21,
+        )
+        .generate()
+        .unwrap();
+        let queries =
+            generate_queries(&ps, 8, QueryDistribution::DataDifference, 3).unwrap();
+        (ps, queries)
+    }
+
+    #[test]
+    fn matches_linear_scan() {
+        let (ps, queries) = setup();
+        let gt = GroundTruth::compute(&ps, &queries, 5, 4);
+        let scan = LinearScan::new(ps);
+        assert_eq!(gt.len(), queries.len());
+        assert_eq!(gt.k(), 5);
+        assert!(!gt.is_empty());
+        for (i, q) in queries.iter().enumerate() {
+            let result = scan.search_exact(q, 5);
+            assert_eq!(result.neighbors, gt.neighbors(i).to_vec());
+        }
+    }
+
+    #[test]
+    fn single_thread_equals_multi_thread() {
+        let (ps, queries) = setup();
+        let a = GroundTruth::compute(&ps, &queries, 3, 1);
+        let b = GroundTruth::compute(&ps, &queries, 3, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn recall_of_exact_results_is_one() {
+        let (ps, queries) = setup();
+        let gt = GroundTruth::compute(&ps, &queries, 10, 2);
+        let scan = LinearScan::new(ps);
+        for (i, q) in queries.iter().enumerate() {
+            let result = scan.search_exact(q, 10);
+            let recall = gt.recall(i, &result.indices(), &result.distances());
+            assert!((recall - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn recall_of_wrong_results_is_low() {
+        let (ps, queries) = setup();
+        let gt = GroundTruth::compute(&ps, &queries, 5, 2);
+        // Indices that are unlikely to be the nearest, with huge fake distances so the
+        // tie rule does not fire.
+        let recall = gt.recall(0, &[290, 291, 292, 293, 294], &[1e9; 5]);
+        assert!(recall <= 0.4, "recall of arbitrary far points should be low, got {recall}");
+    }
+
+    #[test]
+    fn recall_partial_overlap() {
+        let (ps, queries) = setup();
+        let gt = GroundTruth::compute(&ps, &queries, 4, 2);
+        let exact: Vec<usize> = gt.neighbors(0).iter().map(|n| n.index).collect();
+        let exact_d: Vec<Scalar> = gt.neighbors(0).iter().map(|n| n.distance).collect();
+        // Return only the first two exact answers.
+        let recall = gt.recall(0, &exact[..2], &exact_d[..2]);
+        assert!((recall - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kth_distance_is_largest_in_list() {
+        let (ps, queries) = setup();
+        let gt = GroundTruth::compute(&ps, &queries, 5, 2);
+        for i in 0..gt.len() {
+            let kth = gt.kth_distance(i);
+            assert!(gt.neighbors(i).iter().all(|n| n.distance <= kth));
+        }
+    }
+
+    #[test]
+    fn empty_queries_is_empty() {
+        let (ps, _) = setup();
+        let gt = GroundTruth::compute(&ps, &[], 5, 2);
+        assert!(gt.is_empty());
+        assert_eq!(gt.len(), 0);
+    }
+}

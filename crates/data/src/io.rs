@@ -1,0 +1,300 @@
+//! Data-set IO: fvecs, csv, and a native binary format.
+//!
+//! The paper's data sets are distributed in the `fvecs`/`bvecs` format of the TEXMEX
+//! corpus (Sift, Gist) or as plain text. These readers let users run the benchmark
+//! harness on the real files when they have them; all built-in experiments use the
+//! synthetic generators instead.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use p2h_core::{Error, Result, Scalar};
+
+/// Reads an `fvecs` file: each vector is stored as a little-endian `i32` dimension
+/// followed by that many little-endian `f32` components.
+///
+/// Returns `(raw_dim, flat_row_major_data)`.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be read, is truncated, or contains vectors of
+/// inconsistent dimensionality.
+pub fn read_fvecs(path: &Path) -> Result<(usize, Vec<Scalar>)> {
+    let mut file = File::open(path)?;
+    let mut buf = Vec::new();
+    file.read_to_end(&mut buf)?;
+    parse_fvecs(&buf)
+}
+
+/// Parses an in-memory `fvecs` buffer. See [`read_fvecs`].
+pub fn parse_fvecs(raw: &[u8]) -> Result<(usize, Vec<Scalar>)> {
+    let mut bytes = Bytes::copy_from_slice(raw);
+    let mut dim: Option<usize> = None;
+    let mut data = Vec::new();
+    while bytes.has_remaining() {
+        if bytes.remaining() < 4 {
+            return Err(Error::Io("truncated fvecs header".into()));
+        }
+        let d = bytes.get_i32_le();
+        if d <= 0 {
+            return Err(Error::Io(format!("invalid fvecs dimension {d}")));
+        }
+        let d = d as usize;
+        match dim {
+            None => dim = Some(d),
+            Some(existing) if existing != d => {
+                return Err(Error::DimensionMismatch { expected: existing, actual: d });
+            }
+            _ => {}
+        }
+        if bytes.remaining() < 4 * d {
+            return Err(Error::Io("truncated fvecs vector".into()));
+        }
+        for _ in 0..d {
+            data.push(bytes.get_f32_le());
+        }
+    }
+    let dim = dim.ok_or(Error::EmptyDataSet)?;
+    Ok((dim, data))
+}
+
+/// Writes raw row-major vectors to an `fvecs` file.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure or if `data.len()` is not a multiple of `dim`.
+pub fn write_fvecs(path: &Path, dim: usize, data: &[Scalar]) -> Result<()> {
+    if dim == 0 || data.len() % dim != 0 {
+        return Err(Error::DimensionMismatch { expected: dim, actual: data.len() % dim.max(1) });
+    }
+    let mut buf = BytesMut::with_capacity(data.len() * 4 + (data.len() / dim) * 4);
+    for row in data.chunks_exact(dim) {
+        buf.put_i32_le(dim as i32);
+        for &v in row {
+            buf.put_f32_le(v);
+        }
+    }
+    let mut writer = BufWriter::new(File::create(path)?);
+    writer.write_all(&buf)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads a CSV file of raw points (one point per line, comma-separated floats, no
+/// header). Returns `(raw_dim, flat_row_major_data)`.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be read, contains a non-numeric field, or has
+/// rows of inconsistent length.
+pub fn read_csv(path: &Path) -> Result<(usize, Vec<Scalar>)> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut dim: Option<usize> = None;
+    let mut data = Vec::new();
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut count = 0usize;
+        for field in trimmed.split(',') {
+            let value: Scalar = field
+                .trim()
+                .parse()
+                .map_err(|_| Error::Io(format!("line {}: invalid number `{field}`", line_no + 1)))?;
+            data.push(value);
+            count += 1;
+        }
+        match dim {
+            None => dim = Some(count),
+            Some(existing) if existing != count => {
+                return Err(Error::DimensionMismatch { expected: existing, actual: count });
+            }
+            _ => {}
+        }
+    }
+    let dim = dim.ok_or(Error::EmptyDataSet)?;
+    Ok((dim, data))
+}
+
+/// Writes raw row-major vectors as CSV (one point per line).
+///
+/// # Errors
+///
+/// Returns an error on I/O failure or shape mismatch.
+pub fn write_csv(path: &Path, dim: usize, data: &[Scalar]) -> Result<()> {
+    if dim == 0 || data.len() % dim != 0 {
+        return Err(Error::DimensionMismatch { expected: dim, actual: data.len() % dim.max(1) });
+    }
+    let mut writer = BufWriter::new(File::create(path)?);
+    for row in data.chunks_exact(dim) {
+        let line: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        writeln!(writer, "{}", line.join(","))?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+const NATIVE_MAGIC: &[u8; 4] = b"P2HD";
+
+/// Writes the native binary format: a 4-byte magic, `u32` dim, `u64` count, then the
+/// row-major `f32` payload. Faster to load than fvecs because the count is known upfront.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure or shape mismatch.
+pub fn write_native(path: &Path, dim: usize, data: &[Scalar]) -> Result<()> {
+    if dim == 0 || data.len() % dim != 0 {
+        return Err(Error::DimensionMismatch { expected: dim, actual: data.len() % dim.max(1) });
+    }
+    let n = data.len() / dim;
+    let mut buf = BytesMut::with_capacity(16 + data.len() * 4);
+    buf.put_slice(NATIVE_MAGIC);
+    buf.put_u32_le(dim as u32);
+    buf.put_u64_le(n as u64);
+    for &v in data {
+        buf.put_f32_le(v);
+    }
+    let mut writer = BufWriter::new(File::create(path)?);
+    writer.write_all(&buf)?;
+    writer.flush()?;
+    Ok(())
+}
+
+/// Reads the native binary format written by [`write_native`].
+///
+/// # Errors
+///
+/// Returns an error if the magic does not match or the file is truncated.
+pub fn read_native(path: &Path) -> Result<(usize, Vec<Scalar>)> {
+    let mut file = File::open(path)?;
+    let mut raw = Vec::new();
+    file.read_to_end(&mut raw)?;
+    let mut bytes = Bytes::from(raw);
+    if bytes.remaining() < 16 {
+        return Err(Error::Io("truncated native header".into()));
+    }
+    let mut magic = [0u8; 4];
+    bytes.copy_to_slice(&mut magic);
+    if &magic != NATIVE_MAGIC {
+        return Err(Error::Io("bad magic: not a P2HD native file".into()));
+    }
+    let dim = bytes.get_u32_le() as usize;
+    let n = bytes.get_u64_le() as usize;
+    if dim == 0 {
+        return Err(Error::InvalidDimension(dim));
+    }
+    if bytes.remaining() < n * dim * 4 {
+        return Err(Error::Io("truncated native payload".into()));
+    }
+    let mut data = Vec::with_capacity(n * dim);
+    for _ in 0..n * dim {
+        data.push(bytes.get_f32_le());
+    }
+    Ok((dim, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("p2h-data-io-{}-{}", std::process::id(), name));
+        dir
+    }
+
+    fn sample() -> (usize, Vec<Scalar>) {
+        (3, vec![1.0, 2.0, 3.0, -4.0, 5.5, 6.25, 0.0, -0.5, 9.0])
+    }
+
+    #[test]
+    fn fvecs_round_trip() {
+        let (dim, data) = sample();
+        let path = temp_path("roundtrip.fvecs");
+        write_fvecs(&path, dim, &data).unwrap();
+        let (read_dim, read_data) = read_fvecs(&path).unwrap();
+        assert_eq!(read_dim, dim);
+        assert_eq!(read_data, data);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let (dim, data) = sample();
+        let path = temp_path("roundtrip.csv");
+        write_csv(&path, dim, &data).unwrap();
+        let (read_dim, read_data) = read_csv(&path).unwrap();
+        assert_eq!(read_dim, dim);
+        assert_eq!(read_data, data);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn native_round_trip() {
+        let (dim, data) = sample();
+        let path = temp_path("roundtrip.p2hd");
+        write_native(&path, dim, &data).unwrap();
+        let (read_dim, read_data) = read_native(&path).unwrap();
+        assert_eq!(read_dim, dim);
+        assert_eq!(read_data, data);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fvecs_rejects_inconsistent_dims() {
+        let mut buf = BytesMut::new();
+        buf.put_i32_le(2);
+        buf.put_f32_le(1.0);
+        buf.put_f32_le(2.0);
+        buf.put_i32_le(3);
+        buf.put_f32_le(1.0);
+        buf.put_f32_le(2.0);
+        buf.put_f32_le(3.0);
+        assert!(matches!(parse_fvecs(&buf), Err(Error::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn fvecs_rejects_truncation_and_garbage() {
+        assert!(matches!(parse_fvecs(&[1, 0]), Err(Error::Io(_))));
+        let mut buf = BytesMut::new();
+        buf.put_i32_le(4);
+        buf.put_f32_le(1.0); // only one of four components
+        assert!(matches!(parse_fvecs(&buf), Err(Error::Io(_))));
+        let mut neg = BytesMut::new();
+        neg.put_i32_le(-1);
+        assert!(matches!(parse_fvecs(&neg), Err(Error::Io(_))));
+        assert!(matches!(parse_fvecs(&[]), Err(Error::EmptyDataSet)));
+    }
+
+    #[test]
+    fn csv_rejects_bad_rows() {
+        let path = temp_path("bad.csv");
+        std::fs::write(&path, "1.0,2.0\n3.0\n").unwrap();
+        assert!(matches!(read_csv(&path), Err(Error::DimensionMismatch { .. })));
+        std::fs::write(&path, "1.0,abc\n").unwrap();
+        assert!(matches!(read_csv(&path), Err(Error::Io(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn native_rejects_bad_magic() {
+        let path = temp_path("bad.p2hd");
+        std::fs::write(&path, b"NOPE\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00").unwrap();
+        assert!(matches!(read_native(&path), Err(Error::Io(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn writers_reject_shape_mismatch() {
+        let path = temp_path("never-written");
+        assert!(write_fvecs(&path, 4, &[1.0; 3]).is_err());
+        assert!(write_csv(&path, 0, &[]).is_err());
+        assert!(write_native(&path, 5, &[1.0; 7]).is_err());
+        assert!(!path.exists());
+    }
+}

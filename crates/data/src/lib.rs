@@ -1,0 +1,31 @@
+//! # p2h-data
+//!
+//! Data substrate for the P2HNNS workspace: synthetic data-set generators that stand in
+//! for the paper's 16 real-world data sets, hyperplane query generation following the
+//! protocol of Huang et al. (SIGMOD'21), exact ground-truth computation, and simple
+//! data-set IO (fvecs / csv / a native binary format).
+//!
+//! ## Why synthetic data sets?
+//!
+//! The paper evaluates on real data sets (Music, GloVe, Sift, …, Deep100M). Those files
+//! are not redistributable here, so every experiment in this repository uses synthetic
+//! generators with matched dimensionality and (scaled) cardinality. The tree and hashing
+//! algorithms interact with the data only through Euclidean geometry — centroids, radii,
+//! angles, norms and inner products — and the generators expose knobs for exactly those
+//! properties (cluster structure, anisotropy, norm spread). See `DESIGN.md` §5 for the
+//! substitution rationale.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod catalog;
+mod ground_truth;
+mod io;
+mod queries;
+mod synthetic;
+
+pub use catalog::{large_scale_catalog, paper_catalog, profile_catalog, DatasetEntry};
+pub use ground_truth::GroundTruth;
+pub use io::{read_csv, read_fvecs, read_native, write_csv, write_fvecs, write_native};
+pub use queries::{generate_queries, QueryDistribution};
+pub use synthetic::{DataDistribution, SyntheticDataset};

@@ -1,0 +1,169 @@
+//! Hyperplane query generation.
+//!
+//! The paper follows the protocol of Huang et al. (SIGMOD'21): for every data set, 100
+//! random hyperplane queries are generated. We support two distributions:
+//!
+//! * [`QueryDistribution::DataDifference`] — the query normal is the difference of two
+//!   randomly chosen data points and the offset places the hyperplane between them. This
+//!   mirrors the "decision boundary between two samples" structure of the active-learning
+//!   motivation and is the default.
+//! * [`QueryDistribution::RandomNormal`] — an isotropic Gaussian normal with an offset
+//!   drawn so that the hyperplane passes near the data centroid.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use p2h_core::{distance, HyperplaneQuery, PointSet, Result, Scalar};
+
+/// How hyperplane queries are sampled relative to the data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryDistribution {
+    /// Normal = difference of two random data points, hyperplane through their midpoint.
+    #[default]
+    DataDifference,
+    /// Isotropic Gaussian normal, hyperplane passing near the data centroid.
+    RandomNormal,
+}
+
+/// Generates `count` hyperplane queries for the (augmented) data set `points`.
+///
+/// The returned queries are in the augmented dimension (`points.dim()`), normalized so
+/// that `|⟨x, q⟩|` is the point-to-hyperplane distance.
+///
+/// # Errors
+///
+/// Propagates [`p2h_core::Error::DegenerateQuery`] only in the pathological case where a
+/// non-degenerate query cannot be constructed after many attempts (e.g. all data points
+/// are identical and the distribution is [`QueryDistribution::DataDifference`]).
+pub fn generate_queries(
+    points: &PointSet,
+    count: usize,
+    distribution: QueryDistribution,
+    seed: u64,
+) -> Result<Vec<HyperplaneQuery>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dim = points.dim();
+    let raw_dim = dim - 1;
+    let mut queries = Vec::with_capacity(count);
+    let centroid = points.centroid();
+
+    let mut attempts = 0usize;
+    while queries.len() < count {
+        attempts += 1;
+        let candidate = match distribution {
+            QueryDistribution::DataDifference => {
+                let a = points.point(rng.gen_range(0..points.len()));
+                let b = points.point(rng.gen_range(0..points.len()));
+                // Normal = a - b over the raw coordinates; midpoint offset.
+                let mut normal = vec![0.0 as Scalar; raw_dim];
+                let mut offset = 0.0;
+                for j in 0..raw_dim {
+                    normal[j] = a[j] - b[j];
+                    offset -= normal[j] * 0.5 * (a[j] + b[j]);
+                }
+                HyperplaneQuery::from_normal_and_bias(&normal, offset)
+            }
+            QueryDistribution::RandomNormal => {
+                let mut normal = vec![0.0 as Scalar; raw_dim];
+                for value in normal.iter_mut() {
+                    // Sum of uniforms is close enough to Gaussian for a direction.
+                    *value = rng.gen_range(-1.0..1.0) + rng.gen_range(-1.0..1.0);
+                }
+                let through: Scalar = -distance::dot(&normal, &centroid[..raw_dim]);
+                let jitter: Scalar = rng.gen_range(-0.5..0.5);
+                HyperplaneQuery::from_normal_and_bias(&normal, through + jitter)
+            }
+        };
+        match candidate {
+            Ok(q) => queries.push(q),
+            Err(err) => {
+                // Identical points (or an all-zero normal) produce degenerate queries;
+                // retry a bounded number of times, then surface the error.
+                if attempts > count * 100 + 1000 {
+                    return Err(err);
+                }
+            }
+        }
+    }
+    Ok(queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{DataDistribution, SyntheticDataset};
+    use p2h_core::Error;
+
+    fn dataset() -> PointSet {
+        SyntheticDataset::new(
+            "q-test",
+            200,
+            6,
+            DataDistribution::GaussianClusters { clusters: 3, std_dev: 1.0 },
+            9,
+        )
+        .generate()
+        .unwrap()
+    }
+
+    #[test]
+    fn generates_requested_count_and_dim() {
+        let ps = dataset();
+        for dist in [QueryDistribution::DataDifference, QueryDistribution::RandomNormal] {
+            let queries = generate_queries(&ps, 25, dist, 1).unwrap();
+            assert_eq!(queries.len(), 25);
+            for q in &queries {
+                assert_eq!(q.dim(), ps.dim());
+                // Normalization invariant: the first d-1 coordinates have unit norm.
+                let d = q.dim();
+                assert!((distance::norm(&q.coeffs()[..d - 1]) - 1.0).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ps = dataset();
+        let a = generate_queries(&ps, 10, QueryDistribution::DataDifference, 5).unwrap();
+        let b = generate_queries(&ps, 10, QueryDistribution::DataDifference, 5).unwrap();
+        assert_eq!(a, b);
+        let c = generate_queries(&ps, 10, QueryDistribution::DataDifference, 6).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn data_difference_queries_pass_between_points() {
+        // A data-difference hyperplane passes through the midpoint of two data points, so
+        // at least one data point must be reasonably close to it relative to the data
+        // scale: the minimum distance over the data set should be far below the maximum.
+        let ps = dataset();
+        let queries = generate_queries(&ps, 5, QueryDistribution::DataDifference, 2).unwrap();
+        for q in &queries {
+            let mut min = Scalar::INFINITY;
+            let mut max = 0.0 as Scalar;
+            for x in ps.iter() {
+                let d = q.p2h_distance(x);
+                min = min.min(d);
+                max = max.max(d);
+            }
+            assert!(min < max * 0.5, "min={min} max={max}");
+        }
+    }
+
+    #[test]
+    fn degenerate_data_eventually_errors() {
+        // All points identical: every data-difference normal is zero.
+        let rows = vec![vec![1.0 as Scalar, 2.0]; 10];
+        let ps = PointSet::augment(&rows).unwrap();
+        let result = generate_queries(&ps, 3, QueryDistribution::DataDifference, 0);
+        assert!(matches!(result, Err(Error::DegenerateQuery)));
+    }
+
+    #[test]
+    fn random_normal_works_on_degenerate_data() {
+        let rows = vec![vec![1.0 as Scalar, 2.0]; 10];
+        let ps = PointSet::augment(&rows).unwrap();
+        let queries = generate_queries(&ps, 3, QueryDistribution::RandomNormal, 0).unwrap();
+        assert_eq!(queries.len(), 3);
+    }
+}

@@ -1,0 +1,277 @@
+//! Synthetic data-set generators.
+//!
+//! Each generator produces raw points `p ∈ R^{raw_dim}`, which are then augmented to
+//! `x = (p; 1)` via [`PointSet::augment_flat`]. The distributions are chosen to cover the
+//! geometric regimes of the paper's real data sets:
+//!
+//! * [`DataDistribution::GaussianClusters`] — well-separated clusters (image descriptor
+//!   sets such as Sift, Cifar-10, Sun behave this way): Ball-Tree radii shrink quickly
+//!   and pruning is effective.
+//! * [`DataDistribution::Correlated`] — points on a low-rank subspace plus noise (text
+//!   embeddings such as GloVe, Enron): anisotropic balls, moderate pruning.
+//! * [`DataDistribution::Uniform`] — worst-case isotropic data with little structure.
+//! * [`DataDistribution::HeavyTailedNorms`] — log-normal norm spread (rating / audio
+//!   data such as Music, Msong); exercises the non-normalized regime in which the
+//!   hyperplane hashing schemes lose their locality sensitivity.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use p2h_core::{PointSet, Result, Scalar};
+
+/// The family of synthetic raw-point distributions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DataDistribution {
+    /// A mixture of `clusters` isotropic Gaussian blobs with the given within-cluster
+    /// standard deviation. Cluster centers are drawn uniformly from `[-10, 10]^d`.
+    GaussianClusters {
+        /// Number of mixture components.
+        clusters: usize,
+        /// Within-cluster standard deviation.
+        std_dev: Scalar,
+    },
+    /// Low-rank structure: points are `B·z + ε` where `B` is a random `d×rank` matrix,
+    /// `z` is standard normal in `R^rank` and `ε` is isotropic noise.
+    Correlated {
+        /// Dimension of the latent subspace.
+        rank: usize,
+        /// Standard deviation of the additive isotropic noise.
+        noise: Scalar,
+    },
+    /// Uniform on `[-scale, scale]^d`.
+    Uniform {
+        /// Half-width of the cube.
+        scale: Scalar,
+    },
+    /// Standard normal directions scaled by log-normal radii, producing a heavy-tailed
+    /// norm distribution (data far from the unit hypersphere).
+    HeavyTailedNorms {
+        /// Mean of the underlying normal of the log-normal radius.
+        mu: Scalar,
+        /// Standard deviation of the underlying normal of the log-normal radius.
+        sigma: Scalar,
+    },
+}
+
+/// A fully specified synthetic data set: distribution, cardinality, dimension, and seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticDataset {
+    /// Human-readable name (used in reports; mirrors the paper's data-set names).
+    pub name: String,
+    /// Number of points to generate.
+    pub n: usize,
+    /// Raw dimensionality `d - 1` (before the append-one augmentation).
+    pub raw_dim: usize,
+    /// Generating distribution.
+    pub distribution: DataDistribution,
+    /// RNG seed, so every experiment is reproducible.
+    pub seed: u64,
+}
+
+impl SyntheticDataset {
+    /// Creates a specification with the given name, size and distribution.
+    pub fn new(
+        name: impl Into<String>,
+        n: usize,
+        raw_dim: usize,
+        distribution: DataDistribution,
+        seed: u64,
+    ) -> Self {
+        Self { name: name.into(), n, raw_dim, distribution, seed }
+    }
+
+    /// Dimensionality of the augmented points this data set will produce.
+    pub fn augmented_dim(&self) -> usize {
+        self.raw_dim + 1
+    }
+
+    /// Generates the raw (non-augmented) points as a flat row-major buffer.
+    pub fn generate_raw(&self) -> Vec<Scalar> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let d = self.raw_dim;
+        let mut data = vec![0.0 as Scalar; self.n * d];
+        match self.distribution {
+            DataDistribution::GaussianClusters { clusters, std_dev } => {
+                let clusters = clusters.max(1);
+                let mut centers = vec![0.0 as Scalar; clusters * d];
+                for c in centers.iter_mut() {
+                    *c = rng.gen_range(-10.0..10.0);
+                }
+                for i in 0..self.n {
+                    let cluster = rng.gen_range(0..clusters);
+                    let center = &centers[cluster * d..(cluster + 1) * d];
+                    let row = &mut data[i * d..(i + 1) * d];
+                    for (j, value) in row.iter_mut().enumerate() {
+                        *value = center[j] + std_dev * standard_normal(&mut rng);
+                    }
+                }
+            }
+            DataDistribution::Correlated { rank, noise } => {
+                let rank = rank.clamp(1, d);
+                // Random basis B (d x rank), entries ~ N(0, 1)/sqrt(rank).
+                let scale = 1.0 / (rank as Scalar).sqrt();
+                let basis: Vec<Scalar> =
+                    (0..d * rank).map(|_| standard_normal(&mut rng) * scale).collect();
+                let mut latent = vec![0.0 as Scalar; rank];
+                for i in 0..self.n {
+                    for z in latent.iter_mut() {
+                        *z = standard_normal(&mut rng) * 5.0;
+                    }
+                    let row = &mut data[i * d..(i + 1) * d];
+                    for (j, value) in row.iter_mut().enumerate() {
+                        let mut acc = 0.0;
+                        for (r, &z) in latent.iter().enumerate() {
+                            acc += basis[j * rank + r] * z;
+                        }
+                        *value = acc + noise * standard_normal(&mut rng);
+                    }
+                }
+            }
+            DataDistribution::Uniform { scale } => {
+                for value in data.iter_mut() {
+                    *value = rng.gen_range(-scale..scale);
+                }
+            }
+            DataDistribution::HeavyTailedNorms { mu, sigma } => {
+                for i in 0..self.n {
+                    let row = &mut data[i * d..(i + 1) * d];
+                    let mut norm_sq = 0.0;
+                    for value in row.iter_mut() {
+                        *value = standard_normal(&mut rng);
+                        norm_sq += *value * *value;
+                    }
+                    let norm = norm_sq.sqrt().max(Scalar::EPSILON);
+                    let radius = (mu + sigma * standard_normal(&mut rng)).exp();
+                    for value in row.iter_mut() {
+                        *value *= radius / norm;
+                    }
+                }
+            }
+        }
+        data
+    }
+
+    /// Generates the data set and returns the augmented [`PointSet`] (`x = (p; 1)`).
+    pub fn generate(&self) -> Result<PointSet> {
+        let raw = self.generate_raw();
+        PointSet::augment_flat(self.raw_dim, &raw)
+    }
+
+    /// Size in bytes of the raw data (the "Data Size" column of Table II).
+    pub fn raw_size_bytes(&self) -> usize {
+        self.n * self.raw_dim * std::mem::size_of::<Scalar>()
+    }
+}
+
+/// Samples a standard normal value using the Box–Muller transform.
+///
+/// `rand` 0.8 ships `Standard`/uniform distributions but the normal distribution lives in
+/// `rand_distr`, which is outside the allowed dependency set, so we roll the two-line
+/// Box–Muller here.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> Scalar {
+    let u1: f64 = rand::distributions::Open01.sample(rng);
+    let u2: f64 = rng.gen::<f64>();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as Scalar
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2h_core::distance;
+
+    fn spec(dist: DataDistribution) -> SyntheticDataset {
+        SyntheticDataset::new("test", 500, 8, dist, 42)
+    }
+
+    #[test]
+    fn generates_requested_shape() {
+        for dist in [
+            DataDistribution::GaussianClusters { clusters: 5, std_dev: 1.0 },
+            DataDistribution::Correlated { rank: 3, noise: 0.1 },
+            DataDistribution::Uniform { scale: 2.0 },
+            DataDistribution::HeavyTailedNorms { mu: 1.0, sigma: 0.5 },
+        ] {
+            let ds = spec(dist);
+            let ps = ds.generate().unwrap();
+            assert_eq!(ps.len(), 500);
+            assert_eq!(ps.dim(), 9, "augmented dimension is raw_dim + 1");
+            assert_eq!(ds.augmented_dim(), 9);
+            // Last coordinate of every point is the appended 1.
+            for p in ps.iter() {
+                assert_eq!(p[8], 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = spec(DataDistribution::Uniform { scale: 1.0 }).generate_raw();
+        let b = spec(DataDistribution::Uniform { scale: 1.0 }).generate_raw();
+        assert_eq!(a, b);
+        let mut other = spec(DataDistribution::Uniform { scale: 1.0 });
+        other.seed = 7;
+        assert_ne!(a, other.generate_raw());
+    }
+
+    #[test]
+    fn gaussian_clusters_are_clustered() {
+        // With tiny within-cluster noise, the average pairwise distance within the data
+        // must be dominated by the between-cluster distances; just check the data is not
+        // collapsed to a single point and spans a reasonable range.
+        let ds = SyntheticDataset::new(
+            "clusters",
+            400,
+            4,
+            DataDistribution::GaussianClusters { clusters: 4, std_dev: 0.01 },
+            3,
+        );
+        let raw = ds.generate_raw();
+        let min = raw.iter().cloned().fold(Scalar::INFINITY, Scalar::min);
+        let max = raw.iter().cloned().fold(Scalar::NEG_INFINITY, Scalar::max);
+        assert!(max - min > 1.0, "cluster centers should be spread out");
+    }
+
+    #[test]
+    fn heavy_tailed_norms_have_spread() {
+        let ds = SyntheticDataset::new(
+            "heavy",
+            2000,
+            16,
+            DataDistribution::HeavyTailedNorms { mu: 1.0, sigma: 1.0 },
+            11,
+        );
+        let raw = ds.generate_raw();
+        let norms: Vec<Scalar> =
+            (0..2000).map(|i| distance::norm(&raw[i * 16..(i + 1) * 16])).collect();
+        let min = norms.iter().cloned().fold(Scalar::INFINITY, Scalar::min);
+        let max = norms.iter().cloned().fold(Scalar::NEG_INFINITY, Scalar::max);
+        assert!(
+            max / min > 5.0,
+            "log-normal radii should produce a wide norm spread (min={min}, max={max})"
+        );
+    }
+
+    #[test]
+    fn correlated_data_is_low_rank_dominated() {
+        let ds = SyntheticDataset::new(
+            "corr",
+            500,
+            16,
+            DataDistribution::Correlated { rank: 2, noise: 0.01 },
+            5,
+        );
+        let ps = ds.generate().unwrap();
+        assert_eq!(ps.dim(), 17);
+        // Sanity: variance is not spread uniformly; at least some coordinates correlate.
+        // (A full PCA check would need linear algebra; verifying generation succeeds and
+        // values are finite is enough for the generator contract.)
+        assert!(ps.as_flat().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn raw_size_bytes_matches_table2_formula() {
+        let ds = spec(DataDistribution::Uniform { scale: 1.0 });
+        assert_eq!(ds.raw_size_bytes(), 500 * 8 * 4);
+    }
+}

@@ -1,0 +1,130 @@
+//! Integration tests of the data substrate: catalog coverage, generator statistics, the
+//! query protocol, and ground-truth/recall semantics at a slightly larger scale than the
+//! unit tests.
+
+use p2h_core::{distance, Scalar};
+use p2h_data::{
+    generate_queries, large_scale_catalog, paper_catalog, DataDistribution, GroundTruth,
+    QueryDistribution, SyntheticDataset,
+};
+
+#[test]
+fn every_catalog_entry_has_a_distinct_seed_and_name() {
+    let mut seeds = std::collections::HashSet::new();
+    let mut names = std::collections::HashSet::new();
+    for entry in paper_catalog(0.02).iter().chain(large_scale_catalog(0.02).iter()) {
+        assert!(seeds.insert(entry.dataset.seed), "duplicate seed {}", entry.dataset.seed);
+        assert!(names.insert(entry.dataset.name.clone()), "duplicate name {}", entry.dataset.name);
+    }
+    assert_eq!(names.len(), 16, "Table II lists 16 data sets");
+}
+
+#[test]
+fn cluster_generator_produces_lower_within_cluster_spread() {
+    // With tiny within-cluster noise the nearest neighbor of most points should be much
+    // closer than a random pair of points — the property that makes tree pruning work.
+    let ds = SyntheticDataset::new(
+        "spread",
+        600,
+        8,
+        DataDistribution::GaussianClusters { clusters: 6, std_dev: 0.05 },
+        9,
+    );
+    let points = ds.generate().unwrap();
+    let mut nn_dist_sum = 0.0f64;
+    let mut random_dist_sum = 0.0f64;
+    let step = 37;
+    let mut count = 0usize;
+    for i in (0..points.len()).step_by(7) {
+        let a = points.point(i);
+        let mut nn = f32::INFINITY;
+        for j in 0..points.len() {
+            if i != j {
+                nn = nn.min(distance::euclidean(a, points.point(j)));
+            }
+        }
+        nn_dist_sum += nn as f64;
+        random_dist_sum += distance::euclidean(a, points.point((i + step) % points.len())) as f64;
+        count += 1;
+    }
+    assert!(
+        nn_dist_sum / count as f64 * 5.0 < random_dist_sum / count as f64,
+        "nearest neighbors should be much closer than random pairs in clustered data"
+    );
+}
+
+#[test]
+fn uniform_generator_stays_within_bounds() {
+    let ds = SyntheticDataset::new("uniform", 2_000, 6, DataDistribution::Uniform { scale: 2.5 }, 3);
+    let raw = ds.generate_raw();
+    assert!(raw.iter().all(|v| v.abs() <= 2.5));
+    // Mean should be near zero in every coordinate.
+    for j in 0..6 {
+        let mean: Scalar = (0..2_000).map(|i| raw[i * 6 + j]).sum::<Scalar>() / 2_000.0;
+        assert!(mean.abs() < 0.2, "coordinate {j} mean {mean} too far from 0");
+    }
+}
+
+#[test]
+fn both_query_protocols_produce_valid_normalized_queries() {
+    let points = SyntheticDataset::new(
+        "queries",
+        400,
+        12,
+        DataDistribution::Correlated { rank: 3, noise: 0.2 },
+        5,
+    )
+    .generate()
+    .unwrap();
+    for protocol in [QueryDistribution::DataDifference, QueryDistribution::RandomNormal] {
+        let queries = generate_queries(&points, 30, protocol, 7).unwrap();
+        assert_eq!(queries.len(), 30);
+        for q in &queries {
+            assert_eq!(q.dim(), 13);
+            assert!(q.norm() >= 1.0, "‖q‖ = sqrt(1 + q_d²) is at least 1");
+            assert!(q.coeffs().iter().all(|c| c.is_finite()));
+        }
+    }
+}
+
+#[test]
+fn ground_truth_recall_handles_distance_ties() {
+    // Duplicate points create ties at the k-th distance; recall must treat any returned
+    // point at the tied distance as a hit.
+    let mut rows = vec![vec![1.0 as Scalar, 1.0]; 6];
+    rows.extend((0..20).map(|i| vec![10.0 + i as Scalar, -5.0]));
+    let points = p2h_core::PointSet::augment(&rows).unwrap();
+    let queries = generate_queries(&points, 1, QueryDistribution::RandomNormal, 11).unwrap();
+    let gt = GroundTruth::compute(&points, &queries, 3, 1);
+    // Return three of the duplicates that may differ from the stored tie-broken ids.
+    let kth = gt.kth_distance(0);
+    let exact_ids: Vec<usize> = gt.neighbors(0).iter().map(|n| n.index).collect();
+    let alternative: Vec<usize> = (0..6).filter(|i| !exact_ids.contains(i)).take(3).collect();
+    if alternative.len() == 3 && gt.neighbors(0).iter().all(|n| (n.distance - kth).abs() < 1e-6) {
+        let distances = vec![kth; 3];
+        let recall = gt.recall(0, &alternative, &distances);
+        assert!((recall - 1.0).abs() < 1e-9, "tied distances must count as hits");
+    }
+}
+
+#[test]
+fn heavy_tailed_data_is_far_from_unit_hypersphere() {
+    // The regime motivating the paper: norms spread over orders of magnitude, where
+    // normalized hyperplane hashing loses its guarantees.
+    let ds = SyntheticDataset::new(
+        "norm-spread",
+        3_000,
+        24,
+        DataDistribution::HeavyTailedNorms { mu: 1.0, sigma: 1.2 },
+        13,
+    );
+    let points = ds.generate().unwrap();
+    let norms: Vec<f32> = points.iter().map(|x| distance::norm(&x[..24])).collect();
+    let mean = norms.iter().sum::<f32>() / norms.len() as f32;
+    let within_10pct =
+        norms.iter().filter(|n| (**n - mean).abs() < 0.1 * mean).count() as f64 / norms.len() as f64;
+    assert!(
+        within_10pct < 0.5,
+        "most norms should be far from the mean (got {within_10pct:.2} within 10%)"
+    );
+}

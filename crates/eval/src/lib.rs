@@ -1,0 +1,19 @@
+//! # p2h-eval
+//!
+//! Evaluation harness for the P2HNNS indexes: the metrics of Section V-B of the paper
+//! (recall, query time, indexing time, index size), candidate-budget sweeps that trace
+//! the query-time/recall curves of Figures 5–9 and 11, the phase-level time profile of
+//! Figure 10, and report emission (CSV + Markdown) used by the benchmark binaries.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod metrics;
+mod profile;
+mod report;
+mod runner;
+
+pub use metrics::{MethodEvaluation, QueryEvaluation};
+pub use profile::{time_profile, TimeProfile};
+pub use report::{markdown_table, write_csv, Curve, CurvePoint, IndexingReport};
+pub use runner::{budget_for_recall, evaluate, measure_build, sweep_budgets};

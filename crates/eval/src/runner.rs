@@ -1,0 +1,202 @@
+//! Running indexes over query batches: evaluation, budget sweeps, and build measurement.
+
+use std::time::Instant;
+
+use p2h_core::{HyperplaneQuery, P2hIndex, SearchParams};
+use p2h_data::GroundTruth;
+
+use crate::metrics::{MethodEvaluation, QueryEvaluation};
+use crate::report::IndexingReport;
+
+/// Evaluates an index on a batch of queries with the given search parameters.
+///
+/// Returns mean recall, average query time and aggregated work counters — the raw
+/// material of every query-performance figure in the paper.
+pub fn evaluate(
+    index: &dyn P2hIndex,
+    label: impl Into<String>,
+    queries: &[HyperplaneQuery],
+    ground_truth: &GroundTruth,
+    params: &SearchParams,
+) -> MethodEvaluation {
+    assert_eq!(
+        queries.len(),
+        ground_truth.len(),
+        "ground truth must cover exactly the evaluated queries"
+    );
+    let mut per_query = Vec::with_capacity(queries.len());
+    for (i, query) in queries.iter().enumerate() {
+        let start = Instant::now();
+        let result = index.search(query, params);
+        let time_ns = start.elapsed().as_nanos() as u64;
+        let recall = ground_truth.recall(i, &result.indices(), &result.distances());
+        per_query.push(QueryEvaluation { recall, time_ns, stats: result.stats });
+    }
+    MethodEvaluation::from_queries(label, params.k, params.candidate_limit, per_query)
+}
+
+/// Sweeps a list of candidate budgets, producing one [`MethodEvaluation`] per budget —
+/// the points of a query-time/recall curve (Figures 5, 7, 9, 11).
+pub fn sweep_budgets(
+    index: &dyn P2hIndex,
+    label: &str,
+    queries: &[HyperplaneQuery],
+    ground_truth: &GroundTruth,
+    k: usize,
+    budgets: &[usize],
+) -> Vec<MethodEvaluation> {
+    budgets
+        .iter()
+        .map(|&budget| {
+            evaluate(
+                index,
+                label,
+                queries,
+                ground_truth,
+                &SearchParams::approximate(k, budget),
+            )
+        })
+        .collect()
+}
+
+/// Finds the smallest budget from `budgets` whose mean recall reaches `target_recall`
+/// (in `[0, 1]`), returning its evaluation. Returns the evaluation of the largest budget
+/// if the target is never reached (mirroring the paper's "at about X% recall" protocol).
+pub fn budget_for_recall(
+    index: &dyn P2hIndex,
+    label: &str,
+    queries: &[HyperplaneQuery],
+    ground_truth: &GroundTruth,
+    k: usize,
+    target_recall: f64,
+    budgets: &[usize],
+) -> Option<MethodEvaluation> {
+    let mut last = None;
+    for &budget in budgets {
+        let eval = evaluate(
+            index,
+            label,
+            queries,
+            ground_truth,
+            &SearchParams::approximate(k, budget),
+        );
+        let reached = eval.mean_recall >= target_recall;
+        last = Some(eval);
+        if reached {
+            return last;
+        }
+    }
+    last
+}
+
+/// Measures the wall-clock build time of an index constructor and packages it with the
+/// resulting index size — one row of Table III.
+pub fn measure_build<I, F>(label: impl Into<String>, build: F) -> (I, IndexingReport)
+where
+    I: P2hIndex,
+    F: FnOnce() -> I,
+{
+    let start = Instant::now();
+    let index = build();
+    let build_time_s = start.elapsed().as_secs_f64();
+    let report = IndexingReport {
+        label: label.into(),
+        build_time_s,
+        index_size_bytes: index.index_size_bytes(),
+    };
+    (index, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2h_balltree::BallTreeBuilder;
+    use p2h_bctree::BcTreeBuilder;
+    use p2h_core::{LinearScan, PointSet};
+    use p2h_data::{generate_queries, DataDistribution, QueryDistribution, SyntheticDataset};
+
+    fn setup(n: usize) -> (PointSet, Vec<HyperplaneQuery>, GroundTruth) {
+        let ps = SyntheticDataset::new(
+            "eval-run",
+            n,
+            10,
+            DataDistribution::GaussianClusters { clusters: 5, std_dev: 1.2 },
+            55,
+        )
+        .generate()
+        .unwrap();
+        let queries = generate_queries(&ps, 12, QueryDistribution::DataDifference, 7).unwrap();
+        let gt = GroundTruth::compute(&ps, &queries, 10, 2);
+        (ps, queries, gt)
+    }
+
+    #[test]
+    fn exact_evaluation_has_full_recall() {
+        let (ps, queries, gt) = setup(1_500);
+        let scan = LinearScan::new(ps.clone());
+        let eval = evaluate(&scan, "Linear-Scan", &queries, &gt, &SearchParams::exact(10));
+        assert!((eval.mean_recall - 1.0).abs() < 1e-9);
+        assert_eq!(eval.per_query.len(), 12);
+        assert!(eval.avg_query_time_ms >= 0.0);
+
+        let tree = BcTreeBuilder::new(64).build(&ps).unwrap();
+        let eval = evaluate(&tree, "BC-Tree", &queries, &gt, &SearchParams::exact(10));
+        assert!((eval.mean_recall - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_recall_is_monotone_in_budget() {
+        let (ps, queries, gt) = setup(4_000);
+        let tree = BallTreeBuilder::new(100).build(&ps).unwrap();
+        let budgets = [100, 500, 2_000, 4_000];
+        let evals = sweep_budgets(&tree, "Ball-Tree", &queries, &gt, 10, &budgets);
+        assert_eq!(evals.len(), budgets.len());
+        for pair in evals.windows(2) {
+            assert!(
+                pair[1].mean_recall + 1e-9 >= pair[0].mean_recall,
+                "recall must not decrease with a larger budget: {} -> {}",
+                pair[0].mean_recall,
+                pair[1].mean_recall
+            );
+        }
+        assert!((evals.last().unwrap().mean_recall - 1.0).abs() < 1e-9);
+        // Labels and budgets are carried through.
+        assert_eq!(evals[0].label, "Ball-Tree");
+        assert_eq!(evals[0].candidate_limit, Some(100));
+    }
+
+    #[test]
+    fn budget_for_recall_picks_smallest_sufficient_budget() {
+        let (ps, queries, gt) = setup(3_000);
+        let tree = BcTreeBuilder::new(64).build(&ps).unwrap();
+        let budgets = [50, 200, 1_000, 3_000];
+        let eval =
+            budget_for_recall(&tree, "BC-Tree", &queries, &gt, 10, 0.8, &budgets).unwrap();
+        assert!(eval.mean_recall >= 0.8);
+        assert!(eval.candidate_limit.unwrap() <= 3_000);
+
+        // An unreachable target falls back to the largest budget.
+        let eval =
+            budget_for_recall(&tree, "BC-Tree", &queries, &gt, 10, 2.0, &[10, 20]).unwrap();
+        assert_eq!(eval.candidate_limit, Some(20));
+    }
+
+    #[test]
+    fn measure_build_reports_time_and_size() {
+        let (ps, _, _) = setup(2_000);
+        let (index, report) =
+            measure_build("Ball-Tree", || BallTreeBuilder::new(100).build(&ps).unwrap());
+        assert_eq!(report.label, "Ball-Tree");
+        assert!(report.build_time_s > 0.0);
+        assert_eq!(report.index_size_bytes, index.index_size_bytes());
+        assert!(report.index_size_bytes > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ground truth must cover")]
+    fn mismatched_ground_truth_panics() {
+        let (ps, queries, gt) = setup(500);
+        let scan = LinearScan::new(ps);
+        evaluate(&scan, "x", &queries[..3], &gt, &SearchParams::exact(1));
+    }
+}

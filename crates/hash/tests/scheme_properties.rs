@@ -1,0 +1,115 @@
+//! Integration tests of the NH/FH building blocks: the algebraic identities of the
+//! asymmetric transform, the norm-alignment property of NH, the norm partitioning of FH,
+//! and the candidate-budget semantics both schemes share.
+
+use p2h_core::{distance, P2hIndex, SearchParams};
+use p2h_data::{generate_queries, DataDistribution, QueryDistribution, SyntheticDataset};
+use p2h_hash::{FhIndex, FhParams, NhIndex, NhParams, QuadraticTransform};
+
+fn dataset(n: usize, dim: usize, seed: u64) -> p2h_core::PointSet {
+    SyntheticDataset::new(
+        "hash-props",
+        n,
+        dim,
+        DataDistribution::HeavyTailedNorms { mu: 0.5, sigma: 0.5 },
+        seed,
+    )
+    .generate()
+    .unwrap()
+}
+
+#[test]
+fn transform_signs_are_symmetric() {
+    // g_{+1}(q) = -g_{-1}(q) componentwise, so the two signs produce opposite inner
+    // products with any transformed data point.
+    let t = QuadraticTransform::sampled(8, 32, 3);
+    let x: Vec<f32> = (0..8).map(|i| (i as f32) * 0.3 - 1.0).collect();
+    let q: Vec<f32> = (0..8).map(|i| 1.0 - (i as f32) * 0.2).collect();
+    let pos = t.transformed_inner_product(&x, &q, 1.0);
+    let neg = t.transformed_inner_product(&x, &q, -1.0);
+    assert!((pos + neg).abs() < 1e-3 * (1.0 + pos.abs()));
+    assert!(pos >= -1e-4, "the +1 sign encodes +<x,q>^2, which is non-negative");
+}
+
+#[test]
+fn full_transform_dimension_is_quadratic_in_d() {
+    for d in [3usize, 7, 12] {
+        assert_eq!(QuadraticTransform::full(d).output_dim(), d * d);
+    }
+}
+
+#[test]
+fn nh_alignment_makes_transformed_norms_equal() {
+    // Rebuild the NH data transform by hand and check that appending
+    // sqrt(M - ‖f(x)‖²) equalizes every transformed norm at sqrt(M) — the property that
+    // turns P2HNNS into plain NNS.
+    let points = dataset(300, 8, 1);
+    let nh = NhIndex::build(&points, NhParams::new(2, 4)).unwrap();
+    let m = nh.alignment_constant();
+    let transform = QuadraticTransform::sampled(points.dim(), nh.lambda(), nh.params().seed);
+    for x in points.iter() {
+        let fx = transform.transform_data(x);
+        let norm_sq = distance::norm_sq(&fx);
+        assert!(norm_sq <= m * (1.0 + 1e-4), "M must upper-bound every transformed norm");
+        let aligned = norm_sq + (m - norm_sq).max(0.0);
+        assert!((aligned - m).abs() < 1e-2 * (1.0 + m));
+    }
+}
+
+#[test]
+fn fh_partitions_cover_all_points_and_respect_count() {
+    let points = dataset(1_000, 8, 2);
+    for l in [2usize, 4, 6] {
+        let fh = FhIndex::build(&points, FhParams::new(1, 4, l)).unwrap();
+        assert_eq!(fh.partition_count(), l);
+        // Every point is returned by an exhaustive (unbudgeted) query, so the partitions
+        // jointly cover the whole data set.
+        let q = &generate_queries(&points, 1, QueryDistribution::RandomNormal, 3).unwrap()[0];
+        let all = fh.search(q, &SearchParams::approximate(points.len(), points.len()));
+        assert_eq!(all.neighbors.len(), points.len());
+    }
+}
+
+#[test]
+fn collision_threshold_of_one_still_terminates_and_is_exact_unbudgeted() {
+    let points = dataset(400, 6, 4);
+    let mut params = NhParams::new(1, 4);
+    params.collision_threshold = 1;
+    let nh = NhIndex::build(&points, params).unwrap();
+    let scan = p2h_core::LinearScan::new(points.clone());
+    let q = &generate_queries(&points, 1, QueryDistribution::DataDifference, 5).unwrap()[0];
+    assert_eq!(nh.search_exact(q, 5).distances(), scan.search_exact(q, 5).distances());
+
+    let mut params = FhParams::new(1, 4, 2);
+    params.collision_threshold = 7; // clamped to the table count
+    let fh = FhIndex::build(&points, params).unwrap();
+    assert_eq!(fh.search_exact(q, 5).distances(), scan.search_exact(q, 5).distances());
+}
+
+#[test]
+fn hash_indexes_report_probe_counts_and_lookup_time() {
+    let points = dataset(2_000, 10, 6);
+    let nh = NhIndex::build(&points, NhParams::new(2, 8)).unwrap();
+    let fh = FhIndex::build(&points, FhParams::new(2, 8, 4)).unwrap();
+    let q = &generate_queries(&points, 1, QueryDistribution::DataDifference, 7).unwrap()[0];
+    for index in [&nh as &dyn P2hIndex, &fh as &dyn P2hIndex] {
+        let result = index.search(q, &SearchParams::approximate(10, 500).with_timing());
+        assert!(result.stats.buckets_probed > 0, "{}", index.name());
+        assert!(result.stats.buckets_probed >= result.stats.candidates_verified);
+        assert!(result.stats.time_lookup_ns > 0);
+        assert!(result.stats.pruned_subtrees == 0, "hash methods have no tree to prune");
+    }
+}
+
+#[test]
+fn index_size_grows_with_table_count_not_with_lambda() {
+    // The sorted projection tables dominate the footprint: doubling m roughly doubles
+    // the size, while the sampling dimension only affects build time.
+    let points = dataset(2_000, 12, 8);
+    let small = NhIndex::build(&points, NhParams::new(1, 8)).unwrap();
+    let more_tables = NhIndex::build(&points, NhParams::new(1, 16)).unwrap();
+    let more_lambda = NhIndex::build(&points, NhParams::new(8, 8)).unwrap();
+    assert!(more_tables.index_size_bytes() as f64 > 1.7 * small.index_size_bytes() as f64);
+    let ratio = more_lambda.index_size_bytes() as f64 / small.index_size_bytes() as f64;
+    assert!(ratio < 1.2, "λ should not blow up the stored index, got ratio {ratio}");
+}

@@ -1,0 +1,70 @@
+//! Quickstart: build a BC-Tree over a synthetic data set and answer hyperplane queries.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use p2hnns::{
+    generate_queries, BallTreeBuilder, BcTreeBuilder, DataDistribution, LinearScan, P2hIndex,
+    QueryDistribution, SearchParams, SyntheticDataset,
+};
+
+fn main() {
+    // 1. Generate a synthetic data set: 20,000 points in 64 dimensions, drawn from a
+    //    Gaussian mixture (the library appends the constant 1 to every point, so the
+    //    indexed dimension is 65).
+    let dataset = SyntheticDataset::new(
+        "quickstart",
+        20_000,
+        64,
+        DataDistribution::GaussianClusters { clusters: 12, std_dev: 1.5 },
+        42,
+    );
+    let points = dataset.generate().expect("synthetic generation cannot fail for valid specs");
+    println!("data set: {} points, {} raw dimensions", points.len(), dataset.raw_dim);
+
+    // 2. Build the two tree indexes.
+    let ball = BallTreeBuilder::new(100).build(&points).expect("build Ball-Tree");
+    let bc = BcTreeBuilder::new(100).build(&points).expect("build BC-Tree");
+    println!(
+        "Ball-Tree: {} nodes, {:.2} MiB | BC-Tree: {} nodes, {:.2} MiB",
+        ball.node_count(),
+        ball.index_size_bytes() as f64 / (1024.0 * 1024.0),
+        bc.node_count(),
+        bc.index_size_bytes() as f64 / (1024.0 * 1024.0),
+    );
+
+    // 3. Generate hyperplane queries the same way the paper does (normal = difference of
+    //    two random data points, passing through their midpoint).
+    let queries = generate_queries(&points, 5, QueryDistribution::DataDifference, 7)
+        .expect("query generation");
+
+    // 4. Answer exact top-10 queries and compare against a linear scan.
+    let scan = LinearScan::new(points.clone());
+    for (i, query) in queries.iter().enumerate() {
+        let exact = scan.search_exact(query, 10);
+        let result = bc.search_exact(query, 10);
+        assert_eq!(result.distances(), exact.distances(), "BC-Tree exact search is exact");
+        println!(
+            "query {i}: nearest point #{:<6} at P2H distance {:.4}  \
+             (verified {} of {} points, pruned {} subtrees)",
+            result.neighbors[0].index,
+            result.neighbors[0].distance,
+            result.stats.candidates_verified,
+            points.len(),
+            result.stats.pruned_subtrees,
+        );
+    }
+
+    // 5. Approximate search: cap the number of verified candidates for faster answers.
+    let query = &queries[0];
+    for budget in [200, 1_000, 5_000] {
+        let result = bc.search(query, &SearchParams::approximate(10, budget));
+        println!(
+            "budget {budget:>5}: best distance {:.4}, {} candidates verified",
+            result.neighbors[0].distance, result.stats.candidates_verified
+        );
+    }
+}

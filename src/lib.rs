@@ -1,0 +1,64 @@
+//! # p2hnns — Point-to-Hyperplane Nearest Neighbor Search
+//!
+//! A Rust implementation of "Lightweight-Yet-Efficient: Revitalizing Ball-Tree for
+//! Point-to-Hyperplane Nearest Neighbor Search" (Huang & Tung, ICDE 2023): the Ball-Tree
+//! and BC-Tree indexes for finding the data points closest to a hyperplane query,
+//! together with the NH/FH hashing baselines, synthetic data generators, an evaluation
+//! harness, and a benchmark suite reproducing every table and figure of the paper.
+//!
+//! This facade crate re-exports the public API of the workspace crates under one roof:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `p2h-core` | [`PointSet`], [`HyperplaneQuery`], [`P2hIndex`], [`LinearScan`], top-k, distances |
+//! | [`balltree`] | `p2h-balltree` | [`BallTree`], [`BallTreeBuilder`] (Section III) |
+//! | [`bctree`] | `p2h-bctree` | [`BcTree`], [`BcTreeBuilder`], [`BcTreeVariant`] (Section IV) |
+//! | [`hash`] | `p2h-hash` | [`NhIndex`], [`FhIndex`] baselines (Huang et al., SIGMOD'21) |
+//! | [`data`] | `p2h-data` | synthetic data sets, query generation, ground truth, IO |
+//! | [`eval`] | `p2h-eval` | recall/time evaluation, sweeps, time profiles, reports |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use p2hnns::{BcTreeBuilder, HyperplaneQuery, P2hIndex, PointSet};
+//!
+//! // Three raw 2-D points; the library appends the constant 1 internally.
+//! let points = PointSet::augment(&[
+//!     vec![0.0, 0.0],
+//!     vec![1.0, 1.0],
+//!     vec![4.0, 0.5],
+//! ]).unwrap();
+//!
+//! // The hyperplane x + y - 1.8 = 0.
+//! let query = HyperplaneQuery::from_normal_and_bias(&[1.0, 1.0], -1.8).unwrap();
+//!
+//! let index = BcTreeBuilder::new(2).build(&points).unwrap();
+//! let result = index.search_exact(&query, 1);
+//! assert_eq!(result.neighbors[0].index, 1); // (1, 1) is nearest to the hyperplane
+//! ```
+//!
+//! See the `examples/` directory for end-to-end scenarios (SVM active learning,
+//! maximum-margin style selection, index comparison) and the `p2h-bench` crate for the
+//! reproduction of the paper's evaluation.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use p2h_balltree as balltree;
+pub use p2h_bctree as bctree;
+pub use p2h_core as core;
+pub use p2h_data as data;
+pub use p2h_eval as eval;
+pub use p2h_hash as hash;
+
+pub use p2h_balltree::{BallTree, BallTreeBuilder};
+pub use p2h_bctree::{BcTree, BcTreeBuilder, BcTreeVariant};
+pub use p2h_core::{
+    distance, BranchPreference, Error, HyperplaneQuery, LinearScan, Neighbor, P2hIndex, PointSet,
+    Result, Scalar, SearchParams, SearchResult, SearchStats, TopKCollector,
+};
+pub use p2h_data::{
+    generate_queries, DataDistribution, GroundTruth, QueryDistribution, SyntheticDataset,
+};
+pub use p2h_eval::{evaluate, sweep_budgets, time_profile, MethodEvaluation, TimeProfile};
+pub use p2h_hash::{FhIndex, FhParams, NhIndex, NhParams};

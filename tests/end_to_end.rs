@@ -1,0 +1,116 @@
+//! End-to-end pipeline tests: catalog entry → data generation → query generation →
+//! ground truth → index construction → evaluation → report emission. This is the same
+//! path the benchmark binaries take, exercised at a miniature scale.
+
+use p2hnns::eval::{
+    budget_for_recall, evaluate, markdown_table, measure_build, sweep_budgets, time_profile,
+    write_csv, Curve,
+};
+use p2hnns::{
+    generate_queries, BallTreeBuilder, BcTreeBuilder, DataDistribution, GroundTruth, NhIndex,
+    NhParams, P2hIndex, QueryDistribution, SearchParams, SyntheticDataset,
+};
+
+#[test]
+fn full_pipeline_from_catalog_to_report() {
+    // 1. Take a catalog entry (scaled down further for test speed).
+    let mut entry = p2hnns::data::paper_catalog(0.05)
+        .into_iter()
+        .find(|e| e.dataset.name == "Sift")
+        .expect("Sift is in the catalog");
+    entry.dataset.n = 4_000;
+    assert_eq!(entry.paper_dim, 128);
+
+    // 2. Generate data, queries, ground truth.
+    let points = entry.dataset.generate().unwrap();
+    assert_eq!(points.dim(), 129);
+    let queries = generate_queries(&points, 10, QueryDistribution::DataDifference, 1).unwrap();
+    let gt = GroundTruth::compute(&points, &queries, 10, 4);
+
+    // 3. Build two indexes, measuring indexing overhead.
+    let (ball, ball_report) =
+        measure_build("Ball-Tree", || BallTreeBuilder::new(100).build(&points).unwrap());
+    let (bc, bc_report) =
+        measure_build("BC-Tree", || BcTreeBuilder::new(100).build(&points).unwrap());
+    assert!(ball_report.build_time_s > 0.0);
+    assert!(bc_report.index_size_bytes > ball_report.index_size_bytes);
+
+    // 4. Sweep candidate budgets into a recall/time curve.
+    let budgets = [200, 1_000, 4_000];
+    let mut curve = Curve::new("BC-Tree");
+    for eval in sweep_budgets(&bc, "BC-Tree", &queries, &gt, 10, &budgets) {
+        curve.push(eval.recall_pct(), eval.avg_query_time_ms, eval.candidate_limit.unwrap());
+    }
+    assert_eq!(curve.points.len(), budgets.len());
+    assert!(curve.time_at_recall(99.0).is_some(), "full budget reaches 100% recall");
+
+    // 5. Find the budget achieving ~80% recall and profile the query time there.
+    let at80 = budget_for_recall(&bc, "BC-Tree", &queries, &gt, 10, 0.8, &budgets).unwrap();
+    assert!(at80.mean_recall >= 0.8);
+    let profile = time_profile(&bc, &queries, 10, at80.candidate_limit);
+    assert!(profile.total_ms() > 0.0);
+    assert!(profile.bounds_ms > 0.0, "a tree spends time on lower bounds");
+
+    // 6. Exact evaluation of both trees agrees at 100% recall, and the Ball-Tree does
+    //    not verify fewer candidates than the BC-Tree.
+    let ball_eval = evaluate(&ball, "Ball-Tree", &queries, &gt, &SearchParams::exact(10));
+    let bc_eval = evaluate(&bc, "BC-Tree", &queries, &gt, &SearchParams::exact(10));
+    assert!((ball_eval.mean_recall - 1.0).abs() < 1e-9);
+    assert!((bc_eval.mean_recall - 1.0).abs() < 1e-9);
+    assert!(
+        bc_eval.total_stats.candidates_verified <= ball_eval.total_stats.candidates_verified
+    );
+
+    // 7. Emit the reports (CSV + Markdown) like the bench binaries do.
+    let rows: Vec<Vec<String>> = curve
+        .points
+        .iter()
+        .map(|p| vec![p.budget.to_string(), format!("{:.2}", p.recall_pct), format!("{:.4}", p.time_ms)])
+        .collect();
+    let table = markdown_table(&["budget", "recall_pct", "time_ms"], &rows);
+    assert!(table.contains("budget"));
+    let mut path = std::env::temp_dir();
+    path.push(format!("p2h-e2e-{}.csv", std::process::id()));
+    write_csv(&path, &["budget", "recall_pct", "time_ms"], &rows).unwrap();
+    let written = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(written.lines().count(), rows.len() + 1);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn facade_reexports_are_usable_together() {
+    // Compile-time + runtime check that the facade exposes a coherent API surface.
+    let points = SyntheticDataset::new(
+        "facade",
+        600,
+        6,
+        DataDistribution::Uniform { scale: 3.0 },
+        3,
+    )
+    .generate()
+    .unwrap();
+    let queries = generate_queries(&points, 3, QueryDistribution::RandomNormal, 4).unwrap();
+    let gt = GroundTruth::compute(&points, &queries, 5, 2);
+
+    let nh = NhIndex::build(&points, NhParams::new(1, 4)).unwrap();
+    let eval = evaluate(&nh, "NH", &queries, &gt, &SearchParams::exact(5));
+    assert!((eval.mean_recall - 1.0).abs() < 1e-9, "unbounded NH is exact");
+    assert_eq!(nh.name(), "NH");
+
+    let bc = BcTreeBuilder::new(64).build(&points).unwrap();
+    let result = bc.search_exact(&queries[0], 5);
+    assert_eq!(result.neighbors.len(), 5);
+}
+
+#[test]
+fn large_scale_catalog_entries_generate_consistently() {
+    // The Figure-9 stand-ins: generate miniature versions and check basic statistics.
+    for mut entry in p2hnns::data::large_scale_catalog(0.002) {
+        entry.dataset.n = entry.dataset.n.min(5_000);
+        let points = entry.dataset.generate().unwrap();
+        assert_eq!(points.dim(), entry.paper_dim + 1);
+        assert!(points.len() >= 2_000);
+        let bc = BcTreeBuilder::new(200).build(&points).unwrap();
+        bc.check_invariants().unwrap();
+    }
+}

@@ -1,0 +1,107 @@
+//! Property-based integration tests: randomized data sets and queries, checking the
+//! index-agnostic invariants that the paper's correctness arguments rest on.
+
+use proptest::prelude::*;
+
+use p2hnns::{
+    BallTreeBuilder, BcTreeBuilder, HyperplaneQuery, LinearScan, P2hIndex, PointSet, Scalar,
+    SearchParams,
+};
+
+/// Strategy: a small random raw data set (rows of equal length) plus a random query.
+fn small_problem() -> impl Strategy<Value = (Vec<Vec<Scalar>>, Vec<Scalar>, Scalar)> {
+    (2usize..6).prop_flat_map(|dim| {
+        let rows = proptest::collection::vec(
+            proptest::collection::vec(-20.0f32..20.0, dim),
+            10..120,
+        );
+        let normal = proptest::collection::vec(-5.0f32..5.0, dim);
+        let bias = -20.0f32..20.0;
+        (rows, normal, bias)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The trees return exactly the linear-scan answer on arbitrary data.
+    #[test]
+    fn trees_match_linear_scan_on_random_data((rows, normal, bias) in small_problem()) {
+        prop_assume!(normal.iter().map(|x| x * x).sum::<Scalar>().sqrt() > 1e-3);
+        let points = PointSet::augment(&rows).unwrap();
+        let query = HyperplaneQuery::from_normal_and_bias(&normal, bias).unwrap();
+        let scan = LinearScan::new(points.clone());
+        let k = 5.min(rows.len());
+        let exact = scan.search_exact(&query, k);
+
+        let ball = BallTreeBuilder::new(8).build(&points).unwrap();
+        let bc = BcTreeBuilder::new(8).build(&points).unwrap();
+        prop_assert_eq!(ball.search_exact(&query, k).distances(), exact.distances());
+        prop_assert_eq!(bc.search_exact(&query, k).distances(), exact.distances());
+    }
+
+    /// Structural invariants hold for every randomly generated data set.
+    #[test]
+    fn tree_invariants_hold_on_random_data((rows, _normal, _bias) in small_problem()) {
+        let points = PointSet::augment(&rows).unwrap();
+        let ball = BallTreeBuilder::new(16).build(&points).unwrap();
+        ball.check_invariants().unwrap();
+        let bc = BcTreeBuilder::new(16).build(&points).unwrap();
+        bc.check_invariants().unwrap();
+    }
+
+    /// Scaling the query coefficients by any positive constant never changes the result
+    /// ranking (the query-normalization invariance of Section II).
+    #[test]
+    fn query_scale_invariance(
+        (rows, normal, bias) in small_problem(),
+        scale in 0.01f32..100.0,
+    ) {
+        prop_assume!(normal.iter().map(|x| x * x).sum::<Scalar>().sqrt() > 1e-3);
+        let points = PointSet::augment(&rows).unwrap();
+        let bc = BcTreeBuilder::new(8).build(&points).unwrap();
+        let q1 = HyperplaneQuery::from_normal_and_bias(&normal, bias).unwrap();
+        let scaled: Vec<Scalar> = normal.iter().map(|x| x * scale).collect();
+        let q2 = HyperplaneQuery::from_normal_and_bias(&scaled, bias * scale).unwrap();
+        let k = 3.min(rows.len());
+        let r1 = bc.search_exact(&q1, k);
+        let r2 = bc.search_exact(&q2, k);
+        for (a, b) in r1.distances().iter().zip(r2.distances().iter()) {
+            prop_assert!((a - b).abs() < 1e-2 * (1.0 + a.abs()));
+        }
+    }
+
+    /// The returned distances are always sorted, non-negative, and consistent with the
+    /// reported indices.
+    #[test]
+    fn results_are_sorted_and_consistent((rows, normal, bias) in small_problem()) {
+        prop_assume!(normal.iter().map(|x| x * x).sum::<Scalar>().sqrt() > 1e-3);
+        let points = PointSet::augment(&rows).unwrap();
+        let query = HyperplaneQuery::from_normal_and_bias(&normal, bias).unwrap();
+        let bc = BcTreeBuilder::new(8).build(&points).unwrap();
+        let result = bc.search(&query, &SearchParams::approximate(4, rows.len() / 2 + 1));
+        let d = result.distances();
+        prop_assert!(d.windows(2).all(|w| w[0] <= w[1]), "distances sorted");
+        for n in &result.neighbors {
+            prop_assert!(n.distance >= 0.0);
+            prop_assert!(n.index < rows.len());
+            let direct = query.p2h_distance(points.point(n.index));
+            prop_assert!((direct - n.distance).abs() < 1e-3 * (1.0 + direct.abs()));
+        }
+    }
+
+    /// A candidate budget never causes more verifications than the budget allows, and
+    /// never returns a worse answer than a smaller budget.
+    #[test]
+    fn budgets_are_respected_and_monotone((rows, normal, bias) in small_problem()) {
+        prop_assume!(normal.iter().map(|x| x * x).sum::<Scalar>().sqrt() > 1e-3);
+        prop_assume!(rows.len() >= 20);
+        let points = PointSet::augment(&rows).unwrap();
+        let query = HyperplaneQuery::from_normal_and_bias(&normal, bias).unwrap();
+        let bc = BcTreeBuilder::new(8).build(&points).unwrap();
+        let small = bc.search(&query, &SearchParams::approximate(1, 5));
+        let large = bc.search(&query, &SearchParams::approximate(1, rows.len()));
+        prop_assert!(small.stats.candidates_verified <= 5);
+        prop_assert!(large.neighbors[0].distance <= small.neighbors[0].distance + 1e-6);
+    }
+}

@@ -1,0 +1,133 @@
+//! Integration tests of the approximate-search behaviour that the paper's evaluation
+//! relies on: candidate budgets trade recall for time, BC-Tree's point-level pruning
+//! verifies fewer candidates than Ball-Tree, and index sizes order the way Table III
+//! reports.
+
+use p2hnns::eval::{evaluate, sweep_budgets};
+use p2hnns::{
+    generate_queries, BallTreeBuilder, BcTreeBuilder, DataDistribution, FhIndex, FhParams,
+    GroundTruth, NhIndex, NhParams, P2hIndex, PointSet, QueryDistribution, SearchParams,
+    SyntheticDataset,
+};
+
+fn setup(n: usize, dim: usize) -> (PointSet, Vec<p2hnns::HyperplaneQuery>, GroundTruth) {
+    let points = SyntheticDataset::new(
+        "tradeoff",
+        n,
+        dim,
+        DataDistribution::GaussianClusters { clusters: 8, std_dev: 1.5 },
+        71,
+    )
+    .generate()
+    .unwrap();
+    let queries = generate_queries(&points, 15, QueryDistribution::DataDifference, 13).unwrap();
+    let gt = GroundTruth::compute(&points, &queries, 10, 4);
+    (points, queries, gt)
+}
+
+#[test]
+fn recall_is_monotone_in_candidate_budget_for_all_indexes() {
+    let (points, queries, gt) = setup(6_000, 16);
+    let budgets = [100, 600, 3_000, 6_000];
+    let ball = BallTreeBuilder::new(100).build(&points).unwrap();
+    let bc = BcTreeBuilder::new(100).build(&points).unwrap();
+    let nh = NhIndex::build(&points, NhParams::new(2, 16)).unwrap();
+    let fh = FhIndex::build(&points, FhParams::new(2, 16, 4)).unwrap();
+    let indexes: [(&dyn P2hIndex, &str); 4] =
+        [(&ball, "Ball-Tree"), (&bc, "BC-Tree"), (&nh, "NH"), (&fh, "FH")];
+    for (index, label) in indexes {
+        let evals = sweep_budgets(index, label, &queries, &gt, 10, &budgets);
+        for pair in evals.windows(2) {
+            assert!(
+                pair[1].mean_recall + 1e-9 >= pair[0].mean_recall,
+                "{label}: recall decreased with a larger budget"
+            );
+        }
+        let last = evals.last().unwrap();
+        assert!(
+            (last.mean_recall - 1.0).abs() < 1e-9,
+            "{label}: a budget equal to n must be exact, got {}",
+            last.mean_recall
+        );
+    }
+}
+
+#[test]
+fn trees_recall_grows_steeply_toward_exactness() {
+    // The paper's approximation knob is the candidate fraction: the depth-first
+    // branch-and-bound visits promising leaves first, so recall should grow with the
+    // budget and reach 1.0 well before the budget covers the entire data set (pruning
+    // makes the exact search itself verify only a fraction of the points).
+    let (points, queries, gt) = setup(12_000, 24);
+    let bc = BcTreeBuilder::new(100).build(&points).unwrap();
+    let half = evaluate(&bc, "BC-Tree", &queries, &gt, &SearchParams::approximate(10, 6_000));
+    let exact = evaluate(&bc, "BC-Tree", &queries, &gt, &SearchParams::exact(10));
+    assert!(
+        half.mean_recall > 0.5,
+        "half the data as budget should recover most neighbors, got {}",
+        half.mean_recall
+    );
+    assert!((exact.mean_recall - 1.0).abs() < 1e-9);
+    assert!(
+        exact.total_stats.candidates_verified < 12_000 * queries.len() as u64,
+        "exact search must prune at least part of the data"
+    );
+}
+
+#[test]
+fn bc_tree_verifies_no_more_candidates_than_ball_tree_when_exact() {
+    let (points, queries, gt) = setup(10_000, 16);
+    let ball = BallTreeBuilder::new(100).with_seed(3).build(&points).unwrap();
+    let bc = BcTreeBuilder::new(100).with_seed(3).build(&points).unwrap();
+    let ball_eval = evaluate(&ball, "Ball-Tree", &queries, &gt, &SearchParams::exact(10));
+    let bc_eval = evaluate(&bc, "BC-Tree", &queries, &gt, &SearchParams::exact(10));
+    assert!((ball_eval.mean_recall - 1.0).abs() < 1e-9);
+    assert!((bc_eval.mean_recall - 1.0).abs() < 1e-9);
+    assert!(
+        bc_eval.total_stats.candidates_verified <= ball_eval.total_stats.candidates_verified,
+        "BC-Tree point-level pruning must not verify more candidates: bc={}, ball={}",
+        bc_eval.total_stats.candidates_verified,
+        ball_eval.total_stats.candidates_verified
+    );
+    // Its O(d) inner-product count must also be lower (collaborative computing).
+    assert!(
+        bc_eval.total_stats.inner_products < ball_eval.total_stats.inner_products,
+        "BC-Tree should spend fewer inner products overall"
+    );
+}
+
+#[test]
+fn index_sizes_order_as_in_table_3() {
+    let (points, _, _) = setup(8_000, 32);
+    let ball = BallTreeBuilder::new(100).build(&points).unwrap();
+    let bc = BcTreeBuilder::new(100).build(&points).unwrap();
+    let nh = NhIndex::build(&points, NhParams::new(2, 32)).unwrap();
+    let fh = FhIndex::build(&points, FhParams::new(2, 32, 4)).unwrap();
+    let (ball_size, bc_size) = (ball.index_size_bytes(), bc.index_size_bytes());
+    let (nh_size, fh_size) = (nh.index_size_bytes(), fh.index_size_bytes());
+    // BC-Tree is slightly larger than Ball-Tree (Θ(n) extra), both are far smaller than
+    // the hashing indexes (m tables of n entries each).
+    assert!(bc_size > ball_size);
+    assert!((bc_size as f64) < 3.0 * ball_size as f64);
+    assert!(nh_size > 3 * bc_size, "NH tables should dwarf the trees: {nh_size} vs {bc_size}");
+    assert!(fh_size > 3 * bc_size, "FH tables should dwarf the trees: {fh_size} vs {bc_size}");
+    // And all indexes are far smaller than quadratic in n.
+    let data_bytes = points.size_bytes();
+    assert!(ball_size < data_bytes);
+    assert!(bc_size < data_bytes);
+}
+
+#[test]
+fn per_query_stats_are_populated_consistently() {
+    let (points, queries, gt) = setup(3_000, 8);
+    let bc = BcTreeBuilder::new(64).build(&points).unwrap();
+    let eval = evaluate(&bc, "BC-Tree", &queries, &gt, &SearchParams::approximate(10, 500));
+    assert_eq!(eval.per_query.len(), queries.len());
+    for q in &eval.per_query {
+        assert!(q.stats.candidates_verified <= 500);
+        assert!(q.stats.nodes_visited >= 1);
+        assert!(q.stats.inner_products >= q.stats.candidates_verified);
+        assert!(q.time_ns > 0);
+        assert!((0.0..=1.0).contains(&q.recall));
+    }
+}
