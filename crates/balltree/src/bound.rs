@@ -72,10 +72,7 @@ mod tests {
                 true_min = true_min.min(distance::abs_dot(&point, &query));
             }
             let bound = node_ball_bound(distance::abs_dot(&center, &query), qnorm, radius);
-            assert!(
-                bound <= true_min + 1e-3,
-                "bound {bound} exceeds true minimum {true_min}"
-            );
+            assert!(bound <= true_min + 1e-3, "bound {bound} exceeds true minimum {true_min}");
         }
     }
 

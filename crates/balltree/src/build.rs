@@ -265,7 +265,11 @@ impl BallTree {
             if node.is_leaf() && node.size() > self.leaf_size {
                 return Err(Error::InvalidParameter {
                     name: "leaf_size",
-                    message: format!("leaf with {} points exceeds N0 = {}", node.size(), self.leaf_size),
+                    message: format!(
+                        "leaf with {} points exceeds N0 = {}",
+                        node.size(),
+                        self.leaf_size
+                    ),
                 });
             }
             if !node.is_leaf() {
@@ -284,7 +288,10 @@ impl BallTree {
                 if d > node.radius * (1.0 + 1e-4) + 1e-4 {
                     return Err(Error::InvalidParameter {
                         name: "radius",
-                        message: format!("point at distance {d} outside ball of radius {}", node.radius),
+                        message: format!(
+                            "point at distance {d} outside ball of radius {}",
+                            node.radius
+                        ),
                     });
                 }
             }
@@ -352,10 +359,7 @@ mod tests {
     #[test]
     fn rejects_invalid_parameters() {
         let ps = dataset(100, 4);
-        assert!(matches!(
-            BallTreeBuilder::new(0).build(&ps),
-            Err(Error::InvalidParameter { .. })
-        ));
+        assert!(matches!(BallTreeBuilder::new(0).build(&ps), Err(Error::InvalidParameter { .. })));
     }
 
     #[test]

@@ -21,8 +21,10 @@
 pub mod bound;
 mod build;
 mod node;
+#[cfg(feature = "parallel")]
+pub mod parallel;
 mod search;
 pub mod split;
 
 pub use build::{BallTree, BallTreeBuilder};
-pub use node::Node;
+pub use node::{Node, NO_CHILD};

@@ -1,0 +1,277 @@
+//! Parallel Ball-Tree construction (feature `parallel`).
+//!
+//! The recursion of Algorithm 1 is embarrassingly parallel below the split: the two
+//! child subtrees touch disjoint index slices and build independent node arenas. This
+//! module runs the two recursive calls on scoped threads (rayon-`join` style, but on
+//! `std::thread::scope` — the build environment cannot vendor rayon) above a size
+//! cutoff, then splices the child arenas into the parent with node-id and center-offset
+//! fixups. The spliced layout is the same preorder layout the sequential builder
+//! produces, so search performance is identical.
+//!
+//! ## Determinism
+//!
+//! The sequential builder threads one RNG through the whole recursion, which makes the
+//! pivot stream order-dependent and impossible to reproduce concurrently. The parallel
+//! builder instead derives an independent seed per node from
+//! `(builder seed, subtree offset, subtree length)`, which is scheduling-independent:
+//! **the same seed and leaf size produce bit-identical trees for every thread count**
+//! (including 1). The tree generally differs from the sequential builder's tree — both
+//! are valid Ball-Trees with the same invariants and the same exact search results.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use p2h_core::{distance, Error, PointSet, Result, Scalar};
+
+use crate::build::{BallTree, BallTreeBuilder};
+use crate::node::{Node, NO_CHILD};
+use crate::split::seed_grow_split;
+
+/// Subtrees smaller than this are built sequentially: below ~2k points the split work
+/// per level is too small to amortize a thread spawn.
+pub const PARALLEL_CUTOFF: usize = 2_048;
+
+/// A subtree under construction: locally-numbered nodes (root = 0) over absolute point
+/// ranges, with a local center buffer.
+pub struct Subtree {
+    /// Locally-numbered nodes; index 0 is this subtree's root.
+    pub nodes: Vec<Node>,
+    /// Flat center buffer (one `dim`-sized row per node, same order as `nodes`).
+    pub centers: Vec<Scalar>,
+}
+
+/// Mixes a per-node seed from the builder seed and the subtree's (offset, length).
+///
+/// Both inputs are invariants of the subtree itself (not of scheduling), which is what
+/// makes the parallel build deterministic across thread counts. SplitMix64-style
+/// finalizer over the packed inputs.
+pub fn node_seed(builder_seed: u64, offset: usize, len: usize) -> u64 {
+    let mut z = builder_seed
+        ^ (offset as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (len as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Splices `sub` onto the end of `nodes`/`centers`, rebasing child ids and center
+/// offsets, and returns the spliced root's node id.
+pub fn splice(nodes: &mut Vec<Node>, centers: &mut Vec<Scalar>, sub: Subtree, dim: usize) -> u32 {
+    let node_base = nodes.len() as u32;
+    let center_base = (centers.len() / dim) as u32;
+    nodes.reserve(sub.nodes.len());
+    for mut node in sub.nodes {
+        node.center_offset += center_base;
+        if node.left != NO_CHILD {
+            node.left += node_base;
+            node.right += node_base;
+        }
+        nodes.push(node);
+    }
+    centers.extend(sub.centers);
+    node_base
+}
+
+/// Resolves a thread-count argument: `0` means one worker per available CPU.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(4, |p| p.get())
+    } else {
+        threads
+    }
+}
+
+impl BallTreeBuilder {
+    /// Builds a Ball-Tree with parallel recursive construction over `threads` worker
+    /// threads (`0` = one per available CPU).
+    ///
+    /// The result is deterministic for a given `(seed, leaf_size)` regardless of
+    /// `threads`, but generally differs from [`BallTreeBuilder::build`] (see the module
+    /// docs). All structural invariants and exact-search guarantees are identical.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BallTreeBuilder::build`].
+    pub fn build_parallel(&self, points: &PointSet, threads: usize) -> Result<BallTree> {
+        if self.leaf_size == 0 {
+            return Err(Error::InvalidParameter {
+                name: "leaf_size",
+                message: "the maximum leaf size N0 must be at least 1".into(),
+            });
+        }
+        if points.is_empty() {
+            return Err(Error::EmptyDataSet);
+        }
+        let n = points.len();
+        let dim = points.dim();
+        let threads = resolve_threads(threads);
+        let mut order: Vec<usize> = (0..n).collect();
+
+        let subtree = build_recursive(points, &mut order, 0, self.leaf_size, self.seed, threads);
+
+        let mut reordered = Vec::with_capacity(n * dim);
+        let mut original_ids = Vec::with_capacity(n);
+        for &idx in &order {
+            reordered.extend_from_slice(points.point(idx));
+            original_ids.push(idx as u32);
+        }
+        let reordered = PointSet::from_flat(dim, reordered)?;
+
+        Ok(BallTree {
+            points: reordered,
+            original_ids,
+            nodes: subtree.nodes,
+            centers: subtree.centers,
+            leaf_size: self.leaf_size,
+        })
+    }
+}
+
+/// Builds the subtree covering `slice` (positions `offset..offset + slice.len()` of the
+/// final ordering), splitting the recursion across up to `threads` workers.
+fn build_recursive(
+    points: &PointSet,
+    slice: &mut [usize],
+    offset: usize,
+    leaf_size: usize,
+    builder_seed: u64,
+    threads: usize,
+) -> Subtree {
+    let len = slice.len();
+    let dim = points.dim();
+    let center = points.centroid_of(slice);
+    let radius = slice
+        .iter()
+        .map(|&i| distance::euclidean(points.point(i), &center))
+        .fold(0.0 as Scalar, Scalar::max);
+
+    let mut nodes = vec![Node {
+        center_offset: 0,
+        radius,
+        start: offset as u32,
+        end: (offset + len) as u32,
+        left: NO_CHILD,
+        right: NO_CHILD,
+    }];
+    let mut centers = center;
+
+    if len > leaf_size {
+        let mut rng = StdRng::seed_from_u64(node_seed(builder_seed, offset, len));
+        let split = seed_grow_split(points, slice, &mut rng);
+        let (left_slice, right_slice) = slice.split_at_mut(split);
+
+        let (left_sub, right_sub) = if threads > 1 && len >= PARALLEL_CUTOFF {
+            let right_threads = threads / 2;
+            let left_threads = threads - right_threads;
+            std::thread::scope(|scope| {
+                let right_handle = scope.spawn(move || {
+                    build_recursive(
+                        points,
+                        right_slice,
+                        offset + split,
+                        leaf_size,
+                        builder_seed,
+                        right_threads,
+                    )
+                });
+                let left_sub = build_recursive(
+                    points,
+                    left_slice,
+                    offset,
+                    leaf_size,
+                    builder_seed,
+                    left_threads,
+                );
+                (left_sub, right_handle.join().expect("parallel build worker panicked"))
+            })
+        } else {
+            (
+                build_recursive(points, left_slice, offset, leaf_size, builder_seed, 1),
+                build_recursive(points, right_slice, offset + split, leaf_size, builder_seed, 1),
+            )
+        };
+
+        let left_id = splice(&mut nodes, &mut centers, left_sub, dim);
+        let right_id = splice(&mut nodes, &mut centers, right_sub, dim);
+        nodes[0].left = left_id;
+        nodes[0].right = right_id;
+    }
+
+    Subtree { nodes, centers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2h_core::{HyperplaneQuery, LinearScan, P2hIndex};
+    use p2h_data::{generate_queries, DataDistribution, QueryDistribution, SyntheticDataset};
+
+    fn dataset(n: usize, dim: usize) -> PointSet {
+        SyntheticDataset::new(
+            "bt-parallel",
+            n,
+            dim,
+            DataDistribution::GaussianClusters { clusters: 8, std_dev: 1.5 },
+            41,
+        )
+        .generate()
+        .unwrap()
+    }
+
+    fn queries(ps: &PointSet) -> Vec<HyperplaneQuery> {
+        generate_queries(ps, 6, QueryDistribution::DataDifference, 17).unwrap()
+    }
+
+    #[test]
+    fn parallel_build_is_deterministic_across_thread_counts() {
+        let ps = dataset(6_000, 12);
+        let reference = BallTreeBuilder::new(64).with_seed(3).build_parallel(&ps, 1).unwrap();
+        for threads in [2, 4, 8] {
+            let tree = BallTreeBuilder::new(64).with_seed(3).build_parallel(&ps, threads).unwrap();
+            assert_eq!(tree.original_ids, reference.original_ids, "threads={threads}");
+            assert_eq!(tree.nodes, reference.nodes, "threads={threads}");
+            assert_eq!(tree.centers, reference.centers, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_satisfies_invariants_and_is_exact() {
+        let ps = dataset(5_000, 10);
+        let tree = BallTreeBuilder::new(50).build_parallel(&ps, 4).unwrap();
+        tree.check_invariants().unwrap();
+        let scan = LinearScan::new(ps.clone());
+        for q in &queries(&ps) {
+            assert_eq!(tree.search_exact(q, 10).distances(), scan.search_exact(q, 10).distances());
+        }
+    }
+
+    #[test]
+    fn parallel_build_handles_edge_shapes() {
+        // Single leaf (n <= leaf_size).
+        let ps = dataset(100, 6);
+        let tree = BallTreeBuilder::new(200).build_parallel(&ps, 4).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        tree.check_invariants().unwrap();
+
+        // Identical points (degenerate splits).
+        let rows = vec![vec![1.0 as Scalar, 2.0]; 4_000];
+        let ps = PointSet::augment(&rows).unwrap();
+        let tree = BallTreeBuilder::new(32).build_parallel(&ps, 4).unwrap();
+        tree.check_invariants().unwrap();
+
+        // Parameter validation mirrors the sequential builder.
+        assert!(matches!(
+            BallTreeBuilder::new(0).build_parallel(&dataset(50, 4), 2),
+            Err(Error::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let ps = dataset(3_000, 8);
+        let tree = BallTreeBuilder::new(64).build_parallel(&ps, 0).unwrap();
+        tree.check_invariants().unwrap();
+        let same = BallTreeBuilder::new(64).build_parallel(&ps, 2).unwrap();
+        assert_eq!(tree.original_ids, same.original_ids);
+    }
+}

@@ -268,8 +268,7 @@ mod tests {
         for q in &qs {
             let exact: Vec<usize> = scan.search_exact(q, 10).indices();
             let count = |pref| {
-                let params =
-                    SearchParams::approximate(10, 1_000).with_branch_preference(pref);
+                let params = SearchParams::approximate(10, 1_000).with_branch_preference(pref);
                 tree.search(q, &params).indices().iter().filter(|i| exact.contains(i)).count()
             };
             center_hits += count(BranchPreference::Center);

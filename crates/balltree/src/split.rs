@@ -160,9 +160,8 @@ mod tests {
     fn both_sides_always_nonempty_on_random_data() {
         let mut rng = StdRng::seed_from_u64(99);
         for trial in 0..20 {
-            let rows: Vec<Vec<Scalar>> = (0..50)
-                .map(|_| (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect())
-                .collect();
+            let rows: Vec<Vec<Scalar>> =
+                (0..50).map(|_| (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
             let ps = PointSet::augment(&rows).unwrap();
             let mut indices: Vec<usize> = (0..50).collect();
             let split = seed_grow_split(&ps, &mut indices, &mut rng);

@@ -24,8 +24,7 @@ fn node_bound_is_valid_for_every_node_of_a_real_tree() {
         let points = dataset(distribution, 200 + i as u64);
         let tree = BallTreeBuilder::new(40).build(&points).unwrap();
         let reordered = tree.points();
-        let queries =
-            generate_queries(&points, 3, QueryDistribution::DataDifference, 11).unwrap();
+        let queries = generate_queries(&points, 3, QueryDistribution::DataDifference, 11).unwrap();
         for query in &queries {
             for node in tree.nodes() {
                 // Recompute the node's center from its range in the reordered points.
@@ -56,10 +55,7 @@ fn exact_search_never_reports_a_distance_below_the_global_minimum() {
     let tree = BallTreeBuilder::new(64).build(&points).unwrap();
     let queries = generate_queries(&points, 5, QueryDistribution::RandomNormal, 13).unwrap();
     for query in &queries {
-        let global_min = points
-            .iter()
-            .map(|x| query.p2h_distance(x))
-            .fold(f32::INFINITY, f32::min);
+        let global_min = points.iter().map(|x| query.p2h_distance(x)).fold(f32::INFINITY, f32::min);
         let result = tree.search_exact(query, 1);
         assert!((result.neighbors[0].distance - global_min).abs() < 1e-5);
     }

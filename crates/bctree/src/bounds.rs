@@ -50,7 +50,11 @@ pub fn point_cone_bound(q_cos: Scalar, q_sin: Scalar, x_cos: Scalar, x_sin: Scal
 /// decomposition `(0, ‖q‖)` is returned, which makes the cone bound evaluate to 0 and
 /// never prunes incorrectly.
 #[inline]
-pub fn query_decomposition(ip_center: Scalar, center_norm: Scalar, query_norm: Scalar) -> (Scalar, Scalar) {
+pub fn query_decomposition(
+    ip_center: Scalar,
+    center_norm: Scalar,
+    query_norm: Scalar,
+) -> (Scalar, Scalar) {
     if center_norm <= Scalar::EPSILON {
         return (0.0, query_norm);
     }
@@ -135,10 +139,7 @@ mod tests {
         for _ in 0..500 {
             let center: Vec<Scalar> = (0..dim).map(|_| rng.gen_range(-4.0..4.0)).collect();
             let query: Vec<Scalar> = (0..dim).map(|_| rng.gen_range(-3.0..3.0)).collect();
-            let point: Vec<Scalar> = center
-                .iter()
-                .map(|c| c + rng.gen_range(-1.5..1.5))
-                .collect();
+            let point: Vec<Scalar> = center.iter().map(|c| c + rng.gen_range(-1.5..1.5)).collect();
             let qn = distance::norm(&query);
             if qn < 1e-3 {
                 continue;

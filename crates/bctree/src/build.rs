@@ -4,11 +4,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use p2h_balltree::split::seed_grow_split;
-use p2h_balltree::Node;
+use p2h_balltree::{Node, NO_CHILD};
 use p2h_core::{distance, Error, PointSet, Result, Scalar};
-
-/// Sentinel child id meaning "no child" (leaf node); same convention as the Ball-Tree.
-const NO_CHILD: u32 = u32::MAX;
 
 /// Default maximum leaf size `N0`.
 pub const DEFAULT_LEAF_SIZE: usize = 100;
@@ -87,57 +84,62 @@ impl BcTreeBuilder {
 
         build_recursive(points, &mut order, 0, self.leaf_size, &mut arena, &mut rng);
 
-        // Materialize the reordered points (leaf points are now sorted by descending
-        // r_x within each leaf).
-        let mut reordered = Vec::with_capacity(n * dim);
-        let mut original_ids = Vec::with_capacity(n);
-        for &idx in &order {
-            reordered.extend_from_slice(points.point(idx));
-            original_ids.push(idx as u32);
-        }
-        let reordered = PointSet::from_flat(dim, reordered)?;
-
-        // Second pass: per-node center norms and per-point leaf structures.
-        let mut center_norms = Vec::with_capacity(arena.nodes.len());
-        for node in &arena.nodes {
-            let start = node.center_offset as usize * dim;
-            center_norms.push(distance::norm(&arena.centers[start..start + dim]));
-        }
-        let mut aux = vec![LeafPointAux::default(); n];
-        for (node_idx, node) in arena.nodes.iter().enumerate() {
-            if !node.is_leaf() {
-                continue;
-            }
-            let c_start = node.center_offset as usize * dim;
-            let center = &arena.centers[c_start..c_start + dim];
-            let center_norm = center_norms[node_idx];
-            for pos in node.start..node.end {
-                let x = reordered.point(pos as usize);
-                let r_x = distance::euclidean(x, center);
-                let x_norm = distance::norm(x);
-                let cos_phi = if center_norm <= Scalar::EPSILON || x_norm <= Scalar::EPSILON {
-                    0.0
-                } else {
-                    (distance::dot(x, center) / (x_norm * center_norm)).clamp(-1.0, 1.0)
-                };
-                aux[pos as usize] = LeafPointAux {
-                    radius: r_x,
-                    x_cos: x_norm * cos_phi,
-                    x_sin: x_norm * (1.0 - cos_phi * cos_phi).max(0.0).sqrt(),
-                };
-            }
-        }
-
-        Ok(BcTree {
-            points: reordered,
-            original_ids,
-            nodes: arena.nodes,
-            centers: arena.centers,
-            center_norms,
-            aux,
-            leaf_size: self.leaf_size,
-        })
+        finalize(points, &order, arena.nodes, arena.centers, self.leaf_size)
     }
+}
+
+/// Shared tail of both the sequential and the parallel builder: materializes the
+/// reordered point set (leaf points already sorted by descending `r_x`), then runs the
+/// second pass computing per-node center norms and the per-point ball/cone leaf
+/// structures of Algorithm 4.
+pub(crate) fn finalize(
+    points: &PointSet,
+    order: &[usize],
+    nodes: Vec<Node>,
+    centers: Vec<Scalar>,
+    leaf_size: usize,
+) -> Result<BcTree> {
+    let n = points.len();
+    let dim = points.dim();
+    let mut reordered = Vec::with_capacity(n * dim);
+    let mut original_ids = Vec::with_capacity(n);
+    for &idx in order {
+        reordered.extend_from_slice(points.point(idx));
+        original_ids.push(idx as u32);
+    }
+    let reordered = PointSet::from_flat(dim, reordered)?;
+
+    let mut center_norms = Vec::with_capacity(nodes.len());
+    for node in &nodes {
+        let start = node.center_offset as usize * dim;
+        center_norms.push(distance::norm(&centers[start..start + dim]));
+    }
+    let mut aux = vec![LeafPointAux::default(); n];
+    for (node_idx, node) in nodes.iter().enumerate() {
+        if !node.is_leaf() {
+            continue;
+        }
+        let c_start = node.center_offset as usize * dim;
+        let center = &centers[c_start..c_start + dim];
+        let center_norm = center_norms[node_idx];
+        for pos in node.start..node.end {
+            let x = reordered.point(pos as usize);
+            let r_x = distance::euclidean(x, center);
+            let x_norm = distance::norm(x);
+            let cos_phi = if center_norm <= Scalar::EPSILON || x_norm <= Scalar::EPSILON {
+                0.0
+            } else {
+                (distance::dot(x, center) / (x_norm * center_norm)).clamp(-1.0, 1.0)
+            };
+            aux[pos as usize] = LeafPointAux {
+                radius: r_x,
+                x_cos: x_norm * cos_phi,
+                x_sin: x_norm * (1.0 - cos_phi * cos_phi).max(0.0).sqrt(),
+            };
+        }
+    }
+
+    Ok(BcTree { points: reordered, original_ids, nodes, centers, center_norms, aux, leaf_size })
 }
 
 struct Arena {
@@ -152,7 +154,7 @@ impl Arena {
     fn reserve(&mut self, start: usize, end: usize) -> u32 {
         let id = self.nodes.len() as u32;
         let center_offset = (self.centers.len() / self.dim) as u32;
-        self.centers.extend(std::iter::repeat(0.0).take(self.dim));
+        self.centers.extend(std::iter::repeat_n(0.0, self.dim));
         self.nodes.push(Node {
             center_offset,
             radius: 0.0,
@@ -175,6 +177,37 @@ impl Arena {
     }
 }
 
+/// Computes a leaf's center and radius, sorting the leaf's index slice by descending
+/// `r_x` in place (Algorithm 4, lines 3-9). Shared by the sequential and parallel
+/// builders so their leaf layout is produced by one piece of code.
+pub(crate) fn build_leaf(points: &PointSet, slice: &mut [usize]) -> (Vec<Scalar>, Scalar) {
+    let center = points.centroid_of(slice);
+    slice.sort_by(|&a, &b| {
+        let da = distance::euclidean_sq(points.point(a), &center);
+        let db = distance::euclidean_sq(points.point(b), &center);
+        db.total_cmp(&da).then_with(|| a.cmp(&b))
+    });
+    let radius =
+        slice.first().map(|&i| distance::euclidean(points.point(i), &center)).unwrap_or(0.0);
+    (center, radius)
+}
+
+/// Lemma 1: the parent center is the size-weighted combination of the child centers,
+/// computed in O(d) instead of O(d·|N|). Shared by both builders.
+pub(crate) fn combine_child_centers(
+    left_center: &[Scalar],
+    right_center: &[Scalar],
+    left_len: usize,
+    right_len: usize,
+) -> Vec<Scalar> {
+    let total = (left_len + right_len) as Scalar;
+    left_center
+        .iter()
+        .zip(right_center.iter())
+        .map(|(&l, &r)| (l * left_len as Scalar + r * right_len as Scalar) / total)
+        .collect()
+}
+
 fn build_recursive(
     points: &PointSet,
     slice: &mut [usize],
@@ -187,18 +220,7 @@ fn build_recursive(
     let node_id = arena.reserve(offset, offset + len);
 
     if len <= leaf_size {
-        // Leaf: compute the center directly, sort by descending r_x (Algorithm 4,
-        // lines 3-9), and record the radius.
-        let center = points.centroid_of(slice);
-        slice.sort_by(|&a, &b| {
-            let da = distance::euclidean_sq(points.point(a), &center);
-            let db = distance::euclidean_sq(points.point(b), &center);
-            db.total_cmp(&da).then_with(|| a.cmp(&b))
-        });
-        let radius = slice
-            .first()
-            .map(|&i| distance::euclidean(points.point(i), &center))
-            .unwrap_or(0.0);
+        let (center, radius) = build_leaf(points, slice);
         arena.center_mut(node_id).copy_from_slice(&center);
         arena.nodes[node_id as usize].radius = radius;
         return node_id;
@@ -211,17 +233,8 @@ fn build_recursive(
     let left = build_recursive(points, left_slice, offset, leaf_size, arena, rng);
     let right = build_recursive(points, right_slice, offset + split, leaf_size, arena, rng);
 
-    // Lemma 1: the parent center is the size-weighted combination of the child centers,
-    // computed in O(d) instead of O(d·|N|).
-    let mut center = vec![0.0 as Scalar; arena.dim];
-    {
-        let lc = arena.center(left);
-        let rc = arena.center(right);
-        let total = len as Scalar;
-        for ((c, &l), &r) in center.iter_mut().zip(lc.iter()).zip(rc.iter()) {
-            *c = (l * left_len as Scalar + r * right_len as Scalar) / total;
-        }
-    }
+    let center =
+        combine_child_centers(arena.center(left), arena.center(right), left_len, right_len);
     let radius = slice
         .iter()
         .map(|&i| distance::euclidean(points.point(i), &center))
@@ -379,8 +392,8 @@ impl BcTree {
                 {
                     return Err(invalid("cone decomposition does not reconstruct ‖x‖²".into()));
                 }
-                let pythagoras = aux.x_sin * aux.x_sin
-                    + (center_norm - aux.x_cos) * (center_norm - aux.x_cos);
+                let pythagoras =
+                    aux.x_sin * aux.x_sin + (center_norm - aux.x_cos) * (center_norm - aux.x_cos);
                 if (pythagoras - aux.radius * aux.radius).abs()
                     > 5e-2 * (1.0 + aux.radius * aux.radius)
                 {
@@ -458,9 +471,8 @@ mod tests {
         let ps = dataset(1_000, 8);
         let tree = BcTreeBuilder::new(40).build(&ps).unwrap();
         for node in tree.nodes().iter().filter(|n| n.is_leaf()) {
-            let radii: Vec<Scalar> = (node.start..node.end)
-                .map(|p| tree.leaf_aux()[p as usize].radius)
-                .collect();
+            let radii: Vec<Scalar> =
+                (node.start..node.end).map(|p| tree.leaf_aux()[p as usize].radius).collect();
             assert!(
                 radii.windows(2).all(|w| w[0] + 1e-5 >= w[1]),
                 "leaf radii not descending: {radii:?}"

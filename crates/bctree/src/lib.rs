@@ -26,6 +26,8 @@
 
 pub mod bounds;
 mod build;
+#[cfg(feature = "parallel")]
+mod parallel;
 mod search;
 
 pub use build::{BcTree, BcTreeBuilder, LeafPointAux};

@@ -1,0 +1,201 @@
+//! Parallel BC-Tree construction (feature `parallel`).
+//!
+//! Same scheme as `p2h_balltree::parallel` (which this module reuses for seed mixing
+//! and arena splicing): the two child subtrees of every split touch disjoint index
+//! slices, so above a size cutoff they are built on scoped threads and spliced into the
+//! parent arena with id fixups. BC-Tree specifics — leaf points sorted by descending
+//! `r_x`, internal centers combined from the children in O(d) via Lemma 1, and the
+//! second pass computing center norms and the per-point ball/cone structures — are
+//! identical to the sequential builder (the second pass is shared code).
+//!
+//! Determinism matches the Ball-Tree parallel builder: per-node seeds derived from
+//! `(builder seed, offset, length)` make the result bit-identical across thread counts,
+//! though generally different from the sequential builder's tree.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use p2h_balltree::parallel::{node_seed, resolve_threads, splice, Subtree, PARALLEL_CUTOFF};
+use p2h_balltree::split::seed_grow_split;
+use p2h_balltree::{Node, NO_CHILD};
+use p2h_core::{distance, Error, PointSet, Result, Scalar};
+
+use crate::build::{build_leaf, combine_child_centers, finalize, BcTree, BcTreeBuilder};
+
+impl BcTreeBuilder {
+    /// Builds a BC-Tree with parallel recursive construction over `threads` worker
+    /// threads (`0` = one per available CPU).
+    ///
+    /// The result is deterministic for a given `(seed, leaf_size)` regardless of
+    /// `threads`, but generally differs from [`BcTreeBuilder::build`] (see the module
+    /// docs). All structural invariants and exact-search guarantees are identical.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`BcTreeBuilder::build`].
+    pub fn build_parallel(&self, points: &PointSet, threads: usize) -> Result<BcTree> {
+        if self.leaf_size == 0 {
+            return Err(Error::InvalidParameter {
+                name: "leaf_size",
+                message: "the maximum leaf size N0 must be at least 1".into(),
+            });
+        }
+        if points.is_empty() {
+            return Err(Error::EmptyDataSet);
+        }
+        let threads = resolve_threads(threads);
+        let mut order: Vec<usize> = (0..points.len()).collect();
+
+        let subtree = build_recursive(points, &mut order, 0, self.leaf_size, self.seed, threads);
+
+        finalize(points, &order, subtree.nodes, subtree.centers, self.leaf_size)
+    }
+}
+
+/// Builds the subtree covering `slice`, splitting the recursion across up to `threads`
+/// workers. Mirrors `build_recursive` of the sequential builder, with children built
+/// before the parent so the Lemma-1 center combination can read their root centers.
+fn build_recursive(
+    points: &PointSet,
+    slice: &mut [usize],
+    offset: usize,
+    leaf_size: usize,
+    builder_seed: u64,
+    threads: usize,
+) -> Subtree {
+    let len = slice.len();
+    let dim = points.dim();
+
+    if len <= leaf_size {
+        let (center, radius) = build_leaf(points, slice);
+        let node = Node {
+            center_offset: 0,
+            radius,
+            start: offset as u32,
+            end: (offset + len) as u32,
+            left: NO_CHILD,
+            right: NO_CHILD,
+        };
+        return Subtree { nodes: vec![node], centers: center };
+    }
+
+    let mut rng = StdRng::seed_from_u64(node_seed(builder_seed, offset, len));
+    let split = seed_grow_split(points, slice, &mut rng);
+    let (left_slice, right_slice) = slice.split_at_mut(split);
+    let left_len = left_slice.len();
+    let right_len = right_slice.len();
+
+    let (left_sub, right_sub) = if threads > 1 && len >= PARALLEL_CUTOFF {
+        let right_threads = threads / 2;
+        let left_threads = threads - right_threads;
+        std::thread::scope(|scope| {
+            let right_handle = scope.spawn(move || {
+                build_recursive(
+                    points,
+                    right_slice,
+                    offset + split,
+                    leaf_size,
+                    builder_seed,
+                    right_threads,
+                )
+            });
+            let left_sub =
+                build_recursive(points, left_slice, offset, leaf_size, builder_seed, left_threads);
+            (left_sub, right_handle.join().expect("parallel build worker panicked"))
+        })
+    } else {
+        (
+            build_recursive(points, left_slice, offset, leaf_size, builder_seed, 1),
+            build_recursive(points, right_slice, offset + split, leaf_size, builder_seed, 1),
+        )
+    };
+
+    let center = combine_child_centers(
+        &left_sub.centers[..dim],
+        &right_sub.centers[..dim],
+        left_len,
+        right_len,
+    );
+    let radius = slice
+        .iter()
+        .map(|&i| distance::euclidean(points.point(i), &center))
+        .fold(0.0 as Scalar, Scalar::max);
+
+    let mut nodes = vec![Node {
+        center_offset: 0,
+        radius,
+        start: offset as u32,
+        end: (offset + len) as u32,
+        left: NO_CHILD,
+        right: NO_CHILD,
+    }];
+    let mut centers = center;
+    let left_id = splice(&mut nodes, &mut centers, left_sub, dim);
+    let right_id = splice(&mut nodes, &mut centers, right_sub, dim);
+    nodes[0].left = left_id;
+    nodes[0].right = right_id;
+
+    Subtree { nodes, centers }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2h_core::{HyperplaneQuery, LinearScan, P2hIndex};
+    use p2h_data::{generate_queries, DataDistribution, QueryDistribution, SyntheticDataset};
+
+    fn dataset(n: usize, dim: usize) -> PointSet {
+        SyntheticDataset::new(
+            "bc-parallel",
+            n,
+            dim,
+            DataDistribution::GaussianClusters { clusters: 6, std_dev: 1.4 },
+            43,
+        )
+        .generate()
+        .unwrap()
+    }
+
+    #[test]
+    fn parallel_build_is_deterministic_across_thread_counts() {
+        let ps = dataset(6_000, 10);
+        let reference = BcTreeBuilder::new(64).with_seed(5).build_parallel(&ps, 1).unwrap();
+        for threads in [2, 4, 8] {
+            let tree = BcTreeBuilder::new(64).with_seed(5).build_parallel(&ps, threads).unwrap();
+            assert_eq!(tree.original_ids, reference.original_ids, "threads={threads}");
+            assert_eq!(tree.nodes, reference.nodes, "threads={threads}");
+            assert_eq!(tree.aux, reference.aux, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_build_satisfies_invariants_and_is_exact() {
+        let ps = dataset(5_000, 12);
+        let tree = BcTreeBuilder::new(50).build_parallel(&ps, 4).unwrap();
+        tree.check_invariants().unwrap();
+        let scan = LinearScan::new(ps.clone());
+        let queries: Vec<HyperplaneQuery> =
+            generate_queries(&ps, 6, QueryDistribution::DataDifference, 29).unwrap();
+        for q in &queries {
+            assert_eq!(tree.search_exact(q, 10).distances(), scan.search_exact(q, 10).distances());
+        }
+    }
+
+    #[test]
+    fn parallel_build_handles_edge_shapes() {
+        let ps = dataset(80, 6);
+        let tree = BcTreeBuilder::new(200).build_parallel(&ps, 4).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        tree.check_invariants().unwrap();
+
+        let rows = vec![vec![-2.0 as Scalar, 1.0]; 4_000];
+        let ps = PointSet::augment(&rows).unwrap();
+        let tree = BcTreeBuilder::new(32).build_parallel(&ps, 4).unwrap();
+        tree.check_invariants().unwrap();
+
+        assert!(matches!(
+            BcTreeBuilder::new(0).build_parallel(&dataset(50, 4), 2),
+            Err(Error::InvalidParameter { .. })
+        ));
+    }
+}

@@ -429,10 +429,7 @@ mod tests {
         tree.check_invariants().unwrap();
         let scan = LinearScan::new(ps.clone());
         for q in &queries(&ps, 5) {
-            assert_eq!(
-                tree.search_exact(q, 10).distances(),
-                scan.search_exact(q, 10).distances()
-            );
+            assert_eq!(tree.search_exact(q, 10).distances(), scan.search_exact(q, 10).distances());
         }
     }
 

@@ -35,7 +35,9 @@ fn stored_cone_decomposition_matches_direct_computation() {
             let sin_phi = (1.0 - cos_phi * cos_phi).max(0.0).sqrt();
             assert!((aux.x_sin - x_norm * sin_phi).abs() < 1e-2 * (1.0 + x_norm));
             assert!(aux.x_sin >= 0.0, "‖x‖ sin φ is non-negative by construction");
-            assert!((aux.radius - distance::euclidean(x, &center)).abs() < 1e-2 * (1.0 + aux.radius));
+            assert!(
+                (aux.radius - distance::euclidean(x, &center)).abs() < 1e-2 * (1.0 + aux.radius)
+            );
         }
     }
 }
@@ -75,9 +77,7 @@ fn full_variant_prunes_at_least_as_much_as_each_single_bound_variant() {
         queries
             .iter()
             .map(|q| {
-                tree.search_variant(q, &SearchParams::exact(10), variant)
-                    .stats
-                    .candidates_verified
+                tree.search_variant(q, &SearchParams::exact(10), variant).stats.candidates_verified
             })
             .sum()
     };
@@ -103,10 +103,7 @@ fn batch_break_prunes_leaf_suffixes() {
         let result = tree.search_variant(q, &SearchParams::exact(1), BcTreeVariant::WithoutCone);
         total_ball_pruned += result.stats.pruned_by_ball_bound;
     }
-    assert!(
-        total_ball_pruned > 0,
-        "the descending-r_x batch break should fire on clustered data"
-    );
+    assert!(total_ball_pruned > 0, "the descending-r_x batch break should fire on clustered data");
 }
 
 #[test]

@@ -43,9 +43,8 @@ fn bench_queries(c: &mut Criterion) {
     group.bench_function("ball_tree_exact", |b| {
         b.iter(|| ball.search(black_box(next_query()), &exact))
     });
-    group.bench_function("bc_tree_exact", |b| {
-        b.iter(|| bc.search(black_box(next_query()), &exact))
-    });
+    group
+        .bench_function("bc_tree_exact", |b| b.iter(|| bc.search(black_box(next_query()), &exact)));
     group.bench_function("bc_tree_wo_bounds_exact", |b| {
         let view = bc.with_variant(BcTreeVariant::WithoutBoth);
         b.iter(|| view.search(black_box(next_query()), &exact))

@@ -10,7 +10,10 @@ const LEAF_SIZES: [usize; 7] = [100, 200, 500, 1_000, 2_000, 5_000, 10_000];
 
 fn main() {
     let cfg = BenchConfig::from_args();
-    println!("# Figure 11 — impact of the leaf size N0 on BC-Tree (scale = {}, k = {})\n", cfg.scale, cfg.k);
+    println!(
+        "# Figure 11 — impact of the leaf size N0 on BC-Tree (scale = {}, k = {})\n",
+        cfg.scale, cfg.k
+    );
 
     let mut rows = Vec::new();
     for entry in paper_catalog(cfg.scale) {

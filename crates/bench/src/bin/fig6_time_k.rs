@@ -40,7 +40,12 @@ fn main() {
 
         for k in K_VALUES {
             // Ground truth depends on k.
-            let gt = GroundTruth::compute(&workload.points, &workload.queries, k, p2h_bench::num_threads());
+            let gt = GroundTruth::compute(
+                &workload.points,
+                &workload.queries,
+                k,
+                p2h_bench::num_threads(),
+            );
             for (index, label) in methods {
                 let eval = budget_for_recall(
                     index,
@@ -63,10 +68,5 @@ fn main() {
         }
     }
 
-    emit(
-        &cfg,
-        "fig6_time_k",
-        &["Data Set", "Method", "k", "Recall (%)", "Query Time (ms)"],
-        &rows,
-    );
+    emit(&cfg, "fig6_time_k", &["Data Set", "Method", "k", "Recall (%)", "Query Time (ms)"], &rows);
 }

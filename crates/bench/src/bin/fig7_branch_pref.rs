@@ -27,16 +27,14 @@ fn main() {
         let ball = BallTreeBuilder::new(100).build(&workload.points).unwrap();
         let bc = BcTreeBuilder::new(100).build(&workload.points).unwrap();
         let methods: [(&dyn P2hIndex, &str); 2] = [(&bc, "BC-Tree"), (&ball, "Ball-Tree")];
-        let preferences = [
-            (BranchPreference::Center, "Center"),
-            (BranchPreference::LowerBound, "Lower Bound"),
-        ];
+        let preferences =
+            [(BranchPreference::Center, "Center"), (BranchPreference::LowerBound, "Lower Bound")];
 
         for (index, method) in methods {
             for (preference, pref_label) in preferences {
                 for &budget in &budget_ladder(workload.points.len()) {
-                    let params = SearchParams::approximate(cfg.k, budget)
-                        .with_branch_preference(preference);
+                    let params =
+                        SearchParams::approximate(cfg.k, budget).with_branch_preference(preference);
                     let eval = evaluate(
                         index,
                         format!("{method} ({pref_label})"),

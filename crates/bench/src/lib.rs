@@ -48,13 +48,7 @@ pub struct BenchConfig {
 
 impl Default for BenchConfig {
     fn default() -> Self {
-        Self {
-            scale: 0.02,
-            queries: 20,
-            k: 10,
-            datasets: None,
-            out_dir: PathBuf::from("results"),
-        }
+        Self { scale: 0.02, queries: 20, k: 10, datasets: None, out_dir: PathBuf::from("results") }
     }
 }
 

@@ -161,7 +161,13 @@ impl SearchResult {
 /// Every method in the workspace — [`crate::LinearScan`], Ball-Tree, BC-Tree, NH, and FH
 /// — implements this trait, which is what the evaluation harness and the examples are
 /// written against.
-pub trait P2hIndex {
+///
+/// The `Send + Sync` supertrait makes every index shareable across threads behind an
+/// `Arc<dyn P2hIndex>`: [`P2hIndex::search`] takes `&self`, so a fully built index is an
+/// immutable structure that any number of serving threads may query concurrently (the
+/// contract the `p2h-engine` crate builds on). Implementations must not use interior
+/// mutability in the search path.
+pub trait P2hIndex: Send + Sync {
     /// Human-readable name of the method (e.g. `"BC-Tree"`), used in reports.
     fn name(&self) -> &'static str;
 

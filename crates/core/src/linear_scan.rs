@@ -85,8 +85,7 @@ mod tests {
 
     fn grid_points() -> PointSet {
         // Raw points on a 1-D grid: 0, 1, 2, ..., 9 embedded in R^2 (second coord 0).
-        let rows: Vec<Vec<Scalar>> =
-            (0..10).map(|i| vec![i as Scalar, 0.0]).collect();
+        let rows: Vec<Vec<Scalar>> = (0..10).map(|i| vec![i as Scalar, 0.0]).collect();
         PointSet::augment(&rows).unwrap()
     }
 

@@ -6,9 +6,10 @@ use crate::{Error, Result, Scalar};
 /// A dense collection of `n` points in `R^dim`, stored row-major in a single allocation.
 ///
 /// Following Section II of the paper, indexes operate on *augmented* points
-/// `x = (p; 1) ∈ R^d` obtained from raw data points `p ∈ R^{d-1}` by appending a constant
-/// 1. [`PointSet::augment`] performs that augmentation; [`PointSet::from_rows`] accepts
-/// points that are already in the index dimension (useful for tests and synthetic data).
+/// `x = (p; 1) ∈ R^d` obtained from raw data points `p ∈ R^{d-1}` by appending a
+/// constant 1. [`PointSet::augment`] performs that augmentation;
+/// [`PointSet::from_rows`] accepts points that are already in the index dimension
+/// (useful for tests and synthetic data).
 ///
 /// Points are immutable once the set is created: every index in this workspace stores
 /// either a reference to the [`PointSet`] or a reordered copy of its rows.
@@ -37,7 +38,7 @@ impl PointSet {
         if data.is_empty() {
             return Err(Error::EmptyDataSet);
         }
-        if data.len() % dim != 0 {
+        if !data.len().is_multiple_of(dim) {
             return Err(Error::DimensionMismatch { expected: dim, actual: data.len() % dim });
         }
         let len = data.len() / dim;
@@ -105,8 +106,11 @@ impl PointSet {
         if raw.is_empty() {
             return Err(Error::EmptyDataSet);
         }
-        if raw.len() % raw_dim != 0 {
-            return Err(Error::DimensionMismatch { expected: raw_dim, actual: raw.len() % raw_dim });
+        if !raw.len().is_multiple_of(raw_dim) {
+            return Err(Error::DimensionMismatch {
+                expected: raw_dim,
+                actual: raw.len() % raw_dim,
+            });
         }
         let n = raw.len() / raw_dim;
         let dim = raw_dim + 1;

@@ -35,9 +35,7 @@ impl Ord for Neighbor {
     /// Orders by distance (total order on floats), breaking ties by index so results are
     /// deterministic.
     fn cmp(&self, other: &Self) -> Ordering {
-        self.distance
-            .total_cmp(&other.distance)
-            .then_with(|| self.index.cmp(&other.index))
+        self.distance.total_cmp(&other.distance).then_with(|| self.index.cmp(&other.index))
     }
 }
 

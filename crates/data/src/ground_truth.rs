@@ -1,7 +1,5 @@
 //! Exact ground truth for recall evaluation.
 
-use crossbeam::thread;
-
 use p2h_core::{HyperplaneQuery, Neighbor, PointSet, Scalar, TopKCollector};
 
 /// The exact top-k point-to-hyperplane neighbors of a batch of queries.
@@ -33,20 +31,18 @@ impl GroundTruth {
         let chunk = queries.len().div_ceil(threads);
         let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); queries.len()];
 
-        thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut remaining: &mut [Vec<Neighbor>] = &mut results;
-            for (t, query_chunk) in queries.chunks(chunk).enumerate() {
+            for query_chunk in queries.chunks(chunk) {
                 let (slot, rest) = remaining.split_at_mut(query_chunk.len().min(remaining.len()));
                 remaining = rest;
-                let _ = t;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (q, out) in query_chunk.iter().zip(slot.iter_mut()) {
                         *out = exact_top_k(points, q, k);
                     }
                 });
             }
-        })
-        .expect("ground-truth worker thread panicked");
+        });
 
         Self { k, results }
     }
@@ -127,8 +123,7 @@ mod tests {
         )
         .generate()
         .unwrap();
-        let queries =
-            generate_queries(&ps, 8, QueryDistribution::DataDifference, 3).unwrap();
+        let queries = generate_queries(&ps, 8, QueryDistribution::DataDifference, 3).unwrap();
         (ps, queries)
     }
 

@@ -67,7 +67,7 @@ pub fn parse_fvecs(raw: &[u8]) -> Result<(usize, Vec<Scalar>)> {
 ///
 /// Returns an error on I/O failure or if `data.len()` is not a multiple of `dim`.
 pub fn write_fvecs(path: &Path, dim: usize, data: &[Scalar]) -> Result<()> {
-    if dim == 0 || data.len() % dim != 0 {
+    if dim == 0 || !data.len().is_multiple_of(dim) {
         return Err(Error::DimensionMismatch { expected: dim, actual: data.len() % dim.max(1) });
     }
     let mut buf = BytesMut::with_capacity(data.len() * 4 + (data.len() / dim) * 4);
@@ -102,10 +102,9 @@ pub fn read_csv(path: &Path) -> Result<(usize, Vec<Scalar>)> {
         }
         let mut count = 0usize;
         for field in trimmed.split(',') {
-            let value: Scalar = field
-                .trim()
-                .parse()
-                .map_err(|_| Error::Io(format!("line {}: invalid number `{field}`", line_no + 1)))?;
+            let value: Scalar = field.trim().parse().map_err(|_| {
+                Error::Io(format!("line {}: invalid number `{field}`", line_no + 1))
+            })?;
             data.push(value);
             count += 1;
         }
@@ -127,7 +126,7 @@ pub fn read_csv(path: &Path) -> Result<(usize, Vec<Scalar>)> {
 ///
 /// Returns an error on I/O failure or shape mismatch.
 pub fn write_csv(path: &Path, dim: usize, data: &[Scalar]) -> Result<()> {
-    if dim == 0 || data.len() % dim != 0 {
+    if dim == 0 || !data.len().is_multiple_of(dim) {
         return Err(Error::DimensionMismatch { expected: dim, actual: data.len() % dim.max(1) });
     }
     let mut writer = BufWriter::new(File::create(path)?);
@@ -148,7 +147,7 @@ const NATIVE_MAGIC: &[u8; 4] = b"P2HD";
 ///
 /// Returns an error on I/O failure or shape mismatch.
 pub fn write_native(path: &Path, dim: usize, data: &[Scalar]) -> Result<()> {
-    if dim == 0 || data.len() % dim != 0 {
+    if dim == 0 || !data.len().is_multiple_of(dim) {
         return Err(Error::DimensionMismatch { expected: dim, actual: data.len() % dim.max(1) });
     }
     let n = data.len() / dim;

@@ -55,7 +55,8 @@ fn cluster_generator_produces_lower_within_cluster_spread() {
 
 #[test]
 fn uniform_generator_stays_within_bounds() {
-    let ds = SyntheticDataset::new("uniform", 2_000, 6, DataDistribution::Uniform { scale: 2.5 }, 3);
+    let ds =
+        SyntheticDataset::new("uniform", 2_000, 6, DataDistribution::Uniform { scale: 2.5 }, 3);
     let raw = ds.generate_raw();
     assert!(raw.iter().all(|v| v.abs() <= 2.5));
     // Mean should be near zero in every coordinate.
@@ -121,8 +122,8 @@ fn heavy_tailed_data_is_far_from_unit_hypersphere() {
     let points = ds.generate().unwrap();
     let norms: Vec<f32> = points.iter().map(|x| distance::norm(&x[..24])).collect();
     let mean = norms.iter().sum::<f32>() / norms.len() as f32;
-    let within_10pct =
-        norms.iter().filter(|n| (**n - mean).abs() < 0.1 * mean).count() as f64 / norms.len() as f64;
+    let within_10pct = norms.iter().filter(|n| (**n - mean).abs() < 0.1 * mean).count() as f64
+        / norms.len() as f64;
     assert!(
         within_10pct < 0.5,
         "most norms should be far from the mean (got {within_10pct:.2} within 10%)"

@@ -1,0 +1,200 @@
+//! Batch request/response types and the latency histogram.
+
+use p2h_core::{HyperplaneQuery, Scalar, SearchParams, SearchResult, SearchStats};
+
+/// A batch of hyperplane queries with a shared default [`SearchParams`] and optional
+/// per-query overrides.
+///
+/// Overrides let one batch mix workloads — e.g. most queries exact, a few with a tight
+/// candidate budget — without splitting it into multiple round trips.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRequest {
+    /// The queries, in the order results will be returned.
+    pub queries: Vec<HyperplaneQuery>,
+    /// Parameters applied to every query without an override.
+    pub default_params: SearchParams,
+    /// Sparse per-query parameter overrides, keyed by query position.
+    pub overrides: Vec<(usize, SearchParams)>,
+}
+
+impl BatchRequest {
+    /// Creates a batch applying `default_params` to every query.
+    pub fn new(queries: Vec<HyperplaneQuery>, default_params: SearchParams) -> Self {
+        Self { queries, default_params, overrides: Vec::new() }
+    }
+
+    /// Overrides the parameters of the query at `position` (builder style). The last
+    /// override for a position wins.
+    #[must_use]
+    pub fn with_override(mut self, position: usize, params: SearchParams) -> Self {
+        self.overrides.push((position, params));
+        self
+    }
+
+    /// The parameters in effect for the query at `position`.
+    pub fn params_for(&self, position: usize) -> &SearchParams {
+        self.overrides
+            .iter()
+            .rev()
+            .find(|(p, _)| *p == position)
+            .map_or(&self.default_params, |(_, params)| params)
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the batch contains no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+/// The answer to a [`BatchRequest`].
+#[derive(Debug, Clone)]
+pub struct BatchResponse {
+    /// Per-query results, in request order. Identical to what sequential execution
+    /// would return, regardless of how many threads served the batch.
+    pub results: Vec<SearchResult>,
+    /// Per-query wall-clock latency in nanoseconds, in request order (the raw samples
+    /// behind `latency`; useful when a caller needs to attribute latency to a query).
+    pub latencies_ns: Vec<u64>,
+    /// Component-wise sum of every query's [`SearchStats`].
+    pub total_stats: SearchStats,
+    /// Distribution of per-query wall-clock latencies.
+    pub latency: LatencyHistogram,
+    /// Wall-clock nanoseconds for the whole batch (including scheduling overhead).
+    pub wall_time_ns: u64,
+}
+
+impl BatchResponse {
+    /// Queries answered per second of batch wall-clock time.
+    pub fn throughput_qps(&self) -> f64 {
+        if self.wall_time_ns == 0 {
+            return 0.0;
+        }
+        self.results.len() as f64 / (self.wall_time_ns as f64 / 1.0e9)
+    }
+}
+
+/// An exact latency distribution over one batch: stores the sorted per-query latencies
+/// and answers arbitrary quantiles.
+///
+/// Batch sizes in this workspace are at most tens of thousands of queries, so storing
+/// every sample exactly is cheaper and more precise than bucketing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    sorted_ns: Vec<u64>,
+}
+
+impl LatencyHistogram {
+    /// Builds a histogram from raw per-query latencies (any order).
+    pub fn from_latencies(mut latencies_ns: Vec<u64>) -> Self {
+        latencies_ns.sort_unstable();
+        Self { sorted_ns: latencies_ns }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.sorted_ns.len()
+    }
+
+    /// The `q`-quantile latency in nanoseconds (`q` in `[0, 1]`, nearest-rank method),
+    /// or 0 if no samples were recorded.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.sorted_ns.is_empty() {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.sorted_ns.len() as f64).ceil() as usize).max(1);
+        self.sorted_ns[rank - 1]
+    }
+
+    /// Median latency (ns).
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 95th-percentile latency (ns).
+    pub fn p95_ns(&self) -> u64 {
+        self.quantile_ns(0.95)
+    }
+
+    /// 99th-percentile latency (ns).
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
+    }
+
+    /// Maximum latency (ns), or 0 with no samples.
+    pub fn max_ns(&self) -> u64 {
+        self.sorted_ns.last().copied().unwrap_or(0)
+    }
+
+    /// Mean latency (ns), or 0 with no samples.
+    pub fn mean_ns(&self) -> f64 {
+        if self.sorted_ns.is_empty() {
+            return 0.0;
+        }
+        self.sorted_ns.iter().map(|&ns| ns as f64).sum::<f64>() / self.sorted_ns.len() as f64
+    }
+
+    /// A compact one-line summary in milliseconds, for logs and benchmark output.
+    pub fn summary_ms(&self) -> String {
+        let to_ms = |ns: u64| ns as Scalar / 1.0e6;
+        format!(
+            "p50={:.3}ms p95={:.3}ms p99={:.3}ms max={:.3}ms (n={})",
+            to_ms(self.p50_ns()),
+            to_ms(self.p95_ns()),
+            to_ms(self.p99_ns()),
+            to_ms(self.max_ns()),
+            self.count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2h_core::HyperplaneQuery;
+
+    fn query() -> HyperplaneQuery {
+        HyperplaneQuery::from_normal_and_bias(&[1.0, 0.0], -0.5).unwrap()
+    }
+
+    #[test]
+    fn overrides_apply_per_position() {
+        let request = BatchRequest::new(vec![query(), query(), query()], SearchParams::exact(5))
+            .with_override(1, SearchParams::approximate(5, 100))
+            .with_override(1, SearchParams::approximate(5, 200));
+        assert_eq!(request.len(), 3);
+        assert!(!request.is_empty());
+        assert_eq!(request.params_for(0).candidate_limit, None);
+        // Last override wins.
+        assert_eq!(request.params_for(1).candidate_limit, Some(200));
+        assert_eq!(request.params_for(2).candidate_limit, None);
+    }
+
+    #[test]
+    fn histogram_quantiles_use_nearest_rank() {
+        let histogram = LatencyHistogram::from_latencies((1..=100).rev().collect());
+        assert_eq!(histogram.count(), 100);
+        assert_eq!(histogram.p50_ns(), 50);
+        assert_eq!(histogram.p95_ns(), 95);
+        assert_eq!(histogram.p99_ns(), 99);
+        assert_eq!(histogram.max_ns(), 100);
+        assert_eq!(histogram.quantile_ns(0.0), 1);
+        assert_eq!(histogram.quantile_ns(1.0), 100);
+        assert!((histogram.mean_ns() - 50.5).abs() < 1e-9);
+        assert!(histogram.summary_ms().contains("n=100"));
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let histogram = LatencyHistogram::default();
+        assert_eq!(histogram.count(), 0);
+        assert_eq!(histogram.p99_ns(), 0);
+        assert_eq!(histogram.max_ns(), 0);
+        assert_eq!(histogram.mean_ns(), 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! The scoped-thread batch executor.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use p2h_core::{P2hIndex, SearchResult, SearchStats};
+
+use crate::batch::{BatchRequest, BatchResponse, LatencyHistogram};
+
+/// Executes query batches over worker threads with deterministic result ordering.
+///
+/// Work distribution is dynamic (an atomic cursor hands out the next query index), so
+/// skewed per-query costs do not idle workers. Results are reassembled in request order
+/// and each query is answered independently, so the response's `results` are bit-identical
+/// to sequential execution no matter how many threads ran the batch — only the latency
+/// histogram and wall-clock time vary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchExecutor {
+    threads: usize,
+}
+
+impl Default for BatchExecutor {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl BatchExecutor {
+    /// Creates an executor with the given worker-thread count; `0` means one worker per
+    /// available CPU.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(4, |p| p.get())
+        } else {
+            threads
+        };
+        Self { threads }
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes every query of `request` against `index`, in parallel.
+    ///
+    /// The caller is responsible for dimension validation (see `Engine::serve`); passing
+    /// a query whose dimension does not match the index panics, exactly as
+    /// [`P2hIndex::search`] does.
+    pub fn execute(&self, index: &dyn P2hIndex, request: &BatchRequest) -> BatchResponse {
+        let n = request.queries.len();
+        let start = Instant::now();
+        let workers = self.threads.min(n).max(1);
+
+        let mut slots: Vec<Option<(SearchResult, u64)>> = if workers <= 1 {
+            run_range(index, request, 0, n)
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let mut per_worker: Vec<Vec<(usize, SearchResult, u64)>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers)
+                        .map(|_| {
+                            scope.spawn(|| {
+                                let mut local = Vec::with_capacity(n / workers + 1);
+                                loop {
+                                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                    if i >= n {
+                                        return local;
+                                    }
+                                    let query_start = Instant::now();
+                                    let result =
+                                        index.search(&request.queries[i], request.params_for(i));
+                                    let latency_ns = query_start.elapsed().as_nanos() as u64;
+                                    local.push((i, result, latency_ns));
+                                }
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("batch worker thread panicked"))
+                        .collect()
+                });
+
+            let mut slots: Vec<Option<(SearchResult, u64)>> = (0..n).map(|_| None).collect();
+            for chunk in per_worker.drain(..) {
+                for (i, result, latency_ns) in chunk {
+                    slots[i] = Some((result, latency_ns));
+                }
+            }
+            slots
+        };
+
+        let mut results = Vec::with_capacity(n);
+        let mut latencies_ns = Vec::with_capacity(n);
+        let mut total_stats = SearchStats::default();
+        for slot in slots.iter_mut() {
+            let (result, latency_ns) = slot.take().expect("every query index was dispatched");
+            total_stats.merge(&result.stats);
+            latencies_ns.push(latency_ns);
+            results.push(result);
+        }
+
+        BatchResponse {
+            results,
+            latency: LatencyHistogram::from_latencies(latencies_ns.clone()),
+            latencies_ns,
+            total_stats,
+            wall_time_ns: start.elapsed().as_nanos() as u64,
+        }
+    }
+}
+
+/// Sequential fallback used for one worker (avoids the scope/atomic overhead).
+fn run_range(
+    index: &dyn P2hIndex,
+    request: &BatchRequest,
+    from: usize,
+    to: usize,
+) -> Vec<Option<(SearchResult, u64)>> {
+    (from..to)
+        .map(|i| {
+            let query_start = Instant::now();
+            let result = index.search(&request.queries[i], request.params_for(i));
+            let latency_ns = query_start.elapsed().as_nanos() as u64;
+            Some((result, latency_ns))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2h_core::{HyperplaneQuery, LinearScan, PointSet, Scalar, SearchParams};
+
+    fn setup(n: usize) -> (LinearScan, Vec<HyperplaneQuery>) {
+        let rows: Vec<Vec<Scalar>> = (0..n)
+            .map(|i| vec![(i % 31) as Scalar * 0.7 - 10.0, (i % 17) as Scalar * 0.3])
+            .collect();
+        let points = PointSet::augment(&rows).unwrap();
+        let queries = (0..24)
+            .map(|i| {
+                HyperplaneQuery::from_normal_and_bias(
+                    &[1.0, (i as Scalar * 0.37).sin()],
+                    -(i as Scalar * 0.5) + 3.0,
+                )
+                .unwrap()
+            })
+            .collect();
+        (LinearScan::new(points), queries)
+    }
+
+    #[test]
+    fn parallel_results_match_sequential_bit_for_bit() {
+        let (index, queries) = setup(800);
+        let request = BatchRequest::new(queries, SearchParams::exact(7))
+            .with_override(3, SearchParams::approximate(7, 50))
+            .with_override(11, SearchParams::exact(2));
+        let sequential = BatchExecutor::new(1).execute(&index, &request);
+        for threads in [2, 4, 8] {
+            let parallel = BatchExecutor::new(threads).execute(&index, &request);
+            assert_eq!(parallel.results.len(), sequential.results.len());
+            for (p, s) in parallel.results.iter().zip(sequential.results.iter()) {
+                assert_eq!(p.neighbors, s.neighbors, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn aggregates_cover_every_query() {
+        let (index, queries) = setup(300);
+        let n_queries = queries.len();
+        let request = BatchRequest::new(queries, SearchParams::exact(3));
+        let response = BatchExecutor::new(4).execute(&index, &request);
+        assert_eq!(response.results.len(), n_queries);
+        assert_eq!(response.latency.count(), n_queries);
+        // Linear scan verifies every point for every query.
+        assert_eq!(response.total_stats.candidates_verified, (300 * n_queries) as u64);
+        assert!(response.wall_time_ns > 0);
+        assert!(response.throughput_qps() > 0.0);
+    }
+
+    #[test]
+    fn empty_batch_is_safe() {
+        let (index, _) = setup(10);
+        let request = BatchRequest::new(Vec::new(), SearchParams::exact(1));
+        let response = BatchExecutor::new(4).execute(&index, &request);
+        assert!(response.results.is_empty());
+        assert_eq!(response.latency.count(), 0);
+        assert_eq!(response.throughput_qps(), 0.0);
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        let executor = BatchExecutor::new(0);
+        assert!(executor.threads() >= 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! A concurrent, name-keyed registry of shared indexes.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+use p2h_core::P2hIndex;
+
+/// A reference-counted, immutable index that can be searched from any thread.
+///
+/// `P2hIndex` requires `Send + Sync`, so a `SharedIndex` can be handed to scoped worker
+/// threads or cloned into long-lived serving tasks for free.
+pub type SharedIndex = Arc<dyn P2hIndex>;
+
+/// A thread-safe registry mapping names to [`SharedIndex`]es.
+///
+/// Registration replaces any previous index under the same name (last write wins) and
+/// returns the shared handle, so callers can keep searching an index they registered
+/// without going through the registry again. Lookups clone the `Arc`, never the index.
+#[derive(Default)]
+pub struct IndexRegistry {
+    inner: RwLock<HashMap<String, SharedIndex>>,
+}
+
+impl IndexRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an index under `name`, replacing any previous entry, and returns the
+    /// shared handle.
+    pub fn register(&self, name: impl Into<String>, index: impl P2hIndex + 'static) -> SharedIndex {
+        self.register_shared(name, Arc::new(index))
+    }
+
+    /// Registers an already-shared index under `name`, replacing any previous entry.
+    pub fn register_shared(&self, name: impl Into<String>, index: SharedIndex) -> SharedIndex {
+        let mut map = self.inner.write().expect("index registry lock poisoned");
+        map.insert(name.into(), Arc::clone(&index));
+        index
+    }
+
+    /// Looks an index up by name.
+    pub fn get(&self, name: &str) -> Option<SharedIndex> {
+        let map = self.inner.read().expect("index registry lock poisoned");
+        map.get(name).cloned()
+    }
+
+    /// Removes an index, returning its handle if it was present. In-flight searches
+    /// holding the `Arc` are unaffected; the index is freed when the last handle drops.
+    pub fn remove(&self, name: &str) -> Option<SharedIndex> {
+        let mut map = self.inner.write().expect("index registry lock poisoned");
+        map.remove(name)
+    }
+
+    /// The registered names, sorted for deterministic output.
+    pub fn names(&self) -> Vec<String> {
+        let map = self.inner.read().expect("index registry lock poisoned");
+        let mut names: Vec<String> = map.keys().cloned().collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Number of registered indexes.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("index registry lock poisoned").len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for IndexRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexRegistry").field("names", &self.names()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2h_core::{LinearScan, PointSet, Scalar};
+
+    fn tiny_scan(value: Scalar) -> LinearScan {
+        let rows = vec![vec![value, 0.0], vec![0.0, value]];
+        LinearScan::new(PointSet::augment(&rows).unwrap())
+    }
+
+    #[test]
+    fn register_get_remove() {
+        let registry = IndexRegistry::new();
+        assert!(registry.is_empty());
+        registry.register("a", tiny_scan(1.0));
+        registry.register("b", tiny_scan(2.0));
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.names(), vec!["a".to_string(), "b".to_string()]);
+        assert!(registry.get("a").is_some());
+        assert!(registry.get("missing").is_none());
+        assert!(registry.remove("a").is_some());
+        assert!(registry.get("a").is_none());
+        assert!(registry.remove("a").is_none());
+    }
+
+    #[test]
+    fn registration_replaces_and_returns_handle() {
+        let registry = IndexRegistry::new();
+        let first = registry.register("x", tiny_scan(1.0));
+        let second = registry.register("x", tiny_scan(2.0));
+        assert_eq!(registry.len(), 1);
+        // The returned handles stay usable independently of the registry state.
+        assert_eq!(first.len(), 2);
+        assert_eq!(second.len(), 2);
+        assert!(
+            !Arc::ptr_eq(&first, &registry.get("x").unwrap())
+                || Arc::ptr_eq(&second, &registry.get("x").unwrap())
+        );
+    }
+
+    #[test]
+    fn lookups_share_not_copy() {
+        let registry = IndexRegistry::new();
+        let handle = registry.register("shared", tiny_scan(1.0));
+        let looked_up = registry.get("shared").unwrap();
+        assert!(Arc::ptr_eq(&handle, &looked_up));
+    }
+}

@@ -1,0 +1,141 @@
+//! The `Engine` façade: registry + executor + request validation.
+
+use p2h_core::{Error, Result};
+
+use crate::batch::{BatchRequest, BatchResponse};
+use crate::executor::BatchExecutor;
+use crate::registry::{IndexRegistry, SharedIndex};
+
+/// A batch-query serving engine: a shared [`IndexRegistry`] plus a [`BatchExecutor`].
+///
+/// `Engine` is `Send + Sync`; wrap it in an `Arc` and serve batches from any number of
+/// threads concurrently. Registration and serving can interleave freely — an index
+/// removed mid-flight stays alive until its last in-flight batch completes.
+#[derive(Debug, Default)]
+pub struct Engine {
+    registry: IndexRegistry,
+    executor: BatchExecutor,
+}
+
+impl Engine {
+    /// Creates an engine whose executor uses `threads` workers per batch (`0` = one per
+    /// available CPU).
+    pub fn new(threads: usize) -> Self {
+        Self { registry: IndexRegistry::new(), executor: BatchExecutor::new(threads) }
+    }
+
+    /// The index registry (register/lookup/remove indexes here).
+    pub fn registry(&self) -> &IndexRegistry {
+        &self.registry
+    }
+
+    /// The batch executor.
+    pub fn executor(&self) -> &BatchExecutor {
+        &self.executor
+    }
+
+    /// Serves a batch against the index registered under `index_name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if no index is registered under `index_name`
+    /// and [`Error::DimensionMismatch`] if any query's dimension differs from the
+    /// index's augmented dimension (checked up front, so a bad query cannot panic a
+    /// worker thread mid-batch).
+    pub fn serve(&self, index_name: &str, request: &BatchRequest) -> Result<BatchResponse> {
+        let index = self.registry.get(index_name).ok_or_else(|| Error::InvalidParameter {
+            name: "index_name",
+            message: format!("no index registered under `{index_name}`"),
+        })?;
+        self.serve_index(&index, request)
+    }
+
+    /// Serves a batch against an explicit index handle (skips the registry lookup).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::DimensionMismatch`] on any query/index dimension mismatch and
+    /// [`Error::InvalidParameter`] if an override targets a position outside the batch
+    /// (a silent no-op otherwise — almost certainly an off-by-one at the call site).
+    pub fn serve_index(
+        &self,
+        index: &SharedIndex,
+        request: &BatchRequest,
+    ) -> Result<BatchResponse> {
+        let dim = index.dim();
+        for query in &request.queries {
+            if query.dim() != dim {
+                return Err(Error::DimensionMismatch { expected: dim, actual: query.dim() });
+            }
+        }
+        for &(position, _) in &request.overrides {
+            if position >= request.queries.len() {
+                return Err(Error::InvalidParameter {
+                    name: "overrides",
+                    message: format!(
+                        "override targets position {position} but the batch has {} queries",
+                        request.queries.len()
+                    ),
+                });
+            }
+        }
+        Ok(self.executor.execute(index.as_ref(), request))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2h_core::{HyperplaneQuery, LinearScan, PointSet, Scalar, SearchParams};
+
+    fn engine_with_scan() -> Engine {
+        let rows: Vec<Vec<Scalar>> =
+            (0..100).map(|i| vec![i as Scalar * 0.1, (i % 5) as Scalar]).collect();
+        let engine = Engine::new(2);
+        engine.registry().register("scan", LinearScan::new(PointSet::augment(&rows).unwrap()));
+        engine
+    }
+
+    #[test]
+    fn serves_registered_indexes() {
+        let engine = engine_with_scan();
+        let queries = vec![HyperplaneQuery::from_normal_and_bias(&[1.0, 0.0], -2.0).unwrap()];
+        let request = BatchRequest::new(queries, SearchParams::exact(3));
+        let response = engine.serve("scan", &request).unwrap();
+        assert_eq!(response.results.len(), 1);
+        assert_eq!(response.results[0].neighbors.len(), 3);
+    }
+
+    #[test]
+    fn unknown_index_is_an_error() {
+        let engine = engine_with_scan();
+        let request = BatchRequest::new(Vec::new(), SearchParams::exact(1));
+        assert!(matches!(
+            engine.serve("nope", &request),
+            Err(Error::InvalidParameter { name: "index_name", .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_override_is_an_error_not_a_silent_noop() {
+        let engine = engine_with_scan();
+        let queries = vec![HyperplaneQuery::from_normal_and_bias(&[1.0, 0.0], -2.0).unwrap()];
+        let request = BatchRequest::new(queries, SearchParams::exact(3))
+            .with_override(1, SearchParams::approximate(3, 10));
+        assert!(matches!(
+            engine.serve("scan", &request),
+            Err(Error::InvalidParameter { name: "overrides", .. })
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error_not_a_panic() {
+        let engine = engine_with_scan();
+        let wrong_dim = vec![HyperplaneQuery::from_normal_and_bias(&[1.0, 0.0, 0.0], 0.0).unwrap()];
+        let request = BatchRequest::new(wrong_dim, SearchParams::exact(1));
+        assert!(matches!(
+            engine.serve("scan", &request),
+            Err(Error::DimensionMismatch { expected: 3, actual: 4 })
+        ));
+    }
+}

@@ -3,7 +3,9 @@
 //! Evaluation harness for the P2HNNS indexes: the metrics of Section V-B of the paper
 //! (recall, query time, indexing time, index size), candidate-budget sweeps that trace
 //! the query-time/recall curves of Figures 5–9 and 11, the phase-level time profile of
-//! Figure 10, and report emission (CSV + Markdown) used by the benchmark binaries.
+//! Figure 10, report emission (CSV + Markdown) used by the benchmark binaries, and a
+//! parallel batch-evaluation path ([`evaluate_parallel`]) reporting both per-query
+//! latency and batch throughput.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -16,4 +18,7 @@ mod runner;
 pub use metrics::{MethodEvaluation, QueryEvaluation};
 pub use profile::{time_profile, TimeProfile};
 pub use report::{markdown_table, write_csv, Curve, CurvePoint, IndexingReport};
-pub use runner::{budget_for_recall, evaluate, measure_build, sweep_budgets};
+pub use runner::{
+    budget_for_recall, evaluate, evaluate_parallel, measure_build, sweep_budgets,
+    ParallelEvaluation,
+};

@@ -44,8 +44,7 @@ impl MethodEvaluation {
     ) -> Self {
         let n = per_query.len().max(1) as f64;
         let mean_recall = per_query.iter().map(|q| q.recall).sum::<f64>() / n;
-        let avg_query_time_ms =
-            per_query.iter().map(|q| q.time_ns as f64).sum::<f64>() / n / 1.0e6;
+        let avg_query_time_ms = per_query.iter().map(|q| q.time_ns as f64).sum::<f64>() / n / 1.0e6;
         let mut total_stats = SearchStats::default();
         for q in &per_query {
             total_stats.merge(&q.stats);

@@ -240,8 +240,7 @@ mod tests {
         let ps = dataset(800, 8);
         let index = NhIndex::build(&ps, NhParams::new(2, 8)).unwrap();
         let scan = LinearScan::new(ps.clone());
-        let queries =
-            generate_queries(&ps, 5, QueryDistribution::DataDifference, 1).unwrap();
+        let queries = generate_queries(&ps, 5, QueryDistribution::DataDifference, 1).unwrap();
         for q in &queries {
             let exact = scan.search_exact(q, 5);
             let got = index.search_exact(q, 5);
@@ -254,8 +253,7 @@ mod tests {
         let ps = dataset(4_000, 12);
         let index = NhIndex::build(&ps, NhParams::new(4, 16)).unwrap();
         let scan = LinearScan::new(ps.clone());
-        let queries =
-            generate_queries(&ps, 10, QueryDistribution::DataDifference, 2).unwrap();
+        let queries = generate_queries(&ps, 10, QueryDistribution::DataDifference, 2).unwrap();
         let mut hits = 0usize;
         for q in &queries {
             let exact: Vec<usize> = scan.search_exact(q, 10).indices();

@@ -311,8 +311,7 @@ mod tests {
         let qproj = tables.project(&[4.5]);
         let stream = tables.nearest_candidates(&qproj);
         let dir = tables.directions[0];
-        let gaps: Vec<Scalar> =
-            stream.map(|id| (dir * id as Scalar - qproj[0]).abs()).collect();
+        let gaps: Vec<Scalar> = stream.map(|id| (dir * id as Scalar - qproj[0]).abs()).collect();
         assert!(
             gaps.windows(2).all(|w| w[0] <= w[1] + 1e-6),
             "nearest-first gaps must be non-decreasing: {gaps:?}"

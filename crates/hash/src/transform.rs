@@ -54,9 +54,7 @@ impl QuadraticTransform {
         let mut rng = StdRng::seed_from_u64(seed);
         let lambda = lambda.max(1);
         let pairs = (0..lambda)
-            .map(|_| {
-                (rng.gen_range(0..input_dim) as u32, rng.gen_range(0..input_dim) as u32)
-            })
+            .map(|_| (rng.gen_range(0..input_dim) as u32, rng.gen_range(0..input_dim) as u32))
             .collect();
         // Each product is sampled with probability λ/d², so rescale by d/sqrt(λ) to make
         // the sampled inner product an unbiased estimator of ⟨x,q⟩².
@@ -77,20 +75,14 @@ impl QuadraticTransform {
     /// Transforms a data point: `f(x)[k] = scale · x_i · x_j` for the k-th sampled pair.
     pub fn transform_data(&self, x: &[Scalar]) -> Vec<Scalar> {
         debug_assert_eq!(x.len(), self.input_dim);
-        self.pairs
-            .iter()
-            .map(|&(i, j)| self.scale * x[i as usize] * x[j as usize])
-            .collect()
+        self.pairs.iter().map(|&(i, j)| self.scale * x[i as usize] * x[j as usize]).collect()
     }
 
     /// Transforms a query with the given sign (`-1` for NH so that larger inner product
     /// means smaller `⟨x,q⟩²`; `+1` for FH).
     pub fn transform_query(&self, q: &[Scalar], sign: Scalar) -> Vec<Scalar> {
         debug_assert_eq!(q.len(), self.input_dim);
-        self.pairs
-            .iter()
-            .map(|&(i, j)| sign * self.scale * q[i as usize] * q[j as usize])
-            .collect()
+        self.pairs.iter().map(|&(i, j)| sign * self.scale * q[i as usize] * q[j as usize]).collect()
     }
 
     /// The exact inner product the transform represents:

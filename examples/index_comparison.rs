@@ -92,10 +92,7 @@ fn main() {
         }
     }
     println!("Query time vs recall across candidate budgets:\n");
-    println!(
-        "{}",
-        markdown_table(&["Method", "Budget", "Recall (%)", "Query Time (ms)"], &rows)
-    );
+    println!("{}", markdown_table(&["Method", "Budget", "Recall (%)", "Query Time (ms)"], &rows));
     println!(
         "The trees reach high recall at a fraction of the hashing methods' query time, \
          while their index structures are one to two orders of magnitude smaller — the \

@@ -52,8 +52,7 @@ fn main() {
             let a = points.point(rng.gen_range(0..points.len()));
             let b = points.point(rng.gen_range(0..points.len()));
             let raw_dim = points.dim() - 1;
-            let normal: Vec<Scalar> =
-                (0..raw_dim).map(|j| a[j] - b[j]).collect();
+            let normal: Vec<Scalar> = (0..raw_dim).map(|j| a[j] - b[j]).collect();
             let bias: Scalar =
                 -(0..raw_dim).map(|j| normal[j] * 0.5 * (a[j] + b[j])).sum::<Scalar>();
             if let Ok(q) = HyperplaneQuery::from_normal_and_bias(&normal, bias) {
@@ -91,14 +90,17 @@ fn main() {
     assert!((best_margin - scan_margin).abs() < 1e-4);
 
     println!("scored {CANDIDATES} candidate hyperplanes (exact k=1 P2HNNS each):");
-    println!("  BC-Tree     : {:>8.3} s total, {:.3} ms per hyperplane",
-        tree_time.as_secs_f64(), tree_time.as_secs_f64() * 1e3 / CANDIDATES as f64);
-    println!("  Linear scan : {:>8.3} s total, {:.3} ms per hyperplane",
-        scan_time.as_secs_f64(), scan_time.as_secs_f64() * 1e3 / CANDIDATES as f64);
     println!(
-        "  speedup     : {:.1}×",
-        scan_time.as_secs_f64() / tree_time.as_secs_f64().max(1e-9)
+        "  BC-Tree     : {:>8.3} s total, {:.3} ms per hyperplane",
+        tree_time.as_secs_f64(),
+        tree_time.as_secs_f64() * 1e3 / CANDIDATES as f64
     );
+    println!(
+        "  Linear scan : {:>8.3} s total, {:.3} ms per hyperplane",
+        scan_time.as_secs_f64(),
+        scan_time.as_secs_f64() * 1e3 / CANDIDATES as f64
+    );
+    println!("  speedup     : {:.1}×", scan_time.as_secs_f64() / tree_time.as_secs_f64().max(1e-9));
     println!(
         "\nwidest-margin hyperplane: candidate #{best_idx} with margin {best_margin:.4} \
          (both methods agree)"

@@ -1,0 +1,177 @@
+//! Offline stand-in for the subset of the `bytes` crate used by the workspace's data IO:
+//! little-endian get/put of integers and floats over owned byte buffers. No shared-slice
+//! refcounting — [`Bytes`] is a plain owned buffer with a read cursor, which is all the
+//! fvecs/native readers need.
+
+#![warn(missing_docs)]
+
+use std::ops::Deref;
+
+/// Read-side cursor operations (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Number of unread bytes.
+    fn remaining(&self) -> usize;
+
+    /// Reads `dst.len()` bytes into `dst`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Whether any unread bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads a little-endian `i32`, advancing the cursor.
+    fn get_i32_le(&mut self) -> i32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        i32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u32`, advancing the cursor.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`, advancing the cursor.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f32`, advancing the cursor.
+    fn get_f32_le(&mut self) -> f32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        f32::from_le_bytes(b)
+    }
+}
+
+/// Write-side append operations (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `i32`.
+    fn put_i32_le(&mut self, v: i32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// An owned, immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Self { data: src.to_vec(), pos: 0 }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data, pos: 0 }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "Bytes: read past end of buffer");
+        dst.copy_from_slice(&self.data[self.pos..self.pos + dst.len()]);
+        self.pos += dst.len();
+    }
+}
+
+/// A growable byte buffer for building binary payloads.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with pre-reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { data: Vec::with_capacity(capacity) }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_little_endian_values() {
+        let mut buf = BytesMut::with_capacity(24);
+        buf.put_i32_le(-7);
+        buf.put_u32_le(42);
+        buf.put_u64_le(u64::MAX - 1);
+        buf.put_f32_le(1.5);
+        buf.put_slice(b"xy");
+
+        let mut bytes = Bytes::copy_from_slice(&buf);
+        assert_eq!(bytes.remaining(), 22);
+        assert_eq!(bytes.get_i32_le(), -7);
+        assert_eq!(bytes.get_u32_le(), 42);
+        assert_eq!(bytes.get_u64_le(), u64::MAX - 1);
+        assert_eq!(bytes.get_f32_le(), 1.5);
+        let mut tail = [0u8; 2];
+        bytes.copy_to_slice(&mut tail);
+        assert_eq!(&tail, b"xy");
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn overread_panics() {
+        let mut bytes = Bytes::from(vec![1u8, 2]);
+        let _ = bytes.get_u32_le();
+    }
+}

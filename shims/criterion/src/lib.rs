@@ -1,0 +1,215 @@
+//! Offline stand-in for the Criterion benchmarking API surface this workspace uses.
+//!
+//! The real Criterion crate cannot be vendored in this offline environment, so this shim
+//! provides a source-compatible subset — [`Criterion`], [`criterion_group!`],
+//! [`criterion_main!`], benchmark groups, `iter` / `iter_batched`, [`black_box`] — with a
+//! deliberately simple measurement loop: a short warm-up, then timed batches until a
+//! small time budget is exhausted, reporting mean time per iteration. No statistics,
+//! plots, or baselines; good enough to compare kernels and spot regressions by hand.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Time budget spent measuring each benchmark function.
+const MEASURE_BUDGET: Duration = Duration::from_millis(300);
+/// Warm-up iterations before measurement starts.
+const WARMUP_ITERS: u64 = 3;
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\ngroup {name}");
+        BenchmarkGroup { name, _sample_size: 0 }
+    }
+
+    /// Registers and immediately runs one benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{id}"), f);
+    }
+}
+
+/// A named collection of benchmarks (subset of Criterion's `BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    _sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for source compatibility; the shim's fixed time budget ignores it.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self._sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{id}", self.name), f);
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.0), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the shim; mirrors Criterion's API).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (subset of Criterion's `BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a single parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(format!("{parameter}"))
+    }
+
+    /// Builds an id from a function name and a parameter value.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{name}/{parameter}"))
+    }
+}
+
+/// How batched inputs are grouped (accepted for source compatibility; the shim always
+/// runs one setup per measured iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// The per-benchmark timing harness passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly until the time budget is exhausted.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        let deadline = Instant::now() + MEASURE_BUDGET;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            black_box(routine());
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Measures `routine` on inputs produced by `setup`; only `routine` is timed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let deadline = Instant::now() + MEASURE_BUDGET;
+        while Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Runs one benchmark closure and prints its mean iteration time.
+fn run_benchmark<F>(label: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("  {label}: no iterations recorded");
+        return;
+    }
+    let mean_ns = bencher.total.as_nanos() as f64 / bencher.iters as f64;
+    let (value, unit) = if mean_ns >= 1.0e9 {
+        (mean_ns / 1.0e9, "s")
+    } else if mean_ns >= 1.0e6 {
+        (mean_ns / 1.0e6, "ms")
+    } else if mean_ns >= 1.0e3 {
+        (mean_ns / 1.0e3, "us")
+    } else {
+        (mean_ns, "ns")
+    };
+    println!("  {label}: {value:.3} {unit}/iter ({} iters)", bencher.iters);
+}
+
+/// Declares a group function that runs each listed benchmark function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` to run the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher::default();
+        b.iter(|| 1 + 1);
+        assert!(b.iters > 0);
+        let mut b = Bencher::default();
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.iters > 0);
+    }
+}

@@ -1,0 +1,529 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The build environment has no network access, so the real `serde` cannot be vendored.
+//! The workspace only ever serializes plain-old-data structs to JSON and back (report
+//! records, search statistics), so this shim replaces serde's data model with a direct
+//! JSON one: [`Serialize`] writes compact JSON text, [`Deserialize`] reads from a parsed
+//! [`Value`] tree. The derive macros ([`macro@Serialize`] / [`macro@Deserialize`], from
+//! the sibling `serde_derive` shim) generate field-by-field impls compatible with
+//! `serde_json`'s compact output format (`{"key":value,...}`, enums as `"Variant"`).
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can be written as JSON.
+pub trait Serialize {
+    /// Appends the compact JSON encoding of `self` to `out`.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Types that can be read back from a parsed JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Builds `Self` from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] describing the first structural or type mismatch.
+    fn deserialize_json(value: &Value) -> Result<Self, DeError>;
+}
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number, kept as its original text so integer precision is never lost.
+    Number(String),
+    /// A string (already unescaped).
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in source order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a human-readable description of the first mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Helper used by the derive macro: fetches and deserializes one object field.
+///
+/// # Errors
+///
+/// Returns an error if `value` is not an object, the key is missing, or the field fails
+/// to deserialize.
+pub fn field<T: Deserialize>(value: &Value, key: &str) -> Result<T, DeError> {
+    match value.get(key) {
+        Some(v) => T::deserialize_json(v).map_err(|e| DeError(format!("field `{key}`: {}", e.0))),
+        None => {
+            // Missing keys deserialize as `null`, which lets `Option` fields default to
+            // `None` (mirroring #[serde(default)]-free serde_json behaviour closely
+            // enough for this workspace, which always serializes every field).
+            T::deserialize_json(&Value::Null).map_err(|_| DeError(format!("missing field `{key}`")))
+        }
+    }
+}
+
+/// Writes a JSON string literal (with escaping) to `out`.
+pub fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(itoa_buf(&mut [0u8; 40], *self as i128));
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Number(text) => text.parse::<$t>().map_err(|_| {
+                        DeError(format!("`{text}` is not a valid {}", stringify!($t)))
+                    }),
+                    other => Err(DeError(format!(
+                        "expected a number for {}, got {other:?}",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Minimal integer-to-string without allocation churn.
+fn itoa_buf(buf: &mut [u8; 40], mut v: i128) -> &str {
+    let neg = v < 0;
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (v % 10).unsigned_abs() as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    if neg {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    std::str::from_utf8(&buf[i..]).expect("ascii digits")
+}
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // Rust's Display prints the shortest representation that round-trips,
+                    // which is all the workspace needs (it never compares JSON text of
+                    // floats, only parsed values).
+                    let text = format!("{}", self);
+                    out.push_str(&text);
+                    // serde_json always marks floats as floats; keep integers parseable
+                    // as either by leaving them bare (both sides parse via from_str).
+                } else {
+                    // serde_json errors on non-finite floats; emitting null matches its
+                    // `arbitrary_precision`-free lossy mode closely enough for reports.
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Number(text) => text.parse::<$t>().map_err(|_| {
+                        DeError(format!("`{text}` is not a valid {}", stringify!($t)))
+                    }),
+                    other => Err(DeError(format!(
+                        "expected a number for {}, got {other:?}",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected a bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        write_escaped(self, out);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, out: &mut String) {
+        write_escaped(self, out);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected a string, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_json).collect(),
+            other => Err(DeError(format!("expected an array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, out: &mut String) {
+        (*self).serialize_json(out);
+    }
+}
+
+/// Parses a JSON document into a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns a [`DeError`] describing the position and nature of the first syntax error.
+pub fn parse(text: &str) -> Result<Value, DeError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(DeError(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), DeError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(DeError(format!(
+                "expected `{}` at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, DeError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(DeError(format!(
+                "unexpected character {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value, DeError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(DeError(format!("invalid keyword at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, DeError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| DeError("non-utf8 number".into()))?;
+        if text.is_empty() || text == "-" {
+            return Err(DeError(format!("invalid number at byte {start}")));
+        }
+        Ok(Value::Number(text.to_string()))
+    }
+
+    fn parse_string(&mut self) -> Result<String, DeError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(DeError("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| DeError("truncated \\u escape".into()))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| DeError("bad \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| DeError("bad \\u escape".into()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| DeError("bad \\u code point".into()))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(DeError(format!(
+                                "bad escape {:?}",
+                                other.map(|c| c as char)
+                            )))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| DeError("non-utf8 string".into()))?;
+                    let c = rest.chars().next().expect("peeked a byte");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, DeError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                other => {
+                    return Err(DeError(format!(
+                        "expected `,` or `]`, found {:?}",
+                        other.map(|c| c as char)
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, DeError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                other => {
+                    return Err(DeError(format!(
+                        "expected `,` or `}}`, found {:?}",
+                        other.map(|c| c as char)
+                    )))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut out = String::new();
+        42u64.serialize_json(&mut out);
+        (-7i32).serialize_json(&mut out);
+        assert_eq!(out, "42-7");
+
+        let v = parse("18446744073709551615").unwrap();
+        assert_eq!(u64::deserialize_json(&v).unwrap(), u64::MAX);
+
+        let v = parse("-1.5e3").unwrap();
+        assert_eq!(f64::deserialize_json(&v).unwrap(), -1500.0);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let mut out = String::new();
+        "a\"b\\c\nd".to_string().serialize_json(&mut out);
+        assert_eq!(out, r#""a\"b\\c\nd""#);
+        let v = parse(&out).unwrap();
+        assert_eq!(String::deserialize_json(&v).unwrap(), "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let data: Vec<Option<u32>> = vec![Some(1), None, Some(3)];
+        let mut out = String::new();
+        data.serialize_json(&mut out);
+        assert_eq!(out, "[1,null,3]");
+        let v = parse(&out).unwrap();
+        assert_eq!(Vec::<Option<u32>>::deserialize_json(&v).unwrap(), data);
+    }
+
+    #[test]
+    fn object_lookup_and_errors() {
+        let v = parse(r#"{"a": 1, "b": [true, false]}"#).unwrap();
+        assert_eq!(u32::deserialize_json(v.get("a").unwrap()).unwrap(), 1);
+        assert!(field::<u32>(&v, "missing").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("12 34").is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Supports exactly the shapes this workspace derives on: structs with named fields and
+//! enums with unit variants, both without generics. The macros generate impls of the
+//! shim's direct-to-JSON `Serialize` / `Deserialize` traits (see the `serde` shim crate).
+//! Parsing is done by hand over the raw token stream — `syn`/`quote` are unavailable in
+//! this offline environment, and the supported grammar is small enough not to need them.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the input item turned out to be.
+enum Item {
+    /// Struct name + named field identifiers, in declaration order.
+    Struct(String, Vec<String>),
+    /// Enum name + unit variant identifiers.
+    Enum(String, Vec<String>),
+}
+
+/// Parses the derive input: skips attributes and visibility, reads `struct`/`enum`, the
+/// type name, and the braced body. Panics with a clear message on unsupported shapes
+/// (tuple structs, generics, data-carrying enum variants), which surfaces as a compile
+/// error at the derive site.
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`, including doc comments) and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                // Optional `(crate)` / `(super)` restriction.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected a type name, got {other:?}"),
+    };
+    if matches!(&tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive: generic types are not supported (deriving `{name}`)");
+    }
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde shim derive: `{name}` must have a braced body (tuple/unit items \
+             are not supported), got {other:?}"
+        ),
+    };
+
+    match kind.as_str() {
+        "struct" => Item::Struct(name, parse_named_fields(body)),
+        "enum" => Item::Enum(name, parse_unit_variants(body)),
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Extracts field names from a named-field struct body, skipping attributes, visibility,
+/// and type tokens (commas inside `<...>` do not split fields).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    'fields: loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                None => break 'fields,
+                _ => break,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde shim derive: expected a field name, got {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "serde shim derive: expected `:` after field `{name}` \
+                 (tuple structs are unsupported), got {other:?}"
+            ),
+        }
+        fields.push(name);
+        // Skip the type up to the next top-level comma (angle brackets tracked by hand).
+        let mut angle_depth = 0i32;
+        for token in tokens.by_ref() {
+            match token {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => continue 'fields,
+                _ => {}
+            }
+        }
+        break;
+    }
+    fields
+}
+
+/// Extracts variant names from an enum body, requiring every variant to be a unit
+/// variant (no fields, no discriminants).
+fn parse_unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes (e.g. `#[default]`, doc comments).
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            other => panic!("serde shim derive: expected a variant name, got {other:?}"),
+        }
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            other => {
+                panic!("serde shim derive: only unit enum variants are supported, got {other:?}")
+            }
+        }
+    }
+    variants
+}
+
+/// Derives the shim's `Serialize` (compact-JSON writer) for a struct or unit enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct(name, fields) => {
+            let mut body = String::from("out.push('{');\n");
+            for (i, field) in fields.iter().enumerate() {
+                if i > 0 {
+                    body.push_str("out.push(',');\n");
+                }
+                body.push_str(&format!(
+                    "out.push_str(\"\\\"{field}\\\":\");\n\
+                     ::serde::Serialize::serialize_json(&self.{field}, out);\n"
+                ));
+            }
+            body.push_str("out.push('}');");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_json(&self, out: &mut ::std::string::String) {{\n{body}\n}}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: String =
+                variants.iter().map(|v| format!("Self::{v} => \"{v}\",\n")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_json(&self, out: &mut ::std::string::String) {{\n\
+                         let variant = match self {{ {arms} }};\n\
+                         ::serde::write_escaped(variant, out);\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde shim derive: generated invalid Rust")
+}
+
+/// Derives the shim's `Deserialize` (from a parsed JSON `Value`) for a struct or unit
+/// enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct(name, fields) => {
+            let inits: String =
+                fields.iter().map(|f| format!("{f}: ::serde::field(value, \"{f}\")?,\n")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_json(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         ::std::result::Result::Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok(Self::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_json(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match value {{\n\
+                             ::serde::Value::String(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError(\n\
+                                     ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             other => ::std::result::Result::Err(::serde::DeError(\n\
+                                 ::std::format!(\"expected a string for {name}, got {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde shim derive: generated invalid Rust")
+}

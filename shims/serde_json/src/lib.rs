@@ -1,0 +1,42 @@
+//! Offline stand-in for the `to_string` / `from_str` subset of `serde_json`, backed by
+//! the direct-to-JSON model of the sibling `serde` shim. Output is compact
+//! (`{"key":value}` with no whitespace), matching real serde_json's `to_string`.
+
+#![warn(missing_docs)]
+
+pub use serde::DeError as Error;
+
+/// Serializes a value to a compact JSON string.
+///
+/// # Errors
+///
+/// Never fails for the types this workspace serializes; the `Result` mirrors the real
+/// serde_json signature so call sites are source-compatible.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Parses a JSON string into a value.
+///
+/// # Errors
+///
+/// Returns an error on malformed JSON or a structural mismatch with `T`.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = serde::parse(text)?;
+    T::deserialize_json(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_trips_via_the_serde_shim() {
+        let data: Vec<Option<f64>> = vec![Some(1.5), None, Some(-3.0)];
+        let text = super::to_string(&data).unwrap();
+        assert_eq!(text, "[1.5,null,-3]");
+        let back: Vec<Option<f64>> = super::from_str(&text).unwrap();
+        assert_eq!(back, data);
+        assert!(super::from_str::<Vec<u32>>("not json").is_err());
+    }
+}

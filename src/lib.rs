@@ -15,7 +15,8 @@
 //! | [`bctree`] | `p2h-bctree` | [`BcTree`], [`BcTreeBuilder`], [`BcTreeVariant`] (Section IV) |
 //! | [`hash`] | `p2h-hash` | [`NhIndex`], [`FhIndex`] baselines (Huang et al., SIGMOD'21) |
 //! | [`data`] | `p2h-data` | synthetic data sets, query generation, ground truth, IO |
-//! | [`eval`] | `p2h-eval` | recall/time evaluation, sweeps, time profiles, reports |
+//! | [`eval`] | `p2h-eval` | recall/time evaluation (sequential + parallel), sweeps, time profiles, reports |
+//! | [`engine`] | `p2h-engine` | concurrent batch-query serving: index registry, parallel batch executor, latency histograms |
 //!
 //! ## Quickstart
 //!
@@ -37,9 +38,43 @@
 //! assert_eq!(result.neighbors[0].index, 1); // (1, 1) is nearest to the hyperplane
 //! ```
 //!
+//! ## Serving query batches concurrently
+//!
+//! Single queries answer on one core. For serving-style workloads, the [`engine`] layer
+//! shares one immutable index across worker threads ([`P2hIndex`] is `Send + Sync`),
+//! executes batches in parallel with **bit-identical results to sequential execution**,
+//! and reports latency percentiles:
+//!
+//! ```
+//! use p2hnns::engine::{BatchRequest, Engine};
+//! use p2hnns::{generate_queries, BcTreeBuilder, DataDistribution, QueryDistribution,
+//!              SearchParams, SyntheticDataset};
+//!
+//! let points = SyntheticDataset::new(
+//!     "quickstart-engine", 2_000, 16,
+//!     DataDistribution::GaussianClusters { clusters: 4, std_dev: 1.5 }, 1,
+//! ).generate().unwrap();
+//!
+//! // Parallel recursive construction (feature `parallel`, enabled by the facade);
+//! // deterministic for a given seed regardless of thread count.
+//! let tree = BcTreeBuilder::new(64).build_parallel(&points, 0).unwrap();
+//!
+//! let engine = Engine::new(0); // 0 = one worker thread per CPU
+//! engine.registry().register("bc", tree);
+//!
+//! let queries = generate_queries(&points, 8, QueryDistribution::DataDifference, 2).unwrap();
+//! let request = BatchRequest::new(queries, SearchParams::exact(10))
+//!     .with_override(0, SearchParams::approximate(10, 200)); // per-query params
+//!
+//! let response = engine.serve("bc", &request).unwrap();
+//! assert_eq!(response.results.len(), 8);
+//! println!("{} qps, {}", response.throughput_qps(), response.latency.summary_ms());
+//! ```
+//!
 //! See the `examples/` directory for end-to-end scenarios (SVM active learning,
-//! maximum-margin style selection, index comparison) and the `p2h-bench` crate for the
-//! reproduction of the paper's evaluation.
+//! maximum-margin style selection, index comparison, batch serving) and the `p2h-bench`
+//! crate for the reproduction of the paper's evaluation plus the engine
+//! throughput-scaling experiment (`engine_throughput`).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -48,6 +83,7 @@ pub use p2h_balltree as balltree;
 pub use p2h_bctree as bctree;
 pub use p2h_core as core;
 pub use p2h_data as data;
+pub use p2h_engine as engine;
 pub use p2h_eval as eval;
 pub use p2h_hash as hash;
 
@@ -60,5 +96,12 @@ pub use p2h_core::{
 pub use p2h_data::{
     generate_queries, DataDistribution, GroundTruth, QueryDistribution, SyntheticDataset,
 };
-pub use p2h_eval::{evaluate, sweep_budgets, time_profile, MethodEvaluation, TimeProfile};
+pub use p2h_engine::{
+    BatchExecutor, BatchRequest, BatchResponse, Engine, IndexRegistry, LatencyHistogram,
+    SharedIndex,
+};
+pub use p2h_eval::{
+    evaluate, evaluate_parallel, sweep_budgets, time_profile, MethodEvaluation, ParallelEvaluation,
+    TimeProfile,
+};
 pub use p2h_hash::{FhIndex, FhParams, NhIndex, NhParams};

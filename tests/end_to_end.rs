@@ -57,15 +57,15 @@ fn full_pipeline_from_catalog_to_report() {
     let bc_eval = evaluate(&bc, "BC-Tree", &queries, &gt, &SearchParams::exact(10));
     assert!((ball_eval.mean_recall - 1.0).abs() < 1e-9);
     assert!((bc_eval.mean_recall - 1.0).abs() < 1e-9);
-    assert!(
-        bc_eval.total_stats.candidates_verified <= ball_eval.total_stats.candidates_verified
-    );
+    assert!(bc_eval.total_stats.candidates_verified <= ball_eval.total_stats.candidates_verified);
 
     // 7. Emit the reports (CSV + Markdown) like the bench binaries do.
     let rows: Vec<Vec<String>> = curve
         .points
         .iter()
-        .map(|p| vec![p.budget.to_string(), format!("{:.2}", p.recall_pct), format!("{:.4}", p.time_ms)])
+        .map(|p| {
+            vec![p.budget.to_string(), format!("{:.2}", p.recall_pct), format!("{:.4}", p.time_ms)]
+        })
         .collect();
     let table = markdown_table(&["budget", "recall_pct", "time_ms"], &rows);
     assert!(table.contains("budget"));
@@ -80,15 +80,10 @@ fn full_pipeline_from_catalog_to_report() {
 #[test]
 fn facade_reexports_are_usable_together() {
     // Compile-time + runtime check that the facade exposes a coherent API surface.
-    let points = SyntheticDataset::new(
-        "facade",
-        600,
-        6,
-        DataDistribution::Uniform { scale: 3.0 },
-        3,
-    )
-    .generate()
-    .unwrap();
+    let points =
+        SyntheticDataset::new("facade", 600, 6, DataDistribution::Uniform { scale: 3.0 }, 3)
+            .generate()
+            .unwrap();
     let queries = generate_queries(&points, 3, QueryDistribution::RandomNormal, 4).unwrap();
     let gt = GroundTruth::compute(&points, &queries, 5, 2);
 

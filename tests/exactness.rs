@@ -25,8 +25,7 @@ fn all_distributions() -> Vec<DataDistribution> {
 fn trees_are_exact_on_every_distribution() {
     for (d_idx, distribution) in all_distributions().into_iter().enumerate() {
         let points = dataset(distribution, 1_500, 10, 100 + d_idx as u64);
-        let queries =
-            generate_queries(&points, 6, QueryDistribution::DataDifference, 5).unwrap();
+        let queries = generate_queries(&points, 6, QueryDistribution::DataDifference, 5).unwrap();
         let scan = LinearScan::new(points.clone());
         let ball = BallTreeBuilder::new(50).build(&points).unwrap();
         let bc = BcTreeBuilder::new(50).build(&points).unwrap();
@@ -65,8 +64,7 @@ fn hashing_baselines_are_exact_with_unlimited_budget() {
 
 #[test]
 fn bc_tree_variants_agree_on_exact_results() {
-    let points =
-        dataset(DataDistribution::Correlated { rank: 4, noise: 0.2 }, 2_000, 12, 17);
+    let points = dataset(DataDistribution::Correlated { rank: 4, noise: 0.2 }, 2_000, 12, 17);
     let queries = generate_queries(&points, 5, QueryDistribution::RandomNormal, 21).unwrap();
     let bc = BcTreeBuilder::new(80).build(&points).unwrap();
     for q in &queries {
@@ -102,8 +100,9 @@ fn different_leaf_sizes_do_not_change_exact_answers() {
 fn raw_queries_and_augmented_points_are_consistent() {
     // End-to-end sanity of the dimension conventions: the distance reported by the index
     // for the winning point matches the raw point-to-hyperplane formula (Equation 1).
-    let raw_rows: Vec<Vec<f32>> =
-        (0..500).map(|i| vec![(i % 23) as f32 * 0.3, (i % 7) as f32 - 3.0, i as f32 * 0.01]).collect();
+    let raw_rows: Vec<Vec<f32>> = (0..500)
+        .map(|i| vec![(i % 23) as f32 * 0.3, (i % 7) as f32 - 3.0, i as f32 * 0.01])
+        .collect();
     let points = PointSet::augment(&raw_rows).unwrap();
     let bc = BcTreeBuilder::new(32).build(&points).unwrap();
     let query = p2hnns::HyperplaneQuery::from_normal_and_bias(&[0.5, -1.0, 2.0], 0.7).unwrap();

@@ -11,10 +11,8 @@ use p2hnns::{
 /// Strategy: a small random raw data set (rows of equal length) plus a random query.
 fn small_problem() -> impl Strategy<Value = (Vec<Vec<Scalar>>, Vec<Scalar>, Scalar)> {
     (2usize..6).prop_flat_map(|dim| {
-        let rows = proptest::collection::vec(
-            proptest::collection::vec(-20.0f32..20.0, dim),
-            10..120,
-        );
+        let rows =
+            proptest::collection::vec(proptest::collection::vec(-20.0f32..20.0, dim), 10..120);
         let normal = proptest::collection::vec(-5.0f32..5.0, dim);
         let bias = -20.0f32..20.0;
         (rows, normal, bias)
