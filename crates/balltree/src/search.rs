@@ -1,137 +1,136 @@
 //! Branch-and-bound search over the Ball-Tree (Algorithm 3 of the paper).
+//!
+//! The traversal is iterative (an explicit stack living in the caller's
+//! [`QueryScratch`]) and leaf verification is *blocked*: each leaf's contiguous rows are
+//! fed to [`kernels::abs_dot_block`] in strips, turning candidate verification into a
+//! small matvec instead of `leaf_size` independent inner-product calls. The visit
+//! order, pruning decisions, and statistics are identical to the recursive formulation;
+//! the distances are bit-identical to [`p2h_core::LinearScan`]'s because every index
+//! shares the dispatched kernels (see `p2h_core::kernels`).
 
 use std::time::Instant;
 
 use p2h_core::{
-    distance, BranchPreference, HyperplaneQuery, P2hIndex, Scalar, SearchParams, SearchResult,
-    SearchStats, TopKCollector,
+    kernels, BranchPreference, HyperplaneQuery, P2hIndex, QueryScratch, SearchParams, SearchResult,
+    SearchStats, LEAF_STRIP,
 };
 
 use crate::bound::node_ball_bound;
 use crate::build::BallTree;
-use crate::node::Node;
-
-/// Mutable state threaded through the recursive traversal.
-struct Ctx<'a> {
-    query: &'a [Scalar],
-    query_norm: Scalar,
-    preference: BranchPreference,
-    collector: TopKCollector,
-    stats: SearchStats,
-    candidate_limit: u64,
-    /// Set when the candidate budget is exhausted; stops the whole traversal.
-    exhausted: bool,
-    timing: bool,
-}
-
-impl Ctx<'_> {
-    #[inline]
-    fn threshold(&self) -> Scalar {
-        self.collector.threshold()
-    }
-}
 
 impl BallTree {
-    /// Scans a leaf exhaustively (the `ExhaustiveScan` routine of Algorithm 3).
-    fn scan_leaf(&self, node: &Node, ctx: &mut Ctx<'_>) {
-        let timer = ctx.timing.then(Instant::now);
-        for pos in node.start..node.end {
-            if ctx.stats.candidates_verified >= ctx.candidate_limit {
-                ctx.exhausted = true;
-                break;
-            }
-            let point = self.point(pos as usize);
-            let dist = distance::abs_dot(point, ctx.query);
-            ctx.stats.inner_products += 1;
-            ctx.stats.candidates_verified += 1;
-            ctx.collector.offer(self.original_id(pos as usize), dist);
-        }
-        if let Some(t) = timer {
-            ctx.stats.time_verify_ns += t.elapsed().as_nanos() as u64;
-        }
-    }
-
-    /// Visits a node whose center inner product `ip = ⟨q, N.c⟩` has already been
-    /// computed (by the parent, or at the root by [`BallTree::run_search`]).
-    fn visit(&self, node_id: u32, ip: Scalar, ctx: &mut Ctx<'_>) {
-        if ctx.exhausted {
-            return;
-        }
-        let node = &self.nodes[node_id as usize];
-        ctx.stats.nodes_visited += 1;
-
-        let lb = node_ball_bound(ip.abs(), ctx.query_norm, node.radius);
-        if lb >= ctx.threshold() {
-            ctx.stats.pruned_subtrees += 1;
-            return;
-        }
-
-        if node.is_leaf() {
-            ctx.stats.leaves_visited += 1;
-            self.scan_leaf(node, ctx);
-            return;
-        }
-
-        // Compute the child center inner products once here; they are reused by the
-        // recursive calls, so Ball-Tree performs exactly two O(d) inner products per
-        // expanded internal node (the cost model of Theorem 5).
-        let timer = ctx.timing.then(Instant::now);
-        let left = &self.nodes[node.left as usize];
-        let right = &self.nodes[node.right as usize];
-        let ip_left = distance::dot(ctx.query, self.center(left));
-        let ip_right = distance::dot(ctx.query, self.center(right));
-        ctx.stats.inner_products += 2;
-        if let Some(t) = timer {
-            ctx.stats.time_bounds_ns += t.elapsed().as_nanos() as u64;
-        }
-
-        let left_first = match ctx.preference {
-            BranchPreference::Center => ip_left.abs() < ip_right.abs(),
-            BranchPreference::LowerBound => {
-                node_ball_bound(ip_left.abs(), ctx.query_norm, left.radius)
-                    < node_ball_bound(ip_right.abs(), ctx.query_norm, right.radius)
-            }
-        };
-        if left_first {
-            self.visit(node.left, ip_left, ctx);
-            self.visit(node.right, ip_right, ctx);
-        } else {
-            self.visit(node.right, ip_right, ctx);
-            self.visit(node.left, ip_left, ctx);
-        }
-    }
-
     /// Runs one query against the tree and returns the result with statistics.
-    fn run_search(&self, query: &HyperplaneQuery, params: &SearchParams) -> SearchResult {
+    fn run_search(
+        &self,
+        query: &HyperplaneQuery,
+        params: &SearchParams,
+        scratch: &mut QueryScratch,
+    ) -> SearchResult {
         assert_eq!(
             query.dim(),
             self.points.dim(),
             "query dimension must match the augmented data dimension"
         );
         let start = Instant::now();
-        let mut ctx = Ctx {
-            query: query.coeffs(),
-            query_norm: query.norm(),
-            preference: params.branch_preference,
-            collector: TopKCollector::new(params.k),
-            stats: SearchStats::default(),
-            candidate_limit: params.candidate_limit.map_or(u64::MAX, |c| c as u64),
-            exhausted: false,
-            timing: params.collect_timing,
-        };
+        scratch.reset(params.k);
+        let QueryScratch { collector, stack, strip, .. } = scratch;
 
-        let root = &self.nodes[0];
-        let timer = ctx.timing.then(Instant::now);
-        let ip_root = distance::dot(ctx.query, self.center(root));
-        ctx.stats.inner_products += 1;
+        let q = query.coeffs();
+        let query_norm = query.norm();
+        let dim = self.points.dim();
+        let preference = params.branch_preference;
+        let candidate_limit = params.candidate_limit.map_or(u64::MAX, |c| c as u64);
+        let timing = params.collect_timing;
+        let mut stats = SearchStats::default();
+
+        let timer = timing.then(Instant::now);
+        let ip_root = kernels::dot(q, self.center(&self.nodes[0]));
+        stats.inner_products += 1;
         if let Some(t) = timer {
-            ctx.stats.time_bounds_ns += t.elapsed().as_nanos() as u64;
+            stats.time_bounds_ns += t.elapsed().as_nanos() as u64;
         }
-        self.visit(0, ip_root, &mut ctx);
+        stack.push((0, ip_root));
 
-        let mut stats = ctx.stats;
+        // Depth-first branch-and-bound: popping the preferred child first reproduces the
+        // recursive visit order exactly, and the node-level bound is evaluated with the
+        // threshold current at pop time — the same moment the recursion would check it.
+        'traversal: while let Some((node_id, ip)) = stack.pop() {
+            let node = &self.nodes[node_id as usize];
+            stats.nodes_visited += 1;
+
+            let lb = node_ball_bound(ip.abs(), query_norm, node.radius);
+            if lb >= collector.threshold() {
+                stats.pruned_subtrees += 1;
+                continue;
+            }
+
+            if node.is_leaf() {
+                stats.leaves_visited += 1;
+                // Blocked exhaustive scan (the `ExhaustiveScan` routine of Algorithm 3):
+                // one abs_dot_block call per strip of contiguous leaf rows.
+                let timer = timing.then(Instant::now);
+                let mut pos = node.start as usize;
+                let end = node.end as usize;
+                while pos < end {
+                    let budget = candidate_limit - stats.candidates_verified;
+                    if budget == 0 {
+                        if let Some(t) = timer {
+                            stats.time_verify_ns += t.elapsed().as_nanos() as u64;
+                        }
+                        break 'traversal;
+                    }
+                    let block = (end - pos).min(LEAF_STRIP).min(budget as usize);
+                    kernels::abs_dot_block(
+                        q,
+                        self.points.flat_range(pos, pos + block),
+                        dim,
+                        &mut strip[..block],
+                    );
+                    stats.inner_products += block as u64;
+                    stats.candidates_verified += block as u64;
+                    for (i, &dist) in strip[..block].iter().enumerate() {
+                        collector.offer(self.original_id(pos + i), dist);
+                    }
+                    pos += block;
+                }
+                if let Some(t) = timer {
+                    stats.time_verify_ns += t.elapsed().as_nanos() as u64;
+                }
+                continue;
+            }
+
+            // Compute the child center inner products once here; they ride on the stack
+            // to the child visits, so Ball-Tree performs exactly two O(d) inner products
+            // per expanded internal node (the cost model of Theorem 5).
+            let timer = timing.then(Instant::now);
+            let left = &self.nodes[node.left as usize];
+            let right = &self.nodes[node.right as usize];
+            let ip_left = kernels::dot(q, self.center(left));
+            let ip_right = kernels::dot(q, self.center(right));
+            stats.inner_products += 2;
+            if let Some(t) = timer {
+                stats.time_bounds_ns += t.elapsed().as_nanos() as u64;
+            }
+
+            let left_first = match preference {
+                BranchPreference::Center => ip_left.abs() < ip_right.abs(),
+                BranchPreference::LowerBound => {
+                    node_ball_bound(ip_left.abs(), query_norm, left.radius)
+                        < node_ball_bound(ip_right.abs(), query_norm, right.radius)
+                }
+            };
+            // Push the non-preferred child first so the preferred one pops first.
+            if left_first {
+                stack.push((node.right, ip_right));
+                stack.push((node.left, ip_left));
+            } else {
+                stack.push((node.left, ip_left));
+                stack.push((node.right, ip_right));
+            }
+        }
+
         stats.time_total_ns = start.elapsed().as_nanos() as u64;
-        SearchResult { neighbors: ctx.collector.into_sorted_vec(), stats }
+        SearchResult { neighbors: collector.take_sorted(), stats }
     }
 }
 
@@ -153,7 +152,16 @@ impl P2hIndex for BallTree {
     }
 
     fn search(&self, query: &HyperplaneQuery, params: &SearchParams) -> SearchResult {
-        self.run_search(query, params)
+        self.run_search(query, params, &mut QueryScratch::new())
+    }
+
+    fn search_with_scratch(
+        &self,
+        query: &HyperplaneQuery,
+        params: &SearchParams,
+        scratch: &mut QueryScratch,
+    ) -> SearchResult {
+        self.run_search(query, params, scratch)
     }
 }
 
@@ -194,6 +202,22 @@ mod tests {
                     exact.distances(),
                     "query {qi}, k={k}: distances differ"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_identical_to_fresh_searches() {
+        let ps = dataset(4_000, 16, 11);
+        let tree = BallTreeBuilder::new(64).build(&ps).unwrap();
+        let mut scratch = QueryScratch::new();
+        for q in &queries(&ps, 12) {
+            for params in [SearchParams::exact(5), SearchParams::approximate(3, 400)] {
+                let fresh = tree.search(q, &params);
+                let reused = tree.search_with_scratch(q, &params, &mut scratch);
+                assert_eq!(fresh.neighbors, reused.neighbors);
+                assert_eq!(fresh.stats.candidates_verified, reused.stats.candidates_verified);
+                assert_eq!(fresh.stats.nodes_visited, reused.stats.nodes_visited);
             }
         }
     }

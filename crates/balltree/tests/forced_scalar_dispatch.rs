@@ -1,0 +1,68 @@
+//! Forced-dispatch equivalence: searches answered through the scalar kernel path must
+//! produce the same *rankings* as the hardware-dispatched (SIMD) path on a realistic
+//! data set. Distances may differ in the last ulps between backends (FMA contraction),
+//! but the induced candidate order — and therefore the returned neighbor indexes — must
+//! agree.
+//!
+//! This file is its own test binary with a single `#[test]` because
+//! `kernels::force_scalar` is process-global: no other test may run concurrently in
+//! this process while the scalar path is forced.
+
+use p2h_balltree::BallTreeBuilder;
+use p2h_core::{kernels, LinearScan, P2hIndex, SearchParams};
+use p2h_data::{generate_queries, DataDistribution, QueryDistribution, SyntheticDataset};
+
+#[test]
+fn forced_scalar_dispatch_produces_identical_search_rankings() {
+    let points = SyntheticDataset::new(
+        "dispatch-equivalence",
+        5_000,
+        24,
+        DataDistribution::GaussianClusters { clusters: 8, std_dev: 1.4 },
+        31,
+    )
+    .generate()
+    .unwrap();
+    let tree = BallTreeBuilder::new(64).build(&points).unwrap();
+    let scan = LinearScan::new(points.clone());
+    let queries = generate_queries(&points, 20, QueryDistribution::DataDifference, 17).unwrap();
+    let k = 10;
+
+    // Hardware-dispatched pass (AVX2/NEON where available, scalar otherwise).
+    let dispatched: Vec<(Vec<usize>, Vec<usize>)> = queries
+        .iter()
+        .map(|q| (tree.search_exact(q, k).indices(), scan.search_exact(q, k).indices()))
+        .collect();
+
+    kernels::force_scalar(true);
+    assert_eq!(kernels::active_backend(), p2h_core::KernelBackend::Scalar);
+    let forced: Vec<(Vec<usize>, Vec<usize>)> = queries
+        .iter()
+        .map(|q| (tree.search_exact(q, k).indices(), scan.search_exact(q, k).indices()))
+        .collect();
+    kernels::force_scalar(false);
+
+    for (qi, ((tree_simd, scan_simd), (tree_scalar, scan_scalar))) in
+        dispatched.iter().zip(forced.iter()).enumerate()
+    {
+        assert_eq!(tree_simd, tree_scalar, "query {qi}: tree ranking differs across backends");
+        assert_eq!(scan_simd, scan_scalar, "query {qi}: scan ranking differs across backends");
+        assert_eq!(tree_simd, scan_simd, "query {qi}: tree disagrees with the oracle");
+    }
+
+    // Approximate search (candidate-budget-limited) must also rank identically: the
+    // traversal order depends only on comparisons, which both backends agree on here.
+    kernels::force_scalar(true);
+    let approx_scalar: Vec<Vec<usize>> = queries
+        .iter()
+        .map(|q| tree.search(q, &SearchParams::approximate(k, 800)).indices())
+        .collect();
+    kernels::force_scalar(false);
+    for (qi, q) in queries.iter().enumerate() {
+        let approx_simd = tree.search(q, &SearchParams::approximate(k, 800)).indices();
+        assert_eq!(
+            approx_simd, approx_scalar[qi],
+            "query {qi}: approximate ranking differs across backends"
+        );
+    }
+}

@@ -1,148 +1,31 @@
 //! BC-Tree search (Algorithm 5 of the paper): collaborative inner-product computing at
 //! internal nodes and point-level (ball + cone) pruning inside the leaves.
+//!
+//! Like the Ball-Tree, the traversal is iterative (explicit stack in the caller's
+//! [`QueryScratch`]) and leaf verification is blocked. Point-level pruning is applied at
+//! **strip granularity**: for each strip of up to [`LEAF_STRIP`] leaf rows, the bounds
+//! are evaluated against the threshold `q.λ` as of the strip start, the surviving rows
+//! are verified (through one [`kernels::abs_dot_block`] matvec when the whole strip
+//! survives, per-row kernels otherwise — bit-identical either way), and `q.λ` is
+//! refreshed between strips. Because the bounds are true lower bounds, pruning with a
+//! slightly stale (i.e. larger or equal) threshold only ever verifies *extra* points —
+//! never skips a point that could enter the top-k — so exactness is preserved while the
+//! verification loop becomes a matvec.
 
 use std::time::Instant;
 
 use p2h_balltree::bound::node_ball_bound;
 use p2h_balltree::Node;
 use p2h_core::{
-    distance, BranchPreference, HyperplaneQuery, P2hIndex, Scalar, SearchParams, SearchResult,
-    SearchStats, TopKCollector,
+    kernels, BranchPreference, HyperplaneQuery, P2hIndex, QueryScratch, SearchParams, SearchResult,
+    SearchStats, LEAF_STRIP,
 };
 
 use crate::bounds::{point_ball_bound, point_cone_bound, query_decomposition};
 use crate::build::BcTree;
 use crate::BcTreeVariant;
 
-struct Ctx<'a> {
-    query: &'a [Scalar],
-    query_norm: Scalar,
-    preference: BranchPreference,
-    variant: BcTreeVariant,
-    collector: TopKCollector,
-    stats: SearchStats,
-    candidate_limit: u64,
-    exhausted: bool,
-    timing: bool,
-}
-
-impl Ctx<'_> {
-    #[inline]
-    fn threshold(&self) -> Scalar {
-        self.collector.threshold()
-    }
-}
-
 impl BcTree {
-    /// The `ScanWithPruning` routine of Algorithm 5.
-    ///
-    /// `ip_node` is the (signed) inner product `⟨q, N.c⟩`, already available from the
-    /// traversal thanks to the collaborative inner-product strategy.
-    fn scan_leaf(&self, node_idx: usize, node: &Node, ip_node: Scalar, ctx: &mut Ctx<'_>) {
-        let bounds_timer = ctx.timing.then(Instant::now);
-        let center_norm = self.center_norms[node_idx];
-        let (q_cos, q_sin) = query_decomposition(ip_node, center_norm, ctx.query_norm);
-        let abs_ip = ip_node.abs();
-        if let Some(t) = bounds_timer {
-            ctx.stats.time_bounds_ns += t.elapsed().as_nanos() as u64;
-        }
-
-        for pos in node.start..node.end {
-            if ctx.stats.candidates_verified >= ctx.candidate_limit {
-                ctx.exhausted = true;
-                return;
-            }
-            let aux = self.aux[pos as usize];
-            let lambda = ctx.threshold();
-
-            if ctx.variant.uses_ball_bound() {
-                let timer = ctx.timing.then(Instant::now);
-                let lb_ball = point_ball_bound(abs_ip, ctx.query_norm, aux.radius);
-                if let Some(t) = timer {
-                    ctx.stats.time_bounds_ns += t.elapsed().as_nanos() as u64;
-                }
-                if lb_ball >= lambda {
-                    // Points are sorted by descending r_x, so every remaining point has a
-                    // bound at least as large: prune the whole suffix in one batch.
-                    ctx.stats.pruned_by_ball_bound += u64::from(node.end - pos);
-                    return;
-                }
-            }
-
-            if ctx.variant.uses_cone_bound() {
-                let timer = ctx.timing.then(Instant::now);
-                let lb_cone = point_cone_bound(q_cos, q_sin, aux.x_cos, aux.x_sin);
-                if let Some(t) = timer {
-                    ctx.stats.time_bounds_ns += t.elapsed().as_nanos() as u64;
-                }
-                if lb_cone >= lambda {
-                    ctx.stats.pruned_by_cone_bound += 1;
-                    continue;
-                }
-            }
-
-            let timer = ctx.timing.then(Instant::now);
-            let dist = distance::abs_dot(self.point(pos as usize), ctx.query);
-            ctx.stats.inner_products += 1;
-            ctx.stats.candidates_verified += 1;
-            ctx.collector.offer(self.original_id(pos as usize), dist);
-            if let Some(t) = timer {
-                ctx.stats.time_verify_ns += t.elapsed().as_nanos() as u64;
-            }
-        }
-    }
-
-    /// Visits a node whose center inner product `ip = ⟨q, N.c⟩` is already known.
-    fn visit(&self, node_id: u32, ip: Scalar, ctx: &mut Ctx<'_>) {
-        if ctx.exhausted {
-            return;
-        }
-        let node = &self.nodes[node_id as usize];
-        ctx.stats.nodes_visited += 1;
-
-        let lb = node_ball_bound(ip.abs(), ctx.query_norm, node.radius);
-        if lb >= ctx.threshold() {
-            ctx.stats.pruned_subtrees += 1;
-            return;
-        }
-
-        if node.is_leaf() {
-            ctx.stats.leaves_visited += 1;
-            self.scan_leaf(node_id as usize, node, ip, ctx);
-            return;
-        }
-
-        // Collaborative inner-product computing (Lemma 2): one O(d) inner product for the
-        // left child, O(1) arithmetic for the right child.
-        let timer = ctx.timing.then(Instant::now);
-        let left = &self.nodes[node.left as usize];
-        let right = &self.nodes[node.right as usize];
-        let ip_left = distance::dot(ctx.query, self.center(left));
-        ctx.stats.inner_products += 1;
-        let size = node.size() as Scalar;
-        let size_l = left.size() as Scalar;
-        let size_r = right.size() as Scalar;
-        let ip_right = (size / size_r) * ip - (size_l / size_r) * ip_left;
-        if let Some(t) = timer {
-            ctx.stats.time_bounds_ns += t.elapsed().as_nanos() as u64;
-        }
-
-        let left_first = match ctx.preference {
-            BranchPreference::Center => ip_left.abs() < ip_right.abs(),
-            BranchPreference::LowerBound => {
-                node_ball_bound(ip_left.abs(), ctx.query_norm, left.radius)
-                    < node_ball_bound(ip_right.abs(), ctx.query_norm, right.radius)
-            }
-        };
-        if left_first {
-            self.visit(node.left, ip_left, ctx);
-            self.visit(node.right, ip_right, ctx);
-        } else {
-            self.visit(node.right, ip_right, ctx);
-            self.visit(node.left, ip_left, ctx);
-        }
-    }
-
     /// Runs one query with an explicit ablation [`BcTreeVariant`] (Figure 8).
     pub fn search_variant(
         &self,
@@ -150,37 +33,247 @@ impl BcTree {
         params: &SearchParams,
         variant: BcTreeVariant,
     ) -> SearchResult {
+        self.run_search(query, params, variant, &mut QueryScratch::new())
+    }
+
+    /// Scratch-reusing twin of [`BcTree::search_variant`].
+    pub fn search_variant_with_scratch(
+        &self,
+        query: &HyperplaneQuery,
+        params: &SearchParams,
+        variant: BcTreeVariant,
+        scratch: &mut QueryScratch,
+    ) -> SearchResult {
+        self.run_search(query, params, variant, scratch)
+    }
+
+    fn run_search(
+        &self,
+        query: &HyperplaneQuery,
+        params: &SearchParams,
+        variant: BcTreeVariant,
+        scratch: &mut QueryScratch,
+    ) -> SearchResult {
         assert_eq!(
             query.dim(),
             self.points.dim(),
             "query dimension must match the augmented data dimension"
         );
         let start = Instant::now();
-        let mut ctx = Ctx {
-            query: query.coeffs(),
-            query_norm: query.norm(),
-            preference: params.branch_preference,
-            variant,
-            collector: TopKCollector::new(params.k),
-            stats: SearchStats::default(),
-            candidate_limit: params.candidate_limit.map_or(u64::MAX, |c| c as u64),
-            exhausted: false,
-            timing: params.collect_timing,
-        };
+        scratch.reset(params.k);
+        let QueryScratch { collector, stack, strip, keep } = scratch;
 
-        let root = &self.nodes[0];
-        let timer = ctx.timing.then(Instant::now);
-        let ip_root = distance::dot(ctx.query, self.center(root));
-        ctx.stats.inner_products += 1;
+        let q = query.coeffs();
+        let query_norm = query.norm();
+        let dim = self.points.dim();
+        let preference = params.branch_preference;
+        let candidate_limit = params.candidate_limit.map_or(u64::MAX, |c| c as u64);
+        let timing = params.collect_timing;
+        let mut stats = SearchStats::default();
+
+        let timer = timing.then(Instant::now);
+        let ip_root = kernels::dot(q, self.center(&self.nodes[0]));
+        stats.inner_products += 1;
         if let Some(t) = timer {
-            ctx.stats.time_bounds_ns += t.elapsed().as_nanos() as u64;
+            stats.time_bounds_ns += t.elapsed().as_nanos() as u64;
         }
-        self.visit(0, ip_root, &mut ctx);
+        stack.push((0, ip_root));
 
-        let mut stats = ctx.stats;
+        'traversal: while let Some((node_id, ip)) = stack.pop() {
+            let node = &self.nodes[node_id as usize];
+            stats.nodes_visited += 1;
+
+            let lb = node_ball_bound(ip.abs(), query_norm, node.radius);
+            if lb >= collector.threshold() {
+                stats.pruned_subtrees += 1;
+                continue;
+            }
+
+            if node.is_leaf() {
+                stats.leaves_visited += 1;
+                let exhausted = self.scan_leaf(ScanLeaf {
+                    node_idx: node_id as usize,
+                    node,
+                    ip_node: ip,
+                    q,
+                    query_norm,
+                    dim,
+                    variant,
+                    candidate_limit,
+                    timing,
+                    collector,
+                    strip,
+                    keep,
+                    stats: &mut stats,
+                });
+                if exhausted {
+                    break 'traversal;
+                }
+                continue;
+            }
+
+            // Collaborative inner-product computing (Lemma 2): one O(d) inner product
+            // for the left child, O(1) arithmetic for the right child.
+            let timer = timing.then(Instant::now);
+            let left = &self.nodes[node.left as usize];
+            let right = &self.nodes[node.right as usize];
+            let ip_left = kernels::dot(q, self.center(left));
+            stats.inner_products += 1;
+            let size = node.size() as p2h_core::Scalar;
+            let size_l = left.size() as p2h_core::Scalar;
+            let size_r = right.size() as p2h_core::Scalar;
+            let ip_right = (size / size_r) * ip - (size_l / size_r) * ip_left;
+            if let Some(t) = timer {
+                stats.time_bounds_ns += t.elapsed().as_nanos() as u64;
+            }
+
+            let left_first = match preference {
+                BranchPreference::Center => ip_left.abs() < ip_right.abs(),
+                BranchPreference::LowerBound => {
+                    node_ball_bound(ip_left.abs(), query_norm, left.radius)
+                        < node_ball_bound(ip_right.abs(), query_norm, right.radius)
+                }
+            };
+            if left_first {
+                stack.push((node.right, ip_right));
+                stack.push((node.left, ip_left));
+            } else {
+                stack.push((node.left, ip_left));
+                stack.push((node.right, ip_right));
+            }
+        }
+
         stats.time_total_ns = start.elapsed().as_nanos() as u64;
-        SearchResult { neighbors: ctx.collector.into_sorted_vec(), stats }
+        SearchResult { neighbors: collector.take_sorted(), stats }
     }
+
+    /// The `ScanWithPruning` routine of Algorithm 5 at strip granularity.
+    ///
+    /// Returns `true` when the candidate budget was exhausted (the traversal stops).
+    fn scan_leaf(&self, args: ScanLeaf<'_, '_>) -> bool {
+        let ScanLeaf {
+            node_idx,
+            node,
+            ip_node,
+            q,
+            query_norm,
+            dim,
+            variant,
+            candidate_limit,
+            timing,
+            collector,
+            strip,
+            keep,
+            stats,
+        } = args;
+
+        let bounds_timer = timing.then(Instant::now);
+        let center_norm = self.center_norms[node_idx];
+        let (q_cos, q_sin) = query_decomposition(ip_node, center_norm, query_norm);
+        let abs_ip = ip_node.abs();
+        if let Some(t) = bounds_timer {
+            stats.time_bounds_ns += t.elapsed().as_nanos() as u64;
+        }
+
+        let mut pos = node.start as usize;
+        let end = node.end as usize;
+        while pos < end {
+            if stats.candidates_verified >= candidate_limit {
+                return true;
+            }
+            let strip_end = end.min(pos + LEAF_STRIP);
+            let lambda = collector.threshold();
+
+            // Phase 1: point-level bounds for the whole strip against the strip-start
+            // threshold. Survivors are recorded; a ball-bound hit prunes the entire
+            // remaining leaf (points are sorted by descending r_x, so every later point
+            // has an equal-or-larger bound).
+            let timer = timing.then(Instant::now);
+            let mut kept = 0usize;
+            let mut suffix_pruned = false;
+            for p in pos..strip_end {
+                let aux = self.aux[p];
+                if variant.uses_ball_bound() {
+                    let lb_ball = point_ball_bound(abs_ip, query_norm, aux.radius);
+                    if lb_ball >= lambda {
+                        stats.pruned_by_ball_bound += (end - p) as u64;
+                        suffix_pruned = true;
+                        break;
+                    }
+                }
+                if variant.uses_cone_bound() {
+                    let lb_cone = point_cone_bound(q_cos, q_sin, aux.x_cos, aux.x_sin);
+                    if lb_cone >= lambda {
+                        stats.pruned_by_cone_bound += 1;
+                        continue;
+                    }
+                }
+                keep[kept] = p as u32;
+                kept += 1;
+            }
+            if let Some(t) = timer {
+                stats.time_bounds_ns += t.elapsed().as_nanos() as u64;
+            }
+
+            // Phase 2: verify the survivors, capped by the remaining candidate budget.
+            let budget = candidate_limit - stats.candidates_verified;
+            let take = kept.min(budget.min(usize::MAX as u64) as usize);
+            let timer = timing.then(Instant::now);
+            if take > 0 {
+                let full_strip = kept == strip_end - pos && !suffix_pruned;
+                if full_strip && take == kept {
+                    // Nothing pruned: verify the contiguous strip as one matvec.
+                    kernels::abs_dot_block(
+                        q,
+                        self.points.flat_range(pos, strip_end),
+                        dim,
+                        &mut strip[..take],
+                    );
+                    for (i, &dist) in strip[..take].iter().enumerate() {
+                        collector.offer(self.original_id(pos + i), dist);
+                    }
+                } else {
+                    // Holes from pruning (or a trimmed budget): verify survivors with
+                    // the single-row kernel, which is bit-identical per row.
+                    for &p in &keep[..take] {
+                        let dist = kernels::abs_dot(self.point(p as usize), q);
+                        collector.offer(self.original_id(p as usize), dist);
+                    }
+                }
+                stats.inner_products += take as u64;
+                stats.candidates_verified += take as u64;
+            }
+            if let Some(t) = timer {
+                stats.time_verify_ns += t.elapsed().as_nanos() as u64;
+            }
+
+            if take < kept {
+                return true; // Budget ran out mid-strip.
+            }
+            if suffix_pruned {
+                return false; // Rest of the leaf is ball-bound-pruned; leaf done.
+            }
+            pos = strip_end;
+        }
+        false
+    }
+}
+
+/// Argument bundle for [`BcTree::scan_leaf`] (avoids a dozen positional parameters).
+struct ScanLeaf<'a, 'b> {
+    node_idx: usize,
+    node: &'a Node,
+    ip_node: p2h_core::Scalar,
+    q: &'a [p2h_core::Scalar],
+    query_norm: p2h_core::Scalar,
+    dim: usize,
+    variant: BcTreeVariant,
+    candidate_limit: u64,
+    timing: bool,
+    collector: &'b mut p2h_core::TopKCollector,
+    strip: &'b mut [p2h_core::Scalar; LEAF_STRIP],
+    keep: &'b mut [u32; LEAF_STRIP],
+    stats: &'b mut SearchStats,
 }
 
 /// A borrowed view of a [`BcTree`] that answers queries with a fixed ablation
@@ -219,6 +312,15 @@ impl P2hIndex for BcTreeVariantView<'_> {
     fn search(&self, query: &HyperplaneQuery, params: &SearchParams) -> SearchResult {
         self.tree.search_variant(query, params, self.variant)
     }
+
+    fn search_with_scratch(
+        &self,
+        query: &HyperplaneQuery,
+        params: &SearchParams,
+        scratch: &mut QueryScratch,
+    ) -> SearchResult {
+        self.tree.search_variant_with_scratch(query, params, self.variant, scratch)
+    }
 }
 
 impl P2hIndex for BcTree {
@@ -240,6 +342,15 @@ impl P2hIndex for BcTree {
 
     fn search(&self, query: &HyperplaneQuery, params: &SearchParams) -> SearchResult {
         self.search_variant(query, params, BcTreeVariant::Full)
+    }
+
+    fn search_with_scratch(
+        &self,
+        query: &HyperplaneQuery,
+        params: &SearchParams,
+        scratch: &mut QueryScratch,
+    ) -> SearchResult {
+        self.search_variant_with_scratch(query, params, BcTreeVariant::Full, scratch)
     }
 }
 
@@ -288,6 +399,21 @@ mod tests {
                         "query {qi}, k={k}, variant {variant:?}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_identical_to_fresh_searches() {
+        let ps = dataset(4_000, 12, 12);
+        let tree = BcTreeBuilder::new(64).build(&ps).unwrap();
+        let mut scratch = QueryScratch::new();
+        for q in &queries(&ps, 10) {
+            for params in [SearchParams::exact(7), SearchParams::approximate(5, 300)] {
+                let fresh = tree.search(q, &params);
+                let reused = tree.search_with_scratch(q, &params, &mut scratch);
+                assert_eq!(fresh.neighbors, reused.neighbors);
+                assert_eq!(fresh.stats.candidates_verified, reused.stats.candidates_verified);
             }
         }
     }

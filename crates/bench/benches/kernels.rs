@@ -9,6 +9,7 @@ use rand::{Rng, SeedableRng};
 use p2h_balltree::bound::node_ball_bound;
 use p2h_bctree::bounds::{point_ball_bound, point_cone_bound};
 use p2h_core::distance;
+use p2h_core::kernels;
 use p2h_core::Scalar;
 use p2h_hash::QuadraticTransform;
 
@@ -24,6 +25,45 @@ fn bench_inner_product(c: &mut Criterion) {
         let b = random_vector(dim, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bench, _| {
             bench.iter(|| distance::dot(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_blocked_leaf_scan(c: &mut Criterion) {
+    // One leaf-sized strip of rows, verified three ways: per-point scalar (the seed's
+    // loop), per-point dispatched kernel, and the blocked kernel the leaf scans use.
+    let mut group = c.benchmark_group("leaf_scan_100rows");
+    let mut rng = StdRng::seed_from_u64(3);
+    for dim in [64usize, 128, 960] {
+        let rows = 100;
+        let query = random_vector(dim, &mut rng);
+        let data: Vec<Scalar> = (0..rows).flat_map(|_| random_vector(dim, &mut rng)).collect();
+        let mut out = vec![0.0 as Scalar; rows];
+        group.bench_with_input(BenchmarkId::new("scalar_per_point", dim), &dim, |bench, _| {
+            bench.iter(|| {
+                let mut acc = 0.0;
+                for r in 0..rows {
+                    acc += kernels::scalar::dot(black_box(&query), &data[r * dim..(r + 1) * dim])
+                        .abs();
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("simd_per_point", dim), &dim, |bench, _| {
+            bench.iter(|| {
+                let mut acc = 0.0;
+                for r in 0..rows {
+                    acc += kernels::abs_dot(black_box(&query), &data[r * dim..(r + 1) * dim]);
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("simd_blocked", dim), &dim, |bench, _| {
+            bench.iter(|| {
+                kernels::abs_dot_block(black_box(&query), &data, dim, &mut out);
+                out[0]
+            })
         });
     }
     group.finish();
@@ -60,5 +100,11 @@ fn bench_transform(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_inner_product, bench_bounds, bench_transform);
+criterion_group!(
+    benches,
+    bench_inner_product,
+    bench_blocked_leaf_scan,
+    bench_bounds,
+    bench_transform
+);
 criterion_main!(benches);

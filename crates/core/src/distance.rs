@@ -1,42 +1,29 @@
 //! Dense vector kernels: inner products, norms, and Euclidean distances.
 //!
-//! These are the innermost loops of every index in the workspace. They are written as
-//! straightforward slice iterations (with a 4-way unrolled inner product for the hot
-//! path) so that the compiler can auto-vectorize them in release builds.
+//! These are the innermost loops of every index in the workspace. Since the kernel
+//! refactor they are thin wrappers over the runtime-dispatched implementations in
+//! [`crate::kernels`] (AVX2+FMA on `x86_64`, NEON on `aarch64`, unrolled scalar
+//! everywhere else), so every caller — trees, hashing schemes, and the linear-scan
+//! oracle alike — shares one summation order per process. See the [`crate::kernels`]
+//! module docs for the dispatch rules and the exact-match guarantees.
 
+use crate::kernels;
 use crate::Scalar;
 
 /// Computes the inner product `⟨a, b⟩` of two equal-length slices.
 ///
 /// # Panics
 ///
-/// Panics in debug builds if the slices have different lengths; in release builds the
-/// shorter length is used (consistent with `zip`).
+/// Panics if the slices have different lengths.
 #[inline]
 pub fn dot(a: &[Scalar], b: &[Scalar]) -> Scalar {
-    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    // 4-way unrolled accumulation: keeps independent dependency chains so the optimizer
-    // can vectorize and pipeline the loop.
-    let chunks = a.len() / 4;
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
-    for i in 0..chunks {
-        let j = i * 4;
-        s0 += a[j] * b[j];
-        s1 += a[j + 1] * b[j + 1];
-        s2 += a[j + 2] * b[j + 2];
-        s3 += a[j + 3] * b[j + 3];
-    }
-    let mut tail = 0.0;
-    for j in chunks * 4..a.len() {
-        tail += a[j] * b[j];
-    }
-    s0 + s1 + s2 + s3 + tail
+    kernels::dot(a, b)
 }
 
 /// Computes the squared Euclidean norm `‖a‖²`.
 #[inline]
 pub fn norm_sq(a: &[Scalar]) -> Scalar {
-    dot(a, a)
+    kernels::norm_sq(a)
 }
 
 /// Computes the Euclidean norm `‖a‖`.
@@ -48,13 +35,7 @@ pub fn norm(a: &[Scalar]) -> Scalar {
 /// Computes the squared Euclidean distance `‖a − b‖²`.
 #[inline]
 pub fn euclidean_sq(a: &[Scalar], b: &[Scalar]) -> Scalar {
-    debug_assert_eq!(a.len(), b.len(), "euclidean_sq: length mismatch");
-    let mut sum = 0.0;
-    for (&x, &y) in a.iter().zip(b.iter()) {
-        let diff = x - y;
-        sum += diff * diff;
-    }
-    sum
+    kernels::euclidean_sq(a, b)
 }
 
 /// Computes the Euclidean distance `‖a − b‖`.
@@ -67,7 +48,7 @@ pub fn euclidean(a: &[Scalar], b: &[Scalar]) -> Scalar {
 /// normalization of Section II of the paper.
 #[inline]
 pub fn abs_dot(a: &[Scalar], b: &[Scalar]) -> Scalar {
-    dot(a, b).abs()
+    kernels::abs_dot(a, b)
 }
 
 /// Computes the cosine of the angle between `a` and `b`.

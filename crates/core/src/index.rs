@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{HyperplaneQuery, Neighbor, Scalar};
+use crate::{HyperplaneQuery, Neighbor, QueryScratch, Scalar};
 
 /// Which child of an internal tree node is descended first during branch-and-bound.
 ///
@@ -190,6 +190,24 @@ pub trait P2hIndex: Send + Sync {
 
     /// Answers a top-k point-to-hyperplane nearest neighbor query.
     fn search(&self, query: &HyperplaneQuery, params: &SearchParams) -> SearchResult;
+
+    /// Answers a query using caller-provided [`QueryScratch`], enabling allocation-free
+    /// steady-state execution when many queries run on one thread.
+    ///
+    /// Results are identical to [`P2hIndex::search`] — the scratch only carries
+    /// reusable working memory (top-k heap storage, traversal stack, distance strips).
+    /// The default implementation ignores the scratch and delegates to `search`, so
+    /// indexes without a scratch-aware path (e.g. the hashing baselines) remain
+    /// correct; the tree indexes and `LinearScan` override it.
+    fn search_with_scratch(
+        &self,
+        query: &HyperplaneQuery,
+        params: &SearchParams,
+        scratch: &mut QueryScratch,
+    ) -> SearchResult {
+        let _ = scratch;
+        self.search(query, params)
+    }
 
     /// Convenience wrapper: exact top-k search with default parameters.
     fn search_exact(&self, query: &HyperplaneQuery, k: usize) -> SearchResult {

@@ -1,0 +1,205 @@
+//! AVX2 + FMA kernels for `x86_64`.
+//!
+//! # Summation order
+//!
+//! Every kernel here uses one canonical per-vector scheme: two 8-lane accumulators over
+//! a stride-16 main loop, an optional single extra 8-lane chunk folded into the first
+//! accumulator, a fixed-order horizontal reduction ([`hsum8`]), and the shared
+//! sequential scalar tail from the [`super::scalar`] module. [`dot_block`] keeps exactly
+//! this scheme per row (it only interleaves the column loop across four rows), so its
+//! results are **bit-identical** to [`dot`] on the same row — the property the exact
+//! search paths rely on when they mix blocked and single-point verification.
+//!
+//! FMA contraction means these results differ from the scalar backend in the last few
+//! ulps; that is fine because a process always answers queries through one backend (see
+//! the module docs of [`super`]).
+//!
+//! # Safety
+//!
+//! Every function is `unsafe` because it is compiled with
+//! `#[target_feature(enable = "avx2,fma")]`: the caller must have verified (via
+//! `is_x86_feature_detected!`) that the CPU supports AVX2 and FMA. The dispatcher in
+//! [`super`] is the only caller and checks exactly that.
+
+#![allow(unsafe_code)]
+
+use std::arch::x86_64::{
+    __m256, _mm256_add_ps, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_setzero_ps, _mm256_storeu_ps,
+    _mm256_sub_ps,
+};
+
+use super::scalar::{tail_dot, tail_euclidean_sq, BLOCK_ROWS};
+use crate::Scalar;
+
+/// Lanes per AVX2 register.
+const LANES: usize = 8;
+/// Main-loop stride: two 8-lane accumulators.
+const STRIDE: usize = 2 * LANES;
+
+/// Horizontal sum of an 8-lane register in a fixed, backend-canonical order.
+///
+/// # Safety
+///
+/// Requires AVX2 (callers are themselves `target_feature(avx2,fma)` functions).
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn hsum8(v: __m256) -> Scalar {
+    let mut lanes = [0.0 as Scalar; LANES];
+    _mm256_storeu_ps(lanes.as_mut_ptr(), v);
+    ((lanes[0] + lanes[4]) + (lanes[1] + lanes[5]))
+        + ((lanes[2] + lanes[6]) + (lanes[3] + lanes[7]))
+}
+
+/// Splits a length into the stride-16 main part and whether one extra 8-lane chunk fits.
+#[inline(always)]
+fn split_len(len: usize) -> (usize, bool) {
+    let main = len - len % STRIDE;
+    (main, len - main >= LANES)
+}
+
+/// Inner product `⟨a, b⟩`.
+///
+/// # Safety
+///
+/// CPU must support AVX2 and FMA.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn dot(a: &[Scalar], b: &[Scalar]) -> Scalar {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    let (main, extra8) = split_len(a.len());
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut j = 0;
+    while j < main {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(j)), _mm256_loadu_ps(pb.add(j)), acc0);
+        acc1 = _mm256_fmadd_ps(
+            _mm256_loadu_ps(pa.add(j + LANES)),
+            _mm256_loadu_ps(pb.add(j + LANES)),
+            acc1,
+        );
+        j += STRIDE;
+    }
+    if extra8 {
+        acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(pa.add(main)), _mm256_loadu_ps(pb.add(main)), acc0);
+    }
+    let tail_from = main + if extra8 { LANES } else { 0 };
+    hsum8(_mm256_add_ps(acc0, acc1)) + tail_dot(a, b, tail_from)
+}
+
+/// Squared Euclidean norm `‖a‖²`.
+///
+/// # Safety
+///
+/// CPU must support AVX2 and FMA.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn norm_sq(a: &[Scalar]) -> Scalar {
+    dot(a, a)
+}
+
+/// Squared Euclidean distance `‖a − b‖²`.
+///
+/// # Safety
+///
+/// CPU must support AVX2 and FMA.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn euclidean_sq(a: &[Scalar], b: &[Scalar]) -> Scalar {
+    debug_assert_eq!(a.len(), b.len(), "euclidean_sq: length mismatch");
+    let (main, extra8) = split_len(a.len());
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut j = 0;
+    while j < main {
+        let d0 = _mm256_sub_ps(_mm256_loadu_ps(pa.add(j)), _mm256_loadu_ps(pb.add(j)));
+        let d1 =
+            _mm256_sub_ps(_mm256_loadu_ps(pa.add(j + LANES)), _mm256_loadu_ps(pb.add(j + LANES)));
+        acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+        acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+        j += STRIDE;
+    }
+    if extra8 {
+        let d = _mm256_sub_ps(_mm256_loadu_ps(pa.add(main)), _mm256_loadu_ps(pb.add(main)));
+        acc0 = _mm256_fmadd_ps(d, d, acc0);
+    }
+    let tail_from = main + if extra8 { LANES } else { 0 };
+    hsum8(_mm256_add_ps(acc0, acc1)) + tail_euclidean_sq(a, b, tail_from)
+}
+
+/// Blocked inner products: one query against contiguous row-major rows; per-row results
+/// are bit-identical to [`dot`].
+///
+/// # Safety
+///
+/// CPU must support AVX2 and FMA.
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn dot_block(query: &[Scalar], rows: &[Scalar], dim: usize, out: &mut [Scalar]) {
+    debug_assert_eq!(query.len(), dim, "dot_block: query/dim mismatch");
+    debug_assert_eq!(rows.len(), dim * out.len(), "dot_block: rows/out mismatch");
+    let mut r = 0;
+    while r + BLOCK_ROWS <= out.len() {
+        dot_block4(query, rows, dim, r, out);
+        r += BLOCK_ROWS;
+    }
+    while r < out.len() {
+        out[r] = dot(query, &rows[r * dim..(r + 1) * dim]);
+        r += 1;
+    }
+}
+
+/// Four rows at once: each query chunk is loaded once and FMA-ed into four rows' private
+/// accumulator pairs (eight independent dependency chains), so leaf verification becomes
+/// a small matvec instead of four separate inner products.
+///
+/// # Safety
+///
+/// CPU must support AVX2 and FMA; `r + 4 <= out.len()`.
+#[inline]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_block4(query: &[Scalar], rows: &[Scalar], dim: usize, r: usize, out: &mut [Scalar]) {
+    let (main, extra8) = split_len(dim);
+    let q = query.as_ptr();
+    let p0 = rows.as_ptr().add(r * dim);
+    let p1 = rows.as_ptr().add((r + 1) * dim);
+    let p2 = rows.as_ptr().add((r + 2) * dim);
+    let p3 = rows.as_ptr().add((r + 3) * dim);
+    let mut a00 = _mm256_setzero_ps();
+    let mut a01 = _mm256_setzero_ps();
+    let mut a10 = _mm256_setzero_ps();
+    let mut a11 = _mm256_setzero_ps();
+    let mut a20 = _mm256_setzero_ps();
+    let mut a21 = _mm256_setzero_ps();
+    let mut a30 = _mm256_setzero_ps();
+    let mut a31 = _mm256_setzero_ps();
+    let mut j = 0;
+    while j < main {
+        let q0 = _mm256_loadu_ps(q.add(j));
+        let q1 = _mm256_loadu_ps(q.add(j + LANES));
+        a00 = _mm256_fmadd_ps(_mm256_loadu_ps(p0.add(j)), q0, a00);
+        a01 = _mm256_fmadd_ps(_mm256_loadu_ps(p0.add(j + LANES)), q1, a01);
+        a10 = _mm256_fmadd_ps(_mm256_loadu_ps(p1.add(j)), q0, a10);
+        a11 = _mm256_fmadd_ps(_mm256_loadu_ps(p1.add(j + LANES)), q1, a11);
+        a20 = _mm256_fmadd_ps(_mm256_loadu_ps(p2.add(j)), q0, a20);
+        a21 = _mm256_fmadd_ps(_mm256_loadu_ps(p2.add(j + LANES)), q1, a21);
+        a30 = _mm256_fmadd_ps(_mm256_loadu_ps(p3.add(j)), q0, a30);
+        a31 = _mm256_fmadd_ps(_mm256_loadu_ps(p3.add(j + LANES)), q1, a31);
+        j += STRIDE;
+    }
+    if extra8 {
+        let q0 = _mm256_loadu_ps(q.add(main));
+        a00 = _mm256_fmadd_ps(_mm256_loadu_ps(p0.add(main)), q0, a00);
+        a10 = _mm256_fmadd_ps(_mm256_loadu_ps(p1.add(main)), q0, a10);
+        a20 = _mm256_fmadd_ps(_mm256_loadu_ps(p2.add(main)), q0, a20);
+        a30 = _mm256_fmadd_ps(_mm256_loadu_ps(p3.add(main)), q0, a30);
+    }
+    let tail_from = main + if extra8 { LANES } else { 0 };
+    let base = r * dim;
+    out[r] = hsum8(_mm256_add_ps(a00, a01)) + tail_dot(query, &rows[base..base + dim], tail_from);
+    out[r + 1] = hsum8(_mm256_add_ps(a10, a11))
+        + tail_dot(query, &rows[base + dim..base + 2 * dim], tail_from);
+    out[r + 2] = hsum8(_mm256_add_ps(a20, a21))
+        + tail_dot(query, &rows[base + 2 * dim..base + 3 * dim], tail_from);
+    out[r + 3] = hsum8(_mm256_add_ps(a30, a31))
+        + tail_dot(query, &rows[base + 3 * dim..base + 4 * dim], tail_from);
+}

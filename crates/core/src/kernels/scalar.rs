@@ -1,0 +1,147 @@
+//! Portable scalar kernels: the reference implementations every SIMD backend must match.
+//!
+//! All kernels share one accumulation scheme — a 4-way unrolled main loop (four
+//! independent partial sums over a stride-4 interleaving of the input) followed by a
+//! sequential tail — so the compiler can vectorize and pipeline them even without
+//! explicit SIMD, and so [`dot_block`] produces *bit-identical* per-row results to
+//! [`dot`]: the blocked kernel keeps the same four partial sums per row and the same
+//! tail, it merely interleaves the columns of several rows to amortize query loads.
+
+use crate::Scalar;
+
+/// Number of independent partial sums in the unrolled main loops.
+const UNROLL: usize = 4;
+
+/// Sequential tail of an inner product: `Σ_{j ≥ from} a[j]·b[j]`, accumulated strictly
+/// left to right. Shared by the scalar and SIMD backends so every `dot`-family kernel
+/// handles the non-multiple-of-lane-count remainder identically.
+#[inline(always)]
+pub(crate) fn tail_dot(a: &[Scalar], b: &[Scalar], from: usize) -> Scalar {
+    let mut tail = 0.0;
+    for j in from..a.len() {
+        tail += a[j] * b[j];
+    }
+    tail
+}
+
+/// Sequential tail of a squared Euclidean distance: `Σ_{j ≥ from} (a[j] − b[j])²`,
+/// accumulated strictly left to right. Shared across backends like [`tail_dot`].
+#[inline(always)]
+pub(crate) fn tail_euclidean_sq(a: &[Scalar], b: &[Scalar], from: usize) -> Scalar {
+    let mut tail = 0.0;
+    for j in from..a.len() {
+        let diff = a[j] - b[j];
+        tail += diff * diff;
+    }
+    tail
+}
+
+/// Inner product `⟨a, b⟩` with 4-way unrolled accumulation.
+#[inline]
+pub fn dot(a: &[Scalar], b: &[Scalar]) -> Scalar {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    let main = a.len() - a.len() % UNROLL;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    let mut j = 0;
+    while j < main {
+        s0 += a[j] * b[j];
+        s1 += a[j + 1] * b[j + 1];
+        s2 += a[j + 2] * b[j + 2];
+        s3 += a[j + 3] * b[j + 3];
+        j += UNROLL;
+    }
+    s0 + s1 + s2 + s3 + tail_dot(a, b, main)
+}
+
+/// Squared Euclidean norm `‖a‖²`, via the same accumulation scheme as [`dot`].
+#[inline]
+pub fn norm_sq(a: &[Scalar]) -> Scalar {
+    dot(a, a)
+}
+
+/// Squared Euclidean distance `‖a − b‖²` with the same 4-way unrolled accumulation as
+/// [`dot`] (the seed implementation was a naive fold; routing it through the unrolled
+/// scheme lets the compiler vectorize it identically).
+#[inline]
+pub fn euclidean_sq(a: &[Scalar], b: &[Scalar]) -> Scalar {
+    debug_assert_eq!(a.len(), b.len(), "euclidean_sq: length mismatch");
+    let main = a.len() - a.len() % UNROLL;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+    let mut j = 0;
+    while j < main {
+        let d0 = a[j] - b[j];
+        let d1 = a[j + 1] - b[j + 1];
+        let d2 = a[j + 2] - b[j + 2];
+        let d3 = a[j + 3] - b[j + 3];
+        s0 += d0 * d0;
+        s1 += d1 * d1;
+        s2 += d2 * d2;
+        s3 += d3 * d3;
+        j += UNROLL;
+    }
+    s0 + s1 + s2 + s3 + tail_euclidean_sq(a, b, main)
+}
+
+/// Number of rows processed together by the blocked kernels' fast path.
+pub(crate) const BLOCK_ROWS: usize = 4;
+
+/// Blocked inner products: one query against `out.len()` contiguous row-major rows.
+///
+/// `rows` must hold exactly `dim · out.len()` scalars; `out[r]` receives
+/// `⟨query, rows[r·dim .. (r+1)·dim]⟩`, bit-identical to calling [`dot`] on that row.
+///
+/// Rows are processed [`BLOCK_ROWS`] at a time with column interleaving: each query
+/// chunk is read once and fed to every row's partial sums, which amortizes the query
+/// traffic and gives the optimizer `4 × BLOCK_ROWS` independent dependency chains.
+pub fn dot_block(query: &[Scalar], rows: &[Scalar], dim: usize, out: &mut [Scalar]) {
+    debug_assert_eq!(query.len(), dim, "dot_block: query/dim mismatch");
+    debug_assert_eq!(rows.len(), dim * out.len(), "dot_block: rows/out mismatch");
+    let main = dim - dim % UNROLL;
+    let mut r = 0;
+    while r + BLOCK_ROWS <= out.len() {
+        let base = r * dim;
+        let r0 = &rows[base..base + dim];
+        let r1 = &rows[base + dim..base + 2 * dim];
+        let r2 = &rows[base + 2 * dim..base + 3 * dim];
+        let r3 = &rows[base + 3 * dim..base + 4 * dim];
+        // acc[row][lane]: same four partial sums per row as in `dot`.
+        let mut acc = [[0.0 as Scalar; UNROLL]; BLOCK_ROWS];
+        let mut j = 0;
+        while j < main {
+            let q0 = query[j];
+            let q1 = query[j + 1];
+            let q2 = query[j + 2];
+            let q3 = query[j + 3];
+            acc[0][0] += r0[j] * q0;
+            acc[0][1] += r0[j + 1] * q1;
+            acc[0][2] += r0[j + 2] * q2;
+            acc[0][3] += r0[j + 3] * q3;
+            acc[1][0] += r1[j] * q0;
+            acc[1][1] += r1[j + 1] * q1;
+            acc[1][2] += r1[j + 2] * q2;
+            acc[1][3] += r1[j + 3] * q3;
+            acc[2][0] += r2[j] * q0;
+            acc[2][1] += r2[j + 1] * q1;
+            acc[2][2] += r2[j + 2] * q2;
+            acc[2][3] += r2[j + 3] * q3;
+            acc[3][0] += r3[j] * q0;
+            acc[3][1] += r3[j + 1] * q1;
+            acc[3][2] += r3[j + 2] * q2;
+            acc[3][3] += r3[j + 3] * q3;
+            j += UNROLL;
+        }
+        for (row, slice) in [r0, r1, r2, r3].into_iter().enumerate() {
+            out[r + row] = acc[row][0]
+                + acc[row][1]
+                + acc[row][2]
+                + acc[row][3]
+                + tail_dot(query, slice, main);
+        }
+        r += BLOCK_ROWS;
+    }
+    // Remainder rows: the single-row kernel has the same summation order by design.
+    while r < out.len() {
+        out[r] = dot(query, &rows[r * dim..(r + 1) * dim]);
+        r += 1;
+    }
+}

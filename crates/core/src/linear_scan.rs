@@ -2,8 +2,10 @@
 
 use std::time::Instant;
 
+use crate::scratch::LEAF_STRIP;
 use crate::{
-    HyperplaneQuery, P2hIndex, PointSet, SearchParams, SearchResult, SearchStats, TopKCollector,
+    kernels, HyperplaneQuery, P2hIndex, PointSet, QueryScratch, SearchParams, SearchResult,
+    SearchStats,
 };
 
 /// The trivial P2HNNS method: verify every data point.
@@ -47,34 +49,54 @@ impl P2hIndex for LinearScan {
     }
 
     fn search(&self, query: &HyperplaneQuery, params: &SearchParams) -> SearchResult {
+        self.search_with_scratch(query, params, &mut QueryScratch::new())
+    }
+
+    fn search_with_scratch(
+        &self,
+        query: &HyperplaneQuery,
+        params: &SearchParams,
+        scratch: &mut QueryScratch,
+    ) -> SearchResult {
         assert_eq!(
             query.dim(),
             self.points.dim(),
             "query dimension must match the augmented data dimension"
         );
         let start = Instant::now();
-        let mut collector = TopKCollector::new(params.k);
-        let limit = params.candidate_limit.unwrap_or(usize::MAX);
+        scratch.reset(params.k);
+        let QueryScratch { collector, strip, .. } = scratch;
+        let dim = self.points.dim();
+        let q = query.coeffs();
+        let limit = params.candidate_limit.unwrap_or(usize::MAX).min(self.points.len());
 
+        // Verify in contiguous strips: one blocked matvec per LEAF_STRIP rows instead of
+        // one inner-product call per point (same distances bit-for-bit; see kernels).
         let verify_start = Instant::now();
-        let mut verified = 0u64;
-        for (i, x) in self.points.iter().enumerate() {
-            if (verified as usize) >= limit {
-                break;
+        let mut pos = 0usize;
+        while pos < limit {
+            let block = (limit - pos).min(LEAF_STRIP);
+            kernels::abs_dot_block(
+                q,
+                self.points.flat_range(pos, pos + block),
+                dim,
+                &mut strip[..block],
+            );
+            for (i, &dist) in strip[..block].iter().enumerate() {
+                collector.offer(pos + i, dist);
             }
-            collector.offer(i, query.p2h_distance(x));
-            verified += 1;
+            pos += block;
         }
         let verify_ns = verify_start.elapsed().as_nanos() as u64;
 
         let stats = SearchStats {
-            inner_products: verified,
-            candidates_verified: verified,
+            inner_products: pos as u64,
+            candidates_verified: pos as u64,
             time_verify_ns: verify_ns,
             time_total_ns: start.elapsed().as_nanos() as u64,
             ..Default::default()
         };
-        SearchResult { neighbors: collector.into_sorted_vec(), stats }
+        SearchResult { neighbors: collector.take_sorted(), stats }
     }
 }
 
@@ -137,6 +159,19 @@ mod tests {
         assert!(!scan.is_empty());
         assert!(scan.index_size_bytes() < 1024);
         assert_eq!(scan.points().len(), 10);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_search() {
+        let ps = grid_points();
+        let scan = LinearScan::new(ps);
+        let mut scratch = QueryScratch::new();
+        for bias in [-1.0, -4.5, -8.0] {
+            let q = HyperplaneQuery::from_normal_and_bias(&[1.0, 0.0], bias).unwrap();
+            let fresh = scan.search_exact(&q, 3);
+            let reused = scan.search_with_scratch(&q, &SearchParams::exact(3), &mut scratch);
+            assert_eq!(fresh.neighbors, reused.neighbors);
+        }
     }
 
     #[test]

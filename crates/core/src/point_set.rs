@@ -157,6 +157,18 @@ impl PointSet {
         &self.data
     }
 
+    /// Returns the contiguous row-major slice covering points `start..end`, i.e.
+    /// `end - start` rows of `dim` scalars each. This is the input shape of the blocked
+    /// kernels ([`crate::kernels::dot_block`]): a leaf's points, verified as one strip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.len()`.
+    #[inline]
+    pub fn flat_range(&self, start: usize, end: usize) -> &[Scalar] {
+        &self.data[start * self.dim..end * self.dim]
+    }
+
     /// Iterates over all points in index order.
     pub fn iter(&self) -> impl Iterator<Item = &[Scalar]> + '_ {
         self.data.chunks_exact(self.dim)

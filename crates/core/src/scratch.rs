@@ -1,0 +1,94 @@
+//! Reusable per-query working memory for allocation-free search paths.
+
+use crate::{Neighbor, Scalar, TopKCollector};
+
+/// Number of rows a blocked leaf scan processes per strip. Chosen to keep the strip and
+/// survivor buffers comfortably inside one cache line's worth of bookkeeping while still
+/// amortizing query loads across many rows; leaves larger than this are simply scanned
+/// in several strips.
+pub const LEAF_STRIP: usize = 64;
+
+/// Scratch space threaded through a search so the steady-state query path performs no
+/// heap allocation.
+///
+/// A `QueryScratch` owns everything a tree search needs to allocate otherwise: the
+/// [`TopKCollector`]'s heap storage, the explicit traversal stack that replaces
+/// recursion, the distance strip the blocked kernels write into, and the survivor index
+/// buffer the BC-Tree's point-level pruning uses. Create one per worker thread and pass
+/// it to [`crate::P2hIndex::search_with_scratch`] for every query; the buffers are
+/// reset (not freed) between queries, so after the first few queries warm the collector
+/// heap and the stack, thousands of subsequent queries allocate nothing beyond the
+/// k-element result vector that every [`crate::SearchResult`] hands to the caller.
+#[derive(Debug, Clone)]
+pub struct QueryScratch {
+    /// Bounded top-k heap, reused across queries via [`TopKCollector::reset`].
+    pub collector: TopKCollector,
+    /// Explicit traversal stack of `(node_id, ⟨q, center⟩)` pairs, replacing recursion.
+    pub stack: Vec<(u32, Scalar)>,
+    /// Distances of the current strip of leaf rows, written by the blocked kernels.
+    pub strip: [Scalar; LEAF_STRIP],
+    /// Reordered positions within the current strip that survived point-level pruning.
+    pub keep: [u32; LEAF_STRIP],
+}
+
+impl QueryScratch {
+    /// Creates scratch sized for typical trees (stack capacity covers depth ~64 without
+    /// regrowth; deeper trees grow it once and keep the larger buffer).
+    pub fn new() -> Self {
+        Self {
+            collector: TopKCollector::new(1),
+            stack: Vec::with_capacity(64),
+            strip: [0.0; LEAF_STRIP],
+            keep: [0; LEAF_STRIP],
+        }
+    }
+
+    /// Prepares the scratch for a fresh query with the given `k`: clears the collector
+    /// and the stack while keeping every allocation.
+    pub fn reset(&mut self, k: usize) {
+        self.collector.reset(k);
+        self.stack.clear();
+    }
+
+    /// Convenience for assertions and examples: the current top-k as a sorted vector
+    /// without consuming the scratch.
+    pub fn current_topk(&self) -> Vec<Neighbor> {
+        self.collector.to_sorted_vec()
+    }
+}
+
+impl Default for QueryScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_preserves_capacity() {
+        let mut scratch = QueryScratch::new();
+        scratch.collector.reset(8);
+        for i in 0..20 {
+            scratch.collector.offer(i, i as Scalar);
+        }
+        scratch.stack.extend((0..100).map(|i| (i as u32, 0.5)));
+        let stack_cap = scratch.stack.capacity();
+        scratch.reset(8);
+        assert!(scratch.stack.is_empty());
+        assert_eq!(scratch.stack.capacity(), stack_cap);
+        assert!(scratch.collector.is_empty());
+        assert_eq!(scratch.collector.k(), 8);
+        assert!(scratch.current_topk().is_empty());
+    }
+
+    #[test]
+    fn default_matches_new() {
+        let a = QueryScratch::default();
+        assert_eq!(a.collector.k(), 1);
+        assert_eq!(a.strip.len(), LEAF_STRIP);
+        assert_eq!(a.keep.len(), LEAF_STRIP);
+    }
+}

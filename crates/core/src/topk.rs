@@ -111,6 +111,29 @@ impl TopKCollector {
         }
     }
 
+    /// Prepares the collector for a fresh query: empties the heap (keeping its
+    /// allocation) and sets a new `k` (clamped to at least 1).
+    ///
+    /// This is the reuse hook of the allocation-free query path: a
+    /// [`crate::QueryScratch`] resets its collector between queries instead of
+    /// constructing a new one, so the heap storage is allocated once per worker rather
+    /// than once per query.
+    pub fn reset(&mut self, k: usize) {
+        self.k = k.max(1);
+        self.heap.clear();
+    }
+
+    /// Drains the collector and returns the neighbors sorted by ascending distance,
+    /// keeping the heap's allocation for reuse (unlike [`Self::into_sorted_vec`]).
+    ///
+    /// The returned vector is the only allocation: it is the query's answer, owned by
+    /// the caller.
+    pub fn take_sorted(&mut self) -> Vec<Neighbor> {
+        let mut v: Vec<Neighbor> = self.heap.drain().collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Consumes the collector and returns the neighbors sorted by ascending distance.
     pub fn into_sorted_vec(self) -> Vec<Neighbor> {
         let mut v = self.heap.into_vec();
@@ -180,6 +203,41 @@ mod tests {
         c.offer(5, 1.0);
         // An equal distance does not displace the incumbent (strictly-better rule).
         assert!(!c.offer(3, 1.0));
+    }
+
+    #[test]
+    fn reset_reuses_the_heap_and_reclamps_k() {
+        let mut c = TopKCollector::new(3);
+        for (i, d) in [4.0, 2.0, 6.0, 1.0].iter().enumerate() {
+            c.offer(i, *d);
+        }
+        assert!(c.is_full());
+        c.reset(2);
+        assert!(c.is_empty());
+        assert_eq!(c.k(), 2);
+        assert_eq!(c.threshold(), Scalar::INFINITY);
+        c.offer(7, 9.0);
+        c.offer(8, 3.0);
+        let v = c.take_sorted();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].index, 8);
+        // take_sorted drained the heap but the collector remains usable.
+        assert!(c.is_empty());
+        c.offer(1, 1.0);
+        assert_eq!(c.len(), 1);
+        c.reset(0);
+        assert_eq!(c.k(), 1, "k is clamped to at least 1 on reset");
+    }
+
+    #[test]
+    fn take_sorted_matches_into_sorted_vec() {
+        let mut a = TopKCollector::new(4);
+        let mut b = TopKCollector::new(4);
+        for (i, d) in [5.0, 1.0, 3.0, 2.0, 4.0, 0.5].iter().enumerate() {
+            a.offer(i, *d);
+            b.offer(i, *d);
+        }
+        assert_eq!(a.take_sorted(), b.into_sorted_vec());
     }
 
     #[test]

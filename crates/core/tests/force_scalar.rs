@@ -1,0 +1,40 @@
+//! Tests for the process-global `force_scalar` dispatch override.
+//!
+//! This file is its own test binary with a single `#[test]`: toggling the override
+//! while other tests run concurrently in the same process would flip the backend
+//! between a test's blocked call and its single-row reference call and break their
+//! bitwise comparisons. (The unit tests in `kernels::tests` deliberately avoid the
+//! toggle for the same reason.)
+
+use p2h_core::kernels::{self, scalar};
+use p2h_core::{KernelBackend, Scalar};
+
+#[test]
+fn force_scalar_switches_the_active_backend_and_back() {
+    let dim = 40;
+    let rows = 4;
+    let query: Vec<Scalar> = (0..dim).map(|j| (j as Scalar * 0.37).sin() * 2.0).collect();
+    let data: Vec<Scalar> = (0..dim * rows).map(|j| (j as Scalar * 0.13).cos() * 3.0).collect();
+    let mut out = vec![0.0 as Scalar; rows];
+
+    kernels::force_scalar(true);
+    assert_eq!(kernels::active_backend(), KernelBackend::Scalar);
+    kernels::dot_block(&query, &data, dim, &mut out);
+    for r in 0..rows {
+        assert_eq!(
+            out[r].to_bits(),
+            scalar::dot(&query, &data[r * dim..(r + 1) * dim]).to_bits(),
+            "forced-scalar dispatch must route through the scalar kernels"
+        );
+    }
+
+    // Un-forcing restores hardware dispatch (and overrides any P2H_FORCE_SCALAR env
+    // setting, which is why this asserts against detected_backend, not a constant).
+    kernels::force_scalar(false);
+    assert_eq!(kernels::active_backend(), kernels::detected_backend());
+    kernels::dot_block(&query, &data, dim, &mut out);
+    for r in 0..rows {
+        let single = kernels::dot(&query, &data[r * dim..(r + 1) * dim]);
+        assert_eq!(out[r].to_bits(), single.to_bits());
+    }
+}

@@ -3,17 +3,34 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use p2h_core::{P2hIndex, SearchResult, SearchStats};
+use p2h_core::{P2hIndex, QueryScratch, SearchResult, SearchStats};
 
 use crate::batch::{BatchRequest, BatchResponse, LatencyHistogram};
 
+/// Largest number of queries a worker claims per cursor bump.
+const MAX_CHUNK: usize = 32;
+
+/// Chunk size for dynamic work handout: large enough to amortize the shared-cursor
+/// traffic when per-query cost is tiny, small enough (at most [`MAX_CHUNK`], at most
+/// ~an eighth of each worker's fair share) that skewed per-query costs still balance.
+fn chunk_size(n: usize, workers: usize) -> usize {
+    (n / (workers * 8)).clamp(1, MAX_CHUNK)
+}
+
 /// Executes query batches over worker threads with deterministic result ordering.
 ///
-/// Work distribution is dynamic (an atomic cursor hands out the next query index), so
-/// skewed per-query costs do not idle workers. Results are reassembled in request order
-/// and each query is answered independently, so the response's `results` are bit-identical
-/// to sequential execution no matter how many threads ran the batch — only the latency
-/// histogram and wall-clock time vary.
+/// Work distribution is dynamic: an atomic cursor hands out *chunks* of consecutive
+/// query indexes (see [`chunk_size`]) so that workers synchronize once per chunk rather
+/// than once per query, which matters when a single query costs only microseconds.
+/// Results are reassembled in request order and each query is answered independently, so
+/// the response's `results` are bit-identical to sequential execution no matter how many
+/// threads ran the batch or how the chunks interleaved — only the latency histogram and
+/// wall-clock time vary.
+///
+/// Each worker owns one [`QueryScratch`] for its whole run and answers every query
+/// through [`P2hIndex::search_with_scratch`], so the steady-state per-query path
+/// performs no heap allocation beyond each query's k-element result vector (verified by
+/// the `allocations` integration test).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchExecutor {
     threads: usize,
@@ -55,23 +72,30 @@ impl BatchExecutor {
         let mut slots: Vec<Option<(SearchResult, u64)>> = if workers <= 1 {
             run_range(index, request, 0, n)
         } else {
+            let chunk = chunk_size(n, workers);
             let cursor = AtomicUsize::new(0);
             let mut per_worker: Vec<Vec<(usize, SearchResult, u64)>> =
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = (0..workers)
                         .map(|_| {
                             scope.spawn(|| {
-                                let mut local = Vec::with_capacity(n / workers + 1);
+                                let mut scratch = QueryScratch::new();
+                                let mut local = Vec::with_capacity(n / workers + chunk);
                                 loop {
-                                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                                    if i >= n {
+                                    let begin = cursor.fetch_add(chunk, Ordering::Relaxed);
+                                    if begin >= n {
                                         return local;
                                     }
-                                    let query_start = Instant::now();
-                                    let result =
-                                        index.search(&request.queries[i], request.params_for(i));
-                                    let latency_ns = query_start.elapsed().as_nanos() as u64;
-                                    local.push((i, result, latency_ns));
+                                    for i in begin..(begin + chunk).min(n) {
+                                        let query_start = Instant::now();
+                                        let result = index.search_with_scratch(
+                                            &request.queries[i],
+                                            request.params_for(i),
+                                            &mut scratch,
+                                        );
+                                        let latency_ns = query_start.elapsed().as_nanos() as u64;
+                                        local.push((i, result, latency_ns));
+                                    }
                                 }
                             })
                         })
@@ -111,17 +135,20 @@ impl BatchExecutor {
     }
 }
 
-/// Sequential fallback used for one worker (avoids the scope/atomic overhead).
+/// Sequential fallback used for one worker (avoids the scope/atomic overhead). One
+/// scratch serves the whole range, same as a parallel worker.
 fn run_range(
     index: &dyn P2hIndex,
     request: &BatchRequest,
     from: usize,
     to: usize,
 ) -> Vec<Option<(SearchResult, u64)>> {
+    let mut scratch = QueryScratch::new();
     (from..to)
         .map(|i| {
             let query_start = Instant::now();
-            let result = index.search(&request.queries[i], request.params_for(i));
+            let result =
+                index.search_with_scratch(&request.queries[i], request.params_for(i), &mut scratch);
             let latency_ns = query_start.elapsed().as_nanos() as u64;
             Some((result, latency_ns))
         })
@@ -163,6 +190,42 @@ mod tests {
             for (p, s) in parallel.results.iter().zip(sequential.results.iter()) {
                 assert_eq!(p.neighbors, s.neighbors, "threads={threads}");
             }
+        }
+    }
+
+    #[test]
+    fn chunked_handout_covers_every_query_exactly_once() {
+        // More queries than workers * chunk so several cursor rounds happen; the
+        // reassembly would hit a `None` slot (and panic) if any index were skipped, and
+        // duplicated indexes would leave another slot `None`.
+        let (index, mut queries) = setup(120);
+        while queries.len() < 150 {
+            let q = queries[queries.len() % 24].clone();
+            queries.push(q);
+        }
+        let n = queries.len();
+        assert!(n > 4 * chunk_size(n, 4) * 2);
+        let request = BatchRequest::new(queries, SearchParams::exact(3));
+        let sequential = BatchExecutor::new(1).execute(&index, &request);
+        let chunked = BatchExecutor::new(4).execute(&index, &request);
+        assert_eq!(chunked.results.len(), n);
+        assert_eq!(chunked.latency.count(), n);
+        for (p, s) in chunked.results.iter().zip(sequential.results.iter()) {
+            assert_eq!(p.neighbors, s.neighbors);
+        }
+    }
+
+    #[test]
+    fn chunk_size_is_bounded_and_positive() {
+        assert_eq!(chunk_size(1, 8), 1);
+        assert_eq!(chunk_size(0, 4), 1);
+        assert_eq!(chunk_size(64, 8), 1);
+        assert_eq!(chunk_size(1_000, 4), 31);
+        // Huge batches are capped so tail latency stays balanced.
+        assert_eq!(chunk_size(1_000_000, 4), MAX_CHUNK);
+        for (n, w) in [(10, 3), (100, 7), (5_000, 16), (123_456, 5)] {
+            let c = chunk_size(n, w);
+            assert!((1..=MAX_CHUNK).contains(&c), "chunk_size({n}, {w}) = {c}");
         }
     }
 
