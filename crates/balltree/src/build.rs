@@ -5,7 +5,7 @@ use rand::SeedableRng;
 
 use p2h_core::{distance, Error, PointSet, Result, Scalar};
 
-use crate::node::{Node, NO_CHILD};
+use crate::node::{validate_structure, Node, NO_CHILD};
 use crate::split::seed_grow_split;
 
 /// Default maximum leaf size `N0` (the paper sweeps 100–10,000; 100 is its reference
@@ -83,14 +83,58 @@ impl BallTreeBuilder {
         }
         let reordered = PointSet::from_flat(dim, reordered)?;
 
+        let mut nodes = arena.nodes;
+        let centers = pack_sibling_centers(&mut nodes, &arena.centers, dim);
+
         Ok(BallTree {
             points: reordered,
             original_ids,
-            nodes: arena.nodes,
-            centers: arena.centers,
+            nodes,
+            centers,
             leaf_size: self.leaf_size,
+            build_seed: self.seed,
         })
     }
+}
+
+/// Reorders the flat center buffer so the two children of every internal node occupy
+/// adjacent rows (left immediately followed by right), rewriting each node's
+/// `center_offset`; the root keeps row 0. Returns the packed buffer.
+///
+/// This is the layout contract behind the search's paired-children matvec: one two-row
+/// [`p2h_core::kernels::dot_block`] call computes both child center inner products of an
+/// expanded node, sharing the query loads the two separate `dot` calls would repeat.
+/// Per-row blocked results are bit-identical to `dot`, so search answers are unchanged.
+pub(crate) fn pack_sibling_centers(
+    nodes: &mut [Node],
+    centers: &[Scalar],
+    dim: usize,
+) -> Vec<Scalar> {
+    let row = |offset: u32| {
+        let start = offset as usize * dim;
+        &centers[start..start + dim]
+    };
+    let mut packed = Vec::with_capacity(centers.len());
+    let mut new_offset = vec![0u32; nodes.len()];
+    packed.extend_from_slice(row(nodes[0].center_offset));
+    let mut stack: Vec<u32> = vec![0];
+    while let Some(id) = stack.pop() {
+        let node = nodes[id as usize];
+        if node.is_leaf() {
+            continue;
+        }
+        let next = (packed.len() / dim) as u32;
+        new_offset[node.left as usize] = next;
+        new_offset[node.right as usize] = next + 1;
+        packed.extend_from_slice(row(nodes[node.left as usize].center_offset));
+        packed.extend_from_slice(row(nodes[node.right as usize].center_offset));
+        stack.push(node.left);
+        stack.push(node.right);
+    }
+    for (node, &offset) in nodes.iter_mut().zip(&new_offset) {
+        node.center_offset = offset;
+    }
+    packed
 }
 
 /// Growable node + center storage used during construction.
@@ -159,10 +203,13 @@ pub struct BallTree {
     pub(crate) original_ids: Vec<u32>,
     /// Node arena; node 0 is the root.
     pub(crate) nodes: Vec<Node>,
-    /// Flat buffer of node centers (`nodes[i]` uses `centers[i·dim .. (i+1)·dim]`).
+    /// Flat buffer of node centers, one `dim`-sized row per node, addressed through
+    /// `Node::center_offset`. Sibling rows are adjacent (see `pack_sibling_centers`).
     pub(crate) centers: Vec<Scalar>,
     /// Maximum leaf size `N0` the tree was built with.
     pub(crate) leaf_size: usize,
+    /// RNG seed the tree was built with (recorded for snapshots and reproducibility).
+    pub(crate) build_seed: u64,
 }
 
 impl BallTree {
@@ -206,6 +253,58 @@ impl BallTree {
     /// The node arena (root is node 0). Exposed for inspection and for the BC-Tree crate.
     pub fn nodes(&self) -> &[Node] {
         &self.nodes
+    }
+
+    /// The flat center buffer: one `dim`-sized row per node, addressed through
+    /// [`Node::center_offset`], with sibling rows adjacent. Exposed (with
+    /// [`BallTree::original_ids`] and [`BallTree::nodes`]) so persistence layers can
+    /// serialize the tree without rebuilding it.
+    pub fn centers(&self) -> &[Scalar] {
+        &self.centers
+    }
+
+    /// The mapping from reordered position to original point index.
+    pub fn original_ids(&self) -> &[u32] {
+        &self.original_ids
+    }
+
+    /// The RNG seed this tree was built with.
+    pub fn build_seed(&self) -> u64 {
+        self.build_seed
+    }
+
+    /// Reassembles a tree from its constituent arrays — the exact inverse of reading
+    /// [`BallTree::points`], [`BallTree::original_ids`], [`BallTree::nodes`], and
+    /// [`BallTree::centers`] off a built tree. This is the load path for persistent
+    /// snapshots: because the arrays are restored verbatim, the reassembled tree
+    /// answers every query bit-identically to the original (same kernel backend).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] (never panics) if the arrays are inconsistent: wrong
+    /// lengths, an id mapping that is not a permutation, or a node arena that fails
+    /// [`validate_structure`] — including the adjacent-sibling-centers layout contract
+    /// the search's paired matvec relies on.
+    pub fn from_parts(
+        points: PointSet,
+        original_ids: Vec<u32>,
+        nodes: Vec<Node>,
+        centers: Vec<Scalar>,
+        leaf_size: usize,
+        build_seed: u64,
+    ) -> Result<Self> {
+        let n = points.len();
+        let dim = points.dim();
+        crate::node::validate_permutation(&original_ids, n)?;
+        if centers.len() != nodes.len() * dim {
+            return Err(Error::Corrupt(format!(
+                "center buffer has {} scalars for {} nodes of dim {dim}",
+                centers.len(),
+                nodes.len()
+            )));
+        }
+        validate_structure(&nodes, n, nodes.len(), leaf_size, true)?;
+        Ok(Self { points, original_ids, nodes, centers, leaf_size, build_seed })
     }
 
     /// The center of a node as a slice.
@@ -279,6 +378,12 @@ impl BallTree {
                     return Err(Error::InvalidParameter {
                         name: "nodes",
                         message: "children do not partition the parent range".into(),
+                    });
+                }
+                if right.center_offset != left.center_offset + 1 {
+                    return Err(Error::InvalidParameter {
+                        name: "centers",
+                        message: "sibling centers are not stored adjacently".into(),
                     });
                 }
             }
@@ -380,6 +485,83 @@ mod tests {
         let b = BallTreeBuilder::new(64).with_seed(5).build(&ps).unwrap();
         assert_eq!(a.original_ids, b.original_ids);
         assert_eq!(a.node_count(), b.node_count());
+    }
+
+    #[test]
+    fn sibling_centers_are_adjacent_and_root_is_row_zero() {
+        let ps = dataset(3_000, 12);
+        let tree = BallTreeBuilder::new(64).with_seed(7).build(&ps).unwrap();
+        assert_eq!(tree.nodes()[0].center_offset, 0);
+        assert_eq!(tree.centers().len(), tree.node_count() * ps.dim());
+        for node in tree.nodes() {
+            if !node.is_leaf() {
+                let left = &tree.nodes()[node.left as usize];
+                let right = &tree.nodes()[node.right as usize];
+                assert_eq!(right.center_offset, left.center_offset + 1);
+            }
+        }
+        // The packed rows still hold each node's own centroid (spot-check via radius
+        // containment, which `check_invariants` verifies against the packed buffer).
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let ps = dataset(1_200, 8);
+        let tree = BallTreeBuilder::new(32).with_seed(3).build(&ps).unwrap();
+        let rebuilt = BallTree::from_parts(
+            tree.points().clone(),
+            tree.original_ids().to_vec(),
+            tree.nodes().to_vec(),
+            tree.centers().to_vec(),
+            tree.leaf_size(),
+            tree.build_seed(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.nodes, tree.nodes);
+        assert_eq!(rebuilt.centers, tree.centers);
+        assert_eq!(rebuilt.original_ids, tree.original_ids);
+        assert_eq!(rebuilt.build_seed(), 3);
+        rebuilt.check_invariants().unwrap();
+
+        // Inconsistent arrays are rejected with typed errors, never panics.
+        let truncated_ids = tree.original_ids()[..10].to_vec();
+        assert!(matches!(
+            BallTree::from_parts(
+                tree.points().clone(),
+                truncated_ids,
+                tree.nodes().to_vec(),
+                tree.centers().to_vec(),
+                tree.leaf_size(),
+                0,
+            ),
+            Err(Error::Corrupt(_))
+        ));
+        let mut bad_nodes = tree.nodes().to_vec();
+        bad_nodes[0].left = u32::MAX - 1;
+        assert!(matches!(
+            BallTree::from_parts(
+                tree.points().clone(),
+                tree.original_ids().to_vec(),
+                bad_nodes,
+                tree.centers().to_vec(),
+                tree.leaf_size(),
+                0,
+            ),
+            Err(Error::Corrupt(_))
+        ));
+        let short_centers = tree.centers()[..tree.centers().len() - 1].to_vec();
+        assert!(matches!(
+            BallTree::from_parts(
+                tree.points().clone(),
+                tree.original_ids().to_vec(),
+                tree.nodes().to_vec(),
+                short_centers,
+                tree.leaf_size(),
+                0,
+            ),
+            Err(Error::Corrupt(_))
+        ));
     }
 
     #[test]

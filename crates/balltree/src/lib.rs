@@ -27,4 +27,4 @@ mod search;
 pub mod split;
 
 pub use build::{BallTree, BallTreeBuilder};
-pub use node::{Node, NO_CHILD};
+pub use node::{validate_permutation, validate_structure, Node, NO_CHILD};

@@ -23,7 +23,7 @@ use rand::SeedableRng;
 
 use p2h_core::{distance, Error, PointSet, Result, Scalar};
 
-use crate::build::{BallTree, BallTreeBuilder};
+use crate::build::{pack_sibling_centers, BallTree, BallTreeBuilder};
 use crate::node::{Node, NO_CHILD};
 use crate::split::seed_grow_split;
 
@@ -117,12 +117,16 @@ impl BallTreeBuilder {
         }
         let reordered = PointSet::from_flat(dim, reordered)?;
 
+        let mut nodes = subtree.nodes;
+        let centers = pack_sibling_centers(&mut nodes, &subtree.centers, dim);
+
         Ok(BallTree {
             points: reordered,
             original_ids,
-            nodes: subtree.nodes,
-            centers: subtree.centers,
+            nodes,
+            centers,
             leaf_size: self.leaf_size,
+            build_seed: self.seed,
         })
     }
 }

@@ -101,12 +101,18 @@ impl BallTree {
 
             // Compute the child center inner products once here; they ride on the stack
             // to the child visits, so Ball-Tree performs exactly two O(d) inner products
-            // per expanded internal node (the cost model of Theorem 5).
+            // per expanded internal node (the cost model of Theorem 5). Sibling centers
+            // are stored adjacently (left row immediately followed by right), so both
+            // products come from one two-row blocked matvec that loads the query once;
+            // per-row results are bit-identical to two separate `dot` calls.
             let timer = timing.then(Instant::now);
             let left = &self.nodes[node.left as usize];
             let right = &self.nodes[node.right as usize];
-            let ip_left = kernels::dot(q, self.center(left));
-            let ip_right = kernels::dot(q, self.center(right));
+            debug_assert_eq!(right.center_offset, left.center_offset + 1);
+            let pair_start = left.center_offset as usize * dim;
+            let mut pair = [0.0; 2];
+            kernels::dot_block(q, &self.centers[pair_start..pair_start + 2 * dim], dim, &mut pair);
+            let (ip_left, ip_right) = (pair[0], pair[1]);
             stats.inner_products += 2;
             if let Some(t) = timer {
                 stats.time_bounds_ns += t.elapsed().as_nanos() as u64;

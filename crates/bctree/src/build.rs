@@ -84,20 +84,31 @@ impl BcTreeBuilder {
 
         build_recursive(points, &mut order, 0, self.leaf_size, &mut arena, &mut rng);
 
-        finalize(points, &order, arena.nodes, arena.centers, self.leaf_size)
+        finalize(points, &order, arena.nodes, arena.centers, self.leaf_size, self.seed, 1)
     }
 }
+
+/// Below this many points the second pass runs sequentially: the per-point work is a
+/// handful of O(d) kernels, so thread spawns only pay off on reasonably large leaves.
+const SECOND_PASS_PARALLEL_CUTOFF: usize = 4_096;
 
 /// Shared tail of both the sequential and the parallel builder: materializes the
 /// reordered point set (leaf points already sorted by descending `r_x`), then runs the
 /// second pass computing per-node center norms and the per-point ball/cone leaf
 /// structures of Algorithm 4.
+///
+/// The second pass is independent per node (norms) and per leaf (aux structures), so
+/// with `threads > 1` it is fanned out over scoped worker threads; the computed values
+/// are identical to the sequential pass for every thread count (same per-element float
+/// operations, disjoint writes).
 pub(crate) fn finalize(
     points: &PointSet,
     order: &[usize],
     nodes: Vec<Node>,
     centers: Vec<Scalar>,
     leaf_size: usize,
+    build_seed: u64,
+    threads: usize,
 ) -> Result<BcTree> {
     let n = points.len();
     let dim = points.dim();
@@ -109,37 +120,137 @@ pub(crate) fn finalize(
     }
     let reordered = PointSet::from_flat(dim, reordered)?;
 
-    let mut center_norms = Vec::with_capacity(nodes.len());
-    for node in &nodes {
+    let threads = if n < SECOND_PASS_PARALLEL_CUTOFF { 1 } else { threads.max(1) };
+    let center_norms = compute_center_norms(&nodes, &centers, dim, threads);
+    let aux = compute_leaf_aux(&reordered, &nodes, &centers, &center_norms, threads);
+
+    Ok(BcTree {
+        points: reordered,
+        original_ids,
+        nodes,
+        centers,
+        center_norms,
+        aux,
+        leaf_size,
+        build_seed,
+    })
+}
+
+/// Computes `‖c‖` for every node center, splitting the node array over `threads`
+/// scoped workers (per-node independent).
+fn compute_center_norms(
+    nodes: &[Node],
+    centers: &[Scalar],
+    dim: usize,
+    threads: usize,
+) -> Vec<Scalar> {
+    let norm_of = |node: &Node| {
         let start = node.center_offset as usize * dim;
-        center_norms.push(distance::norm(&centers[start..start + dim]));
+        distance::norm(&centers[start..start + dim])
+    };
+    let workers = threads.min(nodes.len()).max(1);
+    if workers == 1 {
+        return nodes.iter().map(norm_of).collect();
     }
+    let chunk = nodes.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = nodes
+            .chunks(chunk)
+            .map(|part| scope.spawn(move || part.iter().map(norm_of).collect::<Vec<Scalar>>()))
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("center-norm worker panicked")).collect()
+    })
+}
+
+/// Computes the per-point ball/cone leaf structures (Algorithm 4's second pass).
+///
+/// The leaves tile `0..n` with disjoint contiguous ranges, so the output array is
+/// handed out to scoped workers as disjoint `split_at_mut` sub-slices — one batch of
+/// consecutive leaves (≈ `n / threads` points) per worker, no synchronization needed.
+fn compute_leaf_aux(
+    reordered: &PointSet,
+    nodes: &[Node],
+    centers: &[Scalar],
+    center_norms: &[Scalar],
+    threads: usize,
+) -> Vec<LeafPointAux> {
+    let n = reordered.len();
+    let dim = reordered.dim();
+    let center_of = |idx: usize| {
+        let start = nodes[idx].center_offset as usize * dim;
+        &centers[start..start + dim]
+    };
+    let mut leaves: Vec<usize> = (0..nodes.len()).filter(|&i| nodes[i].is_leaf()).collect();
+    leaves.sort_unstable_by_key(|&i| nodes[i].start);
+
     let mut aux = vec![LeafPointAux::default(); n];
-    for (node_idx, node) in nodes.iter().enumerate() {
-        if !node.is_leaf() {
-            continue;
+    if threads <= 1 {
+        for &i in &leaves {
+            fill_leaf_aux(reordered, center_of(i), center_norms[i], &nodes[i], &mut aux, 0);
         }
-        let c_start = node.center_offset as usize * dim;
-        let center = &centers[c_start..c_start + dim];
-        let center_norm = center_norms[node_idx];
-        for pos in node.start..node.end {
-            let x = reordered.point(pos as usize);
-            let r_x = distance::euclidean(x, center);
-            let x_norm = distance::norm(x);
-            let cos_phi = if center_norm <= Scalar::EPSILON || x_norm <= Scalar::EPSILON {
-                0.0
-            } else {
-                (distance::dot(x, center) / (x_norm * center_norm)).clamp(-1.0, 1.0)
-            };
-            aux[pos as usize] = LeafPointAux {
-                radius: r_x,
-                x_cos: x_norm * cos_phi,
-                x_sin: x_norm * (1.0 - cos_phi * cos_phi).max(0.0).sqrt(),
-            };
-        }
+        return aux;
     }
 
-    Ok(BcTree { points: reordered, original_ids, nodes, centers, center_norms, aux, leaf_size })
+    let target = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut rest: &mut [LeafPointAux] = &mut aux;
+        let mut base = 0usize;
+        let mut from = 0usize;
+        while from < leaves.len() {
+            let mut to = from;
+            let mut count = 0usize;
+            while to < leaves.len() && count < target {
+                count += nodes[leaves[to]].size();
+                to += 1;
+            }
+            let batch = &leaves[from..to];
+            let (slice, tail) = rest.split_at_mut(count);
+            rest = tail;
+            let batch_base = base;
+            scope.spawn(move || {
+                for &i in batch {
+                    fill_leaf_aux(
+                        reordered,
+                        center_of(i),
+                        center_norms[i],
+                        &nodes[i],
+                        slice,
+                        batch_base,
+                    );
+                }
+            });
+            base += count;
+            from = to;
+        }
+    });
+    aux
+}
+
+/// Fills the aux entries of one leaf into `out` (whose first element corresponds to
+/// reordered position `base`).
+fn fill_leaf_aux(
+    reordered: &PointSet,
+    center: &[Scalar],
+    center_norm: Scalar,
+    node: &Node,
+    out: &mut [LeafPointAux],
+    base: usize,
+) {
+    for pos in node.start as usize..node.end as usize {
+        let x = reordered.point(pos);
+        let r_x = distance::euclidean(x, center);
+        let x_norm = distance::norm(x);
+        let cos_phi = if center_norm <= Scalar::EPSILON || x_norm <= Scalar::EPSILON {
+            0.0
+        } else {
+            (distance::dot(x, center) / (x_norm * center_norm)).clamp(-1.0, 1.0)
+        };
+        out[pos - base] = LeafPointAux {
+            radius: r_x,
+            x_cos: x_norm * cos_phi,
+            x_sin: x_norm * (1.0 - cos_phi * cos_phi).max(0.0).sqrt(),
+        };
+    }
 }
 
 struct Arena {
@@ -260,6 +371,31 @@ pub struct BcTree {
     pub(crate) center_norms: Vec<Scalar>,
     pub(crate) aux: Vec<LeafPointAux>,
     pub(crate) leaf_size: usize,
+    pub(crate) build_seed: u64,
+}
+
+/// The constituent arrays of a [`BcTree`], as consumed by [`BcTree::from_parts`] and
+/// produced by the accessor methods. This is the persistence contract: a snapshot layer
+/// stores exactly these arrays and restores them verbatim, so a loaded tree answers
+/// every query bit-identically to the original (same kernel backend).
+#[derive(Debug, Clone)]
+pub struct BcTreeParts {
+    /// Reordered point set (contiguous and `r_x`-sorted per leaf).
+    pub points: PointSet,
+    /// Reordered position → original point index (a permutation).
+    pub original_ids: Vec<u32>,
+    /// Node arena; node 0 is the root.
+    pub nodes: Vec<Node>,
+    /// Flat center buffer, one `dim`-sized row per node.
+    pub centers: Vec<Scalar>,
+    /// Cached `‖c‖` per node.
+    pub center_norms: Vec<Scalar>,
+    /// Per-point ball/cone leaf structures.
+    pub aux: Vec<LeafPointAux>,
+    /// Maximum leaf size `N0`.
+    pub leaf_size: usize,
+    /// RNG seed the tree was built with.
+    pub build_seed: u64,
 }
 
 impl BcTree {
@@ -291,6 +427,74 @@ impl BcTree {
     /// The per-point leaf structures, indexed by reordered position.
     pub fn leaf_aux(&self) -> &[LeafPointAux] {
         &self.aux
+    }
+
+    /// The flat center buffer: one `dim`-sized row per node, addressed through
+    /// [`Node::center_offset`]. Exposed for persistence layers.
+    pub fn centers(&self) -> &[Scalar] {
+        &self.centers
+    }
+
+    /// The cached `‖c‖` per node, aligned with [`BcTree::nodes`].
+    pub fn center_norms(&self) -> &[Scalar] {
+        &self.center_norms
+    }
+
+    /// The mapping from reordered position to original point index.
+    pub fn original_ids(&self) -> &[u32] {
+        &self.original_ids
+    }
+
+    /// The RNG seed this tree was built with.
+    pub fn build_seed(&self) -> u64 {
+        self.build_seed
+    }
+
+    /// Reassembles a tree from its constituent arrays — the load path for persistent
+    /// snapshots (the inverse of reading the accessors off a built tree).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] (never panics) if the arrays are inconsistent: wrong
+    /// lengths, an id mapping that is not a permutation, or a node arena failing
+    /// [`p2h_balltree::validate_structure`]. Floating-point payloads (centers, norms,
+    /// aux) are restored verbatim and guarded end-to-end by the snapshot checksums.
+    pub fn from_parts(parts: BcTreeParts) -> Result<Self> {
+        let BcTreeParts {
+            points,
+            original_ids,
+            nodes,
+            centers,
+            center_norms,
+            aux,
+            leaf_size,
+            build_seed,
+        } = parts;
+        let n = points.len();
+        let dim = points.dim();
+        p2h_balltree::validate_permutation(&original_ids, n)?;
+        if centers.len() != nodes.len() * dim {
+            return Err(Error::Corrupt(format!(
+                "center buffer has {} scalars for {} nodes of dim {dim}",
+                centers.len(),
+                nodes.len()
+            )));
+        }
+        if center_norms.len() != nodes.len() {
+            return Err(Error::Corrupt(format!(
+                "center-norm buffer has {} entries for {} nodes",
+                center_norms.len(),
+                nodes.len()
+            )));
+        }
+        if aux.len() != n {
+            return Err(Error::Corrupt(format!(
+                "leaf-structure buffer has {} entries for {n} points",
+                aux.len()
+            )));
+        }
+        p2h_balltree::validate_structure(&nodes, n, nodes.len(), leaf_size, false)?;
+        Ok(Self { points, original_ids, nodes, centers, center_norms, aux, leaf_size, build_seed })
     }
 
     /// The reordered point set (contiguous and `r_x`-sorted per leaf).
@@ -496,6 +700,59 @@ mod tests {
         let ps = PointSet::augment(&rows).unwrap();
         let tree = BcTreeBuilder::new(25).build(&ps).unwrap();
         tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let ps = dataset(1_400, 10);
+        let tree = BcTreeBuilder::new(40).with_seed(6).build(&ps).unwrap();
+        let parts = BcTreeParts {
+            points: tree.points().clone(),
+            original_ids: tree.original_ids().to_vec(),
+            nodes: tree.nodes().to_vec(),
+            centers: tree.centers().to_vec(),
+            center_norms: tree.center_norms().to_vec(),
+            aux: tree.leaf_aux().to_vec(),
+            leaf_size: tree.leaf_size(),
+            build_seed: tree.build_seed(),
+        };
+        let rebuilt = BcTree::from_parts(parts.clone()).unwrap();
+        assert_eq!(rebuilt.nodes, tree.nodes);
+        assert_eq!(rebuilt.aux, tree.aux);
+        assert_eq!(rebuilt.build_seed(), 6);
+        rebuilt.check_invariants().unwrap();
+
+        let mut bad = parts.clone();
+        bad.center_norms.pop();
+        assert!(matches!(BcTree::from_parts(bad), Err(Error::Corrupt(_))));
+        let mut bad = parts.clone();
+        bad.aux.truncate(10);
+        assert!(matches!(BcTree::from_parts(bad), Err(Error::Corrupt(_))));
+        let mut bad = parts.clone();
+        bad.original_ids[0] = bad.original_ids[1];
+        assert!(matches!(BcTree::from_parts(bad), Err(Error::Corrupt(_))));
+        let mut bad = parts;
+        bad.nodes[0].end = 7;
+        assert!(matches!(BcTree::from_parts(bad), Err(Error::Corrupt(_))));
+    }
+
+    #[test]
+    #[cfg(feature = "parallel")]
+    fn second_pass_is_identical_across_thread_counts() {
+        // Directly exercise the scoped-thread fan-out of the aux/center-norm second
+        // pass (the dataset is above SECOND_PASS_PARALLEL_CUTOFF so `finalize` really
+        // parallelizes): every thread count must produce the sequential pass's values.
+        let ps = dataset(6_000, 12);
+        let reference = BcTreeBuilder::new(64).with_seed(11).build(&ps).unwrap();
+        for threads in [2, 3, 8] {
+            let tree = BcTreeBuilder::new(64).with_seed(11).build_parallel(&ps, threads).unwrap();
+            // Parallel builds differ in tree shape from sequential ones (per-node
+            // seeds), so compare against a 1-thread parallel build instead.
+            let one = BcTreeBuilder::new(64).with_seed(11).build_parallel(&ps, 1).unwrap();
+            assert_eq!(tree.aux, one.aux, "threads={threads}");
+            assert_eq!(tree.center_norms, one.center_norms, "threads={threads}");
+        }
+        reference.check_invariants().unwrap();
     }
 
     #[test]

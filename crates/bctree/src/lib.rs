@@ -30,7 +30,7 @@ mod build;
 mod parallel;
 mod search;
 
-pub use build::{BcTree, BcTreeBuilder, LeafPointAux};
+pub use build::{BcTree, BcTreeBuilder, BcTreeParts, LeafPointAux};
 pub use search::BcTreeVariantView;
 
 /// Which point-level lower bounds the search uses (the ablation of Figure 8).

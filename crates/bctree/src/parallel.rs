@@ -48,7 +48,9 @@ impl BcTreeBuilder {
 
         let subtree = build_recursive(points, &mut order, 0, self.leaf_size, self.seed, threads);
 
-        finalize(points, &order, subtree.nodes, subtree.centers, self.leaf_size)
+        // `finalize` also fans the second pass (center norms + per-leaf ball/cone
+        // structures) out over the same worker budget; see the build module.
+        finalize(points, &order, subtree.nodes, subtree.centers, self.leaf_size, self.seed, threads)
     }
 }
 

@@ -32,6 +32,11 @@ pub enum Error {
     },
     /// An I/O error occurred while reading or writing a data set.
     Io(String),
+    /// A file's *content* is malformed — truncated payload, bad magic, inconsistent
+    /// counts — as opposed to [`Error::Io`], which covers operating-system failures
+    /// (missing file, permission denied). Loaders return this so callers can tell a
+    /// corrupt artifact from an environment problem.
+    Corrupt(String),
 }
 
 impl fmt::Display for Error {
@@ -51,6 +56,7 @@ impl fmt::Display for Error {
                 write!(f, "invalid parameter `{name}`: {message}")
             }
             Error::Io(msg) => write!(f, "I/O error: {msg}"),
+            Error::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
         }
     }
 }
@@ -78,6 +84,14 @@ mod tests {
         let e = Error::InvalidParameter { name: "k", message: "must be positive".into() };
         assert!(e.to_string().contains('k'));
         assert!(e.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn corrupt_is_distinct_from_io() {
+        let corrupt = Error::Corrupt("bad magic".into());
+        assert!(corrupt.to_string().contains("corrupt"));
+        assert!(corrupt.to_string().contains("bad magic"));
+        assert_ne!(corrupt, Error::Io("bad magic".into()));
     }
 
     #[test]

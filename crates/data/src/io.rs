@@ -36,11 +36,11 @@ pub fn parse_fvecs(raw: &[u8]) -> Result<(usize, Vec<Scalar>)> {
     let mut data = Vec::new();
     while bytes.has_remaining() {
         if bytes.remaining() < 4 {
-            return Err(Error::Io("truncated fvecs header".into()));
+            return Err(Error::Corrupt("truncated fvecs header".into()));
         }
         let d = bytes.get_i32_le();
         if d <= 0 {
-            return Err(Error::Io(format!("invalid fvecs dimension {d}")));
+            return Err(Error::Corrupt(format!("invalid fvecs dimension {d}")));
         }
         let d = d as usize;
         match dim {
@@ -51,7 +51,7 @@ pub fn parse_fvecs(raw: &[u8]) -> Result<(usize, Vec<Scalar>)> {
             _ => {}
         }
         if bytes.remaining() < 4 * d {
-            return Err(Error::Io("truncated fvecs vector".into()));
+            return Err(Error::Corrupt("truncated fvecs vector".into()));
         }
         for _ in 0..d {
             data.push(bytes.get_f32_le());
@@ -168,33 +168,61 @@ pub fn write_native(path: &Path, dim: usize, data: &[Scalar]) -> Result<()> {
 ///
 /// # Errors
 ///
-/// Returns an error if the magic does not match or the file is truncated.
+/// Returns [`Error::Io`] if the file cannot be read and [`Error::Corrupt`] if its
+/// content is malformed (bad magic, truncation, or a `dim × count` that overflows).
 pub fn read_native(path: &Path) -> Result<(usize, Vec<Scalar>)> {
     let mut file = File::open(path)?;
     let mut raw = Vec::new();
     file.read_to_end(&mut raw)?;
-    let mut bytes = Bytes::from(raw);
+    parse_native_buf(Bytes::from(raw)) // moves the Vec — no second copy of the payload
+}
+
+/// Parses an in-memory native-format buffer. See [`read_native`].
+///
+/// Every malformed input — truncated header or payload, bad magic, zero dimension, or a
+/// header whose `dim × count × 4` byte size overflows — returns a typed error; no input
+/// can cause a panic or an unbounded allocation. The same hardening backs the snapshot
+/// loader in `p2h-store`, which embeds this payload layout in its `PNTS` section.
+pub fn parse_native(raw: &[u8]) -> Result<(usize, Vec<Scalar>)> {
+    parse_native_buf(Bytes::copy_from_slice(raw))
+}
+
+fn parse_native_buf(mut bytes: Bytes) -> Result<(usize, Vec<Scalar>)> {
     if bytes.remaining() < 16 {
-        return Err(Error::Io("truncated native header".into()));
+        return Err(Error::Corrupt("truncated native header".into()));
     }
     let mut magic = [0u8; 4];
     bytes.copy_to_slice(&mut magic);
     if &magic != NATIVE_MAGIC {
-        return Err(Error::Io("bad magic: not a P2HD native file".into()));
+        return Err(Error::Corrupt("bad magic: not a P2HD native file".into()));
     }
     let dim = bytes.get_u32_le() as usize;
-    let n = bytes.get_u64_le() as usize;
+    let n = u64_to_usize(bytes.get_u64_le())?;
     if dim == 0 {
         return Err(Error::InvalidDimension(dim));
     }
-    if bytes.remaining() < n * dim * 4 {
-        return Err(Error::Io("truncated native payload".into()));
+    // Guard the `n * dim * 4` size arithmetic: a hostile header must yield a typed
+    // error, not a wrapped multiplication that under-allocates or panics downstream.
+    let scalars = n
+        .checked_mul(dim)
+        .ok_or_else(|| Error::Corrupt(format!("dim {dim} × count {n} overflows")))?;
+    let payload_bytes = scalars
+        .checked_mul(4)
+        .ok_or_else(|| Error::Corrupt(format!("payload size for {scalars} scalars overflows")))?;
+    if bytes.remaining() < payload_bytes {
+        return Err(Error::Corrupt("truncated native payload".into()));
     }
-    let mut data = Vec::with_capacity(n * dim);
-    for _ in 0..n * dim {
+    let mut data = Vec::with_capacity(scalars);
+    for _ in 0..scalars {
         data.push(bytes.get_f32_le());
     }
     Ok((dim, data))
+}
+
+/// Converts a stored `u64` count to `usize`, rejecting values that do not fit (only
+/// relevant on 32-bit targets, but the check keeps the format portable).
+fn u64_to_usize(v: u64) -> Result<usize> {
+    usize::try_from(v).map_err(|_| Error::Corrupt(format!("count {v} does not fit in usize")))
 }
 
 #[cfg(test)]
@@ -259,14 +287,14 @@ mod tests {
 
     #[test]
     fn fvecs_rejects_truncation_and_garbage() {
-        assert!(matches!(parse_fvecs(&[1, 0]), Err(Error::Io(_))));
+        assert!(matches!(parse_fvecs(&[1, 0]), Err(Error::Corrupt(_))));
         let mut buf = BytesMut::new();
         buf.put_i32_le(4);
         buf.put_f32_le(1.0); // only one of four components
-        assert!(matches!(parse_fvecs(&buf), Err(Error::Io(_))));
+        assert!(matches!(parse_fvecs(&buf), Err(Error::Corrupt(_))));
         let mut neg = BytesMut::new();
         neg.put_i32_le(-1);
-        assert!(matches!(parse_fvecs(&neg), Err(Error::Io(_))));
+        assert!(matches!(parse_fvecs(&neg), Err(Error::Corrupt(_))));
         assert!(matches!(parse_fvecs(&[]), Err(Error::EmptyDataSet)));
     }
 
@@ -284,8 +312,56 @@ mod tests {
     fn native_rejects_bad_magic() {
         let path = temp_path("bad.p2hd");
         std::fs::write(&path, b"NOPE\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00").unwrap();
-        assert!(matches!(read_native(&path), Err(Error::Io(_))));
+        assert!(matches!(read_native(&path), Err(Error::Corrupt(_))));
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Builds a native header with arbitrary dim/count and `payload_bytes` of payload.
+    fn native_frame(dim: u32, count: u64, payload_bytes: usize) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(16 + payload_bytes);
+        buf.put_slice(NATIVE_MAGIC);
+        buf.put_u32_le(dim);
+        buf.put_u64_le(count);
+        buf.put_slice(&vec![0u8; payload_bytes]);
+        buf.to_vec()
+    }
+
+    #[test]
+    fn native_rejects_truncation_at_every_boundary() {
+        let (dim, data) = sample();
+        let mut buf = BytesMut::new();
+        buf.put_slice(NATIVE_MAGIC);
+        buf.put_u32_le(dim as u32);
+        buf.put_u64_le((data.len() / dim) as u64);
+        for &v in &data {
+            buf.put_f32_le(v);
+        }
+        let full: Vec<u8> = buf.to_vec();
+        assert!(parse_native(&full).is_ok());
+        // Every strict prefix must fail with a typed error, never panic.
+        for cut in 0..full.len() {
+            assert!(
+                matches!(parse_native(&full[..cut]), Err(Error::Corrupt(_))),
+                "prefix of {cut} bytes should be rejected as corrupt"
+            );
+        }
+    }
+
+    #[test]
+    fn native_rejects_dim_count_overflow() {
+        // dim × count overflows u64/usize: must be a typed error, not a wrapped
+        // multiplication that makes the truncation check pass vacuously.
+        let raw = native_frame(u32::MAX, u64::MAX / 2, 64);
+        assert!(matches!(parse_native(&raw), Err(Error::Corrupt(_))));
+        // scalars × 4 overflows even though dim × count does not.
+        let raw = native_frame(2, u64::MAX / 4, 64);
+        assert!(matches!(parse_native(&raw), Err(Error::Corrupt(_))));
+        // Huge-but-valid header over a tiny payload: truncated, not an allocation.
+        let raw = native_frame(1_000_000, 1 << 40, 64);
+        assert!(matches!(parse_native(&raw), Err(Error::Corrupt(_))));
+        // Zero dimension is rejected before any payload math.
+        let raw = native_frame(0, 1, 64);
+        assert!(matches!(parse_native(&raw), Err(Error::InvalidDimension(0))));
     }
 
     #[test]

@@ -26,6 +26,9 @@ mod synthetic;
 
 pub use catalog::{large_scale_catalog, paper_catalog, profile_catalog, DatasetEntry};
 pub use ground_truth::GroundTruth;
-pub use io::{read_csv, read_fvecs, read_native, write_csv, write_fvecs, write_native};
+pub use io::{
+    parse_fvecs, parse_native, read_csv, read_fvecs, read_native, write_csv, write_fvecs,
+    write_native,
+};
 pub use queries::{generate_queries, QueryDistribution};
 pub use synthetic::{DataDistribution, SyntheticDataset};

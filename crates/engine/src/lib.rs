@@ -64,3 +64,6 @@ pub use serve::Engine;
 // crates and their `parallel` feature explicitly.
 pub use p2h_balltree::{BallTree, BallTreeBuilder};
 pub use p2h_bctree::{BcTree, BcTreeBuilder};
+// Re-exported so cold-start users (`Engine::from_store`) can create and populate the
+// snapshot store without adding `p2h-store` as a direct dependency.
+pub use p2h_store::{Snapshot, Store, StoreError};

@@ -1,9 +1,11 @@
 //! A concurrent, name-keyed registry of shared indexes.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::{Arc, RwLock};
 
 use p2h_core::P2hIndex;
+use p2h_store::{Store, StoreError};
 
 /// A reference-counted, immutable index that can be searched from any thread.
 ///
@@ -38,6 +40,26 @@ impl IndexRegistry {
         let mut map = self.inner.write().expect("index registry lock poisoned");
         map.insert(name.into(), Arc::clone(&index));
         index
+    }
+
+    /// Opens a `p2h-store` snapshot directory and registers every manifest entry under
+    /// its stored name — the cold-start path of a serving process: the expensive index
+    /// builds happened offline, and each loaded index answers queries bit-identically
+    /// to the one that was snapshotted (same kernel backend).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`StoreError`] if the directory or its manifest is
+    /// missing, or any snapshot is corrupt (truncated, checksum mismatch, invalid
+    /// structure, …). Loading is all-or-nothing: a registry is only returned when
+    /// every manifest entry decoded and validated.
+    pub fn open_dir(dir: impl AsRef<Path>) -> std::result::Result<Self, StoreError> {
+        let store = Store::open(dir)?;
+        let registry = Self::new();
+        for (name, index) in store.load_all()? {
+            registry.register_shared(name, index.into_shared());
+        }
+        Ok(registry)
     }
 
     /// Looks an index up by name.

@@ -24,6 +24,21 @@ impl Engine {
         Self { registry: IndexRegistry::new(), executor: BatchExecutor::new(threads) }
     }
 
+    /// Cold-starts an engine from a `p2h-store` snapshot directory: every index named
+    /// in the store's manifest is loaded (no rebuilding) and registered, and the
+    /// executor uses `threads` workers per batch (`0` = one per available CPU).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`p2h_store::StoreError`] from
+    /// [`IndexRegistry::open_dir`] — missing directory/manifest or corrupt snapshots.
+    pub fn from_store(
+        dir: impl AsRef<std::path::Path>,
+        threads: usize,
+    ) -> std::result::Result<Self, p2h_store::StoreError> {
+        Ok(Self { registry: IndexRegistry::open_dir(dir)?, executor: BatchExecutor::new(threads) })
+    }
+
     /// The index registry (register/lookup/remove indexes here).
     pub fn registry(&self) -> &IndexRegistry {
         &self.registry

@@ -1,0 +1,91 @@
+//! Cold-start serving from a snapshot store: `IndexRegistry::open_dir` /
+//! `Engine::from_store` must reproduce the answers of the process that built and
+//! saved the indexes, bit for bit.
+
+use std::path::PathBuf;
+
+use p2h_core::{HyperplaneQuery, LinearScan, PointSet, SearchParams};
+use p2h_data::{generate_queries, DataDistribution, QueryDistribution, SyntheticDataset};
+use p2h_engine::{
+    BallTreeBuilder, BatchRequest, BcTreeBuilder, Engine, IndexRegistry, Store, StoreError,
+};
+
+fn dataset(n: usize, dim: usize) -> PointSet {
+    SyntheticDataset::new(
+        "engine-store",
+        n,
+        dim,
+        DataDistribution::GaussianClusters { clusters: 6, std_dev: 1.3 },
+        71,
+    )
+    .generate()
+    .unwrap()
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("p2h-engine-store-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn engine_cold_starts_from_a_store_with_identical_answers() {
+    let dir = temp_dir("cold-start");
+    let ps = dataset(6_000, 12);
+    let queries: Vec<HyperplaneQuery> =
+        generate_queries(&ps, 48, QueryDistribution::DataDifference, 5).unwrap();
+    let request = BatchRequest::new(queries, SearchParams::exact(10))
+        .with_override(0, SearchParams::approximate(10, 400));
+
+    // "Offline" process: build (in parallel), serve once for reference, snapshot.
+    let ball = BallTreeBuilder::new(64).with_seed(3).build_parallel(&ps, 4).unwrap();
+    let bc = BcTreeBuilder::new(64).with_seed(3).build_parallel(&ps, 4).unwrap();
+    let offline = Engine::new(2);
+    offline.registry().register("ball", ball.clone());
+    offline.registry().register("bc", bc.clone());
+    offline.registry().register("scan", LinearScan::new(ps.clone()));
+    let reference: Vec<_> = offline
+        .registry()
+        .names()
+        .iter()
+        .map(|name| offline.serve(name, &request).unwrap())
+        .collect();
+
+    let store = Store::create(&dir).unwrap();
+    store.save("ball", &ball).unwrap();
+    store.save("bc", &bc).unwrap();
+    store.save("scan", &LinearScan::new(ps.clone())).unwrap();
+
+    // "Serving" process: cold-start purely from the directory.
+    let engine = Engine::from_store(&dir, 2).unwrap();
+    assert_eq!(engine.registry().names(), vec!["ball", "bc", "scan"]);
+    for (name, expected) in engine.registry().names().iter().zip(&reference) {
+        let served = engine.serve(name, &request).unwrap();
+        assert_eq!(served.results.len(), expected.results.len());
+        for (a, b) in served.results.iter().zip(&expected.results) {
+            assert_eq!(a.neighbors, b.neighbors, "index {name}");
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn open_dir_surfaces_store_errors() {
+    let dir = temp_dir("errors");
+    assert!(matches!(IndexRegistry::open_dir(&dir), Err(StoreError::Io { .. })));
+
+    // A manifest entry whose snapshot file is corrupt: loading is all-or-nothing.
+    let store = Store::create(&dir).unwrap();
+    let ps = dataset(500, 6);
+    let path = store.save("scan", &LinearScan::new(ps)).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF;
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(matches!(IndexRegistry::open_dir(&dir), Err(StoreError::ChecksumMismatch { .. })));
+    assert!(Engine::from_store(&dir, 1).is_err());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,616 @@
+//! The versioned snapshot container format: header, checksummed sections, and the
+//! typed errors every malformed input maps to.
+//!
+//! A snapshot is a single file (see `docs/SNAPSHOT_FORMAT.md` for the byte-level spec):
+//!
+//! ```text
+//! header   magic "P2HS" · format version u16 · index-kind tag u8 · reserved u8
+//!          · section count u32                                   (12 bytes)
+//! section  tag [4 ASCII bytes] · payload length u64 · CRC32 u32  (16 bytes)
+//!          · payload
+//! …        (sections repeat, back to back; nothing may follow the last one)
+//! ```
+//!
+//! All integers are little-endian. Every section payload is covered by its CRC32, so a
+//! flipped bit anywhere in the tree arrays is caught at load time instead of silently
+//! corrupting search results. The reader is hardened against hostile input: truncation,
+//! bad magic, unknown versions or kinds, checksum mismatches, and `dim × count` size
+//! overflows all return a typed [`StoreError`] — never a panic, never an unbounded
+//! allocation (payload reads are bounded by the actual file size before any `Vec` is
+//! reserved).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use p2h_core::Scalar;
+
+use crate::crc32::crc32;
+
+/// Magic bytes opening every snapshot file.
+pub const MAGIC: [u8; 4] = *b"P2HS";
+
+/// The current (and only) container format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Byte length of the file header.
+pub const HEADER_LEN: usize = 12;
+
+/// Byte length of a section header.
+pub const SECTION_HEADER_LEN: usize = 16;
+
+/// Which index type a snapshot holds, stored as a one-byte tag in the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexKind {
+    /// [`p2h_core::LinearScan`] — raw points only.
+    LinearScan,
+    /// [`p2h_balltree::BallTree`].
+    BallTree,
+    /// [`p2h_bctree::BcTree`].
+    BcTree,
+}
+
+impl IndexKind {
+    /// The on-disk tag byte.
+    pub fn tag(self) -> u8 {
+        match self {
+            IndexKind::LinearScan => 0,
+            IndexKind::BallTree => 1,
+            IndexKind::BcTree => 2,
+        }
+    }
+
+    /// Decodes a tag byte.
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(IndexKind::LinearScan),
+            1 => Some(IndexKind::BallTree),
+            2 => Some(IndexKind::BcTree),
+            _ => None,
+        }
+    }
+
+    /// Human-readable label (matches the index's `P2hIndex::name` flavor).
+    pub fn label(self) -> &'static str {
+        match self {
+            IndexKind::LinearScan => "linear-scan",
+            IndexKind::BallTree => "ball-tree",
+            IndexKind::BcTree => "bc-tree",
+        }
+    }
+}
+
+impl fmt::Display for IndexKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Everything that can go wrong while writing, reading, or resolving snapshots.
+///
+/// Each malformed-input case gets its own variant so callers (and tests) can assert the
+/// precise failure mode; [`StoreError::Io`] is reserved for operating-system failures.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An operating-system I/O failure (missing file, permissions, disk full, …).
+    Io {
+        /// The path involved, when known.
+        path: Option<PathBuf>,
+        /// The OS error message.
+        message: String,
+    },
+    /// The file does not start with the snapshot magic bytes.
+    BadMagic {
+        /// The four bytes actually found.
+        found: [u8; 4],
+    },
+    /// The file declares a container version this build cannot read.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+        /// Version this build supports.
+        supported: u16,
+    },
+    /// The header's index-kind tag is not a known kind.
+    UnknownKind(u8),
+    /// The snapshot holds a different index kind than the caller asked for.
+    KindMismatch {
+        /// Kind the caller expected.
+        expected: IndexKind,
+        /// Kind found in the header.
+        found: IndexKind,
+    },
+    /// The input ended before a declared structure was complete.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        context: &'static str,
+    },
+    /// A section appeared with a different tag than the format mandates next.
+    SectionTagMismatch {
+        /// Tag the format expects at this position.
+        expected: [u8; 4],
+        /// Tag actually found.
+        found: [u8; 4],
+    },
+    /// A section payload failed its CRC32 check.
+    ChecksumMismatch {
+        /// Tag of the failing section.
+        section: [u8; 4],
+        /// Checksum stored in the section header.
+        stored: u32,
+        /// Checksum computed over the payload.
+        computed: u32,
+    },
+    /// A declared size (`dim × count`, payload bytes, …) overflows the platform.
+    Overflow {
+        /// The computation that overflowed.
+        context: &'static str,
+    },
+    /// A section's payload length disagrees with the lengths declared in `META`.
+    SectionLength {
+        /// Tag of the offending section.
+        section: [u8; 4],
+        /// Byte length the metadata implies.
+        expected: u64,
+        /// Byte length found in the section header.
+        found: u64,
+    },
+    /// Bytes remained after the declared sections were consumed.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        count: usize,
+    },
+    /// The decoded arrays failed the index's structural validation (see
+    /// [`p2h_balltree::validate_structure`]), or a `PointSet` could not be formed.
+    Invalid(p2h_core::Error),
+    /// The store `MANIFEST` file is malformed.
+    Manifest {
+        /// 1-based line number of the offending line (0 for file-level problems).
+        line: usize,
+        /// What is wrong with it.
+        message: String,
+    },
+    /// An index name is not registered in the store manifest.
+    MissingEntry(String),
+    /// An index name is not usable as a snapshot file stem.
+    InvalidName(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path: Some(path), message } => {
+                write!(f, "I/O error on {}: {message}", path.display())
+            }
+            StoreError::Io { path: None, message } => write!(f, "I/O error: {message}"),
+            StoreError::BadMagic { found } => {
+                write!(f, "bad magic {found:?}: not a P2HS snapshot")
+            }
+            StoreError::UnsupportedVersion { found, supported } => {
+                write!(f, "unsupported snapshot version {found} (this build reads {supported})")
+            }
+            StoreError::UnknownKind(tag) => write!(f, "unknown index-kind tag {tag}"),
+            StoreError::KindMismatch { expected, found } => {
+                write!(f, "snapshot holds a {found} index, expected {expected}")
+            }
+            StoreError::Truncated { context } => write!(f, "truncated snapshot: {context}"),
+            StoreError::SectionTagMismatch { expected, found } => write!(
+                f,
+                "expected section `{}`, found `{}`",
+                String::from_utf8_lossy(expected),
+                String::from_utf8_lossy(found)
+            ),
+            StoreError::ChecksumMismatch { section, stored, computed } => write!(
+                f,
+                "checksum mismatch in section `{}`: stored {stored:#010x}, computed {computed:#010x}",
+                String::from_utf8_lossy(section)
+            ),
+            StoreError::Overflow { context } => write!(f, "size overflow: {context}"),
+            StoreError::SectionLength { section, expected, found } => write!(
+                f,
+                "section `{}` holds {found} bytes, metadata implies {expected}",
+                String::from_utf8_lossy(section)
+            ),
+            StoreError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after the last section")
+            }
+            StoreError::Invalid(err) => write!(f, "invalid index data: {err}"),
+            StoreError::Manifest { line, message } => {
+                write!(f, "malformed MANIFEST (line {line}): {message}")
+            }
+            StoreError::MissingEntry(name) => {
+                write!(f, "no index named `{name}` in the store manifest")
+            }
+            StoreError::InvalidName(name) => write!(
+                f,
+                "invalid index name `{name}`: use 1-100 chars of [A-Za-z0-9._-], not starting with `.`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<p2h_core::Error> for StoreError {
+    fn from(err: p2h_core::Error) -> Self {
+        StoreError::Invalid(err)
+    }
+}
+
+/// Convenience result alias for store operations.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// Wraps an OS error with the path it occurred on.
+pub(crate) fn io_error(path: &Path, err: std::io::Error) -> StoreError {
+    StoreError::Io { path: Some(path.to_path_buf()), message: err.to_string() }
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// Assembles a snapshot byte buffer: fixed header followed by checksummed sections.
+#[derive(Debug)]
+pub struct SnapshotWriter {
+    kind: IndexKind,
+    sections: Vec<([u8; 4], Vec<u8>)>,
+}
+
+impl SnapshotWriter {
+    /// Starts a snapshot of the given kind.
+    pub fn new(kind: IndexKind) -> Self {
+        Self { kind, sections: Vec::new() }
+    }
+
+    /// Opens a new section and returns its payload buffer to append into. The length
+    /// and CRC32 are computed when the snapshot is finished.
+    pub fn section(&mut self, tag: [u8; 4]) -> &mut Vec<u8> {
+        self.sections.push((tag, Vec::new()));
+        &mut self.sections.last_mut().expect("section just pushed").1
+    }
+
+    /// Serializes the header and all sections into the final byte buffer.
+    pub fn finish(self) -> Vec<u8> {
+        let payload_total: usize = self.sections.iter().map(|(_, p)| p.len()).sum();
+        let mut out = Vec::with_capacity(
+            HEADER_LEN + self.sections.len() * SECTION_HEADER_LEN + payload_total,
+        );
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.push(self.kind.tag());
+        out.push(0); // reserved
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        for (tag, payload) in &self.sections {
+            out.extend_from_slice(tag);
+            out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+            out.extend_from_slice(&crc32(payload).to_le_bytes());
+            out.extend_from_slice(payload);
+        }
+        out
+    }
+}
+
+/// Little-endian append helpers for section payloads.
+pub mod wire {
+    use super::Scalar;
+
+    /// Appends a `u32`.
+    pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f32`.
+    pub fn put_f32(buf: &mut Vec<u8>, v: Scalar) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a whole scalar slice.
+    pub fn put_f32_slice(buf: &mut Vec<u8>, values: &[Scalar]) {
+        buf.reserve(values.len() * 4);
+        for &v in values {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Appends a whole `u32` slice.
+    pub fn put_u32_slice(buf: &mut Vec<u8>, values: &[u32]) {
+        buf.reserve(values.len() * 4);
+        for &v in values {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+/// Parses the header of a snapshot buffer and walks its sections in order.
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    sections_left: u32,
+    /// Index kind declared in the header.
+    pub kind: IndexKind,
+    /// Container version declared in the header (always [`FORMAT_VERSION`] today).
+    pub version: u16,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Parses the fixed header. Fails on short input, wrong magic, an unsupported
+    /// version, or an unknown kind tag.
+    pub fn new(buf: &'a [u8]) -> StoreResult<Self> {
+        if buf.len() < HEADER_LEN {
+            return Err(StoreError::Truncated { context: "file header" });
+        }
+        let mut magic = [0u8; 4];
+        magic.copy_from_slice(&buf[0..4]);
+        if magic != MAGIC {
+            return Err(StoreError::BadMagic { found: magic });
+        }
+        let version = u16::from_le_bytes([buf[4], buf[5]]);
+        if version != FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let kind = IndexKind::from_tag(buf[6]).ok_or(StoreError::UnknownKind(buf[6]))?;
+        let sections_left = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+        Ok(Self { buf, pos: HEADER_LEN, sections_left, kind, version })
+    }
+
+    /// Reads the next section, which must carry `tag`, verifying its checksum.
+    pub fn section(&mut self, tag: [u8; 4]) -> StoreResult<Payload<'a>> {
+        if self.sections_left == 0 {
+            return Err(StoreError::Truncated { context: "section count exhausted" });
+        }
+        if self.buf.len() - self.pos < SECTION_HEADER_LEN {
+            return Err(StoreError::Truncated { context: "section header" });
+        }
+        let header = &self.buf[self.pos..self.pos + SECTION_HEADER_LEN];
+        let mut found = [0u8; 4];
+        found.copy_from_slice(&header[0..4]);
+        if found != tag {
+            return Err(StoreError::SectionTagMismatch { expected: tag, found });
+        }
+        let len64 = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+        let stored_crc = u32::from_le_bytes(header[12..16].try_into().expect("4 bytes"));
+        let len = usize::try_from(len64)
+            .map_err(|_| StoreError::Overflow { context: "section length" })?;
+        let start = self.pos + SECTION_HEADER_LEN;
+        if self.buf.len() - start < len {
+            return Err(StoreError::Truncated { context: "section payload" });
+        }
+        let payload = &self.buf[start..start + len];
+        let computed = crc32(payload);
+        if computed != stored_crc {
+            return Err(StoreError::ChecksumMismatch {
+                section: tag,
+                stored: stored_crc,
+                computed,
+            });
+        }
+        self.pos = start + len;
+        self.sections_left -= 1;
+        Ok(Payload { tag, data: payload, pos: 0 })
+    }
+
+    /// Asserts that every declared section was read and nothing follows the last one.
+    pub fn finish(self) -> StoreResult<()> {
+        if self.sections_left != 0 {
+            return Err(StoreError::Truncated { context: "undeclared trailing sections" });
+        }
+        if self.pos != self.buf.len() {
+            return Err(StoreError::TrailingBytes { count: self.buf.len() - self.pos });
+        }
+        Ok(())
+    }
+}
+
+/// A checksum-verified section payload with typed, bounds-checked readers.
+#[derive(Debug)]
+pub struct Payload<'a> {
+    tag: [u8; 4],
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Payload<'a> {
+    /// This payload's section tag.
+    pub fn tag(&self) -> [u8; 4] {
+        self.tag
+    }
+
+    /// Total payload length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    fn take(&mut self, n: usize, context: &'static str) -> StoreResult<&'a [u8]> {
+        if self.data.len() - self.pos < n {
+            return Err(StoreError::Truncated { context });
+        }
+        let slice = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self, context: &'static str) -> StoreResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4, context)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a `u64` and converts it to `usize`, rejecting values that do not fit.
+    pub fn get_u64_usize(&mut self, context: &'static str) -> StoreResult<usize> {
+        let v = u64::from_le_bytes(self.take(8, context)?.try_into().expect("8 bytes"));
+        usize::try_from(v).map_err(|_| StoreError::Overflow { context })
+    }
+
+    /// Reads a raw `u64`.
+    pub fn get_u64(&mut self, context: &'static str) -> StoreResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8, context)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads an `f32`.
+    pub fn get_f32(&mut self, context: &'static str) -> StoreResult<Scalar> {
+        Ok(Scalar::from_le_bytes(self.take(4, context)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads `len` scalars. The byte size is computed with checked arithmetic and
+    /// bounds-checked against the remaining payload *before* any allocation, so a
+    /// hostile length cannot trigger an OOM or a panic.
+    pub fn get_f32_vec(&mut self, len: usize, context: &'static str) -> StoreResult<Vec<Scalar>> {
+        let bytes = len.checked_mul(4).ok_or(StoreError::Overflow { context })?;
+        let raw = self.take(bytes, context)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| Scalar::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    /// Reads `len` `u32`s, with the same pre-allocation bounds checks as
+    /// [`Payload::get_f32_vec`].
+    pub fn get_u32_vec(&mut self, len: usize, context: &'static str) -> StoreResult<Vec<u32>> {
+        let bytes = len.checked_mul(4).ok_or(StoreError::Overflow { context })?;
+        let raw = self.take(bytes, context)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    /// Reads `len` raw bytes.
+    pub fn get_bytes(&mut self, len: usize, context: &'static str) -> StoreResult<&'a [u8]> {
+        self.take(len, context)
+    }
+
+    /// Asserts the payload was consumed exactly.
+    pub fn finish(self) -> StoreResult<()> {
+        if self.pos != self.data.len() {
+            return Err(StoreError::SectionLength {
+                section: self.tag,
+                expected: self.pos as u64,
+                found: self.data.len() as u64,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let mut writer = SnapshotWriter::new(IndexKind::BallTree);
+        let meta = writer.section(*b"META");
+        wire::put_u64(meta, 42);
+        wire::put_u32(meta, 7);
+        let body = writer.section(*b"PNTS");
+        wire::put_f32_slice(body, &[1.5, -2.25, 0.0]);
+        let bytes = writer.finish();
+
+        let mut reader = SnapshotReader::new(&bytes).unwrap();
+        assert_eq!(reader.kind, IndexKind::BallTree);
+        assert_eq!(reader.version, FORMAT_VERSION);
+        let mut meta = reader.section(*b"META").unwrap();
+        assert_eq!(meta.get_u64("42").unwrap(), 42);
+        assert_eq!(meta.get_u32("7").unwrap(), 7);
+        meta.finish().unwrap();
+        let mut body = reader.section(*b"PNTS").unwrap();
+        assert_eq!(body.get_f32_vec(3, "floats").unwrap(), vec![1.5, -2.25, 0.0]);
+        body.finish().unwrap();
+        reader.finish().unwrap();
+    }
+
+    #[test]
+    fn header_errors_are_typed() {
+        assert!(matches!(
+            SnapshotReader::new(&[]),
+            Err(StoreError::Truncated { context: "file header" })
+        ));
+        let mut bytes = SnapshotWriter::new(IndexKind::LinearScan).finish();
+        bytes[0] = b'X';
+        assert!(matches!(SnapshotReader::new(&bytes), Err(StoreError::BadMagic { .. })));
+        let mut bytes = SnapshotWriter::new(IndexKind::LinearScan).finish();
+        bytes[4] = 99;
+        assert!(matches!(
+            SnapshotReader::new(&bytes),
+            Err(StoreError::UnsupportedVersion { found: 99, .. })
+        ));
+        let mut bytes = SnapshotWriter::new(IndexKind::LinearScan).finish();
+        bytes[6] = 17;
+        assert!(matches!(SnapshotReader::new(&bytes), Err(StoreError::UnknownKind(17))));
+    }
+
+    #[test]
+    fn section_errors_are_typed() {
+        let mut writer = SnapshotWriter::new(IndexKind::BcTree);
+        wire::put_u32(writer.section(*b"META"), 5);
+        let good = writer.finish();
+
+        // Wrong expected tag.
+        let mut reader = SnapshotReader::new(&good).unwrap();
+        assert!(matches!(reader.section(*b"PNTS"), Err(StoreError::SectionTagMismatch { .. })));
+
+        // Flipped payload bit → checksum mismatch.
+        let mut corrupt = good.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x40;
+        let mut reader = SnapshotReader::new(&corrupt).unwrap();
+        assert!(matches!(reader.section(*b"META"), Err(StoreError::ChecksumMismatch { .. })));
+
+        // Huge declared length → truncated, no allocation.
+        let mut huge = good.clone();
+        huge[HEADER_LEN + 4..HEADER_LEN + 12].copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut reader = SnapshotReader::new(&huge).unwrap();
+        assert!(matches!(
+            reader.section(*b"META"),
+            Err(StoreError::Truncated { .. }) | Err(StoreError::Overflow { .. })
+        ));
+
+        // Trailing garbage after the declared sections.
+        let mut trailing = good.clone();
+        trailing.extend_from_slice(b"junk");
+        let mut reader = SnapshotReader::new(&trailing).unwrap();
+        reader.section(*b"META").unwrap();
+        assert!(matches!(reader.finish(), Err(StoreError::TrailingBytes { count: 4 })));
+
+        // Reading more sections than declared.
+        let mut reader = SnapshotReader::new(&good).unwrap();
+        reader.section(*b"META").unwrap();
+        assert!(matches!(reader.section(*b"PNTS"), Err(StoreError::Truncated { .. })));
+    }
+
+    #[test]
+    fn payload_reads_are_bounds_checked() {
+        let mut writer = SnapshotWriter::new(IndexKind::LinearScan);
+        wire::put_u32(writer.section(*b"META"), 1);
+        let bytes = writer.finish();
+        let mut reader = SnapshotReader::new(&bytes).unwrap();
+        let mut payload = reader.section(*b"META").unwrap();
+        assert!(matches!(payload.get_u64("too long"), Err(StoreError::Truncated { .. })));
+        assert!(matches!(
+            payload.get_f32_vec(usize::MAX / 2, "overflow"),
+            Err(StoreError::Overflow { .. })
+        ));
+        payload.get_u32("ok").unwrap();
+        // Unconsumed payload bytes are an error through `finish`.
+        let mut reader = SnapshotReader::new(&bytes).unwrap();
+        let payload = reader.section(*b"META").unwrap();
+        assert!(matches!(payload.finish(), Err(StoreError::SectionLength { .. })));
+    }
+}

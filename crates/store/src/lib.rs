@@ -1,0 +1,49 @@
+//! # p2h-store
+//!
+//! Persistent index snapshots for the P2HNNS workspace: the expensive offline build
+//! (Ball-Tree / BC-Tree construction) is paid once, snapshotted to disk, and restored
+//! by serving processes without rebuilding.
+//!
+//! The crate provides three layers:
+//!
+//! * a **container format** ([`format`]) — a versioned binary file (magic `P2HS`,
+//!   format version, index-kind tag) holding checksummed sections for the point set,
+//!   the tree arrays, and build metadata; every malformed input maps to a typed
+//!   [`StoreError`], never a panic (see `docs/SNAPSHOT_FORMAT.md` for the byte layout),
+//! * the [`Snapshot`] trait — implemented by [`p2h_balltree::BallTree`],
+//!   [`p2h_bctree::BcTree`], and [`p2h_core::LinearScan`]; arrays are stored verbatim,
+//!   so a loaded index returns **bit-identical** search results to the original on the
+//!   same kernel backend,
+//! * a directory-level [`Store`] — named snapshots plus a `MANIFEST` file, which is
+//!   what `p2h_engine::IndexRegistry::open_dir` / `Engine::from_store` consume to
+//!   cold-start a serving process.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use p2h_store::{Snapshot, Store};
+//! use p2h_balltree::{BallTree, BallTreeBuilder};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let points = p2h_core::PointSet::augment(&[vec![0.0, 1.0], vec![2.0, 3.0]])?;
+//! // Offline: build once, snapshot to a store directory.
+//! let tree = BallTreeBuilder::new(100).build(&points)?;
+//! let store = Store::create("indexes")?;
+//! store.save("ball", &tree)?;
+//!
+//! // Serving: restore by name — no rebuild, bit-identical answers.
+//! let restored: BallTree = store.load("ball")?;
+//! # Ok(()) }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod crc32;
+pub mod format;
+mod snapshot;
+mod store;
+
+pub use crc32::crc32;
+pub use format::{IndexKind, StoreError, StoreResult, FORMAT_VERSION, MAGIC};
+pub use snapshot::{snapshot_meta, Snapshot, SnapshotMeta};
+pub use store::{LoadedIndex, Store, MANIFEST_FILE, SNAPSHOT_EXT};

@@ -1,0 +1,340 @@
+//! The [`Snapshot`] trait: serialize a built index to the container format and restore
+//! it with full validation.
+//!
+//! Snapshots store the index's constituent arrays **verbatim** — reordered points, id
+//! mapping, node arena, centers, and (for BC-Tree) center norms and leaf structures —
+//! so a loaded index answers every query bit-identically to the one that was saved,
+//! on the same kernel backend. The arrays themselves are backend-independent: nothing
+//! in a snapshot depends on whether it was written by an AVX2, NEON, or scalar build
+//! (the `META` section records the writing backend purely as a provenance note).
+
+use std::fs;
+use std::path::Path;
+
+use p2h_balltree::{BallTree, Node};
+use p2h_bctree::{BcTree, BcTreeParts, LeafPointAux};
+use p2h_core::{kernels, LinearScan, P2hIndex, PointSet, Scalar};
+
+use crate::format::{
+    wire, IndexKind, Payload, SnapshotReader, SnapshotWriter, StoreError, StoreResult,
+};
+
+/// Section tags of format version 1.
+pub(crate) mod tags {
+    /// Dimensions, counts, build parameters, and the provenance note.
+    pub const META: [u8; 4] = *b"META";
+    /// Reordered row-major point payload (`count × dim` f32).
+    pub const PNTS: [u8; 4] = *b"PNTS";
+    /// Reordered-position → original-index mapping (`count` u32).
+    pub const IDS: [u8; 4] = *b"IDS ";
+    /// Node arena (24 bytes per node).
+    pub const NODE: [u8; 4] = *b"NODE";
+    /// Flat center buffer (`node_count × dim` f32).
+    pub const CNTR: [u8; 4] = *b"CNTR";
+    /// Cached center norms (`node_count` f32).
+    pub const NORM: [u8; 4] = *b"NORM";
+    /// Per-point ball/cone leaf structures (`count × 3` f32).
+    pub const AUXD: [u8; 4] = *b"AUXD";
+}
+
+/// A built index that can be snapshotted to disk and restored without rebuilding.
+pub trait Snapshot: P2hIndex + Sized {
+    /// The index-kind tag this type writes into the snapshot header.
+    const KIND: IndexKind;
+
+    /// Serializes the index into a self-contained snapshot byte buffer.
+    fn encode_snapshot(&self) -> Vec<u8>;
+
+    /// Restores an index from snapshot bytes.
+    ///
+    /// # Errors
+    ///
+    /// Every malformed input returns a typed [`StoreError`] — truncation, bad magic,
+    /// wrong version, wrong kind, checksum mismatch, size overflow, or arrays that
+    /// fail the index's structural validation. No input can cause a panic.
+    fn decode_snapshot(bytes: &[u8]) -> StoreResult<Self>;
+
+    /// Writes the snapshot to `path` (via a `.tmp` sibling + rename, so a crashed
+    /// writer never leaves a half-written file under the final name).
+    fn save_snapshot(&self, path: &Path) -> StoreResult<()> {
+        write_file_atomically(path, &self.encode_snapshot())
+    }
+
+    /// Reads and restores a snapshot from `path`.
+    fn load_snapshot(path: &Path) -> StoreResult<Self> {
+        let bytes = fs::read(path).map_err(|e| crate::format::io_error(path, e))?;
+        Self::decode_snapshot(&bytes)
+    }
+}
+
+/// Writes `bytes` to `path` through a temporary sibling and an atomic rename.
+pub(crate) fn write_file_atomically(path: &Path, bytes: &[u8]) -> StoreResult<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = Path::new(&tmp);
+    fs::write(tmp, bytes).map_err(|e| crate::format::io_error(tmp, e))?;
+    fs::rename(tmp, path).map_err(|e| crate::format::io_error(path, e))
+}
+
+/// The `META` section contents shared by every index kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotMeta {
+    /// Augmented point dimensionality.
+    pub dim: usize,
+    /// Number of indexed points.
+    pub count: usize,
+    /// Number of tree nodes (0 for a linear scan).
+    pub node_count: usize,
+    /// Maximum leaf size `N0` (0 for a linear scan).
+    pub leaf_size: usize,
+    /// RNG seed the index was built with (0 for a linear scan).
+    pub build_seed: u64,
+    /// Free-text provenance note (e.g. the kernel backend the writer ran on). Purely
+    /// informational: the stored arrays are kernel-backend independent.
+    pub note: String,
+}
+
+impl SnapshotMeta {
+    fn write(&self, payload: &mut Vec<u8>) {
+        wire::put_u64(payload, self.dim as u64);
+        wire::put_u64(payload, self.count as u64);
+        wire::put_u64(payload, self.node_count as u64);
+        wire::put_u64(payload, self.leaf_size as u64);
+        wire::put_u64(payload, self.build_seed);
+        let note = self.note.as_bytes();
+        wire::put_u32(payload, note.len() as u32);
+        payload.extend_from_slice(note);
+    }
+
+    fn read(mut payload: Payload<'_>) -> StoreResult<Self> {
+        let dim = payload.get_u64_usize("META dim")?;
+        let count = payload.get_u64_usize("META count")?;
+        let node_count = payload.get_u64_usize("META node count")?;
+        let leaf_size = payload.get_u64_usize("META leaf size")?;
+        let build_seed = payload.get_u64("META build seed")?;
+        let note_len = payload.get_u32("META note length")? as usize;
+        let note = String::from_utf8_lossy(payload.get_bytes(note_len, "META note")?).into_owned();
+        payload.finish()?;
+        Ok(Self { dim, count, node_count, leaf_size, build_seed, note })
+    }
+}
+
+/// The provenance note recorded by this build's writers.
+fn provenance_note() -> String {
+    format!(
+        "arrays are kernel-backend independent; written by the `{}` backend",
+        kernels::active_backend().label()
+    )
+}
+
+/// Reads the header + `META` section of a snapshot without loading the payloads.
+///
+/// Useful for tooling that lists a store's contents: the cost is one header parse and
+/// one `META` checksum, independent of the index size.
+pub fn snapshot_meta(bytes: &[u8]) -> StoreResult<(IndexKind, SnapshotMeta)> {
+    let mut reader = SnapshotReader::new(bytes)?;
+    let meta = SnapshotMeta::read(reader.section(tags::META)?)?;
+    Ok((reader.kind, meta))
+}
+
+/// Checks `dim × count` against the platform *before* any array is read. The per-read
+/// `len × 4` byte math is then checked again inside [`Payload`].
+fn checked_scalars(dim: usize, count: usize) -> StoreResult<usize> {
+    dim.checked_mul(count).ok_or(StoreError::Overflow { context: "dim × count" })
+}
+
+fn expect_kind(reader: &SnapshotReader<'_>, expected: IndexKind) -> StoreResult<()> {
+    if reader.kind != expected {
+        return Err(StoreError::KindMismatch { expected, found: reader.kind });
+    }
+    Ok(())
+}
+
+fn read_points(reader: &mut SnapshotReader<'_>, meta: &SnapshotMeta) -> StoreResult<PointSet> {
+    let scalars = checked_scalars(meta.dim, meta.count)?;
+    let mut payload = reader.section(tags::PNTS)?;
+    let flat = payload.get_f32_vec(scalars, "PNTS payload")?;
+    payload.finish()?;
+    let points = PointSet::from_flat(meta.dim, flat)?;
+    if points.len() != meta.count {
+        return Err(StoreError::Invalid(p2h_core::Error::Corrupt(format!(
+            "PNTS holds {} points, META declares {}",
+            points.len(),
+            meta.count
+        ))));
+    }
+    Ok(points)
+}
+
+fn read_ids(reader: &mut SnapshotReader<'_>, meta: &SnapshotMeta) -> StoreResult<Vec<u32>> {
+    let mut payload = reader.section(tags::IDS)?;
+    let ids = payload.get_u32_vec(meta.count, "IDS payload")?;
+    payload.finish()?;
+    Ok(ids)
+}
+
+fn write_nodes(payload: &mut Vec<u8>, nodes: &[Node]) {
+    payload.reserve(nodes.len() * 24);
+    for node in nodes {
+        wire::put_u32(payload, node.center_offset);
+        wire::put_f32(payload, node.radius);
+        wire::put_u32(payload, node.start);
+        wire::put_u32(payload, node.end);
+        wire::put_u32(payload, node.left);
+        wire::put_u32(payload, node.right);
+    }
+}
+
+fn read_nodes(reader: &mut SnapshotReader<'_>, meta: &SnapshotMeta) -> StoreResult<Vec<Node>> {
+    let mut payload = reader.section(tags::NODE)?;
+    let mut nodes = Vec::with_capacity(meta.node_count.min(payload.len() / 24));
+    for _ in 0..meta.node_count {
+        nodes.push(Node {
+            center_offset: payload.get_u32("NODE center offset")?,
+            radius: payload.get_f32("NODE radius")?,
+            start: payload.get_u32("NODE start")?,
+            end: payload.get_u32("NODE end")?,
+            left: payload.get_u32("NODE left")?,
+            right: payload.get_u32("NODE right")?,
+        });
+    }
+    payload.finish()?;
+    Ok(nodes)
+}
+
+fn read_centers(reader: &mut SnapshotReader<'_>, meta: &SnapshotMeta) -> StoreResult<Vec<Scalar>> {
+    let scalars = checked_scalars(meta.dim, meta.node_count)?;
+    let mut payload = reader.section(tags::CNTR)?;
+    let centers = payload.get_f32_vec(scalars, "CNTR payload")?;
+    payload.finish()?;
+    Ok(centers)
+}
+
+impl Snapshot for LinearScan {
+    const KIND: IndexKind = IndexKind::LinearScan;
+
+    fn encode_snapshot(&self) -> Vec<u8> {
+        let points = self.points();
+        let meta = SnapshotMeta {
+            dim: points.dim(),
+            count: points.len(),
+            node_count: 0,
+            leaf_size: 0,
+            build_seed: 0,
+            note: provenance_note(),
+        };
+        let mut writer = SnapshotWriter::new(Self::KIND);
+        meta.write(writer.section(tags::META));
+        wire::put_f32_slice(writer.section(tags::PNTS), points.as_flat());
+        writer.finish()
+    }
+
+    fn decode_snapshot(bytes: &[u8]) -> StoreResult<Self> {
+        let mut reader = SnapshotReader::new(bytes)?;
+        expect_kind(&reader, Self::KIND)?;
+        let meta = SnapshotMeta::read(reader.section(tags::META)?)?;
+        let points = read_points(&mut reader, &meta)?;
+        reader.finish()?;
+        Ok(LinearScan::new(points))
+    }
+}
+
+impl Snapshot for BallTree {
+    const KIND: IndexKind = IndexKind::BallTree;
+
+    fn encode_snapshot(&self) -> Vec<u8> {
+        let meta = SnapshotMeta {
+            dim: self.points().dim(),
+            count: self.points().len(),
+            node_count: self.nodes().len(),
+            leaf_size: self.leaf_size(),
+            build_seed: self.build_seed(),
+            note: provenance_note(),
+        };
+        let mut writer = SnapshotWriter::new(Self::KIND);
+        meta.write(writer.section(tags::META));
+        wire::put_f32_slice(writer.section(tags::PNTS), self.points().as_flat());
+        wire::put_u32_slice(writer.section(tags::IDS), self.original_ids());
+        write_nodes(writer.section(tags::NODE), self.nodes());
+        wire::put_f32_slice(writer.section(tags::CNTR), self.centers());
+        writer.finish()
+    }
+
+    fn decode_snapshot(bytes: &[u8]) -> StoreResult<Self> {
+        let mut reader = SnapshotReader::new(bytes)?;
+        expect_kind(&reader, Self::KIND)?;
+        let meta = SnapshotMeta::read(reader.section(tags::META)?)?;
+        let points = read_points(&mut reader, &meta)?;
+        let ids = read_ids(&mut reader, &meta)?;
+        let nodes = read_nodes(&mut reader, &meta)?;
+        let centers = read_centers(&mut reader, &meta)?;
+        reader.finish()?;
+        // `from_parts` runs the full structural validation (ranges, partition,
+        // permutation, adjacent sibling centers) and never panics on bad arrays.
+        Ok(BallTree::from_parts(points, ids, nodes, centers, meta.leaf_size, meta.build_seed)?)
+    }
+}
+
+impl Snapshot for BcTree {
+    const KIND: IndexKind = IndexKind::BcTree;
+
+    fn encode_snapshot(&self) -> Vec<u8> {
+        let meta = SnapshotMeta {
+            dim: self.points().dim(),
+            count: self.points().len(),
+            node_count: self.nodes().len(),
+            leaf_size: self.leaf_size(),
+            build_seed: self.build_seed(),
+            note: provenance_note(),
+        };
+        let mut writer = SnapshotWriter::new(Self::KIND);
+        meta.write(writer.section(tags::META));
+        wire::put_f32_slice(writer.section(tags::PNTS), self.points().as_flat());
+        wire::put_u32_slice(writer.section(tags::IDS), self.original_ids());
+        write_nodes(writer.section(tags::NODE), self.nodes());
+        wire::put_f32_slice(writer.section(tags::CNTR), self.centers());
+        wire::put_f32_slice(writer.section(tags::NORM), self.center_norms());
+        let aux_payload = writer.section(tags::AUXD);
+        aux_payload.reserve(self.leaf_aux().len() * 12);
+        for aux in self.leaf_aux() {
+            wire::put_f32(aux_payload, aux.radius);
+            wire::put_f32(aux_payload, aux.x_cos);
+            wire::put_f32(aux_payload, aux.x_sin);
+        }
+        writer.finish()
+    }
+
+    fn decode_snapshot(bytes: &[u8]) -> StoreResult<Self> {
+        let mut reader = SnapshotReader::new(bytes)?;
+        expect_kind(&reader, Self::KIND)?;
+        let meta = SnapshotMeta::read(reader.section(tags::META)?)?;
+        let points = read_points(&mut reader, &meta)?;
+        let ids = read_ids(&mut reader, &meta)?;
+        let nodes = read_nodes(&mut reader, &meta)?;
+        let centers = read_centers(&mut reader, &meta)?;
+        let mut payload = reader.section(tags::NORM)?;
+        let center_norms = payload.get_f32_vec(meta.node_count, "NORM payload")?;
+        payload.finish()?;
+        let mut payload = reader.section(tags::AUXD)?;
+        let mut aux = Vec::with_capacity(meta.count.min(payload.len() / 12));
+        for _ in 0..meta.count {
+            aux.push(LeafPointAux {
+                radius: payload.get_f32("AUXD radius")?,
+                x_cos: payload.get_f32("AUXD x_cos")?,
+                x_sin: payload.get_f32("AUXD x_sin")?,
+            });
+        }
+        payload.finish()?;
+        reader.finish()?;
+        Ok(BcTree::from_parts(BcTreeParts {
+            points,
+            original_ids: ids,
+            nodes,
+            centers,
+            center_norms,
+            aux,
+            leaf_size: meta.leaf_size,
+            build_seed: meta.build_seed,
+        })?)
+    }
+}

@@ -1,0 +1,332 @@
+//! A directory of named snapshots with a `MANIFEST` file: the on-disk unit a serving
+//! process cold-starts from.
+//!
+//! Layout:
+//!
+//! ```text
+//! <dir>/MANIFEST        text; first line `p2h-store 1`, then `<name>\t<file>` lines
+//! <dir>/<name>.p2hs     one snapshot per registered index
+//! ```
+//!
+//! The manifest maps registry names to snapshot files; the index *kind* is not in the
+//! manifest — it lives in each snapshot's header, where it is checksummed with the
+//! rest. Saves go through temp-file + rename, so a crash mid-save leaves the previous
+//! manifest and snapshot intact. The store is a single-writer structure: concurrent
+//! `save` calls from multiple processes can lose manifest updates (last rename wins).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use p2h_balltree::BallTree;
+use p2h_bctree::BcTree;
+use p2h_core::{LinearScan, P2hIndex};
+
+use crate::format::{io_error, IndexKind, SnapshotReader, StoreError, StoreResult};
+use crate::snapshot::{write_file_atomically, Snapshot};
+
+/// Name of the manifest file inside a store directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// File extension of snapshot files.
+pub const SNAPSHOT_EXT: &str = "p2hs";
+
+/// First line of every manifest.
+const MANIFEST_HEADER: &str = "p2h-store 1";
+
+/// The parsed name → file mapping of a store directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Manifest {
+    /// Sorted so renders (and therefore manifest diffs) are deterministic.
+    entries: BTreeMap<String, String>,
+}
+
+impl Manifest {
+    fn parse(text: &str) -> StoreResult<Self> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, first)) if first.trim() == MANIFEST_HEADER => {}
+            Some((_, first)) => {
+                return Err(StoreError::Manifest {
+                    line: 1,
+                    message: format!("expected header `{MANIFEST_HEADER}`, found `{first}`"),
+                })
+            }
+            None => return Err(StoreError::Manifest { line: 0, message: "empty manifest".into() }),
+        }
+        let mut entries = BTreeMap::new();
+        for (idx, line) in lines {
+            let line = line.trim_end();
+            if line.is_empty() {
+                continue;
+            }
+            let (name, file) = line.split_once('\t').ok_or_else(|| StoreError::Manifest {
+                line: idx + 1,
+                message: format!("expected `<name>\\t<file>`, found `{line}`"),
+            })?;
+            validate_name(name)?;
+            // The file column obeys the same character rules as names (it is a name
+            // plus an extension): a tampered manifest cannot point the loader at
+            // hidden files, absolute paths, or anything outside the store directory.
+            if !is_safe_file_component(file, 100 + SNAPSHOT_EXT.len() + 1) {
+                return Err(StoreError::Manifest {
+                    line: idx + 1,
+                    message: format!("invalid snapshot file name `{file}`"),
+                });
+            }
+            if entries.insert(name.to_string(), file.to_string()).is_some() {
+                return Err(StoreError::Manifest {
+                    line: idx + 1,
+                    message: format!("duplicate entry for `{name}`"),
+                });
+            }
+        }
+        Ok(Self { entries })
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::from(MANIFEST_HEADER);
+        out.push('\n');
+        for (name, file) in &self.entries {
+            out.push_str(name);
+            out.push('\t');
+            out.push_str(file);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Whether `s` is a single safe path component: 1–`max_len` characters from
+/// `[A-Za-z0-9._-]`, not starting with a dot (no hidden files, no `..`, no separators).
+fn is_safe_file_component(s: &str, max_len: usize) -> bool {
+    let valid_chars = s.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'));
+    !s.is_empty() && s.len() <= max_len && valid_chars && !s.starts_with('.')
+}
+
+/// Validates a registry name for use as a snapshot file stem: 1–100 characters from
+/// `[A-Za-z0-9._-]`, not starting with a dot (no hidden files, no path traversal).
+fn validate_name(name: &str) -> StoreResult<()> {
+    if !is_safe_file_component(name, 100) {
+        return Err(StoreError::InvalidName(name.to_string()));
+    }
+    Ok(())
+}
+
+/// An index restored from a snapshot, tagged by its concrete type.
+#[derive(Debug)]
+pub enum LoadedIndex {
+    /// A restored [`LinearScan`].
+    LinearScan(LinearScan),
+    /// A restored [`BallTree`].
+    BallTree(BallTree),
+    /// A restored [`BcTree`].
+    BcTree(BcTree),
+}
+
+impl LoadedIndex {
+    /// Which index kind this is.
+    pub fn kind(&self) -> IndexKind {
+        match self {
+            LoadedIndex::LinearScan(_) => IndexKind::LinearScan,
+            LoadedIndex::BallTree(_) => IndexKind::BallTree,
+            LoadedIndex::BcTree(_) => IndexKind::BcTree,
+        }
+    }
+
+    /// Erases the concrete type into a shared, searchable handle.
+    pub fn into_shared(self) -> Arc<dyn P2hIndex> {
+        match self {
+            LoadedIndex::LinearScan(index) => Arc::new(index),
+            LoadedIndex::BallTree(index) => Arc::new(index),
+            LoadedIndex::BcTree(index) => Arc::new(index),
+        }
+    }
+
+    /// Borrows the index through the search trait.
+    pub fn as_index(&self) -> &dyn P2hIndex {
+        match self {
+            LoadedIndex::LinearScan(index) => index,
+            LoadedIndex::BallTree(index) => index,
+            LoadedIndex::BcTree(index) => index,
+        }
+    }
+}
+
+/// A snapshot store rooted at a directory.
+#[derive(Debug, Clone)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// Opens an existing store directory (the manifest must be present and parse).
+    pub fn open(dir: impl AsRef<Path>) -> StoreResult<Self> {
+        let store = Self { dir: dir.as_ref().to_path_buf() };
+        store.manifest()?; // fail fast on a missing or malformed manifest
+        Ok(store)
+    }
+
+    /// Creates a store directory (and an empty manifest) if it does not exist, then
+    /// opens it. Idempotent on an existing store.
+    pub fn create(dir: impl AsRef<Path>) -> StoreResult<Self> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir).map_err(|e| io_error(dir, e))?;
+        let manifest_path = dir.join(MANIFEST_FILE);
+        if !manifest_path.exists() {
+            write_file_atomically(&manifest_path, Manifest::default().render().as_bytes())?;
+        }
+        Self::open(dir)
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The registered index names, sorted.
+    pub fn names(&self) -> StoreResult<Vec<String>> {
+        Ok(self.manifest()?.entries.keys().cloned().collect())
+    }
+
+    /// Snapshots `index` under `name`, replacing any previous snapshot of that name,
+    /// and returns the snapshot file path.
+    pub fn save<S: Snapshot>(&self, name: &str, index: &S) -> StoreResult<PathBuf> {
+        validate_name(name)?;
+        let file = format!("{name}.{SNAPSHOT_EXT}");
+        let path = self.dir.join(&file);
+        index.save_snapshot(&path)?;
+        let mut manifest = self.manifest()?;
+        manifest.entries.insert(name.to_string(), file);
+        write_file_atomically(&self.dir.join(MANIFEST_FILE), manifest.render().as_bytes())?;
+        Ok(path)
+    }
+
+    /// Loads the index registered under `name` as its concrete type.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingEntry`] if the name is not in the manifest,
+    /// [`StoreError::KindMismatch`] if the snapshot holds a different index kind, and
+    /// any snapshot decoding error (see [`Snapshot::decode_snapshot`]).
+    pub fn load<S: Snapshot>(&self, name: &str) -> StoreResult<S> {
+        S::decode_snapshot(&self.snapshot_bytes(name)?)
+    }
+
+    /// Loads the index registered under `name`, dispatching on the kind recorded in the
+    /// snapshot header.
+    pub fn load_any(&self, name: &str) -> StoreResult<LoadedIndex> {
+        decode_any(&self.snapshot_bytes(name)?)
+    }
+
+    /// Loads every index in the manifest, in name order. The manifest is read once, so
+    /// the listing and the per-entry paths come from one consistent view even if a
+    /// writer replaces the manifest concurrently.
+    pub fn load_all(&self) -> StoreResult<Vec<(String, LoadedIndex)>> {
+        let manifest = self.manifest()?;
+        manifest
+            .entries
+            .iter()
+            .map(|(name, file)| {
+                let path = self.dir.join(file);
+                let bytes = fs::read(&path).map_err(|e| io_error(&path, e))?;
+                Ok((name.clone(), decode_any(&bytes)?))
+            })
+            .collect()
+    }
+
+    /// The path a snapshot of `name` lives at (whether or not it exists yet).
+    pub fn snapshot_path(&self, name: &str) -> StoreResult<PathBuf> {
+        let manifest = self.manifest()?;
+        match manifest.entries.get(name) {
+            Some(file) => Ok(self.dir.join(file)),
+            None => Err(StoreError::MissingEntry(name.to_string())),
+        }
+    }
+
+    fn snapshot_bytes(&self, name: &str) -> StoreResult<Vec<u8>> {
+        let path = self.snapshot_path(name)?;
+        fs::read(&path).map_err(|e| io_error(&path, e))
+    }
+
+    fn manifest(&self) -> StoreResult<Manifest> {
+        let path = self.dir.join(MANIFEST_FILE);
+        let text = fs::read_to_string(&path).map_err(|e| io_error(&path, e))?;
+        Manifest::parse(&text)
+    }
+}
+
+/// Decodes a snapshot buffer into whichever index kind its header declares.
+fn decode_any(bytes: &[u8]) -> StoreResult<LoadedIndex> {
+    Ok(match SnapshotReader::new(bytes)?.kind {
+        IndexKind::LinearScan => LoadedIndex::LinearScan(LinearScan::decode_snapshot(bytes)?),
+        IndexKind::BallTree => LoadedIndex::BallTree(BallTree::decode_snapshot(bytes)?),
+        IndexKind::BcTree => LoadedIndex::BcTree(BcTree::decode_snapshot(bytes)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trip() {
+        let mut manifest = Manifest::default();
+        manifest.entries.insert("ball".into(), "ball.p2hs".into());
+        manifest.entries.insert("scan-v2".into(), "scan-v2.p2hs".into());
+        let parsed = Manifest::parse(&manifest.render()).unwrap();
+        assert_eq!(parsed, manifest);
+    }
+
+    #[test]
+    fn manifest_rejects_malformed_text() {
+        assert!(matches!(
+            Manifest::parse(""),
+            Err(StoreError::Manifest { line: 0, .. }) | Err(StoreError::Manifest { line: 1, .. })
+        ));
+        assert!(matches!(
+            Manifest::parse("wrong header\n"),
+            Err(StoreError::Manifest { line: 1, .. })
+        ));
+        assert!(matches!(
+            Manifest::parse("p2h-store 1\nno-tab-here\n"),
+            Err(StoreError::Manifest { line: 2, .. })
+        ));
+        assert!(matches!(
+            Manifest::parse("p2h-store 1\na\ta.p2hs\na\tb.p2hs\n"),
+            Err(StoreError::Manifest { line: 3, .. })
+        ));
+        assert!(matches!(
+            Manifest::parse("p2h-store 1\n../evil\tx.p2hs\n"),
+            Err(StoreError::InvalidName(_))
+        ));
+    }
+
+    #[test]
+    fn manifest_rejects_traversal_in_the_file_column() {
+        // A tampered file column must not be able to point the loader outside the
+        // store directory (the manifest is plain text, not checksum-protected).
+        for evil in ["../../etc/passwd", "/etc/passwd", ".hidden.p2hs", "a/b.p2hs", ""] {
+            let text = format!("p2h-store 1\nname\t{evil}\n");
+            assert!(
+                matches!(Manifest::parse(&text), Err(StoreError::Manifest { line: 2, .. })),
+                "file column `{evil}` must be rejected"
+            );
+        }
+        // The longest name the store itself writes still round-trips.
+        let long = "n".repeat(100);
+        let text = format!("p2h-store 1\n{long}\t{long}.{SNAPSHOT_EXT}\n");
+        assert!(Manifest::parse(&text).is_ok());
+    }
+
+    #[test]
+    fn name_validation() {
+        for good in ["a", "ball-tree_v2.1", "X", &"n".repeat(100)] {
+            assert!(validate_name(good).is_ok(), "{good}");
+        }
+        for bad in ["", ".hidden", "a/b", "a\\b", "a b", "ü", &"n".repeat(101)] {
+            assert!(matches!(validate_name(bad), Err(StoreError::InvalidName(_))), "{bad}");
+        }
+    }
+}

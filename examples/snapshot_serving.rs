@@ -1,0 +1,70 @@
+//! Snapshot-backed serving: build indexes once, persist them to a `p2h-store`
+//! directory, then cold-start an engine from that directory — no rebuilding — and
+//! verify the loaded indexes answer queries identically to the originals.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example snapshot_serving
+//! ```
+
+use p2hnns::engine::{BatchRequest, Engine};
+use p2hnns::{
+    generate_queries, BallTreeBuilder, BcTreeBuilder, DataDistribution, LinearScan,
+    QueryDistribution, SearchParams, Store, SyntheticDataset,
+};
+
+fn main() {
+    // 1. The "offline" side: a data set and the expensive index builds.
+    let points = SyntheticDataset::new(
+        "snapshot-serving",
+        50_000,
+        48,
+        DataDistribution::GaussianClusters { clusters: 12, std_dev: 1.5 },
+        7,
+    )
+    .generate()
+    .expect("synthetic generation");
+    let ball = BallTreeBuilder::new(100).build_parallel(&points, 0).expect("build Ball-Tree");
+    let bc = BcTreeBuilder::new(100).build_parallel(&points, 0).expect("build BC-Tree");
+
+    // 2. Snapshot everything to a store directory. Each file is a versioned,
+    //    CRC32-checksummed container; the MANIFEST maps names to files.
+    let dir = std::env::temp_dir().join("p2hnns-snapshot-serving");
+    std::fs::remove_dir_all(&dir).ok();
+    let store = Store::create(&dir).expect("create store");
+    store.save("ball", &ball).expect("save Ball-Tree");
+    store.save("bc", &bc).expect("save BC-Tree");
+    store.save("scan", &LinearScan::new(points.clone())).expect("save Linear-Scan");
+    println!("snapshotted {:?} into {}", store.names().expect("names"), dir.display());
+
+    // 3. The "serving" side: cold-start purely from the directory. In a real system
+    //    this is a different process (or machine) — nothing is rebuilt.
+    let engine = Engine::from_store(&dir, 0).expect("cold-start from store");
+    println!("cold-started engine with indexes {:?}\n", engine.registry().names());
+
+    // 4. Serve a batch from every loaded index and cross-check against the originals.
+    let queries = generate_queries(&points, 64, QueryDistribution::DataDifference, 11)
+        .expect("query generation");
+    let request = BatchRequest::new(queries, SearchParams::exact(10));
+
+    let reference = Engine::new(0);
+    reference.registry().register("ball", ball);
+    reference.registry().register("bc", bc);
+    reference.registry().register("scan", LinearScan::new(points));
+
+    for name in engine.registry().names() {
+        let loaded = engine.serve(&name, &request).expect("serve from loaded index");
+        let original = reference.serve(&name, &request).expect("serve from original");
+        let identical =
+            loaded.results.iter().zip(&original.results).all(|(a, b)| a.neighbors == b.neighbors);
+        println!(
+            "{name:<5} {:>8.0} qps  {}  answers identical to in-memory build: {identical}",
+            loaded.throughput_qps(),
+            loaded.latency.summary_ms(),
+        );
+        assert!(identical, "loaded index diverged from the original");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

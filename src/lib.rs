@@ -72,9 +72,13 @@
 //! ```
 //!
 //! See the `examples/` directory for end-to-end scenarios (SVM active learning,
-//! maximum-margin style selection, index comparison, batch serving) and the `p2h-bench`
-//! crate for the reproduction of the paper's evaluation plus the engine
-//! throughput-scaling experiment (`engine_throughput`).
+//! maximum-margin style selection, index comparison, batch serving, snapshot-backed
+//! cold-start serving) and the `p2h-bench` crate for the reproduction of the paper's
+//! evaluation plus the engine throughput-scaling experiment (`engine_throughput`) and
+//! the snapshot load-vs-rebuild experiment (`snapshot_bench`). Built indexes persist
+//! via [`Store`]/[`Snapshot`] (`p2h-store`): save once offline, then
+//! [`engine::Engine::from_store`] cold-starts a serving process with bit-identical
+//! answers and no rebuild.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -86,6 +90,7 @@ pub use p2h_data as data;
 pub use p2h_engine as engine;
 pub use p2h_eval as eval;
 pub use p2h_hash as hash;
+pub use p2h_store as store;
 
 pub use p2h_balltree::{BallTree, BallTreeBuilder};
 pub use p2h_bctree::{BcTree, BcTreeBuilder, BcTreeVariant};
@@ -105,3 +110,4 @@ pub use p2h_eval::{
     TimeProfile,
 };
 pub use p2h_hash::{FhIndex, FhParams, NhIndex, NhParams};
+pub use p2h_store::{LoadedIndex, Snapshot, Store, StoreError};
