@@ -54,16 +54,21 @@ mod batch;
 mod executor;
 mod registry;
 mod serve;
+mod sharded;
 
 pub use batch::{BatchRequest, BatchResponse, LatencyHistogram};
 pub use executor::BatchExecutor;
 pub use registry::{IndexRegistry, SharedIndex};
 pub use serve::Engine;
+pub use sharded::{ShardedBatchResponse, ShardedExecutor};
 
 // Re-exported so engine users can build indexes in parallel without naming the tree
 // crates and their `parallel` feature explicitly.
 pub use p2h_balltree::{BallTree, BallTreeBuilder};
 pub use p2h_bctree::{BcTree, BcTreeBuilder};
+// Re-exported so sharded serving (`Engine::serve_sharded`, shard-group cold starts)
+// needs no direct `p2h-shard` dependency at call sites.
+pub use p2h_shard::{Partitioner, ShardIndexKind, ShardedIndex, ShardedIndexBuilder};
 // Re-exported so cold-start users (`Engine::from_store`) can create and populate the
 // snapshot store without adding `p2h-store` as a direct dependency.
 pub use p2h_store::{Snapshot, Store, StoreError};

@@ -5,7 +5,8 @@ use std::path::Path;
 use std::sync::{Arc, RwLock};
 
 use p2h_core::P2hIndex;
-use p2h_store::{Store, StoreError};
+use p2h_shard::ShardedIndex;
+use p2h_store::{Store, StoreEntry, StoreError};
 
 /// A reference-counted, immutable index that can be searched from any thread.
 ///
@@ -18,9 +19,18 @@ pub type SharedIndex = Arc<dyn P2hIndex>;
 /// Registration replaces any previous index under the same name (last write wins) and
 /// returns the shared handle, so callers can keep searching an index they registered
 /// without going through the registry again. Lookups clone the `Arc`, never the index.
+///
+/// Sharded indexes registered through [`IndexRegistry::register_sharded`] are
+/// additionally retrievable as their concrete type via
+/// [`IndexRegistry::get_sharded`], which is what `Engine::serve_sharded` uses to
+/// expose per-shard latency statistics; through [`IndexRegistry::get`] they serve
+/// like any other index.
 #[derive(Default)]
 pub struct IndexRegistry {
     inner: RwLock<HashMap<String, SharedIndex>>,
+    /// Concrete handles for sharded indexes, kept alongside the trait-object map so
+    /// shard-aware serving paths can reach shard-level APIs without downcasting.
+    sharded: RwLock<HashMap<String, Arc<ShardedIndex>>>,
 }
 
 impl IndexRegistry {
@@ -37,27 +47,59 @@ impl IndexRegistry {
 
     /// Registers an already-shared index under `name`, replacing any previous entry.
     pub fn register_shared(&self, name: impl Into<String>, index: SharedIndex) -> SharedIndex {
+        let name = name.into();
+        // A plain registration under a name that held a sharded index drops the
+        // concrete handle too — the two maps must never disagree about a name.
+        let mut sharded = self.sharded.write().expect("index registry lock poisoned");
+        sharded.remove(&name);
         let mut map = self.inner.write().expect("index registry lock poisoned");
-        map.insert(name.into(), Arc::clone(&index));
+        map.insert(name, Arc::clone(&index));
         index
+    }
+
+    /// Registers a sharded index under `name`, replacing any previous entry. The
+    /// index serves through [`IndexRegistry::get`] like any other, and stays
+    /// retrievable as its concrete type via [`IndexRegistry::get_sharded`] for
+    /// shard-aware serving (`Engine::serve_sharded`).
+    pub fn register_sharded(
+        &self,
+        name: impl Into<String>,
+        index: ShardedIndex,
+    ) -> Arc<ShardedIndex> {
+        let name = name.into();
+        let handle = Arc::new(index);
+        let mut sharded = self.sharded.write().expect("index registry lock poisoned");
+        let mut map = self.inner.write().expect("index registry lock poisoned");
+        sharded.insert(name.clone(), Arc::clone(&handle));
+        map.insert(name, Arc::clone(&handle) as SharedIndex);
+        handle
     }
 
     /// Opens a `p2h-store` snapshot directory and registers every manifest entry under
     /// its stored name — the cold-start path of a serving process: the expensive index
     /// builds happened offline, and each loaded index answers queries bit-identically
-    /// to the one that was snapshotted (same kernel backend).
+    /// to the one that was snapshotted (same kernel backend). Shard-group entries are
+    /// restored as [`ShardedIndex`]es (also reachable via
+    /// [`IndexRegistry::get_sharded`]).
     ///
     /// # Errors
     ///
     /// Returns the underlying [`StoreError`] if the directory or its manifest is
     /// missing, or any snapshot is corrupt (truncated, checksum mismatch, invalid
-    /// structure, …). Loading is all-or-nothing: a registry is only returned when
-    /// every manifest entry decoded and validated.
+    /// structure, mutually inconsistent shard group, …). Loading is all-or-nothing: a
+    /// registry is only returned when every manifest entry decoded and validated.
     pub fn open_dir(dir: impl AsRef<Path>) -> std::result::Result<Self, StoreError> {
         let store = Store::open(dir)?;
         let registry = Self::new();
-        for (name, index) in store.load_all()? {
-            registry.register_shared(name, index.into_shared());
+        for (name, entry) in store.load_entries()? {
+            match entry {
+                StoreEntry::Single(index) => {
+                    registry.register_shared(name, index.into_shared());
+                }
+                StoreEntry::ShardGroup(group) => {
+                    registry.register_sharded(name, ShardedIndex::from_group(group)?);
+                }
+            }
         }
         Ok(registry)
     }
@@ -68,9 +110,18 @@ impl IndexRegistry {
         map.get(name).cloned()
     }
 
+    /// Looks a sharded index up by name as its concrete type. `None` when the name is
+    /// unregistered or holds a non-sharded index.
+    pub fn get_sharded(&self, name: &str) -> Option<Arc<ShardedIndex>> {
+        let map = self.sharded.read().expect("index registry lock poisoned");
+        map.get(name).cloned()
+    }
+
     /// Removes an index, returning its handle if it was present. In-flight searches
     /// holding the `Arc` are unaffected; the index is freed when the last handle drops.
     pub fn remove(&self, name: &str) -> Option<SharedIndex> {
+        let mut sharded = self.sharded.write().expect("index registry lock poisoned");
+        sharded.remove(name);
         let mut map = self.inner.write().expect("index registry lock poisoned");
         map.remove(name)
     }
@@ -146,5 +197,37 @@ mod tests {
         let handle = registry.register("shared", tiny_scan(1.0));
         let looked_up = registry.get("shared").unwrap();
         assert!(Arc::ptr_eq(&handle, &looked_up));
+    }
+
+    fn tiny_sharded() -> ShardedIndex {
+        use p2h_shard::{Partitioner, ShardIndexKind, ShardedIndexBuilder};
+        let rows: Vec<Vec<Scalar>> = (0..20).map(|i| vec![i as Scalar, 0.5]).collect();
+        let points = PointSet::augment(&rows).unwrap();
+        ShardedIndexBuilder::new(Partitioner::Contiguous { shards: 2 }, ShardIndexKind::LinearScan)
+            .build(&points)
+            .unwrap()
+    }
+
+    #[test]
+    fn sharded_registration_is_visible_through_both_maps() {
+        let registry = IndexRegistry::new();
+        let handle = registry.register_sharded("sh", tiny_sharded());
+        assert_eq!(handle.shard_count(), 2);
+        // Reachable generically and concretely, backed by the same index.
+        let generic = registry.get("sh").unwrap();
+        assert_eq!(generic.len(), 20);
+        let concrete = registry.get_sharded("sh").unwrap();
+        assert!(Arc::ptr_eq(&handle, &concrete));
+        // Non-sharded names do not answer the concrete lookup.
+        registry.register("plain", tiny_scan(1.0));
+        assert!(registry.get_sharded("plain").is_none());
+        // Replacing a sharded entry with a plain index clears the concrete handle.
+        registry.register("sh", tiny_scan(2.0));
+        assert!(registry.get_sharded("sh").is_none());
+        assert!(registry.get("sh").is_some());
+        // Removal clears both maps.
+        registry.register_sharded("sh2", tiny_sharded());
+        assert!(registry.remove("sh2").is_some());
+        assert!(registry.get_sharded("sh2").is_none());
     }
 }

@@ -1,10 +1,11 @@
 //! The `Engine` façade: registry + executor + request validation.
 
-use p2h_core::{Error, Result};
+use p2h_core::{Error, P2hIndex, Result};
 
 use crate::batch::{BatchRequest, BatchResponse};
 use crate::executor::BatchExecutor;
 use crate::registry::{IndexRegistry, SharedIndex};
+use crate::sharded::{ShardedBatchResponse, ShardedExecutor};
 
 /// A batch-query serving engine: a shared [`IndexRegistry`] plus a [`BatchExecutor`].
 ///
@@ -77,25 +78,60 @@ impl Engine {
         index: &SharedIndex,
         request: &BatchRequest,
     ) -> Result<BatchResponse> {
-        let dim = index.dim();
-        for query in &request.queries {
-            if query.dim() != dim {
-                return Err(Error::DimensionMismatch { expected: dim, actual: query.dim() });
-            }
-        }
-        for &(position, _) in &request.overrides {
-            if position >= request.queries.len() {
-                return Err(Error::InvalidParameter {
-                    name: "overrides",
-                    message: format!(
-                        "override targets position {position} but the batch has {} queries",
-                        request.queries.len()
-                    ),
-                });
-            }
-        }
+        validate_request(index.as_ref(), request)?;
         Ok(self.executor.execute(index.as_ref(), request))
     }
+
+    /// Serves a batch against the *sharded* index registered under `index_name`,
+    /// fanning each query across its shards with a [`ShardedExecutor`] (same worker
+    /// count as the engine's batch executor) and returning per-shard latency and work
+    /// statistics alongside the merged per-query results.
+    ///
+    /// The merged results are bit-identical to [`Engine::serve`] on the same name —
+    /// only the parallelism shape (across shards vs across queries) and the telemetry
+    /// differ, so callers can switch between the two paths freely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if no *sharded* index is registered under
+    /// `index_name` (plain indexes serve through [`Engine::serve`]) and the same
+    /// validation errors as [`Engine::serve`].
+    pub fn serve_sharded(
+        &self,
+        index_name: &str,
+        request: &BatchRequest,
+    ) -> Result<ShardedBatchResponse> {
+        let index =
+            self.registry.get_sharded(index_name).ok_or_else(|| Error::InvalidParameter {
+                name: "index_name",
+                message: format!("no sharded index registered under `{index_name}`"),
+            })?;
+        validate_request(index.as_ref(), request)?;
+        Ok(ShardedExecutor::new(self.executor.threads()).execute(&index, request))
+    }
+}
+
+/// Up-front request validation shared by every serving path: dimension mismatches and
+/// out-of-range overrides are errors, not worker-thread panics or silent no-ops.
+fn validate_request(index: &dyn P2hIndex, request: &BatchRequest) -> Result<()> {
+    let dim = index.dim();
+    for query in &request.queries {
+        if query.dim() != dim {
+            return Err(Error::DimensionMismatch { expected: dim, actual: query.dim() });
+        }
+    }
+    for &(position, _) in &request.overrides {
+        if position >= request.queries.len() {
+            return Err(Error::InvalidParameter {
+                name: "overrides",
+                message: format!(
+                    "override targets position {position} but the batch has {} queries",
+                    request.queries.len()
+                ),
+            });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -1,0 +1,91 @@
+//! Allocation discipline of the sharded fan-out path: executing a large batch against
+//! a `ShardedIndex` through the scratch-reusing batch executor must allocate, per
+//! query, only the per-shard top-k lists and the merged result vector — `shards + 1`
+//! small vectors — with everything else (collector heap, traversal stack, strips)
+//! living in the per-worker `QueryScratch`.
+//!
+//! This file is its own test binary with a single `#[test]` so the counting global
+//! allocator observes only this test's traffic.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use p2h_core::SearchParams;
+use p2h_data::{generate_queries, DataDistribution, QueryDistribution, SyntheticDataset};
+use p2h_engine::{BatchExecutor, BatchRequest, Partitioner, ShardIndexKind, ShardedIndexBuilder};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_sharded_execution_allocates_only_result_lists() {
+    const SHARDS: u64 = 4;
+    let points = SyntheticDataset::new(
+        "sharded-alloc-test",
+        6_000,
+        24,
+        DataDistribution::GaussianClusters { clusters: 8, std_dev: 1.5 },
+        42,
+    )
+    .generate()
+    .unwrap();
+    let sharded = ShardedIndexBuilder::new(
+        Partitioner::Hash { shards: SHARDS as usize },
+        ShardIndexKind::BallTree { leaf_size: 64 },
+    )
+    .build(&points)
+    .unwrap();
+    let base = generate_queries(&points, 64, QueryDistribution::DataDifference, 7).unwrap();
+    let queries: Vec<_> = (0..512).map(|i| base[i % base.len()].clone()).collect();
+    let n = queries.len() as u64;
+    let k = 10;
+    let request = BatchRequest::new(queries, SearchParams::exact(k));
+
+    // Warm-up run: first-touch growth of collector heaps and traversal stacks.
+    let executor = BatchExecutor::new(1);
+    let warmup = executor.execute(&sharded, &request);
+    assert_eq!(warmup.results.len(), n as usize);
+
+    // Measured run. Per query: one k-element list per shard (`take_sorted` inside the
+    // shard search), one shard-list spine, and the flattened merge vector — a fixed
+    // `SHARDS + 2` budget, zero dependence on data size or query count beyond that.
+    let before = allocations();
+    let response = executor.execute(&sharded, &request);
+    let during = allocations() - before;
+    assert_eq!(response.results.len(), n as usize);
+    assert!(response.results.iter().all(|r| r.neighbors.len() == k));
+
+    let per_query_budget = SHARDS + 2;
+    let per_batch_overhead = 64;
+    assert!(
+        during <= n * per_query_budget + per_batch_overhead,
+        "expected ≤ {per_query_budget} allocations per query (per-shard lists + merge) \
+         plus constant batch overhead, observed {during} allocations for {n} queries"
+    );
+    // Sanity: the counter is wired up (at minimum every query allocated its lists).
+    assert!(during >= n, "counting allocator should observe the result vectors");
+}

@@ -7,7 +7,8 @@ use std::path::PathBuf;
 use p2h_core::{HyperplaneQuery, LinearScan, PointSet, SearchParams};
 use p2h_data::{generate_queries, DataDistribution, QueryDistribution, SyntheticDataset};
 use p2h_engine::{
-    BallTreeBuilder, BatchRequest, BcTreeBuilder, Engine, IndexRegistry, Store, StoreError,
+    BallTreeBuilder, BatchRequest, BcTreeBuilder, Engine, IndexRegistry, Partitioner,
+    ShardIndexKind, ShardedIndexBuilder, Store, StoreError,
 };
 
 fn dataset(n: usize, dim: usize) -> PointSet {
@@ -67,6 +68,57 @@ fn engine_cold_starts_from_a_store_with_identical_answers() {
             assert_eq!(a.neighbors, b.neighbors, "index {name}");
         }
     }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn engine_cold_starts_a_sharded_index_from_a_shard_group() {
+    let dir = temp_dir("sharded-cold-start");
+    let ps = dataset(5_000, 10);
+    let queries: Vec<HyperplaneQuery> =
+        generate_queries(&ps, 32, QueryDistribution::DataDifference, 8).unwrap();
+    let request = BatchRequest::new(queries, SearchParams::exact(10))
+        .with_override(1, SearchParams::approximate(10, 500));
+
+    // "Offline" process: build the sharded index, serve once for reference, snapshot
+    // it as a shard group next to a plain index.
+    let sharded = ShardedIndexBuilder::new(
+        Partitioner::Hash { shards: 4 },
+        ShardIndexKind::BcTree { leaf_size: 64 },
+    )
+    .with_seed(7)
+    .build(&ps)
+    .unwrap();
+    let offline = Engine::new(2);
+    offline.registry().register_sharded("sharded", sharded);
+    offline.registry().register("scan", LinearScan::new(ps.clone()));
+    let reference = offline.serve("sharded", &request).unwrap();
+
+    let store = Store::create(&dir).unwrap();
+    offline.registry().get_sharded("sharded").unwrap().save_into(&store, "sharded").unwrap();
+    store.save("scan", &LinearScan::new(ps.clone())).unwrap();
+
+    // "Serving" process: cold-start purely from the directory; both serving paths
+    // (query-parallel trait path and shard-parallel executor) must answer
+    // bit-identically to the offline process.
+    let engine = Engine::from_store(&dir, 3).unwrap();
+    assert_eq!(engine.registry().names(), vec!["scan", "sharded"]);
+    assert_eq!(engine.registry().get_sharded("sharded").unwrap().shard_count(), 4);
+
+    let served = engine.serve("sharded", &request).unwrap();
+    let shard_parallel = engine.serve_sharded("sharded", &request).unwrap();
+    assert_eq!(served.results.len(), reference.results.len());
+    for ((a, b), c) in served.results.iter().zip(&reference.results).zip(&shard_parallel.results) {
+        assert_eq!(a.neighbors, b.neighbors);
+        assert_eq!(a.neighbors, c.neighbors);
+    }
+    // Per-shard telemetry is present for every shard.
+    assert_eq!(shard_parallel.per_shard_latency.len(), 4);
+    assert!(shard_parallel.per_shard_stats.iter().all(|s| s.candidates_verified > 0));
+
+    // The plain index is not reachable through the sharded serving path.
+    assert!(engine.serve_sharded("scan", &request).is_err());
 
     std::fs::remove_dir_all(&dir).ok();
 }

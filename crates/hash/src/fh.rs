@@ -116,14 +116,120 @@ impl FhIndex {
         Ok(Self { points: points.clone(), transform, partitions, params })
     }
 
+    /// Reassembles an FH index from its constituent parts — the inverse of reading
+    /// [`FhIndex::transform`], [`FhIndex::partition_ids`], and
+    /// [`FhIndex::partition_tables`] off a built index (the snapshot load path; the
+    /// arrays are restored verbatim, so the reassembled index answers identically).
+    ///
+    /// The `partitions` argument pairs each partition's global point ids with the
+    /// projection tables built over its transformed vectors (local id = position in the
+    /// id list).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed error (never panics) if the parts are inconsistent: degenerate
+    /// parameters, a transform/point dimension mismatch, partition tables whose
+    /// dimensionality is not `λ` or whose length differs from the id list, or partition
+    /// id lists that are not a disjoint cover of `0..n`.
+    pub fn from_parts(
+        points: PointSet,
+        transform: QuadraticTransform,
+        partitions: Vec<(Vec<u32>, ProjectionTables)>,
+        params: FhParams,
+    ) -> Result<Self> {
+        use p2h_core::Error;
+        if params.lambda_factor == 0 || params.tables == 0 || params.partitions == 0 {
+            return Err(Error::Corrupt("FH params must be positive".into()));
+        }
+        if transform.input_dim() != points.dim() {
+            return Err(Error::Corrupt(format!(
+                "FH transform input dim {} differs from point dim {}",
+                transform.input_dim(),
+                points.dim()
+            )));
+        }
+        if partitions.is_empty() {
+            return Err(Error::Corrupt("FH needs at least one partition".into()));
+        }
+        let n = points.len();
+        let mut seen = vec![false; n];
+        for (ids, tables) in &partitions {
+            if tables.dim() != transform.output_dim() {
+                return Err(Error::Corrupt(format!(
+                    "FH partition table dim {} is not λ = {}",
+                    tables.dim(),
+                    transform.output_dim()
+                )));
+            }
+            if tables.len() != ids.len() || ids.is_empty() {
+                return Err(Error::Corrupt(format!(
+                    "FH partition holds {} ids but indexes {} vectors",
+                    ids.len(),
+                    tables.len()
+                )));
+            }
+            if params.tables != tables.table_count() {
+                return Err(Error::Corrupt(format!(
+                    "FH params declare {} tables, {} present",
+                    params.tables,
+                    tables.table_count()
+                )));
+            }
+            for &id in ids {
+                let id = id as usize;
+                if id >= n || seen[id] {
+                    return Err(Error::Corrupt(
+                        "FH partition ids are not a disjoint cover of the points".into(),
+                    ));
+                }
+                seen[id] = true;
+            }
+        }
+        if seen.iter().any(|&s| !s) {
+            return Err(Error::Corrupt("FH partitions do not cover every point".into()));
+        }
+        let partitions =
+            partitions.into_iter().map(|(ids, tables)| Partition { ids, tables }).collect();
+        Ok(Self { points, transform, partitions, params })
+    }
+
     /// The parameters the index was built with.
     pub fn params(&self) -> &FhParams {
         &self.params
     }
 
+    /// The indexed (augmented) point set.
+    pub fn points(&self) -> &PointSet {
+        &self.points
+    }
+
+    /// The sampled quadratic transform. Exposed (with the partition accessors) so
+    /// persistence layers can serialize the index without rebuilding it.
+    pub fn transform(&self) -> &QuadraticTransform {
+        &self.transform
+    }
+
     /// Number of norm-based partitions actually created.
     pub fn partition_count(&self) -> usize {
         self.partitions.len()
+    }
+
+    /// The global point ids of partition `p` (local table id = position in this list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= self.partition_count()`.
+    pub fn partition_ids(&self, p: usize) -> &[u32] {
+        &self.partitions[p].ids
+    }
+
+    /// The projection tables of partition `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p >= self.partition_count()`.
+    pub fn partition_tables(&self, p: usize) -> &ProjectionTables {
+        &self.partitions[p].tables
     }
 }
 

@@ -55,9 +55,80 @@ impl ProjectionTables {
         Self { dim, directions, tables }
     }
 
+    /// Reassembles projection tables from their constituent arrays — the inverse of
+    /// reading [`ProjectionTables::directions`] and [`ProjectionTables::tables`] off a
+    /// built instance. This is the load path for persistent snapshots: the arrays are
+    /// restored verbatim, so the reassembled tables stream candidates identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`p2h_core::Error::Corrupt`] (never panics) if the arrays are
+    /// inconsistent: a direction buffer that is not `m × dim`, tables of unequal
+    /// length, entries out of sort order, or ids that are not a permutation of the
+    /// indexed vectors (the candidate streams assume each id appears exactly once per
+    /// table).
+    pub fn from_parts(
+        dim: usize,
+        directions: Vec<Scalar>,
+        tables: Vec<Vec<(Scalar, u32)>>,
+    ) -> p2h_core::Result<Self> {
+        use p2h_core::Error;
+        if dim == 0 || tables.is_empty() {
+            return Err(Error::Corrupt("projection tables need dim ≥ 1 and m ≥ 1".into()));
+        }
+        if directions.len() != tables.len() * dim {
+            return Err(Error::Corrupt(format!(
+                "direction buffer has {} scalars for {} tables of dim {dim}",
+                directions.len(),
+                tables.len()
+            )));
+        }
+        let n = tables[0].len();
+        let mut seen = vec![false; n];
+        for table in &tables {
+            if table.len() != n {
+                return Err(Error::Corrupt(format!(
+                    "projection tables have unequal lengths ({} vs {n})",
+                    table.len()
+                )));
+            }
+            if table.windows(2).any(|w| w[0].0.total_cmp(&w[1].0) == std::cmp::Ordering::Greater) {
+                return Err(Error::Corrupt("projection table is not sorted".into()));
+            }
+            seen.iter_mut().for_each(|s| *s = false);
+            for &(_, id) in table {
+                let id = id as usize;
+                if id >= n || seen[id] {
+                    return Err(Error::Corrupt(
+                        "projection table ids are not a permutation".into(),
+                    ));
+                }
+                seen[id] = true;
+            }
+        }
+        Ok(Self { dim, directions, tables })
+    }
+
     /// Number of projection tables `m`.
     pub fn table_count(&self) -> usize {
         self.tables.len()
+    }
+
+    /// Dimensionality of the projected vectors.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The flat `m × dim` direction buffer (table `t` owns rows `t·dim .. (t+1)·dim`).
+    /// Exposed (with [`ProjectionTables::tables`]) so persistence layers can serialize
+    /// the tables without re-projecting the data.
+    pub fn directions(&self) -> &[Scalar] {
+        &self.directions
+    }
+
+    /// The sorted `(projection value, point id)` arrays, one per table.
+    pub fn tables(&self) -> &[Vec<(Scalar, u32)>] {
+        &self.tables
     }
 
     /// Number of indexed vectors.

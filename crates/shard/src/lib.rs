@@ -1,0 +1,77 @@
+//! # p2h-shard
+//!
+//! Sharded index serving: partition a [`p2h_core::PointSet`] across several
+//! independently built indexes and answer every query with a deterministic fan-out
+//! top-k merge whose result is **bit-identical** to a single index over the same
+//! points.
+//!
+//! The crate provides three layers:
+//!
+//! * [`Partitioner`] — splits `n` points into shard id maps, either by contiguous
+//!   ranges or by a deterministic hash of the point id; both produce per-shard
+//!   local-position → global-id mappings that are strictly increasing, which is what
+//!   makes the merge provably exact,
+//! * [`ShardedIndex`] — one index per shard (built by [`ShardedIndexBuilder`], or
+//!   restored from a `p2h-store` shard group) behind the ordinary
+//!   [`p2h_core::P2hIndex`] trait: a query fans out over the shards (reusing one
+//!   [`p2h_core::QueryScratch`] across the per-shard searches) and the per-shard top-k
+//!   lists are merged with the total [`p2h_core::Neighbor`] order,
+//! * persistence — [`ShardedIndex::save_into`] / [`ShardedIndex::load_from`] write and
+//!   read the `p2h-store` shard-group layout (one checksummed snapshot per shard plus
+//!   a map file), committed atomically through the store manifest.
+//!
+//! ## Why the merge is exact
+//!
+//! Every point's distance `|⟨x, q⟩|` is computed by the same kernels regardless of
+//! which shard holds it (the blocked kernels are bit-identical per row to the
+//! single-vector kernel, so strip boundaries do not matter). [`p2h_core::Neighbor`]
+//! ordering is total (distance, then index), and each shard's id map is strictly
+//! increasing, so a shard's local top-k *is* its global top-k restricted to the shard.
+//! Each member of the global top-k therefore survives its own shard's top-k, and
+//! sorting the concatenated per-shard lists by the total order yields exactly the
+//! global top-k — same neighbor ids, same distance bits, for every shard count and
+//! either partitioner.
+//!
+//! Candidate budgets (`SearchParams::candidate_limit`) are split by the global-id
+//! prefix: shard `s` receives the number of its members with global id below the
+//! budget. For [`p2h_core::LinearScan`] shards this reproduces the unsharded budgeted
+//! scan bit-for-bit (both verify exactly the points `0..B`); for tree shards a budget
+//! bounds the verified candidates per shard but the traversal order differs from an
+//! unsharded tree, so budgeted tree results are approximate in the same sense the
+//! paper's candidate-fraction knob is.
+//!
+//! ## Example
+//!
+//! ```
+//! use p2h_core::{HyperplaneQuery, LinearScan, P2hIndex, PointSet, SearchParams};
+//! use p2h_shard::{Partitioner, ShardIndexKind, ShardedIndexBuilder};
+//!
+//! let points = PointSet::augment(&[
+//!     vec![0.0, 0.0],
+//!     vec![1.0, 1.0],
+//!     vec![4.0, 0.5],
+//!     vec![2.0, -1.0],
+//! ]).unwrap();
+//!
+//! let sharded = ShardedIndexBuilder::new(
+//!     Partitioner::Hash { shards: 2 },
+//!     ShardIndexKind::LinearScan,
+//! ).build(&points).unwrap();
+//!
+//! let query = HyperplaneQuery::from_normal_and_bias(&[1.0, 1.0], -1.8).unwrap();
+//! let sharded_answer = sharded.search(&query, &SearchParams::exact(2));
+//! let unsharded_answer = LinearScan::new(points).search(&query, &SearchParams::exact(2));
+//! assert_eq!(sharded_answer.neighbors, unsharded_answer.neighbors);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod builder;
+mod partition;
+mod persist;
+mod sharded;
+
+pub use builder::{ShardIndexKind, ShardedIndexBuilder};
+pub use partition::Partitioner;
+pub use sharded::{merge_topk, ShardedIndex};

@@ -1,0 +1,188 @@
+//! Partitioning strategies: how `n` points are assigned to shards.
+
+use p2h_core::{Error, Result};
+
+/// How a point set is split across shards.
+///
+/// Both strategies are deterministic functions of `(strategy, n)` and both produce
+/// per-shard id maps in **strictly increasing global-id order** (points are assigned in
+/// id order), which is the property the exact fan-out merge and the budget split rely
+/// on. Shard counts are clamped to `n` so no shard is ever empty; the hash strategy
+/// additionally drops shards that received no points (only possible when `n` is close
+/// to the shard count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partitioner {
+    /// Shard `s` holds a contiguous global-id range; ranges are balanced to within one
+    /// point. Best when ingestion order carries locality (e.g. time-ordered data) or
+    /// when shards should map to contiguous regions of an existing file.
+    Contiguous {
+        /// Number of shards to create.
+        shards: usize,
+    },
+    /// Points are assigned by a SplitMix64 hash of the global id, scattering any
+    /// ordering structure evenly across shards. Best for load-balancing skewed data.
+    Hash {
+        /// Number of shards to create.
+        shards: usize,
+    },
+}
+
+impl Partitioner {
+    /// The shard count this partitioner was configured with.
+    pub fn shards(&self) -> usize {
+        match *self {
+            Partitioner::Contiguous { shards } | Partitioner::Hash { shards } => shards,
+        }
+    }
+
+    /// The on-disk strategy tag used by the `p2h-store` shard-group format.
+    pub fn tag(&self) -> u32 {
+        match self {
+            Partitioner::Contiguous { .. } => 0,
+            Partitioner::Hash { .. } => 1,
+        }
+    }
+
+    /// Restores a partitioner from its on-disk tag and configured shard count.
+    pub fn from_tag(tag: u32, shards: usize) -> Option<Self> {
+        match tag {
+            0 => Some(Partitioner::Contiguous { shards }),
+            1 => Some(Partitioner::Hash { shards }),
+            _ => None,
+        }
+    }
+
+    /// Assigns `n` points to shards, returning one strictly increasing global-id list
+    /// per shard. Every point appears in exactly one list and no list is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if the configured shard count is zero and
+    /// [`Error::EmptyDataSet`] if `n` is zero.
+    pub fn assign(&self, n: usize) -> Result<Vec<Vec<u32>>> {
+        if self.shards() == 0 {
+            return Err(Error::InvalidParameter {
+                name: "shards",
+                message: "the shard count must be at least 1".into(),
+            });
+        }
+        if n == 0 {
+            return Err(Error::EmptyDataSet);
+        }
+        let shards = self.shards().min(n);
+        let id_maps = match *self {
+            Partitioner::Contiguous { .. } => {
+                // Balanced split: the first `n % shards` shards take one extra point.
+                let base = n / shards;
+                let extra = n % shards;
+                let mut maps = Vec::with_capacity(shards);
+                let mut start = 0usize;
+                for s in 0..shards {
+                    let len = base + usize::from(s < extra);
+                    maps.push((start..start + len).map(|i| i as u32).collect());
+                    start += len;
+                }
+                maps
+            }
+            Partitioner::Hash { .. } => {
+                let mut maps: Vec<Vec<u32>> =
+                    (0..shards).map(|_| Vec::with_capacity(n / shards + 1)).collect();
+                for i in 0..n {
+                    maps[(splitmix64(i as u64) % shards as u64) as usize].push(i as u32);
+                }
+                // Hashing can leave a shard empty only when n barely exceeds the shard
+                // count; empty shards carry no points and are simply dropped.
+                maps.retain(|ids| !ids.is_empty());
+                maps
+            }
+        };
+        Ok(id_maps)
+    }
+}
+
+/// SplitMix64: a fast, well-distributed 64-bit mixer (Steele et al., the JDK's
+/// `SplittableRandom` finalizer). Used as the shard-assignment hash so assignments are
+/// stable across processes, platforms, and releases.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_valid_cover(maps: &[Vec<u32>], n: usize) {
+        let mut seen = vec![false; n];
+        for ids in maps {
+            assert!(!ids.is_empty(), "no shard may be empty");
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "id maps must be strictly increasing");
+            for &id in ids {
+                assert!(!seen[id as usize], "id {id} assigned twice");
+                seen[id as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every id must be assigned");
+    }
+
+    #[test]
+    fn contiguous_is_balanced_and_covering() {
+        for (n, shards) in [(10, 3), (7, 7), (100, 8), (5, 1), (3, 9)] {
+            let maps = Partitioner::Contiguous { shards }.assign(n).unwrap();
+            assert_eq!(maps.len(), shards.min(n));
+            assert_valid_cover(&maps, n);
+            let max = maps.iter().map(Vec::len).max().unwrap();
+            let min = maps.iter().map(Vec::len).min().unwrap();
+            assert!(max - min <= 1, "contiguous split must balance to within one point");
+        }
+    }
+
+    #[test]
+    fn hash_covers_and_is_deterministic() {
+        for (n, shards) in [(50, 4), (200, 8), (9, 3), (4, 16)] {
+            let a = Partitioner::Hash { shards }.assign(n).unwrap();
+            let b = Partitioner::Hash { shards }.assign(n).unwrap();
+            assert_eq!(a, b, "hash assignment must be deterministic");
+            assert_valid_cover(&a, n);
+            assert!(a.len() <= shards.min(n));
+        }
+    }
+
+    #[test]
+    fn hash_spreads_points_roughly_evenly() {
+        let maps = Partitioner::Hash { shards: 4 }.assign(10_000).unwrap();
+        assert_eq!(maps.len(), 4);
+        for ids in &maps {
+            let fraction = ids.len() as f64 / 10_000.0;
+            assert!((0.2..0.3).contains(&fraction), "shard holds {fraction} of the points");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_typed_errors() {
+        assert!(matches!(
+            Partitioner::Contiguous { shards: 0 }.assign(10),
+            Err(Error::InvalidParameter { .. })
+        ));
+        assert!(matches!(Partitioner::Hash { shards: 2 }.assign(0), Err(Error::EmptyDataSet)));
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for p in [Partitioner::Contiguous { shards: 3 }, Partitioner::Hash { shards: 5 }] {
+            assert_eq!(Partitioner::from_tag(p.tag(), p.shards()), Some(p));
+        }
+        assert_eq!(Partitioner::from_tag(99, 2), None);
+    }
+
+    #[test]
+    fn splitmix_mixes() {
+        // Adjacent inputs land far apart (sanity check on the constants).
+        let a = splitmix64(0);
+        let b = splitmix64(1);
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 8);
+    }
+}

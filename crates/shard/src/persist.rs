@@ -1,0 +1,77 @@
+//! Persistence glue: moving a [`ShardedIndex`] through the `p2h-store` shard-group
+//! layout (one checksummed snapshot per shard plus a map file, committed atomically
+//! via the store manifest).
+
+use p2h_core::P2hIndex;
+use p2h_store::{ShardGroup, ShardGroupMeta, Store, StoreError, StoreResult};
+
+use crate::partition::Partitioner;
+use crate::sharded::ShardedIndex;
+
+impl ShardedIndex {
+    /// The shard-group metadata this index persists under.
+    pub fn group_meta(&self) -> ShardGroupMeta {
+        ShardGroupMeta {
+            partitioner_tag: self.partitioner().tag(),
+            requested_shards: self.partitioner().shards() as u64,
+            total_count: self.len(),
+            dim: self.dim(),
+            build_seed: self.build_seed(),
+        }
+    }
+
+    /// Snapshots the sharded index into `store` under `name` as a shard group: one
+    /// `P2HS` file per shard plus a map file holding the id mappings and metadata.
+    /// The save is committed atomically through the store manifest — a crash at any
+    /// point leaves the previous entry complete and loadable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`StoreError`] from staging the files or committing the
+    /// manifest.
+    pub fn save_into(&self, store: &Store, name: &str) -> StoreResult<()> {
+        store.save_shard_group(name, &self.group_meta(), self.id_maps(), self.shards())
+    }
+
+    /// Restores a sharded index from the shard group registered in `store` under
+    /// `name`. Every shard snapshot and the map file are checksum-verified and
+    /// structurally validated; the restored index answers queries bit-identically to
+    /// the one that was saved (same kernel backend).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store's errors (missing entry, wrong entry kind, corrupt or
+    /// mutually inconsistent files) and fails on an unknown partitioner tag.
+    pub fn load_from(store: &Store, name: &str) -> StoreResult<Self> {
+        Self::from_group(store.load_shard_group(name)?)
+    }
+
+    /// Assembles a sharded index from an already loaded [`ShardGroup`] (the path
+    /// `p2h-engine` uses when cold-starting a registry from a mixed store).
+    ///
+    /// # Errors
+    ///
+    /// Fails on an unknown partitioner tag or structurally inconsistent parts (the
+    /// latter cannot happen for groups loaded by the store, which validates the same
+    /// invariants, but this constructor does not assume its input came from there).
+    pub fn from_group(group: ShardGroup) -> StoreResult<Self> {
+        let partitioner =
+            Partitioner::from_tag(group.meta.partitioner_tag, group.meta.requested_shards as usize)
+                .ok_or_else(|| StoreError::GroupInconsistent {
+                    message: format!("unknown partitioner tag {}", group.meta.partitioner_tag),
+                })?;
+        let sharded = ShardedIndex::from_parts(
+            group.shards,
+            group.id_maps,
+            partitioner,
+            group.meta.build_seed,
+        )
+        .map_err(StoreError::Invalid)?;
+        if sharded.len() != group.meta.total_count || sharded.dim() != group.meta.dim {
+            return Err(StoreError::GroupInconsistent {
+                message: "group metadata disagrees with the restored shards".into(),
+            });
+        }
+        Ok(sharded)
+    }
+}

@@ -1,0 +1,249 @@
+//! The load-bearing guarantee of the shard subsystem: merged sharded answers are
+//! **bit-identical** (neighbor ids + distance bits) to an unsharded index over the
+//! same points — across shard counts 1–8, both partitioners, exact and budgeted
+//! search.
+//!
+//! The whole file runs under whichever kernel backend the process dispatches to; CI
+//! executes it twice (the default SIMD job and the `P2H_FORCE_SCALAR=1` job), so both
+//! dispatch arms carry the guarantee.
+
+use p2h_core::{
+    HyperplaneQuery, LinearScan, Neighbor, P2hIndex, PointSet, QueryScratch, SearchParams,
+};
+use p2h_data::{generate_queries, DataDistribution, QueryDistribution, SyntheticDataset};
+use p2h_shard::{Partitioner, ShardIndexKind, ShardedIndexBuilder};
+use proptest::prelude::*;
+
+fn dataset(n: usize, raw_dim: usize, seed: u64) -> PointSet {
+    SyntheticDataset::new(
+        "shard-equivalence",
+        n,
+        raw_dim,
+        DataDistribution::GaussianClusters { clusters: 5, std_dev: 1.2 },
+        seed,
+    )
+    .generate()
+    .unwrap()
+}
+
+fn assert_bit_identical(got: &[Neighbor], expected: &[Neighbor], context: &str) {
+    assert_eq!(got.len(), expected.len(), "{context}: result lengths differ");
+    for (g, e) in got.iter().zip(expected) {
+        assert_eq!(g.index, e.index, "{context}: neighbor ids differ");
+        assert_eq!(
+            g.distance.to_bits(),
+            e.distance.to_bits(),
+            "{context}: distance bits differ at id {}",
+            g.index
+        );
+    }
+}
+
+fn partitioners(shards: usize) -> [Partitioner; 2] {
+    [Partitioner::Contiguous { shards }, Partitioner::Hash { shards }]
+}
+
+/// Exact search: every index kind, every shard count 1–8, both partitioners, against
+/// the linear-scan oracle (which every exact index agrees with bit-for-bit).
+#[test]
+fn exact_sharded_answers_match_unsharded_for_every_kind() {
+    let points = dataset(1_000, 10, 21);
+    let queries = generate_queries(&points, 6, QueryDistribution::DataDifference, 5).unwrap();
+    let oracle = LinearScan::new(points.clone());
+    let k = 10;
+
+    for shards in 1..=8 {
+        for partitioner in partitioners(shards) {
+            for kind in [
+                ShardIndexKind::LinearScan,
+                ShardIndexKind::BallTree { leaf_size: 32 },
+                ShardIndexKind::BcTree { leaf_size: 32 },
+            ] {
+                let sharded = ShardedIndexBuilder::new(partitioner, kind)
+                    .with_seed(9)
+                    .build(&points)
+                    .unwrap();
+                for query in &queries {
+                    let expected = oracle.search(query, &SearchParams::exact(k));
+                    let got = sharded.search(query, &SearchParams::exact(k));
+                    assert_bit_identical(
+                        &got.neighbors,
+                        &expected.neighbors,
+                        &format!("{partitioner:?} {kind:?} shards={shards}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Budgeted search over linear-scan shards: the global-id budget split makes the union
+/// of verified points exactly the `0..B` prefix, so the merged answer equals the
+/// unsharded budgeted scan bit-for-bit — including the verified-candidate count.
+#[test]
+fn budgeted_sharded_scan_matches_unsharded_scan() {
+    let points = dataset(800, 8, 33);
+    let queries = generate_queries(&points, 5, QueryDistribution::DataDifference, 11).unwrap();
+    let oracle = LinearScan::new(points.clone());
+
+    for shards in 1..=8 {
+        for partitioner in partitioners(shards) {
+            let sharded = ShardedIndexBuilder::new(partitioner, ShardIndexKind::LinearScan)
+                .build(&points)
+                .unwrap();
+            for budget in [1, 7, 100, 799, 800, 5_000] {
+                let params = SearchParams::approximate(5, budget);
+                for query in &queries {
+                    let expected = oracle.search(query, &params);
+                    let got = sharded.search(query, &params);
+                    assert_bit_identical(
+                        &got.neighbors,
+                        &expected.neighbors,
+                        &format!("{partitioner:?} shards={shards} budget={budget}"),
+                    );
+                    assert_eq!(
+                        got.stats.candidates_verified, expected.stats.candidates_verified,
+                        "the budget slices must add up to the unsharded budget"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Budgeted search over tree shards is approximate (traversal orders differ from an
+/// unsharded tree), but the budget itself must be respected globally.
+#[test]
+fn budgeted_tree_shards_respect_the_global_budget() {
+    let points = dataset(900, 8, 55);
+    let queries = generate_queries(&points, 4, QueryDistribution::DataDifference, 3).unwrap();
+    for partitioner in partitioners(4) {
+        let sharded =
+            ShardedIndexBuilder::new(partitioner, ShardIndexKind::BcTree { leaf_size: 24 })
+                .build(&points)
+                .unwrap();
+        for budget in [10, 200, 900] {
+            for query in &queries {
+                let got = sharded.search(query, &SearchParams::approximate(5, budget));
+                assert!(
+                    got.stats.candidates_verified <= budget as u64,
+                    "verified {} candidates for a budget of {budget}",
+                    got.stats.candidates_verified
+                );
+                assert!(!got.neighbors.is_empty());
+            }
+        }
+    }
+}
+
+/// Scratch reuse across many queries must not change any answer (the engine serves
+/// thousands of queries per scratch).
+#[test]
+fn scratch_reuse_is_answer_invariant() {
+    let points = dataset(600, 6, 77);
+    let queries = generate_queries(&points, 12, QueryDistribution::DataDifference, 7).unwrap();
+    let sharded = ShardedIndexBuilder::new(
+        Partitioner::Hash { shards: 5 },
+        ShardIndexKind::BallTree { leaf_size: 16 },
+    )
+    .build(&points)
+    .unwrap();
+    let mut scratch = QueryScratch::new();
+    for query in &queries {
+        let fresh = sharded.search(query, &SearchParams::exact(8));
+        let reused = sharded.search_with_scratch(query, &SearchParams::exact(8), &mut scratch);
+        assert_eq!(fresh.neighbors, reused.neighbors);
+    }
+}
+
+proptest! {
+    /// Randomized sweep of the exact guarantee: data shape, shard count, partitioner,
+    /// k, and the index kind all vary per case.
+    #[test]
+    fn prop_exact_sharded_equals_unsharded(
+        n in 40usize..300,
+        raw_dim in 2usize..9,
+        shards in 1usize..9,
+        hash_partitioner in 0u32..2,
+        k in 1usize..12,
+        kind_choice in 0u32..3,
+        seed in 0u64..1_000,
+    ) {
+        let points = dataset(n, raw_dim, seed);
+        let queries =
+            generate_queries(&points, 3, QueryDistribution::DataDifference, seed + 1).unwrap();
+        let partitioner = if hash_partitioner == 1 {
+            Partitioner::Hash { shards }
+        } else {
+            Partitioner::Contiguous { shards }
+        };
+        let kind = match kind_choice {
+            0 => ShardIndexKind::LinearScan,
+            1 => ShardIndexKind::BallTree { leaf_size: 16 },
+            _ => ShardIndexKind::BcTree { leaf_size: 16 },
+        };
+        let sharded =
+            ShardedIndexBuilder::new(partitioner, kind).with_seed(seed).build(&points).unwrap();
+        let oracle = LinearScan::new(points);
+        for query in &queries {
+            let expected = oracle.search(query, &SearchParams::exact(k));
+            let got = sharded.search(query, &SearchParams::exact(k));
+            prop_assert_eq!(got.neighbors.len(), expected.neighbors.len());
+            for (g, e) in got.neighbors.iter().zip(&expected.neighbors) {
+                prop_assert_eq!(g.index, e.index);
+                prop_assert_eq!(g.distance.to_bits(), e.distance.to_bits());
+            }
+        }
+    }
+
+    /// Randomized sweep of the budgeted guarantee for linear-scan shards.
+    #[test]
+    fn prop_budgeted_sharded_scan_equals_unsharded(
+        n in 40usize..250,
+        raw_dim in 2usize..7,
+        shards in 1usize..9,
+        hash_partitioner in 0u32..2,
+        budget in 1usize..400,
+        seed in 0u64..1_000,
+    ) {
+        let points = dataset(n, raw_dim, seed);
+        let queries =
+            generate_queries(&points, 2, QueryDistribution::DataDifference, seed + 2).unwrap();
+        let partitioner = if hash_partitioner == 1 {
+            Partitioner::Hash { shards }
+        } else {
+            Partitioner::Contiguous { shards }
+        };
+        let sharded = ShardedIndexBuilder::new(partitioner, ShardIndexKind::LinearScan)
+            .build(&points)
+            .unwrap();
+        let oracle = LinearScan::new(points);
+        let params = SearchParams::approximate(6, budget);
+        for query in &queries {
+            let expected = oracle.search(query, &params);
+            let got = sharded.search(query, &params);
+            prop_assert_eq!(got.neighbors.len(), expected.neighbors.len());
+            for (g, e) in got.neighbors.iter().zip(&expected.neighbors) {
+                prop_assert_eq!(g.index, e.index);
+                prop_assert_eq!(g.distance.to_bits(), e.distance.to_bits());
+            }
+        }
+    }
+}
+
+/// The merged stats must cover every shard's work (sanity on the aggregation).
+#[test]
+fn merged_stats_aggregate_across_shards() {
+    let points = dataset(500, 6, 99);
+    let query: HyperplaneQuery =
+        generate_queries(&points, 1, QueryDistribution::DataDifference, 1).unwrap().remove(0);
+    let sharded =
+        ShardedIndexBuilder::new(Partitioner::Contiguous { shards: 4 }, ShardIndexKind::LinearScan)
+            .build(&points)
+            .unwrap();
+    let result = sharded.search(&query, &SearchParams::exact(3));
+    // A sharded linear scan verifies every point exactly once.
+    assert_eq!(result.stats.candidates_verified, 500);
+    assert_eq!(result.stats.inner_products, 500);
+    assert!(result.stats.time_total_ns > 0);
+}

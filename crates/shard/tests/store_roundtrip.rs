@@ -1,0 +1,295 @@
+//! Shard-group persistence: a sharded index snapshots into the store's shard-group
+//! layout and reloads bit-identically; every corruption of the multi-file layout is a
+//! typed error and loading stays all-or-nothing; replacing a group is atomic (epoch
+//! staging) and reclaims superseded files.
+
+use std::path::PathBuf;
+
+use p2h_core::{P2hIndex, PointSet, SearchParams};
+use p2h_data::{generate_queries, DataDistribution, QueryDistribution, SyntheticDataset};
+use p2h_shard::{Partitioner, ShardIndexKind, ShardedIndex, ShardedIndexBuilder};
+use p2h_store::{Store, StoreEntry, StoreError};
+
+fn dataset(n: usize, raw_dim: usize) -> PointSet {
+    SyntheticDataset::new(
+        "shard-store",
+        n,
+        raw_dim,
+        DataDistribution::GaussianClusters { clusters: 4, std_dev: 1.0 },
+        17,
+    )
+    .generate()
+    .unwrap()
+}
+
+fn temp_dir(name: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("p2h-shard-store-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn build_sharded(points: &PointSet, shards: usize) -> ShardedIndex {
+    ShardedIndexBuilder::new(Partitioner::Hash { shards }, ShardIndexKind::BcTree { leaf_size: 24 })
+        .with_seed(5)
+        .build(points)
+        .unwrap()
+}
+
+#[test]
+fn shard_group_round_trips_bit_identically() {
+    let dir = temp_dir("roundtrip");
+    let points = dataset(1_200, 10);
+    let queries = generate_queries(&points, 16, QueryDistribution::DataDifference, 3).unwrap();
+    let sharded = build_sharded(&points, 4);
+
+    let store = Store::create(&dir).unwrap();
+    sharded.save_into(&store, "sharded").unwrap();
+    assert_eq!(store.is_shard_group("sharded").unwrap(), Some(true));
+    assert_eq!(store.names().unwrap(), vec!["sharded"]);
+
+    let restored = ShardedIndex::load_from(&store, "sharded").unwrap();
+    assert_eq!(restored.shard_count(), sharded.shard_count());
+    assert_eq!(restored.partitioner(), sharded.partitioner());
+    assert_eq!(restored.build_seed(), sharded.build_seed());
+    for (params_name, params) in
+        [("exact", SearchParams::exact(10)), ("budgeted", SearchParams::approximate(10, 300))]
+    {
+        for query in &queries {
+            let a = sharded.search(query, &params);
+            let b = restored.search(query, &params);
+            assert_eq!(a.neighbors.len(), b.neighbors.len());
+            for (x, y) in a.neighbors.iter().zip(&b.neighbors) {
+                assert_eq!(x.index, y.index, "{params_name}");
+                assert_eq!(x.distance.to_bits(), y.distance.to_bits(), "{params_name}");
+            }
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mixed_stores_load_through_entries() {
+    let dir = temp_dir("mixed");
+    let points = dataset(400, 6);
+    let store = Store::create(&dir).unwrap();
+    store.save("scan", &p2h_core::LinearScan::new(points.clone())).unwrap();
+    build_sharded(&points, 3).save_into(&store, "sharded").unwrap();
+
+    let entries = store.load_entries().unwrap();
+    assert_eq!(entries.len(), 2);
+    assert!(matches!(&entries[0], (name, StoreEntry::Single(_)) if name == "scan"));
+    assert!(matches!(&entries[1], (name, StoreEntry::ShardGroup(_)) if name == "sharded"));
+
+    // The single-index loader refuses mixed stores with a typed error.
+    assert!(matches!(store.load_all(), Err(StoreError::EntryKind { is_group: true, .. })));
+    // Kind confusion between entry types is typed, not a decode crash.
+    assert!(matches!(
+        store.load_shard_group("scan"),
+        Err(StoreError::EntryKind { is_group: false, .. })
+    ));
+    assert!(matches!(store.load_any("sharded"), Err(StoreError::EntryKind { is_group: true, .. })));
+    assert!(matches!(store.load_shard_group("nope"), Err(StoreError::MissingEntry(_))));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn group_replacement_is_epoch_staged_and_reclaims_old_files() {
+    let dir = temp_dir("epochs");
+    let points = dataset(600, 6);
+    let store = Store::create(&dir).unwrap();
+
+    build_sharded(&points, 4).save_into(&store, "idx").unwrap();
+    let epoch1_files: Vec<String> = list_p2hs(&dir);
+    assert_eq!(epoch1_files.len(), 5, "map file + 4 shards: {epoch1_files:?}");
+    assert!(epoch1_files.iter().all(|f| f.contains(".g1.")));
+
+    // Replace with a different shard count: new epoch, old files reclaimed.
+    build_sharded(&points, 2).save_into(&store, "idx").unwrap();
+    let epoch2_files = list_p2hs(&dir);
+    assert_eq!(epoch2_files.len(), 3, "map file + 2 shards: {epoch2_files:?}");
+    assert!(epoch2_files.iter().all(|f| f.contains(".g2.")));
+
+    let restored = ShardedIndex::load_from(&store, "idx").unwrap();
+    assert_eq!(restored.shard_count(), 2);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stray_staged_files_from_a_crashed_save_are_ignored() {
+    let dir = temp_dir("crash");
+    let points = dataset(500, 6);
+    let store = Store::create(&dir).unwrap();
+    let sharded = build_sharded(&points, 3);
+    sharded.save_into(&store, "idx").unwrap();
+
+    // Simulate a crash mid-save of epoch 2: some staged files exist, but the manifest
+    // was never swapped. Readers must keep serving epoch 1 untouched.
+    std::fs::write(dir.join("idx.g2.s0.p2hs"), b"half-written garbage").unwrap();
+    std::fs::write(dir.join("idx.g2.map.p2hs.tmp"), b"tmp leftovers").unwrap();
+
+    let restored = ShardedIndex::load_from(&store, "idx").unwrap();
+    assert_eq!(restored.shard_count(), 3);
+    let queries = generate_queries(&points, 4, QueryDistribution::DataDifference, 9).unwrap();
+    for query in &queries {
+        let a = sharded.search(query, &SearchParams::exact(5));
+        let b = restored.search(query, &SearchParams::exact(5));
+        assert_eq!(a.neighbors, b.neighbors);
+    }
+
+    // The next successful save claims epoch 2, overwriting the uncommitted stray
+    // files, and supersedes the live epoch-1 files.
+    build_sharded(&points, 2).save_into(&store, "idx").unwrap();
+    assert_eq!(ShardedIndex::load_from(&store, "idx").unwrap().shard_count(), 2);
+    assert!(!list_p2hs(&dir).iter().any(|f| f.contains(".g1.")), "epoch 1 reclaimed");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corruption_anywhere_in_the_group_fails_loading_all_or_nothing() {
+    let points = dataset(500, 6);
+
+    // Corrupt one shard file.
+    {
+        let dir = temp_dir("corrupt-shard");
+        let store = Store::create(&dir).unwrap();
+        build_sharded(&points, 3).save_into(&store, "idx").unwrap();
+        let shard_file = dir.join("idx.g1.s1.p2hs");
+        let mut bytes = std::fs::read(&shard_file).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x20;
+        std::fs::write(&shard_file, &bytes).unwrap();
+        assert!(matches!(
+            ShardedIndex::load_from(&store, "idx"),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+        assert!(store.load_entries().is_err(), "all-or-nothing");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Corrupt the map file.
+    {
+        let dir = temp_dir("corrupt-map");
+        let store = Store::create(&dir).unwrap();
+        build_sharded(&points, 3).save_into(&store, "idx").unwrap();
+        let map_file = dir.join("idx.g1.map.p2hs");
+        let mut bytes = std::fs::read(&map_file).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x04;
+        std::fs::write(&map_file, &bytes).unwrap();
+        assert!(matches!(
+            ShardedIndex::load_from(&store, "idx"),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Delete a shard file entirely.
+    {
+        let dir = temp_dir("missing-shard");
+        let store = Store::create(&dir).unwrap();
+        build_sharded(&points, 3).save_into(&store, "idx").unwrap();
+        std::fs::remove_file(dir.join("idx.g1.s2.p2hs")).unwrap();
+        assert!(matches!(ShardedIndex::load_from(&store, "idx"), Err(StoreError::Io { .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Swap two shard files: each decodes fine, but the id maps no longer match the
+    // shard contents — the cross-file consistency check must catch it.
+    {
+        let dir = temp_dir("swapped-shards");
+        let store = Store::create(&dir).unwrap();
+        let sharded = ShardedIndexBuilder::new(
+            Partitioner::Contiguous { shards: 3 },
+            ShardIndexKind::LinearScan,
+        )
+        .build(&points)
+        .unwrap();
+        sharded.save_into(&store, "idx").unwrap();
+        let a = dir.join("idx.g1.s0.p2hs");
+        let b = dir.join("idx.g1.s2.p2hs");
+        let bytes_a = std::fs::read(&a).unwrap();
+        let bytes_b = std::fs::read(&b).unwrap();
+        std::fs::write(&a, &bytes_b).unwrap();
+        std::fs::write(&b, &bytes_a).unwrap();
+        // Contiguous thirds of 500 points have sizes 167/167/166, so the swap is a
+        // count mismatch between id maps and shard contents.
+        assert!(matches!(
+            ShardedIndex::load_from(&store, "idx"),
+            Err(StoreError::GroupInconsistent { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn single_replacement_is_epoch_staged_too() {
+    // Replacing a single snapshot must never overwrite the live file in place: the
+    // new bytes stage under a fresh epoch name and the manifest commit switches
+    // readers over, exactly like shard groups.
+    let dir = temp_dir("single-epochs");
+    let points = dataset(300, 5);
+    let store = Store::create(&dir).unwrap();
+    let scan = p2h_core::LinearScan::new(points.clone());
+
+    let first = store.save("idx", &scan).unwrap();
+    assert!(first.ends_with("idx.p2hs"));
+    let original_bytes = std::fs::read(&first).unwrap();
+
+    // Simulate a crashed replacement: stage the epoch file without a manifest commit.
+    std::fs::write(dir.join("idx.e1.p2hs"), b"half-written").unwrap();
+    let loaded: p2h_core::LinearScan = store.load("idx").unwrap();
+    assert_eq!(loaded.points(), scan.points(), "readers still see the committed snapshot");
+
+    // A successful replacement claims epoch 1 (overwriting the stray), commits, and
+    // reclaims the superseded plain-name file.
+    let second = store.save("idx", &scan).unwrap();
+    assert!(second.ends_with("idx.e1.p2hs"));
+    assert!(!first.exists(), "superseded snapshot reclaimed after the commit");
+    assert_eq!(std::fs::read(&second).unwrap(), original_bytes);
+    let third = store.save("idx", &scan).unwrap();
+    assert!(third.ends_with("idx.e2.p2hs"));
+    assert!(!second.exists());
+    let reloaded: p2h_core::LinearScan = store.load("idx").unwrap();
+    assert_eq!(reloaded.points(), scan.points());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn single_snapshot_saves_still_round_trip_next_to_groups() {
+    // Regression guard: the manifest refactor must not disturb single-index saves.
+    let dir = temp_dir("single");
+    let points = dataset(300, 5);
+    let store = Store::create(&dir).unwrap();
+    let scan = p2h_core::LinearScan::new(points.clone());
+    store.save("scan", &scan).unwrap();
+    build_sharded(&points, 2).save_into(&store, "group").unwrap();
+
+    let loaded: p2h_core::LinearScan = store.load("scan").unwrap();
+    let queries = generate_queries(&points, 3, QueryDistribution::DataDifference, 2).unwrap();
+    for query in &queries {
+        assert_eq!(
+            scan.search(query, &SearchParams::exact(4)).neighbors,
+            loaded.search(query, &SearchParams::exact(4)).neighbors
+        );
+    }
+    assert_eq!(store.is_shard_group("scan").unwrap(), Some(false));
+    assert_eq!(store.is_shard_group("missing").unwrap(), None);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn list_p2hs(dir: &std::path::Path) -> Vec<String> {
+    let mut files: Vec<String> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+        .filter(|f| f.ends_with(".p2hs"))
+        .collect();
+    files.sort();
+    files
+}

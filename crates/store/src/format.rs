@@ -47,6 +47,14 @@ pub enum IndexKind {
     BallTree,
     /// [`p2h_bctree::BcTree`].
     BcTree,
+    /// [`p2h_hash::NhIndex`] — transform + norm-aligned projection tables.
+    Nh,
+    /// [`p2h_hash::FhIndex`] — transform + norm-partitioned projection tables.
+    Fh,
+    /// A shard-group map file: the id mappings and metadata tying the per-shard
+    /// snapshots of one sharded index together. Not a standalone index — it is loaded
+    /// through the shard-group path, never through `load`/`load_any`.
+    ShardMap,
 }
 
 impl IndexKind {
@@ -56,6 +64,9 @@ impl IndexKind {
             IndexKind::LinearScan => 0,
             IndexKind::BallTree => 1,
             IndexKind::BcTree => 2,
+            IndexKind::Nh => 3,
+            IndexKind::Fh => 4,
+            IndexKind::ShardMap => 5,
         }
     }
 
@@ -65,6 +76,9 @@ impl IndexKind {
             0 => Some(IndexKind::LinearScan),
             1 => Some(IndexKind::BallTree),
             2 => Some(IndexKind::BcTree),
+            3 => Some(IndexKind::Nh),
+            4 => Some(IndexKind::Fh),
+            5 => Some(IndexKind::ShardMap),
             _ => None,
         }
     }
@@ -75,6 +89,9 @@ impl IndexKind {
             IndexKind::LinearScan => "linear-scan",
             IndexKind::BallTree => "ball-tree",
             IndexKind::BcTree => "bc-tree",
+            IndexKind::Nh => "nh",
+            IndexKind::Fh => "fh",
+            IndexKind::ShardMap => "shard-map",
         }
     }
 }
@@ -174,6 +191,22 @@ pub enum StoreError {
     MissingEntry(String),
     /// An index name is not usable as a snapshot file stem.
     InvalidName(String),
+    /// The snapshot holds a non-index kind (a shard map) where a standalone index was
+    /// expected; shard groups load through `Store::load_shard_group`.
+    NotAnIndex(IndexKind),
+    /// The manifest entry is a shard group, not a single snapshot (or vice versa).
+    EntryKind {
+        /// Name of the entry.
+        name: String,
+        /// What the entry actually is.
+        is_group: bool,
+    },
+    /// The shard-group files are mutually inconsistent (counts, dimensions, or the
+    /// global id mapping disagree across the map file and the per-shard snapshots).
+    GroupInconsistent {
+        /// What disagrees.
+        message: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -225,6 +258,19 @@ impl fmt::Display for StoreError {
                 f,
                 "invalid index name `{name}`: use 1-100 chars of [A-Za-z0-9._-], not starting with `.`"
             ),
+            StoreError::NotAnIndex(kind) => {
+                write!(f, "snapshot holds a `{kind}` payload, which is not a standalone index")
+            }
+            StoreError::EntryKind { name, is_group } => {
+                if *is_group {
+                    write!(f, "`{name}` is a shard group; load it through the shard-group API")
+                } else {
+                    write!(f, "`{name}` is a single snapshot, not a shard group")
+                }
+            }
+            StoreError::GroupInconsistent { message } => {
+                write!(f, "inconsistent shard group: {message}")
+            }
         }
     }
 }

@@ -11,12 +11,19 @@
 //!   the tree arrays, and build metadata; every malformed input maps to a typed
 //!   [`StoreError`], never a panic (see `docs/SNAPSHOT_FORMAT.md` for the byte layout),
 //! * the [`Snapshot`] trait — implemented by [`p2h_balltree::BallTree`],
-//!   [`p2h_bctree::BcTree`], and [`p2h_core::LinearScan`]; arrays are stored verbatim,
-//!   so a loaded index returns **bit-identical** search results to the original on the
+//!   [`p2h_bctree::BcTree`], [`p2h_core::LinearScan`], and the hashing baselines
+//!   [`p2h_hash::NhIndex`] / [`p2h_hash::FhIndex`] (their sampled transforms and
+//!   projection matrices get their own sections); arrays are stored verbatim, so a
+//!   loaded index returns **bit-identical** search results to the original on the
 //!   same kernel backend,
 //! * a directory-level [`Store`] — named snapshots plus a `MANIFEST` file, which is
 //!   what `p2h_engine::IndexRegistry::open_dir` / `Engine::from_store` consume to
-//!   cold-start a serving process.
+//!   cold-start a serving process. Besides single snapshots the manifest can register
+//!   **shard groups** ([`Store::save_shard_group`] / [`Store::load_shard_group`]):
+//!   one snapshot per shard plus a map file of id mappings, staged under fresh epoch
+//!   file names and committed atomically through the manifest rename, so a crash
+//!   mid-save never leaves a dangling or half-replaced entry. The `p2h-shard` crate
+//!   builds its `ShardedIndex` persistence on this layer.
 //!
 //! ## Quick start
 //!
@@ -46,4 +53,6 @@ mod store;
 pub use crc32::crc32;
 pub use format::{IndexKind, StoreError, StoreResult, FORMAT_VERSION, MAGIC};
 pub use snapshot::{snapshot_meta, Snapshot, SnapshotMeta};
-pub use store::{LoadedIndex, Store, MANIFEST_FILE, SNAPSHOT_EXT};
+pub use store::{
+    LoadedIndex, ShardGroup, ShardGroupMeta, Store, StoreEntry, MANIFEST_FILE, SNAPSHOT_EXT,
+};

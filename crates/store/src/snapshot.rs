@@ -14,6 +14,7 @@ use std::path::Path;
 use p2h_balltree::{BallTree, Node};
 use p2h_bctree::{BcTree, BcTreeParts, LeafPointAux};
 use p2h_core::{kernels, LinearScan, P2hIndex, PointSet, Scalar};
+use p2h_hash::{FhIndex, FhParams, NhIndex, NhParams, ProjectionTables, QuadraticTransform};
 
 use crate::format::{
     wire, IndexKind, Payload, SnapshotReader, SnapshotWriter, StoreError, StoreResult,
@@ -35,6 +36,20 @@ pub(crate) mod tags {
     pub const NORM: [u8; 4] = *b"NORM";
     /// Per-point ball/cone leaf structures (`count × 3` f32).
     pub const AUXD: [u8; 4] = *b"AUXD";
+    /// NH build parameters + norm-alignment constant.
+    pub const NHPR: [u8; 4] = *b"NHPR";
+    /// FH build parameters.
+    pub const FHPR: [u8; 4] = *b"FHPR";
+    /// Sampled quadratic transform (coordinate pairs + scale).
+    pub const TPRS: [u8; 4] = *b"TPRS";
+    /// Sorted random-projection tables (directions + per-table sorted arrays).
+    pub const PROJ: [u8; 4] = *b"PROJ";
+    /// One FH norm-based partition (global ids + its projection tables).
+    pub const PRTN: [u8; 4] = *b"PRTN";
+    /// Shard-group metadata (partitioner, shard count, totals).
+    pub const GMET: [u8; 4] = *b"GMET";
+    /// One shard's local-position → global-id mapping.
+    pub const SIDS: [u8; 4] = *b"SIDS";
 }
 
 /// A built index that can be snapshotted to disk and restored without rebuilding.
@@ -336,5 +351,187 @@ impl Snapshot for BcTree {
             leaf_size: meta.leaf_size,
             build_seed: meta.build_seed,
         })?)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NH / FH hashing baselines
+// ---------------------------------------------------------------------------
+
+/// Serializes a sampled quadratic transform into a `TPRS` payload.
+fn write_transform(payload: &mut Vec<u8>, transform: &QuadraticTransform) {
+    wire::put_u64(payload, transform.input_dim() as u64);
+    wire::put_f32(payload, transform.scale());
+    wire::put_u64(payload, transform.pairs().len() as u64);
+    payload.reserve(transform.pairs().len() * 8);
+    for &(i, j) in transform.pairs() {
+        wire::put_u32(payload, i);
+        wire::put_u32(payload, j);
+    }
+}
+
+/// Restores a transform from a `TPRS` payload (full structural validation via
+/// [`QuadraticTransform::from_parts`]).
+fn read_transform(mut payload: Payload<'_>) -> StoreResult<QuadraticTransform> {
+    let input_dim = payload.get_u64_usize("TPRS input dim")?;
+    let scale = payload.get_f32("TPRS scale")?;
+    let pair_count = payload.get_u64_usize("TPRS pair count")?;
+    // Bound the reserve by the remaining payload before trusting the declared count.
+    let mut pairs = Vec::with_capacity(pair_count.min(payload.len() / 8));
+    for _ in 0..pair_count {
+        pairs.push((payload.get_u32("TPRS pair i")?, payload.get_u32("TPRS pair j")?));
+    }
+    payload.finish()?;
+    Ok(QuadraticTransform::from_parts(input_dim, pairs, scale)?)
+}
+
+/// Serializes projection tables (directions, then each sorted table) into a payload.
+fn write_projection_tables(payload: &mut Vec<u8>, tables: &ProjectionTables) {
+    wire::put_u64(payload, tables.dim() as u64);
+    wire::put_u64(payload, tables.table_count() as u64);
+    wire::put_u64(payload, tables.len() as u64);
+    wire::put_f32_slice(payload, tables.directions());
+    payload.reserve(tables.table_count() * tables.len() * 8);
+    for table in tables.tables() {
+        for &(value, id) in table {
+            wire::put_f32(payload, value);
+            wire::put_u32(payload, id);
+        }
+    }
+}
+
+/// Restores projection tables from a payload (sortedness and per-table permutations are
+/// validated by [`ProjectionTables::from_parts`]).
+fn read_projection_tables(payload: &mut Payload<'_>) -> StoreResult<ProjectionTables> {
+    let dim = payload.get_u64_usize("PROJ dim")?;
+    let m = payload.get_u64_usize("PROJ table count")?;
+    let n = payload.get_u64_usize("PROJ length")?;
+    let direction_scalars =
+        dim.checked_mul(m).ok_or(StoreError::Overflow { context: "PROJ m × dim" })?;
+    let directions = payload.get_f32_vec(direction_scalars, "PROJ directions")?;
+    let mut tables = Vec::with_capacity(m.min(payload.len() / 8));
+    for _ in 0..m {
+        let mut table = Vec::with_capacity(n.min(payload.len() / 8));
+        for _ in 0..n {
+            table.push((payload.get_f32("PROJ value")?, payload.get_u32("PROJ id")?));
+        }
+        tables.push(table);
+    }
+    Ok(ProjectionTables::from_parts(dim, directions, tables)?)
+}
+
+impl Snapshot for NhIndex {
+    const KIND: IndexKind = IndexKind::Nh;
+
+    fn encode_snapshot(&self) -> Vec<u8> {
+        let points = self.points();
+        let meta = SnapshotMeta {
+            dim: points.dim(),
+            count: points.len(),
+            node_count: 0,
+            leaf_size: 0,
+            build_seed: self.params().seed,
+            note: provenance_note(),
+        };
+        let mut writer = SnapshotWriter::new(Self::KIND);
+        meta.write(writer.section(tags::META));
+        let params = writer.section(tags::NHPR);
+        wire::put_u64(params, self.params().lambda_factor as u64);
+        wire::put_u64(params, self.params().tables as u64);
+        wire::put_u64(params, self.params().collision_threshold as u64);
+        wire::put_u64(params, self.params().seed);
+        wire::put_f32(params, self.alignment_constant());
+        wire::put_f32_slice(writer.section(tags::PNTS), points.as_flat());
+        write_transform(writer.section(tags::TPRS), self.transform());
+        write_projection_tables(writer.section(tags::PROJ), self.tables());
+        writer.finish()
+    }
+
+    fn decode_snapshot(bytes: &[u8]) -> StoreResult<Self> {
+        let mut reader = SnapshotReader::new(bytes)?;
+        expect_kind(&reader, Self::KIND)?;
+        let meta = SnapshotMeta::read(reader.section(tags::META)?)?;
+        let mut payload = reader.section(tags::NHPR)?;
+        let params = NhParams {
+            lambda_factor: payload.get_u64_usize("NHPR lambda factor")?,
+            tables: payload.get_u64_usize("NHPR tables")?,
+            collision_threshold: payload.get_u64_usize("NHPR collision threshold")?,
+            seed: payload.get_u64("NHPR seed")?,
+        };
+        let alignment_m = payload.get_f32("NHPR alignment constant")?;
+        payload.finish()?;
+        let points = read_points(&mut reader, &meta)?;
+        let transform = read_transform(reader.section(tags::TPRS)?)?;
+        let mut payload = reader.section(tags::PROJ)?;
+        let tables = read_projection_tables(&mut payload)?;
+        payload.finish()?;
+        reader.finish()?;
+        // `from_parts` cross-validates the arrays (dims, counts, λ + 1 coordinate).
+        Ok(NhIndex::from_parts(points, transform, tables, params, alignment_m)?)
+    }
+}
+
+impl Snapshot for FhIndex {
+    const KIND: IndexKind = IndexKind::Fh;
+
+    fn encode_snapshot(&self) -> Vec<u8> {
+        let points = self.points();
+        let meta = SnapshotMeta {
+            dim: points.dim(),
+            count: points.len(),
+            node_count: 0,
+            leaf_size: 0,
+            build_seed: self.params().seed,
+            note: provenance_note(),
+        };
+        let mut writer = SnapshotWriter::new(Self::KIND);
+        meta.write(writer.section(tags::META));
+        let params = writer.section(tags::FHPR);
+        wire::put_u64(params, self.params().lambda_factor as u64);
+        wire::put_u64(params, self.params().tables as u64);
+        wire::put_u64(params, self.params().partitions as u64);
+        wire::put_u64(params, self.params().collision_threshold as u64);
+        wire::put_u64(params, self.params().seed);
+        wire::put_u64(params, self.partition_count() as u64);
+        wire::put_f32_slice(writer.section(tags::PNTS), points.as_flat());
+        write_transform(writer.section(tags::TPRS), self.transform());
+        for p in 0..self.partition_count() {
+            let payload = writer.section(tags::PRTN);
+            let ids = self.partition_ids(p);
+            wire::put_u64(payload, ids.len() as u64);
+            wire::put_u32_slice(payload, ids);
+            write_projection_tables(payload, self.partition_tables(p));
+        }
+        writer.finish()
+    }
+
+    fn decode_snapshot(bytes: &[u8]) -> StoreResult<Self> {
+        let mut reader = SnapshotReader::new(bytes)?;
+        expect_kind(&reader, Self::KIND)?;
+        let meta = SnapshotMeta::read(reader.section(tags::META)?)?;
+        let mut payload = reader.section(tags::FHPR)?;
+        let params = FhParams {
+            lambda_factor: payload.get_u64_usize("FHPR lambda factor")?,
+            tables: payload.get_u64_usize("FHPR tables")?,
+            partitions: payload.get_u64_usize("FHPR partitions")?,
+            collision_threshold: payload.get_u64_usize("FHPR collision threshold")?,
+            seed: payload.get_u64("FHPR seed")?,
+        };
+        let partition_count = payload.get_u64_usize("FHPR partition count")?;
+        payload.finish()?;
+        let points = read_points(&mut reader, &meta)?;
+        let transform = read_transform(reader.section(tags::TPRS)?)?;
+        let mut partitions = Vec::with_capacity(partition_count.min(meta.count));
+        for _ in 0..partition_count {
+            let mut payload = reader.section(tags::PRTN)?;
+            let id_count = payload.get_u64_usize("PRTN id count")?;
+            let ids = payload.get_u32_vec(id_count, "PRTN ids")?;
+            let tables = read_projection_tables(&mut payload)?;
+            payload.finish()?;
+            partitions.push((ids, tables));
+        }
+        reader.finish()?;
+        // `from_parts` validates the disjoint cover and every dimension relation.
+        Ok(FhIndex::from_parts(points, transform, partitions, params)?)
     }
 }

@@ -4,17 +4,31 @@
 //! Layout:
 //!
 //! ```text
-//! <dir>/MANIFEST        text; first line `p2h-store 1`, then `<name>\t<file>` lines
-//! <dir>/<name>.p2hs     one snapshot per registered index
+//! <dir>/MANIFEST             text; first line `p2h-store 1`, then one line per entry:
+//!                              <name>\t<file>                              (single index)
+//!                              <name>\tshard-group\t<map>\t<s0>\t<s1>…     (sharded index)
+//! <dir>/<name>.p2hs          one snapshot per single index
+//! <dir>/<name>.g<E>.map.p2hs shard-group map file (epoch E): id mappings + metadata
+//! <dir>/<name>.g<E>.s<K>.p2hs  shard K of group <name>, epoch E
 //! ```
 //!
 //! The manifest maps registry names to snapshot files; the index *kind* is not in the
 //! manifest — it lives in each snapshot's header, where it is checksummed with the
 //! rest. Saves go through temp-file + rename, so a crash mid-save leaves the previous
-//! manifest and snapshot intact. The store is a single-writer structure: concurrent
+//! manifest and snapshot intact.
+//!
+//! Shard groups are **multi-file** saves, committed atomically through the manifest:
+//! every file of a group save is written under a fresh *epoch* suffix (never reusing a
+//! live file name), and only once all of them are durably in place is the manifest
+//! swapped via its own tmp + rename. A crash at any intermediate point leaves the old
+//! manifest referencing the old (complete) epoch: no manifest entry ever dangles and no
+//! group is ever observed half-replaced. Files of superseded epochs are deleted
+//! best-effort after the manifest commit; stray staged files from a crashed save are
+//! ignored by readers (only the manifest names files) and reclaimed by the next
+//! successful save of the same name. The store is a single-writer structure: concurrent
 //! `save` calls from multiple processes can lose manifest updates (last rename wins).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -22,9 +36,12 @@ use std::sync::Arc;
 use p2h_balltree::BallTree;
 use p2h_bctree::BcTree;
 use p2h_core::{LinearScan, P2hIndex};
+use p2h_hash::{FhIndex, NhIndex};
 
-use crate::format::{io_error, IndexKind, SnapshotReader, StoreError, StoreResult};
-use crate::snapshot::{write_file_atomically, Snapshot};
+use crate::format::{
+    io_error, wire, IndexKind, SnapshotReader, SnapshotWriter, StoreError, StoreResult,
+};
+use crate::snapshot::{tags, write_file_atomically, Snapshot};
 
 /// Name of the manifest file inside a store directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
@@ -35,11 +52,38 @@ pub const SNAPSHOT_EXT: &str = "p2hs";
 /// First line of every manifest.
 const MANIFEST_HEADER: &str = "p2h-store 1";
 
-/// The parsed name → file mapping of a store directory.
+/// Marker in the second column of a manifest line that introduces a shard group.
+const GROUP_MARKER: &str = "shard-group";
+
+/// One manifest entry: either a single snapshot file or a shard group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ManifestEntry {
+    /// A single `<name>.p2hs` snapshot.
+    Single(String),
+    /// A shard group: the map file plus one snapshot file per shard, in ordinal order.
+    Group { map_file: String, shard_files: Vec<String> },
+}
+
+impl ManifestEntry {
+    /// Every file this entry references (used for replaced-entry cleanup).
+    fn files(&self) -> Vec<&str> {
+        match self {
+            ManifestEntry::Single(file) => vec![file.as_str()],
+            ManifestEntry::Group { map_file, shard_files } => {
+                let mut files = Vec::with_capacity(shard_files.len() + 1);
+                files.push(map_file.as_str());
+                files.extend(shard_files.iter().map(String::as_str));
+                files
+            }
+        }
+    }
+}
+
+/// The parsed name → entry mapping of a store directory.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct Manifest {
     /// Sorted so renders (and therefore manifest diffs) are deterministic.
-    entries: BTreeMap<String, String>,
+    entries: BTreeMap<String, ManifestEntry>,
 }
 
 impl Manifest {
@@ -61,21 +105,41 @@ impl Manifest {
             if line.is_empty() {
                 continue;
             }
-            let (name, file) = line.split_once('\t').ok_or_else(|| StoreError::Manifest {
-                line: idx + 1,
-                message: format!("expected `<name>\\t<file>`, found `{line}`"),
-            })?;
-            validate_name(name)?;
-            // The file column obeys the same character rules as names (it is a name
-            // plus an extension): a tampered manifest cannot point the loader at
-            // hidden files, absolute paths, or anything outside the store directory.
-            if !is_safe_file_component(file, 100 + SNAPSHOT_EXT.len() + 1) {
-                return Err(StoreError::Manifest {
-                    line: idx + 1,
-                    message: format!("invalid snapshot file name `{file}`"),
-                });
-            }
-            if entries.insert(name.to_string(), file.to_string()).is_some() {
+            let fields: Vec<&str> = line.split('\t').collect();
+            let entry = match fields.as_slice() {
+                [name, file] => {
+                    validate_name(name)?;
+                    validate_file_column(file, idx + 1)?;
+                    (name.to_string(), ManifestEntry::Single(file.to_string()))
+                }
+                [name, marker, map_file, shard_files @ ..]
+                    if *marker == GROUP_MARKER && !shard_files.is_empty() =>
+                {
+                    validate_name(name)?;
+                    validate_file_column(map_file, idx + 1)?;
+                    for file in shard_files {
+                        validate_file_column(file, idx + 1)?;
+                    }
+                    (
+                        name.to_string(),
+                        ManifestEntry::Group {
+                            map_file: map_file.to_string(),
+                            shard_files: shard_files.iter().map(|s| s.to_string()).collect(),
+                        },
+                    )
+                }
+                _ => {
+                    return Err(StoreError::Manifest {
+                        line: idx + 1,
+                        message: format!(
+                            "expected `<name>\\t<file>` or \
+                             `<name>\\t{GROUP_MARKER}\\t<map>\\t<shard>…`, found `{line}`"
+                        ),
+                    })
+                }
+            };
+            let (name, parsed) = entry;
+            if entries.insert(name.clone(), parsed).is_some() {
                 return Err(StoreError::Manifest {
                     line: idx + 1,
                     message: format!("duplicate entry for `{name}`"),
@@ -88,21 +152,52 @@ impl Manifest {
     fn render(&self) -> String {
         let mut out = String::from(MANIFEST_HEADER);
         out.push('\n');
-        for (name, file) in &self.entries {
+        for (name, entry) in &self.entries {
             out.push_str(name);
-            out.push('\t');
-            out.push_str(file);
+            match entry {
+                ManifestEntry::Single(file) => {
+                    out.push('\t');
+                    out.push_str(file);
+                }
+                ManifestEntry::Group { map_file, shard_files } => {
+                    out.push('\t');
+                    out.push_str(GROUP_MARKER);
+                    out.push('\t');
+                    out.push_str(map_file);
+                    for file in shard_files {
+                        out.push('\t');
+                        out.push_str(file);
+                    }
+                }
+            }
             out.push('\n');
         }
         out
     }
 }
 
+/// Longest file name the store itself writes: a 100-char name plus the epoch/shard
+/// suffix (`.g<epoch>.s<ordinal>.p2hs`); 60 bytes of headroom covers both counters.
+const MAX_FILE_COMPONENT: usize = 160;
+
 /// Whether `s` is a single safe path component: 1–`max_len` characters from
 /// `[A-Za-z0-9._-]`, not starting with a dot (no hidden files, no `..`, no separators).
 fn is_safe_file_component(s: &str, max_len: usize) -> bool {
     let valid_chars = s.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'));
     !s.is_empty() && s.len() <= max_len && valid_chars && !s.starts_with('.')
+}
+
+/// Validates a manifest file column. The file columns obey the same character rules as
+/// names (a name plus extensions): a tampered manifest cannot point the loader at
+/// hidden files, absolute paths, or anything outside the store directory.
+fn validate_file_column(file: &str, line: usize) -> StoreResult<()> {
+    if !is_safe_file_component(file, MAX_FILE_COMPONENT) {
+        return Err(StoreError::Manifest {
+            line,
+            message: format!("invalid snapshot file name `{file}`"),
+        });
+    }
+    Ok(())
 }
 
 /// Validates a registry name for use as a snapshot file stem: 1–100 characters from
@@ -123,6 +218,10 @@ pub enum LoadedIndex {
     BallTree(BallTree),
     /// A restored [`BcTree`].
     BcTree(BcTree),
+    /// A restored [`NhIndex`].
+    Nh(NhIndex),
+    /// A restored [`FhIndex`].
+    Fh(FhIndex),
 }
 
 impl LoadedIndex {
@@ -132,6 +231,8 @@ impl LoadedIndex {
             LoadedIndex::LinearScan(_) => IndexKind::LinearScan,
             LoadedIndex::BallTree(_) => IndexKind::BallTree,
             LoadedIndex::BcTree(_) => IndexKind::BcTree,
+            LoadedIndex::Nh(_) => IndexKind::Nh,
+            LoadedIndex::Fh(_) => IndexKind::Fh,
         }
     }
 
@@ -141,6 +242,8 @@ impl LoadedIndex {
             LoadedIndex::LinearScan(index) => Arc::new(index),
             LoadedIndex::BallTree(index) => Arc::new(index),
             LoadedIndex::BcTree(index) => Arc::new(index),
+            LoadedIndex::Nh(index) => Arc::new(index),
+            LoadedIndex::Fh(index) => Arc::new(index),
         }
     }
 
@@ -150,8 +253,172 @@ impl LoadedIndex {
             LoadedIndex::LinearScan(index) => index,
             LoadedIndex::BallTree(index) => index,
             LoadedIndex::BcTree(index) => index,
+            LoadedIndex::Nh(index) => index,
+            LoadedIndex::Fh(index) => index,
         }
     }
+
+    /// Serializes the held index into a snapshot byte buffer (dispatching to the
+    /// variant's [`Snapshot::encode_snapshot`]).
+    pub fn encode_snapshot(&self) -> Vec<u8> {
+        match self {
+            LoadedIndex::LinearScan(index) => index.encode_snapshot(),
+            LoadedIndex::BallTree(index) => index.encode_snapshot(),
+            LoadedIndex::BcTree(index) => index.encode_snapshot(),
+            LoadedIndex::Nh(index) => index.encode_snapshot(),
+            LoadedIndex::Fh(index) => index.encode_snapshot(),
+        }
+    }
+}
+
+/// The `GMET` metadata of a shard group, describing how the shards relate to the
+/// original point set. The partitioner tag is opaque to the store — the `p2h-shard`
+/// crate defines the tag values and restores its `Partitioner` from them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardGroupMeta {
+    /// Opaque partitioner strategy tag (defined by `p2h-shard`).
+    pub partitioner_tag: u32,
+    /// Shard count the partitioner was asked for (the actual count may be smaller when
+    /// empty shards were dropped).
+    pub requested_shards: u64,
+    /// Total number of points across every shard.
+    pub total_count: usize,
+    /// Augmented point dimensionality shared by every shard.
+    pub dim: usize,
+    /// RNG seed the sharded index was built with.
+    pub build_seed: u64,
+}
+
+/// A fully loaded, structurally validated shard group: the restored per-shard indexes
+/// plus the local-position → global-id mappings that tie them together.
+#[derive(Debug)]
+pub struct ShardGroup {
+    /// Group metadata (partitioner, totals).
+    pub meta: ShardGroupMeta,
+    /// Per-shard id mappings: `id_maps[s][local] = global`. Strictly increasing per
+    /// shard; a disjoint cover of `0..meta.total_count` across shards.
+    pub id_maps: Vec<Vec<u32>>,
+    /// The restored shards, in ordinal order.
+    pub shards: Vec<LoadedIndex>,
+}
+
+/// One entry of a store directory, as returned by [`Store::load_entries`].
+#[derive(Debug)]
+pub enum StoreEntry {
+    /// A single restored index.
+    Single(LoadedIndex),
+    /// A restored shard group.
+    ShardGroup(ShardGroup),
+}
+
+/// Structural validation shared by the save and load paths of shard groups: shapes,
+/// dimensions, and the global id mapping must be mutually consistent.
+fn validate_group(
+    meta: &ShardGroupMeta,
+    id_maps: &[Vec<u32>],
+    shards: &[LoadedIndex],
+) -> StoreResult<()> {
+    let inconsistent = |message: String| Err(StoreError::GroupInconsistent { message });
+    if shards.is_empty() {
+        return inconsistent("a shard group needs at least one shard".into());
+    }
+    if id_maps.len() != shards.len() {
+        return inconsistent(format!("{} id mappings for {} shards", id_maps.len(), shards.len()));
+    }
+    // Anchor the declared total to the decoded id maps *before* allocating anything
+    // sized by it: the map lengths are bounded by actual file bytes, while
+    // `meta.total_count` is an attacker-controlled header field — a huge declared
+    // value must be a typed error, not an allocation.
+    let n = meta.total_count;
+    let actual: usize = id_maps.iter().map(Vec::len).sum();
+    if actual != n {
+        return inconsistent(format!("id maps list {actual} points, GMET declares {n}"));
+    }
+    let mut seen = vec![false; n];
+    for (ordinal, (ids, shard)) in id_maps.iter().zip(shards).enumerate() {
+        let index = shard.as_index();
+        if index.len() != ids.len() || ids.is_empty() {
+            return inconsistent(format!(
+                "shard {ordinal} holds {} points but its id map lists {}",
+                index.len(),
+                ids.len()
+            ));
+        }
+        if index.dim() != meta.dim {
+            return inconsistent(format!(
+                "shard {ordinal} has dim {} but the group declares {}",
+                index.dim(),
+                meta.dim
+            ));
+        }
+        let mut prev: Option<u32> = None;
+        for &id in ids {
+            if prev.is_some_and(|p| p >= id) {
+                return inconsistent(format!("shard {ordinal} id map is not strictly increasing"));
+            }
+            prev = Some(id);
+            let id = id as usize;
+            if id >= n || seen[id] {
+                return inconsistent(format!(
+                    "shard {ordinal} id map is not part of a permutation of 0..{n}"
+                ));
+            }
+            seen[id] = true;
+        }
+    }
+    if seen.iter().any(|&s| !s) {
+        return inconsistent(format!("shard id maps do not cover every point of 0..{n}"));
+    }
+    Ok(())
+}
+
+/// Encodes the shard-group map file (kind [`IndexKind::ShardMap`]): one `GMET` section
+/// followed by one `SIDS` section per shard.
+fn encode_shard_map(meta: &ShardGroupMeta, id_maps: &[Vec<u32>]) -> Vec<u8> {
+    let mut writer = SnapshotWriter::new(IndexKind::ShardMap);
+    let payload = writer.section(tags::GMET);
+    wire::put_u32(payload, meta.partitioner_tag);
+    wire::put_u64(payload, meta.requested_shards);
+    wire::put_u64(payload, id_maps.len() as u64);
+    wire::put_u64(payload, meta.total_count as u64);
+    wire::put_u64(payload, meta.dim as u64);
+    wire::put_u64(payload, meta.build_seed);
+    for ids in id_maps {
+        let payload = writer.section(tags::SIDS);
+        wire::put_u64(payload, ids.len() as u64);
+        wire::put_u32_slice(payload, ids);
+    }
+    writer.finish()
+}
+
+/// Decodes a shard-group map file into its metadata and id mappings.
+fn decode_shard_map(bytes: &[u8]) -> StoreResult<(ShardGroupMeta, Vec<Vec<u32>>)> {
+    let mut reader = SnapshotReader::new(bytes)?;
+    if reader.kind != IndexKind::ShardMap {
+        return Err(StoreError::KindMismatch { expected: IndexKind::ShardMap, found: reader.kind });
+    }
+    let mut payload = reader.section(tags::GMET)?;
+    let partitioner_tag = payload.get_u32("GMET partitioner tag")?;
+    let requested_shards = payload.get_u64("GMET requested shards")?;
+    let shard_count = payload.get_u64_usize("GMET shard count")?;
+    let total_count = payload.get_u64_usize("GMET total count")?;
+    let dim = payload.get_u64_usize("GMET dim")?;
+    let build_seed = payload.get_u64("GMET build seed")?;
+    payload.finish()?;
+    let meta = ShardGroupMeta { partitioner_tag, requested_shards, total_count, dim, build_seed };
+    // Reserve bounded by what the file can physically hold (one section header per
+    // shard), not by the declared count; the loop below stops with a typed error the
+    // moment the declared sections outrun the real ones.
+    let mut id_maps =
+        Vec::with_capacity(shard_count.min(bytes.len() / crate::format::SECTION_HEADER_LEN));
+    for _ in 0..shard_count {
+        let mut payload = reader.section(tags::SIDS)?;
+        let len = payload.get_u64_usize("SIDS length")?;
+        id_maps.push(payload.get_u32_vec(len, "SIDS ids")?);
+        payload.finish()?;
+    }
+    reader.finish()?;
+    Ok((meta, id_maps))
 }
 
 /// A snapshot store rooted at a directory.
@@ -185,22 +452,149 @@ impl Store {
         &self.dir
     }
 
-    /// The registered index names, sorted.
+    /// The registered entry names (single indexes and shard groups), sorted.
     pub fn names(&self) -> StoreResult<Vec<String>> {
         Ok(self.manifest()?.entries.keys().cloned().collect())
     }
 
-    /// Snapshots `index` under `name`, replacing any previous snapshot of that name,
-    /// and returns the snapshot file path.
+    /// Whether the entry registered under `name` is a shard group. `None` if the name
+    /// is not registered at all.
+    pub fn is_shard_group(&self, name: &str) -> StoreResult<Option<bool>> {
+        Ok(self
+            .manifest()?
+            .entries
+            .get(name)
+            .map(|entry| matches!(entry, ManifestEntry::Group { .. })))
+    }
+
+    /// Snapshots `index` under `name`, replacing any previous entry of that name
+    /// (single or group), and returns the snapshot file path.
+    ///
+    /// The snapshot file is fully staged (tmp + rename) *before* the manifest is
+    /// rewritten, and a **replacement never reuses the live file name**: a fresh name
+    /// saves as `<name>.p2hs`, overwriting an existing single entry stages under the
+    /// next epoch (`<name>.e<E>.p2hs`) and only the manifest commit switches readers
+    /// over. A crash or error at any point therefore leaves the previous manifest
+    /// *and the previous snapshot bytes* intact — never a dangling entry, never a
+    /// half-replaced snapshot. The superseded file is deleted best-effort after the
+    /// commit.
     pub fn save<S: Snapshot>(&self, name: &str, index: &S) -> StoreResult<PathBuf> {
         validate_name(name)?;
-        let file = format!("{name}.{SNAPSHOT_EXT}");
+        let mut manifest = self.manifest()?;
+        let file = match manifest.entries.get(name) {
+            // Replacing a live single snapshot: stage under the next epoch name so
+            // the old bytes survive until the manifest commit.
+            Some(ManifestEntry::Single(existing)) => {
+                let epoch = single_epoch(existing, name).map_or(1, |e| e + 1);
+                format!("{name}.e{epoch}.{SNAPSHOT_EXT}")
+            }
+            // Fresh name, or replacing a group (whose files all carry `.g<E>.`
+            // suffixes): the plain name is not live.
+            _ => format!("{name}.{SNAPSHOT_EXT}"),
+        };
         let path = self.dir.join(&file);
         index.save_snapshot(&path)?;
-        let mut manifest = self.manifest()?;
-        manifest.entries.insert(name.to_string(), file);
-        write_file_atomically(&self.dir.join(MANIFEST_FILE), manifest.render().as_bytes())?;
+        let replaced = manifest.entries.insert(name.to_string(), ManifestEntry::Single(file));
+        self.commit_manifest(&manifest)?;
+        self.remove_superseded_files(replaced.as_ref(), &manifest.entries[name]);
         Ok(path)
+    }
+
+    /// Snapshots a shard group under `name`: one map file holding `meta` and the id
+    /// mappings plus one snapshot file per shard, committed atomically.
+    ///
+    /// Every file of the group is written under a fresh epoch suffix (never reusing a
+    /// live name) and fully staged before the manifest commit, so a crash at any point
+    /// leaves the previous entry — single or group — complete and loadable, and never
+    /// a dangling manifest reference. Files of the replaced entry are deleted
+    /// best-effort after the commit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::GroupInconsistent`] if the metadata, id mappings, and
+    /// shards disagree (shapes, dimensions, or the global permutation), plus any I/O
+    /// error from staging the files.
+    pub fn save_shard_group(
+        &self,
+        name: &str,
+        meta: &ShardGroupMeta,
+        id_maps: &[Vec<u32>],
+        shards: &[LoadedIndex],
+    ) -> StoreResult<()> {
+        validate_name(name)?;
+        validate_group(meta, id_maps, shards)?;
+        let mut manifest = self.manifest()?;
+        let epoch = match manifest.entries.get(name) {
+            Some(ManifestEntry::Group { map_file, .. }) => {
+                group_epoch(map_file, name).map_or(1, |e| e + 1)
+            }
+            _ => 1,
+        };
+
+        // Stage every group file first; the manifest rename below is the commit point.
+        let map_file = format!("{name}.g{epoch}.map.{SNAPSHOT_EXT}");
+        let mut shard_files = Vec::with_capacity(shards.len());
+        for (ordinal, shard) in shards.iter().enumerate() {
+            let file = format!("{name}.g{epoch}.s{ordinal}.{SNAPSHOT_EXT}");
+            write_file_atomically(&self.dir.join(&file), &shard.encode_snapshot())?;
+            shard_files.push(file);
+        }
+        write_file_atomically(&self.dir.join(&map_file), &encode_shard_map(meta, id_maps))?;
+
+        let replaced = manifest
+            .entries
+            .insert(name.to_string(), ManifestEntry::Group { map_file, shard_files });
+        self.commit_manifest(&manifest)?;
+        self.remove_superseded_files(replaced.as_ref(), &manifest.entries[name]);
+        Ok(())
+    }
+
+    /// Loads the shard group registered under `name`, fully validated: the map file
+    /// and every shard snapshot decode, and the id mappings are strictly increasing
+    /// per shard and form a disjoint cover of `0..total_count` across shards.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingEntry`] if the name is not registered,
+    /// [`StoreError::EntryKind`] if it refers to a single snapshot, any snapshot
+    /// decoding error, and [`StoreError::GroupInconsistent`] if the files are
+    /// individually valid but mutually inconsistent.
+    pub fn load_shard_group(&self, name: &str) -> StoreResult<ShardGroup> {
+        let manifest = self.manifest()?;
+        match manifest.entries.get(name) {
+            None => Err(StoreError::MissingEntry(name.to_string())),
+            Some(ManifestEntry::Single(_)) => {
+                Err(StoreError::EntryKind { name: name.to_string(), is_group: false })
+            }
+            Some(ManifestEntry::Group { map_file, shard_files }) => {
+                self.load_group_files(map_file, shard_files)
+            }
+        }
+    }
+
+    fn load_group_files(&self, map_file: &str, shard_files: &[String]) -> StoreResult<ShardGroup> {
+        let map_path = self.dir.join(map_file);
+        let map_bytes = fs::read(&map_path).map_err(|e| io_error(&map_path, e))?;
+        let (meta, id_maps) = decode_shard_map(&map_bytes)?;
+        if id_maps.len() != shard_files.len() {
+            return Err(StoreError::GroupInconsistent {
+                message: format!(
+                    "map file declares {} shards, manifest lists {} files",
+                    id_maps.len(),
+                    shard_files.len()
+                ),
+            });
+        }
+        let shards = shard_files
+            .iter()
+            .map(|file| {
+                let path = self.dir.join(file);
+                let bytes = fs::read(&path).map_err(|e| io_error(&path, e))?;
+                decode_any(&bytes)
+            })
+            .collect::<StoreResult<Vec<_>>>()?;
+        validate_group(&meta, &id_maps, &shards)?;
+        Ok(ShardGroup { meta, id_maps, shards })
     }
 
     /// Loads the index registered under `name` as its concrete type.
@@ -208,6 +602,7 @@ impl Store {
     /// # Errors
     ///
     /// [`StoreError::MissingEntry`] if the name is not in the manifest,
+    /// [`StoreError::EntryKind`] if it refers to a shard group,
     /// [`StoreError::KindMismatch`] if the snapshot holds a different index kind, and
     /// any snapshot decoding error (see [`Snapshot::decode_snapshot`]).
     pub fn load<S: Snapshot>(&self, name: &str) -> StoreResult<S> {
@@ -220,27 +615,62 @@ impl Store {
         decode_any(&self.snapshot_bytes(name)?)
     }
 
-    /// Loads every index in the manifest, in name order. The manifest is read once, so
-    /// the listing and the per-entry paths come from one consistent view even if a
-    /// writer replaces the manifest concurrently.
+    /// Loads every single-index entry in the manifest, in name order. The manifest is
+    /// read once, so the listing and the per-entry paths come from one consistent view
+    /// even if a writer replaces the manifest concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::EntryKind`] if the store contains a shard group — callers
+    /// that serve mixed stores use [`Store::load_entries`] instead.
     pub fn load_all(&self) -> StoreResult<Vec<(String, LoadedIndex)>> {
-        let manifest = self.manifest()?;
-        manifest
-            .entries
-            .iter()
-            .map(|(name, file)| {
-                let path = self.dir.join(file);
-                let bytes = fs::read(&path).map_err(|e| io_error(&path, e))?;
-                Ok((name.clone(), decode_any(&bytes)?))
+        self.load_entries()?
+            .into_iter()
+            .map(|(name, entry)| match entry {
+                StoreEntry::Single(index) => Ok((name, index)),
+                StoreEntry::ShardGroup(_) => Err(StoreError::EntryKind { name, is_group: true }),
             })
             .collect()
     }
 
-    /// The path a snapshot of `name` lives at (whether or not it exists yet).
+    /// Loads every entry in the manifest — single indexes and shard groups — in name
+    /// order, from one consistent manifest read. Loading is all-or-nothing: any
+    /// missing, corrupt, or mutually inconsistent file fails the whole call.
+    pub fn load_entries(&self) -> StoreResult<Vec<(String, StoreEntry)>> {
+        let manifest = self.manifest()?;
+        manifest
+            .entries
+            .iter()
+            .map(|(name, entry)| {
+                let loaded = match entry {
+                    ManifestEntry::Single(file) => {
+                        let path = self.dir.join(file);
+                        let bytes = fs::read(&path).map_err(|e| io_error(&path, e))?;
+                        StoreEntry::Single(decode_any(&bytes)?)
+                    }
+                    ManifestEntry::Group { map_file, shard_files } => {
+                        StoreEntry::ShardGroup(self.load_group_files(map_file, shard_files)?)
+                    }
+                };
+                Ok((name.clone(), loaded))
+            })
+            .collect()
+    }
+
+    /// The path a single-index snapshot of `name` lives at.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::MissingEntry`] if the name is not registered and
+    /// [`StoreError::EntryKind`] if it refers to a shard group (whose files are listed
+    /// in the manifest, not derived from the name).
     pub fn snapshot_path(&self, name: &str) -> StoreResult<PathBuf> {
         let manifest = self.manifest()?;
         match manifest.entries.get(name) {
-            Some(file) => Ok(self.dir.join(file)),
+            Some(ManifestEntry::Single(file)) => Ok(self.dir.join(file)),
+            Some(ManifestEntry::Group { .. }) => {
+                Err(StoreError::EntryKind { name: name.to_string(), is_group: true })
+            }
             None => Err(StoreError::MissingEntry(name.to_string())),
         }
     }
@@ -255,6 +685,43 @@ impl Store {
         let text = fs::read_to_string(&path).map_err(|e| io_error(&path, e))?;
         Manifest::parse(&text)
     }
+
+    fn commit_manifest(&self, manifest: &Manifest) -> StoreResult<()> {
+        write_file_atomically(&self.dir.join(MANIFEST_FILE), manifest.render().as_bytes())
+    }
+
+    /// Deletes the files of a replaced entry that the new entry no longer references.
+    /// Best-effort: the manifest has already committed, so a failed unlink only leaks
+    /// a stale file (reclaimed by the next save of the same name).
+    fn remove_superseded_files(&self, replaced: Option<&ManifestEntry>, current: &ManifestEntry) {
+        let Some(replaced) = replaced else { return };
+        let live: BTreeSet<&str> = current.files().into_iter().collect();
+        for file in replaced.files() {
+            if !live.contains(file) {
+                let _ = fs::remove_file(self.dir.join(file));
+            }
+        }
+    }
+}
+
+/// Parses the epoch out of a shard-group map file name (`<name>.g<epoch>.map.p2hs`).
+fn group_epoch(map_file: &str, name: &str) -> Option<u64> {
+    map_file
+        .strip_prefix(name)?
+        .strip_prefix(".g")?
+        .strip_suffix(&format!(".map.{SNAPSHOT_EXT}"))?
+        .parse()
+        .ok()
+}
+
+/// Parses the epoch out of a replaced single-snapshot file name
+/// (`<name>.e<epoch>.p2hs`); `None` for the initial `<name>.p2hs` (epoch 0).
+fn single_epoch(file: &str, name: &str) -> Option<u64> {
+    file.strip_prefix(name)?
+        .strip_prefix(".e")?
+        .strip_suffix(&format!(".{SNAPSHOT_EXT}"))?
+        .parse()
+        .ok()
 }
 
 /// Decodes a snapshot buffer into whichever index kind its header declares.
@@ -263,6 +730,9 @@ fn decode_any(bytes: &[u8]) -> StoreResult<LoadedIndex> {
         IndexKind::LinearScan => LoadedIndex::LinearScan(LinearScan::decode_snapshot(bytes)?),
         IndexKind::BallTree => LoadedIndex::BallTree(BallTree::decode_snapshot(bytes)?),
         IndexKind::BcTree => LoadedIndex::BcTree(BcTree::decode_snapshot(bytes)?),
+        IndexKind::Nh => LoadedIndex::Nh(NhIndex::decode_snapshot(bytes)?),
+        IndexKind::Fh => LoadedIndex::Fh(FhIndex::decode_snapshot(bytes)?),
+        IndexKind::ShardMap => return Err(StoreError::NotAnIndex(IndexKind::ShardMap)),
     })
 }
 
@@ -273,8 +743,15 @@ mod tests {
     #[test]
     fn manifest_round_trip() {
         let mut manifest = Manifest::default();
-        manifest.entries.insert("ball".into(), "ball.p2hs".into());
-        manifest.entries.insert("scan-v2".into(), "scan-v2.p2hs".into());
+        manifest.entries.insert("ball".into(), ManifestEntry::Single("ball.p2hs".into()));
+        manifest.entries.insert("scan-v2".into(), ManifestEntry::Single("scan-v2.p2hs".into()));
+        manifest.entries.insert(
+            "sharded".into(),
+            ManifestEntry::Group {
+                map_file: "sharded.g3.map.p2hs".into(),
+                shard_files: vec!["sharded.g3.s0.p2hs".into(), "sharded.g3.s1.p2hs".into()],
+            },
+        );
         let parsed = Manifest::parse(&manifest.render()).unwrap();
         assert_eq!(parsed, manifest);
     }
@@ -301,6 +778,16 @@ mod tests {
             Manifest::parse("p2h-store 1\n../evil\tx.p2hs\n"),
             Err(StoreError::InvalidName(_))
         ));
+        // A group line needs at least one shard file.
+        assert!(matches!(
+            Manifest::parse("p2h-store 1\nname\tshard-group\tname.g1.map.p2hs\n"),
+            Err(StoreError::Manifest { line: 2, .. })
+        ));
+        // Three-plus fields without the group marker are malformed.
+        assert!(matches!(
+            Manifest::parse("p2h-store 1\nname\ta.p2hs\tb.p2hs\n"),
+            Err(StoreError::Manifest { line: 2, .. })
+        ));
     }
 
     #[test]
@@ -313,11 +800,25 @@ mod tests {
                 matches!(Manifest::parse(&text), Err(StoreError::Manifest { line: 2, .. })),
                 "file column `{evil}` must be rejected"
             );
+            let group = format!("p2h-store 1\nname\tshard-group\t{evil}\tname.g1.s0.p2hs\n");
+            assert!(
+                matches!(Manifest::parse(&group), Err(StoreError::Manifest { line: 2, .. })),
+                "group map column `{evil}` must be rejected"
+            );
+            let group = format!("p2h-store 1\nname\tshard-group\tname.g1.map.p2hs\t{evil}\n");
+            assert!(
+                matches!(Manifest::parse(&group), Err(StoreError::Manifest { line: 2, .. })),
+                "group shard column `{evil}` must be rejected"
+            );
         }
         // The longest name the store itself writes still round-trips.
         let long = "n".repeat(100);
         let text = format!("p2h-store 1\n{long}\t{long}.{SNAPSHOT_EXT}\n");
         assert!(Manifest::parse(&text).is_ok());
+        let group = format!(
+            "p2h-store 1\n{long}\tshard-group\t{long}.g1.map.{SNAPSHOT_EXT}\t{long}.g1.s0.{SNAPSHOT_EXT}\n"
+        );
+        assert!(Manifest::parse(&group).is_ok());
     }
 
     #[test]
@@ -328,5 +829,78 @@ mod tests {
         for bad in ["", ".hidden", "a/b", "a\\b", "a b", "ü", &"n".repeat(101)] {
             assert!(matches!(validate_name(bad), Err(StoreError::InvalidName(_))), "{bad}");
         }
+    }
+
+    #[test]
+    fn group_epoch_parsing() {
+        assert_eq!(group_epoch("idx.g1.map.p2hs", "idx"), Some(1));
+        assert_eq!(group_epoch("idx.g42.map.p2hs", "idx"), Some(42));
+        assert_eq!(group_epoch("idx.g1.s0.p2hs", "idx"), None);
+        assert_eq!(group_epoch("other.g1.map.p2hs", "idx"), None);
+        assert_eq!(group_epoch("idx.gx.map.p2hs", "idx"), None);
+    }
+
+    #[test]
+    fn single_epoch_parsing() {
+        assert_eq!(single_epoch("idx.p2hs", "idx"), None);
+        assert_eq!(single_epoch("idx.e1.p2hs", "idx"), Some(1));
+        assert_eq!(single_epoch("idx.e37.p2hs", "idx"), Some(37));
+        assert_eq!(single_epoch("other.e1.p2hs", "idx"), None);
+        assert_eq!(single_epoch("idx.ex.p2hs", "idx"), None);
+    }
+
+    #[test]
+    fn hostile_declared_total_is_an_error_not_an_allocation() {
+        use p2h_core::{LinearScan, PointSet};
+        // A map file whose GMET declares an absurd total_count passes every checksum
+        // (the writer recomputes CRCs over whatever it is given) but must be rejected
+        // by the cross-file consistency check *before* any `total_count`-sized
+        // allocation happens.
+        let meta = ShardGroupMeta {
+            partitioner_tag: 0,
+            requested_shards: 1,
+            total_count: 1usize << 45,
+            dim: 3,
+            build_seed: 0,
+        };
+        let id_maps = vec![vec![0u32, 1]];
+        let bytes = encode_shard_map(&meta, &id_maps);
+        let (decoded_meta, decoded_maps) = decode_shard_map(&bytes).unwrap();
+        assert_eq!(decoded_meta.total_count, 1usize << 45);
+        let shard = LoadedIndex::LinearScan(LinearScan::new(
+            PointSet::from_rows(&[vec![0.0, 0.0, 1.0], vec![1.0, 1.0, 1.0]]).unwrap(),
+        ));
+        assert!(matches!(
+            validate_group(&decoded_meta, &decoded_maps, &[shard]),
+            Err(StoreError::GroupInconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn shard_map_round_trip_and_corruption() {
+        let meta = ShardGroupMeta {
+            partitioner_tag: 1,
+            requested_shards: 3,
+            total_count: 5,
+            dim: 4,
+            build_seed: 9,
+        };
+        let id_maps = vec![vec![0, 2], vec![1, 3, 4]];
+        let bytes = encode_shard_map(&meta, &id_maps);
+        let (meta2, maps2) = decode_shard_map(&bytes).unwrap();
+        assert_eq!(meta2, meta);
+        assert_eq!(maps2, id_maps);
+
+        // Every truncation boundary is a typed error, never a panic.
+        for len in 0..bytes.len() {
+            assert!(decode_shard_map(&bytes[..len]).is_err(), "truncation at {len}");
+        }
+        // A flipped payload bit is caught by the section checksum.
+        let mut corrupt = bytes.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x01;
+        assert!(matches!(decode_shard_map(&corrupt), Err(StoreError::ChecksumMismatch { .. })));
+        // A map file is not a standalone index.
+        assert!(matches!(decode_any(&bytes), Err(StoreError::NotAnIndex(IndexKind::ShardMap))));
     }
 }

@@ -7,6 +7,7 @@ use p2h_balltree::{BallTree, BallTreeBuilder};
 use p2h_bctree::{BcTree, BcTreeBuilder};
 use p2h_core::{HyperplaneQuery, LinearScan, P2hIndex, PointSet, SearchParams};
 use p2h_data::{generate_queries, DataDistribution, QueryDistribution, SyntheticDataset};
+use p2h_hash::{FhIndex, FhParams, NhIndex, NhParams};
 use p2h_store::{snapshot_meta, IndexKind, Snapshot, Store, StoreError};
 
 fn dataset(n: usize, dim: usize, seed: u64) -> PointSet {
@@ -87,6 +88,89 @@ fn linear_scan_round_trips_bit_identically() {
     let loaded = LinearScan::decode_snapshot(&scan.encode_snapshot()).unwrap();
     assert_eq!(loaded.points(), scan.points());
     assert_bit_identical(&scan, &loaded, &ps);
+}
+
+#[test]
+fn nh_index_round_trips_bit_identically() {
+    let ps = dataset(5_000, 12, 7);
+    let nh = NhIndex::build(&ps, NhParams::new(2, 12).with_seed(31)).unwrap();
+    let bytes = nh.encode_snapshot();
+    let loaded = NhIndex::decode_snapshot(&bytes).unwrap();
+    assert_eq!(loaded.params(), nh.params());
+    assert_eq!(loaded.alignment_constant(), nh.alignment_constant());
+    assert_eq!(loaded.lambda(), nh.lambda());
+    assert_eq!(loaded.transform().pairs(), nh.transform().pairs());
+    assert_eq!(loaded.tables().directions(), nh.tables().directions());
+    assert_eq!(loaded.tables().tables(), nh.tables().tables());
+    assert_bit_identical(&nh, &loaded, &ps);
+
+    let (kind, meta) = snapshot_meta(&bytes).unwrap();
+    assert_eq!(kind, IndexKind::Nh);
+    assert_eq!(meta.build_seed, 31);
+
+    // Truncations across the projection-matrix sections are typed errors (the tree
+    // suites already sweep every byte boundary; here a coarse sweep keeps runtime sane).
+    for len in (0..bytes.len()).step_by(4099) {
+        assert!(NhIndex::decode_snapshot(&bytes[..len]).is_err(), "truncation at {len}");
+    }
+    // A flipped bit in the last section (the projection tables) fails the checksum.
+    let mut corrupt = bytes.clone();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0x10;
+    assert!(matches!(NhIndex::decode_snapshot(&corrupt), Err(StoreError::ChecksumMismatch { .. })));
+}
+
+#[test]
+fn fh_index_round_trips_bit_identically() {
+    let ps = dataset(5_000, 12, 8);
+    let fh = FhIndex::build(&ps, FhParams::new(2, 8, 3).with_seed(13)).unwrap();
+    let bytes = fh.encode_snapshot();
+    let loaded = FhIndex::decode_snapshot(&bytes).unwrap();
+    assert_eq!(loaded.params(), fh.params());
+    assert_eq!(loaded.partition_count(), fh.partition_count());
+    for p in 0..fh.partition_count() {
+        assert_eq!(loaded.partition_ids(p), fh.partition_ids(p));
+        assert_eq!(loaded.partition_tables(p).tables(), fh.partition_tables(p).tables());
+    }
+    assert_bit_identical(&fh, &loaded, &ps);
+
+    let (kind, meta) = snapshot_meta(&bytes).unwrap();
+    assert_eq!(kind, IndexKind::Fh);
+    assert_eq!(meta.count, 5_000);
+
+    for len in (0..bytes.len()).step_by(4231) {
+        assert!(FhIndex::decode_snapshot(&bytes[..len]).is_err(), "truncation at {len}");
+    }
+    let mut corrupt = bytes.clone();
+    let last = corrupt.len() - 1;
+    corrupt[last] ^= 0x02;
+    assert!(matches!(FhIndex::decode_snapshot(&corrupt), Err(StoreError::ChecksumMismatch { .. })));
+}
+
+#[test]
+fn hash_baselines_store_and_dispatch_by_kind() {
+    let dir = temp_dir("hash-store");
+    let ps = dataset(2_000, 8, 9);
+    let nh = NhIndex::build(&ps, NhParams::new(2, 8).with_seed(1)).unwrap();
+    let fh = FhIndex::build(&ps, FhParams::new(2, 8, 2).with_seed(1)).unwrap();
+
+    let store = Store::create(&dir).unwrap();
+    store.save("nh", &nh).unwrap();
+    store.save("fh", &fh).unwrap();
+    let all = store.load_all().unwrap();
+    let kinds: Vec<IndexKind> = all.iter().map(|(_, index)| index.kind()).collect();
+    assert_eq!(kinds, vec![IndexKind::Fh, IndexKind::Nh]);
+    for (name, index) in &all {
+        let original: &dyn P2hIndex = if name == "nh" { &nh } else { &fh };
+        assert_bit_identical(original, index.as_index(), &ps);
+    }
+    // Cross-kind confusion stays typed.
+    assert!(matches!(
+        store.load::<NhIndex>("fh"),
+        Err(StoreError::KindMismatch { expected: IndexKind::Nh, found: IndexKind::Fh })
+    ));
+
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -17,6 +17,8 @@
 //! | [`data`] | `p2h-data` | synthetic data sets, query generation, ground truth, IO |
 //! | [`eval`] | `p2h-eval` | recall/time evaluation (sequential + parallel), sweeps, time profiles, reports |
 //! | [`engine`] | `p2h-engine` | concurrent batch-query serving: index registry, parallel batch executor, latency histograms |
+//! | [`store`] | `p2h-store` | persistent snapshots: checksummed container, directory store, shard groups |
+//! | [`shard`] | `p2h-shard` | sharded serving: partitioners, per-shard builds, deterministic fan-out top-k merge |
 //!
 //! ## Quickstart
 //!
@@ -71,12 +73,64 @@
 //! println!("{} qps, {}", response.throughput_qps(), response.latency.summary_ms());
 //! ```
 //!
+//! ## Sharded serving
+//!
+//! For data sets beyond one index's comfort zone, the [`shard`] layer partitions the
+//! points across several indexes and fans every query out with a deterministic top-k
+//! merge. Because the [`Neighbor`] order is total and every shard computes distances
+//! with the same kernels, the merged answer is **bit-identical** to an unsharded
+//! index over the same points — sharding is purely an operational decision:
+//!
+//! ```
+//! use p2hnns::shard::{Partitioner, ShardIndexKind, ShardedIndexBuilder};
+//! use p2hnns::engine::{BatchRequest, Engine};
+//! use p2hnns::{generate_queries, DataDistribution, LinearScan, P2hIndex,
+//!              QueryDistribution, SearchParams, SyntheticDataset};
+//!
+//! let points = SyntheticDataset::new(
+//!     "quickstart-shard", 3_000, 12,
+//!     DataDistribution::GaussianClusters { clusters: 4, std_dev: 1.5 }, 2,
+//! ).generate().unwrap();
+//!
+//! // 4 hash-scattered shards, one BC-Tree per shard.
+//! let sharded = ShardedIndexBuilder::new(
+//!     Partitioner::Hash { shards: 4 },
+//!     ShardIndexKind::BcTree { leaf_size: 64 },
+//! ).build(&points).unwrap();
+//!
+//! let engine = Engine::new(0);
+//! engine.registry().register_sharded("p2h", sharded);
+//!
+//! let queries = generate_queries(&points, 4, QueryDistribution::DataDifference, 9).unwrap();
+//! let request = BatchRequest::new(queries, SearchParams::exact(5));
+//!
+//! // Same `BatchRequest` API as any other index; `serve_sharded` adds per-shard
+//! // latency histograms and fans each query across the shards.
+//! let response = engine.serve("p2h", &request).unwrap();
+//! let fanout = engine.serve_sharded("p2h", &request).unwrap();
+//! assert_eq!(fanout.per_shard_latency.len(), 4);
+//!
+//! // Bit-identical to the unsharded oracle.
+//! let oracle = LinearScan::new(points);
+//! for (i, result) in response.results.iter().enumerate() {
+//!     let expected = oracle.search(&request.queries[i], request.params_for(i));
+//!     assert_eq!(result.neighbors, expected.neighbors);
+//!     assert_eq!(result.neighbors, fanout.results[i].neighbors);
+//! }
+//! ```
+//!
+//! A sharded index persists as a *shard group* — one snapshot per shard plus an
+//! id-map file, committed atomically through the store manifest
+//! (`ShardedIndex::save_into`), and [`engine::Engine::from_store`] cold-starts it
+//! together with every other index in the directory.
+//!
 //! See the `examples/` directory for end-to-end scenarios (SVM active learning,
 //! maximum-margin style selection, index comparison, batch serving, snapshot-backed
-//! cold-start serving) and the `p2h-bench` crate for the reproduction of the paper's
-//! evaluation plus the engine throughput-scaling experiment (`engine_throughput`) and
-//! the snapshot load-vs-rebuild experiment (`snapshot_bench`). Built indexes persist
-//! via [`Store`]/[`Snapshot`] (`p2h-store`): save once offline, then
+//! cold-start serving, sharded serving) and the `p2h-bench` crate for the
+//! reproduction of the paper's evaluation plus the engine throughput-scaling
+//! experiment (`engine_throughput`), the snapshot load-vs-rebuild experiment
+//! (`snapshot_bench`), and the shard-count sweep (`shard_bench`). Built indexes
+//! persist via [`Store`]/[`Snapshot`] (`p2h-store`): save once offline, then
 //! [`engine::Engine::from_store`] cold-starts a serving process with bit-identical
 //! answers and no rebuild.
 
@@ -90,6 +144,7 @@ pub use p2h_data as data;
 pub use p2h_engine as engine;
 pub use p2h_eval as eval;
 pub use p2h_hash as hash;
+pub use p2h_shard as shard;
 pub use p2h_store as store;
 
 pub use p2h_balltree::{BallTree, BallTreeBuilder};
@@ -103,11 +158,12 @@ pub use p2h_data::{
 };
 pub use p2h_engine::{
     BatchExecutor, BatchRequest, BatchResponse, Engine, IndexRegistry, LatencyHistogram,
-    SharedIndex,
+    ShardedBatchResponse, ShardedExecutor, SharedIndex,
 };
 pub use p2h_eval::{
     evaluate, evaluate_parallel, sweep_budgets, time_profile, MethodEvaluation, ParallelEvaluation,
     TimeProfile,
 };
 pub use p2h_hash::{FhIndex, FhParams, NhIndex, NhParams};
-pub use p2h_store::{LoadedIndex, Snapshot, Store, StoreError};
+pub use p2h_shard::{Partitioner, ShardIndexKind, ShardedIndex, ShardedIndexBuilder};
+pub use p2h_store::{LoadedIndex, ShardGroup, Snapshot, Store, StoreError};
