@@ -3,7 +3,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use p2h_core::{distance, Error, PointSet, Result, Scalar};
+use p2h_core::{distance, Error, PointSet, Result, Scalar, VecBuf};
 
 use crate::node::{validate_structure, Node, NO_CHILD};
 use crate::split::seed_grow_split;
@@ -88,9 +88,9 @@ impl BallTreeBuilder {
 
         Ok(BallTree {
             points: reordered,
-            original_ids,
+            original_ids: original_ids.into(),
             nodes,
-            centers,
+            centers: centers.into(),
             leaf_size: self.leaf_size,
             build_seed: self.seed,
         })
@@ -199,13 +199,15 @@ fn build_recursive(
 pub struct BallTree {
     /// Points reordered so that every node covers a contiguous range.
     pub(crate) points: PointSet,
-    /// Mapping from reordered position to the original point index.
-    pub(crate) original_ids: Vec<u32>,
+    /// Mapping from reordered position to the original point index. Buffer-backed so
+    /// snapshot loaders can restore it zero-copy from a mapped region.
+    pub(crate) original_ids: VecBuf<u32>,
     /// Node arena; node 0 is the root.
     pub(crate) nodes: Vec<Node>,
     /// Flat buffer of node centers, one `dim`-sized row per node, addressed through
     /// `Node::center_offset`. Sibling rows are adjacent (see `pack_sibling_centers`).
-    pub(crate) centers: Vec<Scalar>,
+    /// Buffer-backed like `original_ids`.
+    pub(crate) centers: VecBuf<Scalar>,
     /// Maximum leaf size `N0` the tree was built with.
     pub(crate) leaf_size: usize,
     /// RNG seed the tree was built with (recorded for snapshots and reproducibility).
@@ -287,12 +289,14 @@ impl BallTree {
     /// the search's paired matvec relies on.
     pub fn from_parts(
         points: PointSet,
-        original_ids: Vec<u32>,
+        original_ids: impl Into<VecBuf<u32>>,
         nodes: Vec<Node>,
-        centers: Vec<Scalar>,
+        centers: impl Into<VecBuf<Scalar>>,
         leaf_size: usize,
         build_seed: u64,
     ) -> Result<Self> {
+        let original_ids = original_ids.into();
+        let centers = centers.into();
         let n = points.len();
         let dim = points.dim();
         crate::node::validate_permutation(&original_ids, n)?;
@@ -321,23 +325,18 @@ impl BallTree {
         self.points.point(pos)
     }
 
-    /// The original index of the reordered point at position `pos`.
-    #[inline]
-    pub(crate) fn original_id(&self, pos: usize) -> usize {
-        self.original_ids[pos] as usize
-    }
-
     /// The reordered point set (contiguous per leaf).
     pub fn points(&self) -> &PointSet {
         &self.points
     }
 
     /// Memory used by the tree structure (nodes, centers, id mapping), excluding the raw
-    /// data points. This is the "Index Size" quantity of Table III.
+    /// data points. This is the "Index Size" quantity of Table III. Mapped buffers
+    /// (zero-copy snapshot loads) count 0: their bytes belong to the shared region.
     pub fn structure_size_bytes(&self) -> usize {
         self.nodes.len() * std::mem::size_of::<Node>()
-            + self.centers.len() * std::mem::size_of::<Scalar>()
-            + self.original_ids.len() * std::mem::size_of::<u32>()
+            + self.centers.heap_bytes()
+            + self.original_ids.heap_bytes()
             + std::mem::size_of::<Self>()
     }
 
@@ -350,7 +349,7 @@ impl BallTree {
     pub fn check_invariants(&self) -> Result<()> {
         let n = self.points.len();
         let mut seen = vec![false; n];
-        for &id in &self.original_ids {
+        for &id in self.original_ids.iter() {
             let id = id as usize;
             if id >= n || seen[id] {
                 return Err(Error::InvalidParameter {

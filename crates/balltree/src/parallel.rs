@@ -122,9 +122,9 @@ impl BallTreeBuilder {
 
         Ok(BallTree {
             points: reordered,
-            original_ids,
+            original_ids: original_ids.into(),
             nodes,
-            centers,
+            centers: centers.into(),
             leaf_size: self.leaf_size,
             build_seed: self.seed,
         })

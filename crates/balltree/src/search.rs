@@ -11,12 +11,13 @@
 use std::time::Instant;
 
 use p2h_core::{
-    kernels, BranchPreference, HyperplaneQuery, P2hIndex, QueryScratch, SearchParams, SearchResult,
-    SearchStats, LEAF_STRIP,
+    kernels, BranchPreference, HyperplaneQuery, P2hIndex, QueryScratch, Scalar, SearchParams,
+    SearchResult, SearchStats, LEAF_STRIP,
 };
 
 use crate::bound::node_ball_bound;
 use crate::build::BallTree;
+use crate::node::Node;
 
 impl BallTree {
     /// Runs one query against the tree and returns the result with statistics.
@@ -43,8 +44,19 @@ impl BallTree {
         let timing = params.collect_timing;
         let mut stats = SearchStats::default();
 
+        // Resolve the buffer-backed arrays once per query: a mapped `VecBuf` pays a
+        // dynamic-dispatch slice resolution per deref, which must stay out of the
+        // per-node and per-candidate loops below.
+        let points_flat = self.points.as_flat();
+        let original_ids: &[u32] = &self.original_ids;
+        let centers: &[Scalar] = &self.centers;
+        let center_of = |node: &Node| {
+            let start = node.center_offset as usize * dim;
+            &centers[start..start + dim]
+        };
+
         let timer = timing.then(Instant::now);
-        let ip_root = kernels::dot(q, self.center(&self.nodes[0]));
+        let ip_root = kernels::dot(q, center_of(&self.nodes[0]));
         stats.inner_products += 1;
         if let Some(t) = timer {
             stats.time_bounds_ns += t.elapsed().as_nanos() as u64;
@@ -82,14 +94,14 @@ impl BallTree {
                     let block = (end - pos).min(LEAF_STRIP).min(budget as usize);
                     kernels::abs_dot_block(
                         q,
-                        self.points.flat_range(pos, pos + block),
+                        &points_flat[pos * dim..(pos + block) * dim],
                         dim,
                         &mut strip[..block],
                     );
                     stats.inner_products += block as u64;
                     stats.candidates_verified += block as u64;
                     for (i, &dist) in strip[..block].iter().enumerate() {
-                        collector.offer(self.original_id(pos + i), dist);
+                        collector.offer(original_ids[pos + i] as usize, dist);
                     }
                     pos += block;
                 }
@@ -111,7 +123,7 @@ impl BallTree {
             debug_assert_eq!(right.center_offset, left.center_offset + 1);
             let pair_start = left.center_offset as usize * dim;
             let mut pair = [0.0; 2];
-            kernels::dot_block(q, &self.centers[pair_start..pair_start + 2 * dim], dim, &mut pair);
+            kernels::dot_block(q, &centers[pair_start..pair_start + 2 * dim], dim, &mut pair);
             let (ip_left, ip_right) = (pair[0], pair[1]);
             stats.inner_products += 2;
             if let Some(t) = timer {

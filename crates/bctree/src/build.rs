@@ -5,7 +5,7 @@ use rand::SeedableRng;
 
 use p2h_balltree::split::seed_grow_split;
 use p2h_balltree::{Node, NO_CHILD};
-use p2h_core::{distance, Error, PointSet, Result, Scalar};
+use p2h_core::{distance, Error, PointSet, Result, Scalar, VecBuf};
 
 /// Default maximum leaf size `N0`.
 pub const DEFAULT_LEAF_SIZE: usize = 100;
@@ -126,10 +126,10 @@ pub(crate) fn finalize(
 
     Ok(BcTree {
         points: reordered,
-        original_ids,
+        original_ids: original_ids.into(),
         nodes,
-        centers,
-        center_norms,
+        centers: centers.into(),
+        center_norms: center_norms.into(),
         aux,
         leaf_size,
         build_seed,
@@ -365,10 +365,13 @@ fn build_recursive(
 #[derive(Debug, Clone)]
 pub struct BcTree {
     pub(crate) points: PointSet,
-    pub(crate) original_ids: Vec<u32>,
+    /// Buffer-backed (owned or mapped) so snapshot loaders can restore zero-copy.
+    pub(crate) original_ids: VecBuf<u32>,
     pub(crate) nodes: Vec<Node>,
-    pub(crate) centers: Vec<Scalar>,
-    pub(crate) center_norms: Vec<Scalar>,
+    /// Buffer-backed like `original_ids`; one `dim`-sized row per node.
+    pub(crate) centers: VecBuf<Scalar>,
+    /// Buffer-backed; cached `‖c‖` per node.
+    pub(crate) center_norms: VecBuf<Scalar>,
     pub(crate) aux: Vec<LeafPointAux>,
     pub(crate) leaf_size: usize,
     pub(crate) build_seed: u64,
@@ -382,14 +385,16 @@ pub struct BcTree {
 pub struct BcTreeParts {
     /// Reordered point set (contiguous and `r_x`-sorted per leaf).
     pub points: PointSet,
-    /// Reordered position → original point index (a permutation).
-    pub original_ids: Vec<u32>,
+    /// Reordered position → original point index (a permutation). Owned-or-mapped
+    /// (`Vec<u32>` converts via `.into()`); mapped buffers make snapshot restores
+    /// zero-copy.
+    pub original_ids: VecBuf<u32>,
     /// Node arena; node 0 is the root.
     pub nodes: Vec<Node>,
-    /// Flat center buffer, one `dim`-sized row per node.
-    pub centers: Vec<Scalar>,
-    /// Cached `‖c‖` per node.
-    pub center_norms: Vec<Scalar>,
+    /// Flat center buffer, one `dim`-sized row per node. Owned-or-mapped.
+    pub centers: VecBuf<Scalar>,
+    /// Cached `‖c‖` per node. Owned-or-mapped.
+    pub center_norms: VecBuf<Scalar>,
     /// Per-point ball/cone leaf structures.
     pub aux: Vec<LeafPointAux>,
     /// Maximum leaf size `N0`.
@@ -514,20 +519,15 @@ impl BcTree {
         self.points.point(pos)
     }
 
-    #[inline]
-    pub(crate) fn original_id(&self, pos: usize) -> usize {
-        self.original_ids[pos] as usize
-    }
-
     /// Memory used by the tree structure (nodes, centers, center norms, id mapping, and
     /// the three per-point leaf arrays), excluding the raw data points. This is the
     /// "Index Size" quantity of Table III; it exceeds the Ball-Tree's by the `Θ(n)` leaf
     /// structures, exactly as Theorem 6 predicts.
     pub fn structure_size_bytes(&self) -> usize {
         self.nodes.len() * std::mem::size_of::<Node>()
-            + self.centers.len() * std::mem::size_of::<Scalar>()
-            + self.center_norms.len() * std::mem::size_of::<Scalar>()
-            + self.original_ids.len() * std::mem::size_of::<u32>()
+            + self.centers.heap_bytes()
+            + self.center_norms.heap_bytes()
+            + self.original_ids.heap_bytes()
             + self.aux.len() * std::mem::size_of::<LeafPointAux>()
             + std::mem::size_of::<Self>()
     }
@@ -543,7 +543,7 @@ impl BcTree {
         let invalid = |message: String| Error::InvalidParameter { name: "bctree", message };
         let n = self.points.len();
         let mut seen = vec![false; n];
-        for &id in &self.original_ids {
+        for &id in self.original_ids.iter() {
             let id = id as usize;
             if id >= n || seen[id] {
                 return Err(invalid("id mapping is not a permutation".into()));
@@ -708,10 +708,10 @@ mod tests {
         let tree = BcTreeBuilder::new(40).with_seed(6).build(&ps).unwrap();
         let parts = BcTreeParts {
             points: tree.points().clone(),
-            original_ids: tree.original_ids().to_vec(),
+            original_ids: tree.original_ids().to_vec().into(),
             nodes: tree.nodes().to_vec(),
-            centers: tree.centers().to_vec(),
-            center_norms: tree.center_norms().to_vec(),
+            centers: tree.centers().to_vec().into(),
+            center_norms: tree.center_norms().to_vec().into(),
             aux: tree.leaf_aux().to_vec(),
             leaf_size: tree.leaf_size(),
             build_seed: tree.build_seed(),
@@ -723,13 +723,17 @@ mod tests {
         rebuilt.check_invariants().unwrap();
 
         let mut bad = parts.clone();
-        bad.center_norms.pop();
+        let mut norms = bad.center_norms.to_vec();
+        norms.pop();
+        bad.center_norms = norms.into();
         assert!(matches!(BcTree::from_parts(bad), Err(Error::Corrupt(_))));
         let mut bad = parts.clone();
         bad.aux.truncate(10);
         assert!(matches!(BcTree::from_parts(bad), Err(Error::Corrupt(_))));
         let mut bad = parts.clone();
-        bad.original_ids[0] = bad.original_ids[1];
+        let mut ids = bad.original_ids.to_vec();
+        ids[0] = ids[1];
+        bad.original_ids = ids.into();
         assert!(matches!(BcTree::from_parts(bad), Err(Error::Corrupt(_))));
         let mut bad = parts;
         bad.nodes[0].end = 7;

@@ -71,8 +71,17 @@ impl BcTree {
         let timing = params.collect_timing;
         let mut stats = SearchStats::default();
 
+        // Resolve the buffer-backed center array once per query: a mapped `VecBuf`
+        // pays a dynamic-dispatch slice resolution per deref, which must stay out of
+        // the per-node loop below.
+        let centers: &[p2h_core::Scalar] = &self.centers;
+        let center_of = |node: &Node| {
+            let start = node.center_offset as usize * dim;
+            &centers[start..start + dim]
+        };
+
         let timer = timing.then(Instant::now);
-        let ip_root = kernels::dot(q, self.center(&self.nodes[0]));
+        let ip_root = kernels::dot(q, center_of(&self.nodes[0]));
         stats.inner_products += 1;
         if let Some(t) = timer {
             stats.time_bounds_ns += t.elapsed().as_nanos() as u64;
@@ -117,7 +126,7 @@ impl BcTree {
             let timer = timing.then(Instant::now);
             let left = &self.nodes[node.left as usize];
             let right = &self.nodes[node.right as usize];
-            let ip_left = kernels::dot(q, self.center(left));
+            let ip_left = kernels::dot(q, center_of(left));
             stats.inner_products += 1;
             let size = node.size() as p2h_core::Scalar;
             let size_l = left.size() as p2h_core::Scalar;
@@ -166,6 +175,11 @@ impl BcTree {
             keep,
             stats,
         } = args;
+
+        // Per-leaf buffer resolution (see the traversal: derefs of mapped buffers
+        // must not happen per candidate).
+        let points_flat = self.points.as_flat();
+        let original_ids: &[u32] = &self.original_ids;
 
         let bounds_timer = timing.then(Instant::now);
         let center_norm = self.center_norms[node_idx];
@@ -225,19 +239,20 @@ impl BcTree {
                     // Nothing pruned: verify the contiguous strip as one matvec.
                     kernels::abs_dot_block(
                         q,
-                        self.points.flat_range(pos, strip_end),
+                        &points_flat[pos * dim..strip_end * dim],
                         dim,
                         &mut strip[..take],
                     );
                     for (i, &dist) in strip[..take].iter().enumerate() {
-                        collector.offer(self.original_id(pos + i), dist);
+                        collector.offer(original_ids[pos + i] as usize, dist);
                     }
                 } else {
                     // Holes from pruning (or a trimmed budget): verify survivors with
                     // the single-row kernel, which is bit-identical per row.
                     for &p in &keep[..take] {
-                        let dist = kernels::abs_dot(self.point(p as usize), q);
-                        collector.offer(self.original_id(p as usize), dist);
+                        let p = p as usize;
+                        let dist = kernels::abs_dot(&points_flat[p * dim..(p + 1) * dim], q);
+                        collector.offer(original_ids[p] as usize, dist);
                     }
                 }
                 stats.inner_products += take as u64;

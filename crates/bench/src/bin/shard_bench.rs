@@ -18,8 +18,8 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use p2h_bench::serving::{bit_identical, clustered_dataset, serving_queries};
 use p2h_core::{kernels, HyperplaneQuery, LinearScan, PointSet, SearchParams};
-use p2h_data::{generate_queries, DataDistribution, QueryDistribution, SyntheticDataset};
 use p2h_engine::{
     BatchExecutor, BatchRequest, Partitioner, ShardIndexKind, ShardedExecutor, ShardedIndex,
     ShardedIndexBuilder,
@@ -99,17 +99,6 @@ impl Config {
     }
 }
 
-/// Bit-level comparison of two answer sets (ids and distance bits).
-fn identical(a: &[p2h_core::SearchResult], b: &[p2h_core::SearchResult]) -> bool {
-    a.len() == b.len()
-        && a.iter().zip(b).all(|(x, y)| {
-            x.neighbors.len() == y.neighbors.len()
-                && x.neighbors.iter().zip(&y.neighbors).all(|(m, n)| {
-                    m.index == n.index && m.distance.to_bits() == n.distance.to_bits()
-                })
-        })
-}
-
 struct Row {
     shards: usize,
     build_s: f64,
@@ -153,9 +142,9 @@ fn bench_shard_count(
     let reload_s = start.elapsed().as_secs_f64();
     let reloaded_batch = BatchExecutor::new(threads).execute(&reloaded, request);
 
-    let same = identical(&batch.results, reference)
-        && identical(&fanout.results, reference)
-        && identical(&reloaded_batch.results, reference);
+    let same = bit_identical(&batch.results, reference)
+        && bit_identical(&fanout.results, reference)
+        && bit_identical(&reloaded_batch.results, reference);
 
     Row {
         shards,
@@ -180,18 +169,8 @@ fn main() {
         kernels::active_backend().label()
     );
 
-    let points: PointSet = SyntheticDataset::new(
-        "shard-bench",
-        cfg.n,
-        cfg.dim,
-        DataDistribution::GaussianClusters { clusters: 10, std_dev: 1.5 },
-        7,
-    )
-    .generate()
-    .expect("synthetic generation");
-    let queries: Vec<HyperplaneQuery> =
-        generate_queries(&points, cfg.queries, QueryDistribution::DataDifference, 13)
-            .expect("query generation");
+    let points: PointSet = clustered_dataset("shard-bench", cfg.n, cfg.dim);
+    let queries: Vec<HyperplaneQuery> = serving_queries(&points, cfg.queries);
     let request = BatchRequest::new(queries, SearchParams::exact(cfg.k));
 
     // Unsharded reference answers (the linear-scan oracle is exact and cheap to trust).

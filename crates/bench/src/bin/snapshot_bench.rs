@@ -1,12 +1,15 @@
 //! Load-vs-rebuild: how much faster a serving process cold-starts from `p2h-store`
-//! snapshots than by rebuilding its indexes from raw points.
+//! snapshots than by rebuilding its indexes from raw points — and how much faster
+//! still when the snapshot is memory-mapped instead of copied.
 //!
 //! For each tree index the binary measures (1) the in-process build time, (2) the time
-//! to snapshot it to disk, (3) the time to load + validate the snapshot back, and the
-//! snapshot file size; it then verifies that the loaded index answers a query batch
-//! **bit-identically** to the original. With `--check` a result mismatch (or any
-//! snapshot error) exits non-zero, which is how CI runs it against the forced-scalar
-//! kernel path.
+//! to snapshot it to disk, (3) the time to load + validate the snapshot back under
+//! **both** load modes — `LoadMode::Copy` (read + decode every array into fresh heap)
+//! and `LoadMode::Mmap` (map the file, serve the arrays zero-copy out of the mapping)
+//! — and the snapshot file size; it then verifies that both loaded copies answer a
+//! query batch **bit-identically** to the original. With `--check` a result mismatch
+//! (or any snapshot error) exits non-zero, which is how CI runs it against the
+//! forced-scalar kernel path.
 //!
 //! ```text
 //! cargo run --release --bin snapshot_bench -- [--n N] [--dim D] [--queries Q]
@@ -18,10 +21,10 @@ use std::time::Instant;
 
 use p2h_balltree::{BallTree, BallTreeBuilder};
 use p2h_bctree::{BcTree, BcTreeBuilder};
+use p2h_bench::serving::{bit_identical, clustered_dataset, serving_queries};
 use p2h_core::{kernels, HyperplaneQuery, P2hIndex, PointSet, SearchParams, SearchResult};
-use p2h_data::{generate_queries, DataDistribution, QueryDistribution, SyntheticDataset};
 use p2h_eval::{markdown_table, write_csv};
-use p2h_store::{Snapshot, Store};
+use p2h_store::{LoadMode, Snapshot, Store};
 
 struct Config {
     n: usize,
@@ -84,22 +87,12 @@ fn answers(index: &dyn P2hIndex, queries: &[HyperplaneQuery], k: usize) -> Vec<S
     queries.iter().map(|q| index.search(q, &SearchParams::exact(k))).collect()
 }
 
-/// Bit-level comparison of two answer sets (ids and distance bits).
-fn identical(a: &[SearchResult], b: &[SearchResult]) -> bool {
-    a.len() == b.len()
-        && a.iter().zip(b).all(|(x, y)| {
-            x.neighbors.len() == y.neighbors.len()
-                && x.neighbors.iter().zip(&y.neighbors).all(|(m, n)| {
-                    m.index == n.index && m.distance.to_bits() == n.distance.to_bits()
-                })
-        })
-}
-
 struct Row {
     label: &'static str,
     build_s: f64,
     save_s: f64,
-    load_s: f64,
+    load_copy_s: f64,
+    load_mmap_s: f64,
     file_mb: f64,
     identical: bool,
 }
@@ -125,34 +118,33 @@ where
     let save_s = start.elapsed().as_secs_f64();
     let file_mb = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0) as f64 / 1e6;
 
+    let copy_store = store.clone().with_mode(LoadMode::Copy);
     let start = Instant::now();
-    let loaded: S = store.load(name).expect("snapshot load");
-    let load_s = start.elapsed().as_secs_f64();
+    let loaded_copy: S = copy_store.load(name).expect("snapshot load (copy)");
+    let load_copy_s = start.elapsed().as_secs_f64();
 
-    let same = identical(&answers(&index, queries, k), &answers(&loaded, queries, k));
-    Row { label, build_s, save_s, load_s, file_mb, identical: same }
+    let mmap_store = store.clone().with_mode(LoadMode::Mmap);
+    let start = Instant::now();
+    let loaded_mmap: S = mmap_store.load(name).expect("snapshot load (mmap)");
+    let load_mmap_s = start.elapsed().as_secs_f64();
+
+    let reference = answers(&index, queries, k);
+    let same = bit_identical(&reference, &answers(&loaded_copy, queries, k))
+        && bit_identical(&reference, &answers(&loaded_mmap, queries, k));
+    Row { label, build_s, save_s, load_copy_s, load_mmap_s, file_mb, identical: same }
 }
 
 fn main() {
     let cfg = Config::from_args();
     println!(
-        "# snapshot_bench — load vs rebuild (n = {}, dim = {}, kernel backend: {})\n",
+        "# snapshot_bench — load vs rebuild, copy vs mmap (n = {}, dim = {}, kernel backend: {})\n",
         cfg.n,
         cfg.dim,
         kernels::active_backend().label()
     );
 
-    let points: PointSet = SyntheticDataset::new(
-        "snapshot-bench",
-        cfg.n,
-        cfg.dim,
-        DataDistribution::GaussianClusters { clusters: 10, std_dev: 1.5 },
-        7,
-    )
-    .generate()
-    .expect("synthetic generation");
-    let queries = generate_queries(&points, cfg.queries, QueryDistribution::DataDifference, 13)
-        .expect("query generation");
+    let points: PointSet = clustered_dataset("snapshot-bench", cfg.n, cfg.dim);
+    let queries = serving_queries(&points, cfg.queries);
 
     let dir = cfg.out_dir.join("snapshot-store");
     std::fs::remove_dir_all(&dir).ok();
@@ -181,9 +173,11 @@ fn main() {
         "index",
         "build (s)",
         "save (s)",
-        "load (s)",
+        "load copy (s)",
+        "load mmap (s)",
         "file (MB)",
-        "load speedup",
+        "copy speedup",
+        "mmap speedup",
         "bit-identical",
     ];
     let table: Vec<Vec<String>> = rows
@@ -193,9 +187,11 @@ fn main() {
                 r.label.to_string(),
                 format!("{:.3}", r.build_s),
                 format!("{:.3}", r.save_s),
-                format!("{:.3}", r.load_s),
+                format!("{:.3}", r.load_copy_s),
+                format!("{:.3}", r.load_mmap_s),
                 format!("{:.1}", r.file_mb),
-                format!("{:.1}x", r.build_s / r.load_s.max(1e-9)),
+                format!("{:.1}x", r.build_s / r.load_copy_s.max(1e-9)),
+                format!("{:.1}x", r.build_s / r.load_mmap_s.max(1e-9)),
                 if r.identical { "yes".into() } else { "NO".into() },
             ]
         })
@@ -207,10 +203,12 @@ fn main() {
     println!("\ncsv written to {}", cfg.out_dir.join("snapshot_bench.csv").display());
 
     if rows.iter().any(|r| !r.identical) {
-        eprintln!("FAILED: a loaded index returned different answers than the original");
+        eprintln!(
+            "FAILED: a loaded index (copy or mmap) returned different answers than the original"
+        );
         std::process::exit(1);
     }
     if cfg.check {
-        println!("check passed: loaded indexes are bit-identical to the originals");
+        println!("check passed: copy- and mmap-loaded indexes are bit-identical to the originals");
     }
 }

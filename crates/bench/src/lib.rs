@@ -181,6 +181,45 @@ pub fn emit(cfg: &BenchConfig, file_stem: &str, headers: &[&str], rows: &[Vec<St
 /// Formats a boxed index set (label + trait object) commonly used by the figure benches.
 pub type MethodSet = Vec<(String, Box<dyn P2hIndex>)>;
 
+/// Shared fixtures of the serving-layer benches (`snapshot_bench`, `shard_bench`):
+/// one dataset/query recipe and one bit-level answer comparison, so the two binaries
+/// measure the same workload instead of each re-declaring it.
+pub mod serving {
+    use p2h_core::{HyperplaneQuery, PointSet, SearchResult};
+    use p2h_data::{generate_queries, DataDistribution, QueryDistribution, SyntheticDataset};
+
+    /// The clustered dataset both serving benches measure against (10 Gaussian
+    /// clusters, σ = 1.5, fixed seed — reproducible across runs and binaries).
+    pub fn clustered_dataset(name: &str, n: usize, dim: usize) -> PointSet {
+        SyntheticDataset::new(
+            name,
+            n,
+            dim,
+            DataDistribution::GaussianClusters { clusters: 10, std_dev: 1.5 },
+            7,
+        )
+        .generate()
+        .expect("synthetic generation")
+    }
+
+    /// The data-difference query batch both serving benches use (fixed seed).
+    pub fn serving_queries(points: &PointSet, count: usize) -> Vec<HyperplaneQuery> {
+        generate_queries(points, count, QueryDistribution::DataDifference, 13)
+            .expect("query generation")
+    }
+
+    /// Bit-level comparison of two answer sets (ids and distance bits).
+    pub fn bit_identical(a: &[SearchResult], b: &[SearchResult]) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| {
+                x.neighbors.len() == y.neighbors.len()
+                    && x.neighbors.iter().zip(&y.neighbors).all(|(m, n)| {
+                        m.index == n.index && m.distance.to_bits() == n.distance.to_bits()
+                    })
+            })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,271 @@
+//! Owned-or-mapped storage for the large read-only arrays of an index.
+//!
+//! Every index in this workspace is, at heart, a bundle of immutable dense arrays:
+//! the row-major point payload, tree centers, id permutations, projection tables. A
+//! [`VecBuf<T>`] holds such an array either as an ordinary heap `Vec<T>` (the build
+//! path and the copying snapshot loader) or as a typed window into a shared
+//! memory-mapped region (the zero-copy snapshot loader of `p2h-store`). Either way it
+//! dereferences to `&[T]`, so search code is oblivious to the backing.
+//!
+//! The mapped arm is *safe by construction* in this crate: a backing region implements
+//! [`BufBacking`], whose methods return already-typed slices. The only implementor
+//! that performs the `[u8] → [T]` reinterpretation lives in `p2h-store`'s `MmapRegion`
+//! module, which is where all `unsafe` for the zero-copy path is confined. This crate
+//! merely validates the window (element alignment, checked byte arithmetic, region
+//! bounds) before accepting it.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+use crate::{Error, Result, Scalar};
+
+/// A read-only byte region that can serve typed slices — the contract between
+/// [`VecBuf`] and a memory-mapped (or otherwise shared) snapshot file.
+///
+/// Implementations must guarantee that, for the lifetime of the region, the bytes are
+/// immutable and that `f32s`/`u32s` return exactly `len` elements starting `offset`
+/// bytes into the region. `offset` is always a multiple of the element alignment and
+/// `offset + len * 4 <= len_bytes()` by the time [`VecBuf::mapped`] hands it down; an
+/// implementation may panic on arguments violating that contract (they indicate a bug,
+/// not hostile input — hostile input is rejected with typed errors before this point).
+pub trait BufBacking: Send + Sync + fmt::Debug {
+    /// Total region size in bytes.
+    fn len_bytes(&self) -> usize;
+    /// A typed `f32` view of `len` scalars at byte `offset`.
+    fn f32s(&self, offset: usize, len: usize) -> &[Scalar];
+    /// A typed `u32` view of `len` integers at byte `offset`.
+    fn u32s(&self, offset: usize, len: usize) -> &[u32];
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for u32 {}
+}
+
+/// Element types a [`VecBuf`] can hold. Sealed: the set is fixed by what
+/// [`BufBacking`] can serve (4-byte little-endian scalars and integers).
+pub trait BufElem: Copy + PartialEq + fmt::Debug + Send + Sync + sealed::Sealed + 'static {
+    /// Fetches the typed slice from a backing region. Internal dispatch for
+    /// [`VecBuf`]'s `Deref`.
+    #[doc(hidden)]
+    fn backing_slice(backing: &dyn BufBacking, offset: usize, len: usize) -> &[Self];
+}
+
+impl BufElem for f32 {
+    fn backing_slice(backing: &dyn BufBacking, offset: usize, len: usize) -> &[Self] {
+        backing.f32s(offset, len)
+    }
+}
+
+impl BufElem for u32 {
+    fn backing_slice(backing: &dyn BufBacking, offset: usize, len: usize) -> &[Self] {
+        backing.u32s(offset, len)
+    }
+}
+
+/// An immutable array that is either heap-owned or a window into a shared mapped
+/// region. Dereferences to `&[T]`.
+///
+/// Cloning an owned buffer clones the `Vec`; cloning a mapped buffer clones the `Arc`
+/// (cheap, shares the region). Equality compares element slices regardless of backing,
+/// so an owned buffer and a mapped buffer over the same values compare equal.
+pub struct VecBuf<T: BufElem> {
+    inner: Inner<T>,
+}
+
+enum Inner<T: BufElem> {
+    Owned(Vec<T>),
+    Mapped { backing: Arc<dyn BufBacking>, offset: usize, len: usize },
+}
+
+impl<T: BufElem> VecBuf<T> {
+    /// Wraps a heap vector.
+    pub fn owned(values: Vec<T>) -> Self {
+        Self { inner: Inner::Owned(values) }
+    }
+
+    /// Creates a buffer viewing `len` elements starting `offset` bytes into a shared
+    /// backing region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Corrupt`] (never panics) if `offset` is not aligned for `T`,
+    /// if `len × size_of::<T>()` overflows, or if the window extends past the end of
+    /// the region — the checks that make the typed reinterpretation performed by the
+    /// backing sound.
+    pub fn mapped(backing: Arc<dyn BufBacking>, offset: usize, len: usize) -> Result<Self> {
+        let elem = std::mem::size_of::<T>();
+        if !offset.is_multiple_of(std::mem::align_of::<T>()) {
+            return Err(Error::Corrupt(format!(
+                "mapped buffer offset {offset} is not aligned to {} bytes",
+                std::mem::align_of::<T>()
+            )));
+        }
+        let bytes = len
+            .checked_mul(elem)
+            .ok_or_else(|| Error::Corrupt(format!("mapped buffer length {len} overflows")))?;
+        let end = offset
+            .checked_add(bytes)
+            .ok_or_else(|| Error::Corrupt(format!("mapped buffer offset {offset} overflows")))?;
+        if end > backing.len_bytes() {
+            return Err(Error::Corrupt(format!(
+                "mapped buffer {offset}..{end} exceeds the {}-byte region",
+                backing.len_bytes()
+            )));
+        }
+        Ok(Self { inner: Inner::Mapped { backing, offset, len } })
+    }
+
+    /// Whether this buffer views a shared mapped region (as opposed to owning a heap
+    /// allocation).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.inner, Inner::Mapped { .. })
+    }
+
+    /// Heap bytes owned by this buffer: `len × size_of::<T>()` when owned, 0 when
+    /// mapped (mapped bytes belong to the shared region — potentially shared between
+    /// many indexes and even processes — and must not be double-counted as footprint).
+    pub fn heap_bytes(&self) -> usize {
+        match &self.inner {
+            Inner::Owned(values) => values.len() * std::mem::size_of::<T>(),
+            Inner::Mapped { .. } => 0,
+        }
+    }
+
+    /// Copies the elements into a fresh heap vector.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.as_slice().to_vec()
+    }
+
+    /// The elements as a slice (same as `Deref`).
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        match &self.inner {
+            Inner::Owned(values) => values,
+            Inner::Mapped { backing, offset, len } => T::backing_slice(&**backing, *offset, *len),
+        }
+    }
+}
+
+impl<T: BufElem> Deref for VecBuf<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: BufElem> From<Vec<T>> for VecBuf<T> {
+    fn from(values: Vec<T>) -> Self {
+        Self::owned(values)
+    }
+}
+
+impl<T: BufElem> Clone for VecBuf<T> {
+    fn clone(&self) -> Self {
+        match &self.inner {
+            Inner::Owned(values) => Self::owned(values.clone()),
+            Inner::Mapped { backing, offset, len } => Self {
+                inner: Inner::Mapped { backing: Arc::clone(backing), offset: *offset, len: *len },
+            },
+        }
+    }
+}
+
+impl<T: BufElem> PartialEq for VecBuf<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: BufElem> fmt::Debug for VecBuf<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.is_mapped() { "mapped" } else { "owned" };
+        write!(f, "VecBuf<{kind}>(len = {})", self.len())
+    }
+}
+
+impl<T: BufElem> Default for VecBuf<T> {
+    fn default() -> Self {
+        Self::owned(Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A heap-backed test region: stores little-endian bytes, serves typed slices by
+    /// decoding into leaked storage is unnecessary — it keeps parallel typed copies.
+    #[derive(Debug)]
+    struct TestBacking {
+        bytes: usize,
+        f32s: Vec<Scalar>,
+        u32s: Vec<u32>,
+    }
+
+    impl TestBacking {
+        fn of_f32s(values: Vec<Scalar>) -> Self {
+            Self { bytes: values.len() * 4, f32s: values, u32s: Vec::new() }
+        }
+    }
+
+    impl BufBacking for TestBacking {
+        fn len_bytes(&self) -> usize {
+            self.bytes
+        }
+        fn f32s(&self, offset: usize, len: usize) -> &[Scalar] {
+            &self.f32s[offset / 4..offset / 4 + len]
+        }
+        fn u32s(&self, offset: usize, len: usize) -> &[u32] {
+            &self.u32s[offset / 4..offset / 4 + len]
+        }
+    }
+
+    #[test]
+    fn owned_buffer_derefs_and_reports_heap() {
+        let buf: VecBuf<f32> = vec![1.0, 2.0, 3.0].into();
+        assert_eq!(&*buf, &[1.0, 2.0, 3.0]);
+        assert!(!buf.is_mapped());
+        assert_eq!(buf.heap_bytes(), 12);
+        assert_eq!(buf.to_vec(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(buf.clone(), buf);
+        assert!(format!("{buf:?}").contains("owned"));
+    }
+
+    #[test]
+    fn mapped_buffer_views_the_region_without_owning() {
+        let backing = Arc::new(TestBacking::of_f32s(vec![0.5, 1.5, 2.5, 3.5]));
+        let buf = VecBuf::<f32>::mapped(backing, 4, 2).unwrap();
+        assert_eq!(&*buf, &[1.5, 2.5]);
+        assert!(buf.is_mapped());
+        assert_eq!(buf.heap_bytes(), 0);
+        assert!(format!("{buf:?}").contains("mapped"));
+        // Equality is by contents, not backing.
+        let owned: VecBuf<f32> = vec![1.5, 2.5].into();
+        assert_eq!(buf, owned);
+        // Clones share the region.
+        assert_eq!(buf.clone(), owned);
+    }
+
+    #[test]
+    fn mapped_rejects_misalignment_and_out_of_bounds() {
+        let backing: Arc<dyn BufBacking> = Arc::new(TestBacking::of_f32s(vec![0.0; 4]));
+        assert!(matches!(
+            VecBuf::<f32>::mapped(Arc::clone(&backing), 2, 1),
+            Err(Error::Corrupt(_))
+        ));
+        assert!(matches!(
+            VecBuf::<f32>::mapped(Arc::clone(&backing), 8, 3),
+            Err(Error::Corrupt(_))
+        ));
+        assert!(matches!(
+            VecBuf::<f32>::mapped(Arc::clone(&backing), 0, usize::MAX / 2),
+            Err(Error::Corrupt(_))
+        ));
+        assert!(VecBuf::<f32>::mapped(backing, 8, 2).is_ok());
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`P2hIndex`] — the trait every index (linear scan, Ball-Tree, BC-Tree, NH, FH)
 //!   implements, together with [`SearchParams`], [`SearchResult`] and [`SearchStats`],
 //! * [`LinearScan`] — the exhaustive-scan baseline used for ground truth,
+//! * [`VecBuf`] — the owned-or-mapped buffer behind every large read-only array
+//!   ([`PointSet`] payloads, tree centers, permutations, projection tables), which is
+//!   what lets `p2h-store` restore indexes zero-copy from memory-mapped snapshots,
 //! * [`QueryScratch`] — reusable per-worker working memory for allocation-free search,
 //! * low-level dense kernels in [`distance`], backed by the runtime-dispatched SIMD
 //!   implementations in [`kernels`].
@@ -51,6 +54,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod buf;
 pub mod distance;
 mod error;
 mod index;
@@ -61,6 +65,7 @@ mod query;
 mod scratch;
 mod topk;
 
+pub use buf::{BufBacking, BufElem, VecBuf};
 pub use error::{Error, Result};
 pub use index::{BranchPreference, P2hIndex, SearchParams, SearchResult, SearchStats};
 pub use kernels::KernelBackend;

@@ -1,9 +1,10 @@
 //! Dense, row-major storage for the data points of a P2HNNS instance.
 
+use crate::buf::VecBuf;
 use crate::distance;
 use crate::{Error, Result, Scalar};
 
-/// A dense collection of `n` points in `R^dim`, stored row-major in a single allocation.
+/// A dense collection of `n` points in `R^dim`, stored row-major in a single buffer.
 ///
 /// Following Section II of the paper, indexes operate on *augmented* points
 /// `x = (p; 1) ∈ R^d` obtained from raw data points `p ∈ R^{d-1}` by appending a
@@ -12,11 +13,14 @@ use crate::{Error, Result, Scalar};
 /// (useful for tests and synthetic data).
 ///
 /// Points are immutable once the set is created: every index in this workspace stores
-/// either a reference to the [`PointSet`] or a reordered copy of its rows.
+/// either a reference to the [`PointSet`] or a reordered copy of its rows. The buffer
+/// is a [`VecBuf`], so a point set restored from a memory-mapped snapshot
+/// (`p2h-store`, `LoadMode::Mmap`) views the file directly instead of owning a heap
+/// copy — [`PointSet::from_buf`] is that zero-copy construction path.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PointSet {
     /// Row-major data: `data[i * dim .. (i + 1) * dim]` is point `i`.
-    data: Vec<Scalar>,
+    data: VecBuf<Scalar>,
     /// Number of points.
     len: usize,
     /// Dimensionality of each point (after augmentation, if any).
@@ -32,6 +36,16 @@ impl PointSet {
     /// buffer is empty, and [`Error::DimensionMismatch`] if the buffer length is not a
     /// multiple of `dim`.
     pub fn from_flat(dim: usize, data: Vec<Scalar>) -> Result<Self> {
+        Self::from_buf(dim, data.into())
+    }
+
+    /// Creates a point set from an owned-or-mapped row-major buffer — the zero-copy
+    /// construction path used when restoring a memory-mapped snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Same shape checks as [`PointSet::from_flat`].
+    pub fn from_buf(dim: usize, data: VecBuf<Scalar>) -> Result<Self> {
         if dim < 2 {
             return Err(Error::InvalidDimension(dim));
         }
@@ -63,7 +77,7 @@ impl PointSet {
             }
             data.extend_from_slice(row);
         }
-        Ok(Self { data, len: rows.len(), dim })
+        Ok(Self { data: data.into(), len: rows.len(), dim })
     }
 
     /// Creates a point set by appending the constant 1 to every raw data point
@@ -89,7 +103,7 @@ impl PointSet {
             data.extend_from_slice(row);
             data.push(1.0);
         }
-        Ok(Self { data, len: raw_rows.len(), dim })
+        Ok(Self { data: data.into(), len: raw_rows.len(), dim })
     }
 
     /// Creates a point set by appending the constant 1 to every row of a flat buffer of
@@ -119,7 +133,7 @@ impl PointSet {
             data.extend_from_slice(&raw[i * raw_dim..(i + 1) * raw_dim]);
             data.push(1.0);
         }
-        Ok(Self { data, len: n, dim })
+        Ok(Self { data: data.into(), len: n, dim })
     }
 
     /// Number of points in the set.
@@ -176,20 +190,53 @@ impl PointSet {
 
     /// Computes the centroid (arithmetic mean) of a subset of points given by `indices`.
     ///
-    /// Returns the centroid of the whole set when `indices` is empty.
+    /// Returns the centroid of the whole set when `indices` is empty. When the indices
+    /// form a contiguous ascending run `start..end` (always the case for the whole set
+    /// and for tree-ordered leaf ranges), the accumulation runs over the contiguous
+    /// row-major slice with the blocked scheme of [`PointSet::centroid_of_range`]
+    /// instead of one bounds-checked row lookup per point.
     pub fn centroid_of(&self, indices: &[usize]) -> Vec<Scalar> {
-        let mut center = vec![0.0; self.dim];
         if indices.is_empty() {
-            for p in self.iter() {
-                distance::add_assign(&mut center, p);
-            }
-            distance::scale(&mut center, 1.0 / self.len as Scalar);
-        } else {
-            for &i in indices {
-                distance::add_assign(&mut center, self.point(i));
-            }
-            distance::scale(&mut center, 1.0 / indices.len() as Scalar);
+            return self.centroid_of_range(0, self.len);
         }
+        let contiguous = indices.windows(2).all(|w| w[1] == w[0] + 1);
+        if contiguous {
+            return self.centroid_of_range(indices[0], indices[0] + indices.len());
+        }
+        let mut center = vec![0.0; self.dim];
+        for &i in indices {
+            distance::add_assign(&mut center, self.point(i));
+        }
+        distance::scale(&mut center, 1.0 / indices.len() as Scalar);
+        center
+    }
+
+    /// Computes the centroid of the contiguous point range `start..end` with a blocked
+    /// accumulation: four rows are combined per accumulator update, so `center` is
+    /// loaded and stored once per block instead of once per row and the inner loop
+    /// streams one contiguous slice. The per-coordinate sum associates as
+    /// `c + (((r0 + r1) + r2) + r3)` per block (rows in index order) — deterministic
+    /// for a given range, identical across thread counts and load modes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end` or `end > self.len()`.
+    pub fn centroid_of_range(&self, start: usize, end: usize) -> Vec<Scalar> {
+        assert!(start < end && end <= self.len, "invalid centroid range {start}..{end}");
+        let dim = self.dim;
+        let mut center = vec![0.0; dim];
+        let rows = self.flat_range(start, end);
+        let mut blocks = rows.chunks_exact(4 * dim);
+        for block in &mut blocks {
+            for j in 0..dim {
+                center[j] +=
+                    ((block[j] + block[dim + j]) + block[2 * dim + j]) + block[3 * dim + j];
+            }
+        }
+        for row in blocks.remainder().chunks_exact(dim) {
+            distance::add_assign(&mut center, row);
+        }
+        distance::scale(&mut center, 1.0 / (end - start) as Scalar);
         center
     }
 
@@ -198,9 +245,19 @@ impl PointSet {
         self.centroid_of(&[])
     }
 
-    /// Approximate memory footprint of the stored points in bytes.
+    /// Memory footprint this point set *owns*, in bytes.
+    ///
+    /// For a heap-backed set this counts the point payload plus the struct; for a
+    /// mapped set (restored zero-copy from a snapshot) the payload bytes belong to the
+    /// shared region — shared between every index viewing the file and, via the page
+    /// cache, between processes — so they are not counted here.
     pub fn size_bytes(&self) -> usize {
-        self.data.len() * std::mem::size_of::<Scalar>() + std::mem::size_of::<Self>()
+        self.data.heap_bytes() + std::mem::size_of::<Self>()
+    }
+
+    /// Whether the point payload views a shared mapped region instead of owning heap.
+    pub fn is_mapped(&self) -> bool {
+        self.data.is_mapped()
     }
 }
 
@@ -278,5 +335,37 @@ mod tests {
     fn size_bytes_counts_data() {
         let ps = PointSet::from_flat(2, vec![0.0; 64]).unwrap();
         assert!(ps.size_bytes() >= 64 * std::mem::size_of::<Scalar>());
+        assert!(!ps.is_mapped());
+    }
+
+    #[test]
+    fn contiguous_centroid_matches_range_path() {
+        let rows: Vec<Vec<Scalar>> =
+            (0..11).map(|i| vec![i as Scalar, (i * i) as Scalar * 0.25]).collect();
+        let ps = PointSet::from_rows(&rows).unwrap();
+        // A contiguous index list takes the blocked range path — bitwise the same.
+        let indices: Vec<usize> = (2..9).collect();
+        assert_eq!(ps.centroid_of(&indices), ps.centroid_of_range(2, 9));
+        assert_eq!(ps.centroid(), ps.centroid_of_range(0, 11));
+        // The blocked sum is the exact mean within f32 tolerance of the naive loop.
+        let mut naive = vec![0.0 as Scalar; 2];
+        for &i in &indices {
+            distance::add_assign(&mut naive, ps.point(i));
+        }
+        distance::scale(&mut naive, 1.0 / indices.len() as Scalar);
+        for (a, b) in ps.centroid_of(&indices).iter().zip(&naive) {
+            assert!((a - b).abs() <= 1e-4 * (1.0 + b.abs()), "{a} vs {b}");
+        }
+        // Scattered indices still take the per-point path.
+        assert_eq!(ps.centroid_of(&[3]), ps.point(3).to_vec());
+        let scattered = ps.centroid_of(&[0, 4, 10]);
+        assert_eq!(scattered.len(), 2);
+    }
+
+    #[test]
+    fn from_buf_is_from_flat_on_owned_buffers() {
+        let a = PointSet::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = PointSet::from_buf(2, vec![1.0, 2.0, 3.0, 4.0].into()).unwrap();
+        assert_eq!(a, b);
     }
 }

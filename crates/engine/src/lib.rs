@@ -71,4 +71,4 @@ pub use p2h_bctree::{BcTree, BcTreeBuilder};
 pub use p2h_shard::{Partitioner, ShardIndexKind, ShardedIndex, ShardedIndexBuilder};
 // Re-exported so cold-start users (`Engine::from_store`) can create and populate the
 // snapshot store without adding `p2h-store` as a direct dependency.
-pub use p2h_store::{Snapshot, Store, StoreError};
+pub use p2h_store::{LoadMode, Snapshot, Store, StoreError};

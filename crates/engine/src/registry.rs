@@ -6,7 +6,7 @@ use std::sync::{Arc, RwLock};
 
 use p2h_core::P2hIndex;
 use p2h_shard::ShardedIndex;
-use p2h_store::{Store, StoreEntry, StoreError};
+use p2h_store::{LoadMode, Store, StoreEntry, StoreError};
 
 /// A reference-counted, immutable index that can be searched from any thread.
 ///
@@ -89,7 +89,22 @@ impl IndexRegistry {
     /// structure, mutually inconsistent shard group, …). Loading is all-or-nothing: a
     /// registry is only returned when every manifest entry decoded and validated.
     pub fn open_dir(dir: impl AsRef<Path>) -> std::result::Result<Self, StoreError> {
-        let store = Store::open(dir)?;
+        Self::open_dir_from(Store::open(dir)?)
+    }
+
+    /// [`IndexRegistry::open_dir`] with an explicit [`LoadMode`]: `LoadMode::Mmap`
+    /// maps every snapshot file and restores the indexes **zero-copy** — the arrays
+    /// become views into the mappings, making cold start nearly free and sharing the
+    /// bytes (via the page cache) with every other process serving the same store.
+    /// Loaded indexes answer bit-identically under either mode.
+    pub fn open_dir_with(
+        dir: impl AsRef<Path>,
+        mode: LoadMode,
+    ) -> std::result::Result<Self, StoreError> {
+        Self::open_dir_from(Store::open_with(dir, mode)?)
+    }
+
+    fn open_dir_from(store: Store) -> std::result::Result<Self, StoreError> {
         let registry = Self::new();
         for (name, entry) in store.load_entries()? {
             match entry {

@@ -40,6 +40,23 @@ impl Engine {
         Ok(Self { registry: IndexRegistry::open_dir(dir)?, executor: BatchExecutor::new(threads) })
     }
 
+    /// [`Engine::from_store`] with an explicit [`p2h_store::LoadMode`]:
+    /// `LoadMode::Mmap` cold-starts by memory-mapping the snapshot files and serving
+    /// the index arrays zero-copy out of the mappings (bit-identical answers, near-free
+    /// startup, bytes shared between processes via the page cache). The default
+    /// [`Engine::from_store`] resolves the mode from the `P2H_STORE_MMAP` environment
+    /// variable.
+    pub fn from_store_with(
+        dir: impl AsRef<std::path::Path>,
+        threads: usize,
+        mode: p2h_store::LoadMode,
+    ) -> std::result::Result<Self, p2h_store::StoreError> {
+        Ok(Self {
+            registry: IndexRegistry::open_dir_with(dir, mode)?,
+            executor: BatchExecutor::new(threads),
+        })
+    }
+
     /// The index registry (register/lookup/remove indexes here).
     pub fn registry(&self) -> &IndexRegistry {
         &self.registry

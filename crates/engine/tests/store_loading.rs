@@ -141,3 +141,51 @@ fn open_dir_surfaces_store_errors() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn mmap_cold_start_serves_bit_identically_to_copy() {
+    use p2h_store::LoadMode;
+    let dir = temp_dir("mmap-cold-start");
+    let ps = dataset(3_000, 10);
+    let queries: Vec<HyperplaneQuery> =
+        generate_queries(&ps, 24, QueryDistribution::DataDifference, 11).unwrap();
+    let request = BatchRequest::new(queries, SearchParams::exact(10));
+
+    let store = Store::create(&dir).unwrap();
+    store.save("ball", &BallTreeBuilder::new(48).with_seed(7).build(&ps).unwrap()).unwrap();
+    store.save("bc", &BcTreeBuilder::new(48).with_seed(7).build(&ps).unwrap()).unwrap();
+    store.save("scan", &LinearScan::new(ps.clone())).unwrap();
+    ShardedIndexBuilder::new(
+        Partitioner::Hash { shards: 3 },
+        ShardIndexKind::BcTree { leaf_size: 48 },
+    )
+    .with_seed(7)
+    .build(&ps)
+    .unwrap()
+    .save_into(&store, "sharded")
+    .unwrap();
+
+    // The same store cold-started under both loaders: every served batch (including
+    // the shard-parallel path) is bit-identical.
+    let copy = Engine::from_store_with(&dir, 2, LoadMode::Copy).unwrap();
+    let mmap = Engine::from_store_with(&dir, 2, LoadMode::Mmap).unwrap();
+    assert_eq!(copy.registry().names(), mmap.registry().names());
+    for name in copy.registry().names() {
+        let a = copy.serve(&name, &request).unwrap();
+        let b = mmap.serve(&name, &request).unwrap();
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.neighbors.len(), y.neighbors.len(), "index {name}");
+            for (m, n) in x.neighbors.iter().zip(&y.neighbors) {
+                assert_eq!(m.index, n.index, "index {name}");
+                assert_eq!(m.distance.to_bits(), n.distance.to_bits(), "index {name}");
+            }
+        }
+    }
+    let a = copy.serve_sharded("sharded", &request).unwrap();
+    let b = mmap.serve_sharded("sharded", &request).unwrap();
+    for (x, y) in a.results.iter().zip(&b.results) {
+        assert_eq!(x.neighbors, y.neighbors);
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -4,7 +4,7 @@ use std::time::Instant;
 
 use p2h_core::{
     distance, HyperplaneQuery, P2hIndex, PointSet, Result, Scalar, SearchParams, SearchResult,
-    SearchStats, TopKCollector,
+    SearchStats, TopKCollector, VecBuf,
 };
 
 use crate::projections::ProjectionTables;
@@ -49,8 +49,9 @@ impl FhParams {
 /// One norm-based partition of the transformed data.
 #[derive(Debug, Clone)]
 struct Partition {
-    /// Global point ids belonging to this partition.
-    ids: Vec<u32>,
+    /// Global point ids belonging to this partition (owned or mapped; snapshot loaders
+    /// restore these zero-copy from the mapped region).
+    ids: VecBuf<u32>,
     /// Sorted projection tables over the partition's transformed vectors
     /// (local id = index into `ids`).
     tables: ProjectionTables,
@@ -110,7 +111,7 @@ impl FhIndex {
                 params.seed.wrapping_add(partitions.len() as u64 + 1),
                 |local| transform.transform_data(points.point(ids[local] as usize)),
             );
-            partitions.push(Partition { ids, tables });
+            partitions.push(Partition { ids: ids.into(), tables });
         }
 
         Ok(Self { points: points.clone(), transform, partitions, params })
@@ -134,7 +135,7 @@ impl FhIndex {
     pub fn from_parts(
         points: PointSet,
         transform: QuadraticTransform,
-        partitions: Vec<(Vec<u32>, ProjectionTables)>,
+        partitions: Vec<(VecBuf<u32>, ProjectionTables)>,
         params: FhParams,
     ) -> Result<Self> {
         use p2h_core::Error;
@@ -175,7 +176,7 @@ impl FhIndex {
                     tables.table_count()
                 )));
             }
-            for &id in ids {
+            for &id in ids.iter() {
                 let id = id as usize;
                 if id >= n || seen[id] {
                     return Err(Error::Corrupt(
@@ -247,10 +248,7 @@ impl P2hIndex for FhIndex {
     }
 
     fn index_size_bytes(&self) -> usize {
-        self.partitions
-            .iter()
-            .map(|p| p.tables.size_bytes() + p.ids.len() * std::mem::size_of::<u32>())
-            .sum::<usize>()
+        self.partitions.iter().map(|p| p.tables.size_bytes() + p.ids.heap_bytes()).sum::<usize>()
             + std::mem::size_of::<Self>()
     }
 
@@ -281,6 +279,10 @@ impl P2hIndex for FhIndex {
         // it has appeared near the projection extremes in `collision_threshold` tables.
         let threshold = self.params.collision_threshold.clamp(1, self.params.tables) as u16;
         let mut collisions = vec![0u16; self.points.len()];
+        // Resolve the buffer-backed point payload once (see NH: mapped `VecBuf`
+        // derefs must stay out of the per-candidate loop).
+        let flat = self.points.as_flat();
+        let dim = self.points.dim();
         let mut active = true;
         // Round-robin over partitions so each contributes candidates evenly.
         while active && stats.candidates_verified < limit {
@@ -303,7 +305,7 @@ impl P2hIndex for FhIndex {
                 }
 
                 let verify_timer = timing.then(Instant::now);
-                let dist = query.p2h_distance(self.points.point(id));
+                let dist = query.p2h_distance(&flat[id * dim..(id + 1) * dim]);
                 stats.inner_products += 1;
                 stats.candidates_verified += 1;
                 collector.offer(id, dist);

@@ -241,6 +241,11 @@ impl P2hIndex for NhIndex {
         // it has appeared close to the query projection in `collision_threshold` tables.
         let threshold = self.params.collision_threshold.clamp(1, self.params.tables) as u16;
         let mut collisions = vec![0u16; self.points.len()];
+        // Resolve the buffer-backed point payload once: a mapped `VecBuf` pays a
+        // dynamic-dispatch slice resolution per deref, which must stay out of the
+        // per-candidate loop.
+        let flat = self.points.as_flat();
+        let dim = self.points.dim();
         loop {
             if stats.candidates_verified >= limit {
                 break;
@@ -258,7 +263,7 @@ impl P2hIndex for NhIndex {
             }
 
             let verify_timer = timing.then(Instant::now);
-            let dist = query.p2h_distance(self.points.point(id));
+            let dist = query.p2h_distance(&flat[id * dim..(id + 1) * dim]);
             stats.inner_products += 1;
             stats.candidates_verified += 1;
             collector.offer(id, dist);

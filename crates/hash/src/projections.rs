@@ -14,16 +14,27 @@ use std::collections::BinaryHeap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use p2h_core::{distance, Scalar};
+use p2h_core::{distance, Scalar, VecBuf};
 
 /// A set of `m` sorted random-projection tables over vectors of a fixed dimensionality.
+///
+/// The tables are stored struct-of-arrays: one flat buffer of sorted projection values
+/// and one flat buffer of the matching point ids, each `m × n` in table-major order
+/// (table `t` owns `t·n .. (t+1)·n`). All three arrays are [`VecBuf`]s, so a snapshot
+/// loader can restore them zero-copy from a memory-mapped region; the split layout is
+/// what makes that possible (an interleaved `(f32, u32)` pair array has no stable
+/// castable layout).
 #[derive(Debug, Clone)]
 pub struct ProjectionTables {
     dim: usize,
+    /// Number of indexed vectors per table.
+    len: usize,
     /// `m · dim` direction components (each direction has unit expected norm).
-    directions: Vec<Scalar>,
-    /// One sorted `(projection value, point id)` array per direction.
-    tables: Vec<Vec<(Scalar, u32)>>,
+    directions: VecBuf<Scalar>,
+    /// `m · len` sorted projection values, table-major.
+    values: VecBuf<Scalar>,
+    /// `m · len` point ids aligned with `values`.
+    ids: VecBuf<u32>,
 }
 
 impl ProjectionTables {
@@ -49,54 +60,64 @@ impl ProjectionTables {
                 table.push((distance::dot(dir, &v), i as u32));
             }
         }
+        let mut values = Vec::with_capacity(m * n);
+        let mut ids = Vec::with_capacity(m * n);
         for table in &mut tables {
             table.sort_by(|a, b| a.0.total_cmp(&b.0));
+            values.extend(table.iter().map(|&(v, _)| v));
+            ids.extend(table.iter().map(|&(_, id)| id));
         }
-        Self { dim, directions, tables }
+        Self { dim, len: n, directions: directions.into(), values: values.into(), ids: ids.into() }
     }
 
-    /// Reassembles projection tables from their constituent arrays — the inverse of
-    /// reading [`ProjectionTables::directions`] and [`ProjectionTables::tables`] off a
-    /// built instance. This is the load path for persistent snapshots: the arrays are
-    /// restored verbatim, so the reassembled tables stream candidates identically.
+    /// Reassembles projection tables from their constituent flat arrays — the inverse
+    /// of reading [`ProjectionTables::directions`], [`ProjectionTables::values`], and
+    /// [`ProjectionTables::ids`] off a built instance. This is the load path for
+    /// persistent snapshots: the arrays are restored verbatim (owned or mapped), so
+    /// the reassembled tables stream candidates identically.
     ///
     /// # Errors
     ///
     /// Returns [`p2h_core::Error::Corrupt`] (never panics) if the arrays are
-    /// inconsistent: a direction buffer that is not `m × dim`, tables of unequal
-    /// length, entries out of sort order, or ids that are not a permutation of the
-    /// indexed vectors (the candidate streams assume each id appears exactly once per
-    /// table).
+    /// inconsistent: a direction buffer that is not a multiple of `dim`, value/id
+    /// buffers that are not `m × n`, entries out of sort order, or ids that are not a
+    /// permutation of the indexed vectors per table (the candidate streams assume each
+    /// id appears exactly once per table).
     pub fn from_parts(
         dim: usize,
-        directions: Vec<Scalar>,
-        tables: Vec<Vec<(Scalar, u32)>>,
+        directions: impl Into<VecBuf<Scalar>>,
+        len: usize,
+        values: impl Into<VecBuf<Scalar>>,
+        ids: impl Into<VecBuf<u32>>,
     ) -> p2h_core::Result<Self> {
         use p2h_core::Error;
-        if dim == 0 || tables.is_empty() {
-            return Err(Error::Corrupt("projection tables need dim ≥ 1 and m ≥ 1".into()));
-        }
-        if directions.len() != tables.len() * dim {
+        let directions = directions.into();
+        let values = values.into();
+        let ids = ids.into();
+        if dim == 0 || directions.is_empty() || !directions.len().is_multiple_of(dim) {
             return Err(Error::Corrupt(format!(
-                "direction buffer has {} scalars for {} tables of dim {dim}",
-                directions.len(),
-                tables.len()
+                "direction buffer has {} scalars, not a positive multiple of dim {dim}",
+                directions.len()
             )));
         }
-        let n = tables[0].len();
+        let m = directions.len() / dim;
+        let n = len;
+        if n == 0 || values.len() != m * n || ids.len() != m * n {
+            return Err(Error::Corrupt(format!(
+                "projection buffers hold {} values / {} ids for {m} tables of {n} vectors",
+                values.len(),
+                ids.len()
+            )));
+        }
         let mut seen = vec![false; n];
-        for table in &tables {
-            if table.len() != n {
-                return Err(Error::Corrupt(format!(
-                    "projection tables have unequal lengths ({} vs {n})",
-                    table.len()
-                )));
-            }
-            if table.windows(2).any(|w| w[0].0.total_cmp(&w[1].0) == std::cmp::Ordering::Greater) {
+        for t in 0..m {
+            let table_values = &values[t * n..(t + 1) * n];
+            if table_values.windows(2).any(|w| w[0].total_cmp(&w[1]) == std::cmp::Ordering::Greater)
+            {
                 return Err(Error::Corrupt("projection table is not sorted".into()));
             }
             seen.iter_mut().for_each(|s| *s = false);
-            for &(_, id) in table {
+            for &id in &ids[t * n..(t + 1) * n] {
                 let id = id as usize;
                 if id >= n || seen[id] {
                     return Err(Error::Corrupt(
@@ -106,12 +127,12 @@ impl ProjectionTables {
                 seen[id] = true;
             }
         }
-        Ok(Self { dim, directions, tables })
+        Ok(Self { dim, len: n, directions, values, ids })
     }
 
     /// Number of projection tables `m`.
     pub fn table_count(&self) -> usize {
-        self.tables.len()
+        self.directions.len() / self.dim
     }
 
     /// Dimensionality of the projected vectors.
@@ -120,20 +141,37 @@ impl ProjectionTables {
     }
 
     /// The flat `m × dim` direction buffer (table `t` owns rows `t·dim .. (t+1)·dim`).
-    /// Exposed (with [`ProjectionTables::tables`]) so persistence layers can serialize
-    /// the tables without re-projecting the data.
+    /// Exposed (with the value/id buffers) so persistence layers can serialize the
+    /// tables without re-projecting the data.
     pub fn directions(&self) -> &[Scalar] {
         &self.directions
     }
 
-    /// The sorted `(projection value, point id)` arrays, one per table.
-    pub fn tables(&self) -> &[Vec<(Scalar, u32)>] {
-        &self.tables
+    /// The flat `m × n` sorted projection values, table-major.
+    pub fn values(&self) -> &[Scalar] {
+        &self.values
+    }
+
+    /// The flat `m × n` point ids aligned with [`ProjectionTables::values`].
+    pub fn ids(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// The sorted projection values of table `t`.
+    #[inline]
+    pub fn table_values(&self, t: usize) -> &[Scalar] {
+        &self.values[t * self.len..(t + 1) * self.len]
+    }
+
+    /// The point ids of table `t`, aligned with [`ProjectionTables::table_values`].
+    #[inline]
+    pub fn table_ids(&self, t: usize) -> &[u32] {
+        &self.ids[t * self.len..(t + 1) * self.len]
     }
 
     /// Number of indexed vectors.
     pub fn len(&self) -> usize {
-        self.tables.first().map_or(0, Vec::len)
+        self.len
     }
 
     /// Whether the tables are empty.
@@ -144,19 +182,17 @@ impl ProjectionTables {
     /// Projects a query vector onto every table direction.
     pub fn project(&self, v: &[Scalar]) -> Vec<Scalar> {
         debug_assert_eq!(v.len(), self.dim);
-        (0..self.tables.len())
+        (0..self.table_count())
             .map(|t| distance::dot(&self.directions[t * self.dim..(t + 1) * self.dim], v))
             .collect()
     }
 
-    /// Memory used by the tables and directions in bytes.
+    /// Heap memory owned by the tables and directions in bytes (mapped buffers count
+    /// 0 — their bytes belong to the shared snapshot region).
     pub fn size_bytes(&self) -> usize {
-        self.directions.len() * std::mem::size_of::<Scalar>()
-            + self
-                .tables
-                .iter()
-                .map(|t| t.len() * std::mem::size_of::<(Scalar, u32)>())
-                .sum::<usize>()
+        self.directions.heap_bytes()
+            + self.values.heap_bytes()
+            + self.ids.heap_bytes()
             + std::mem::size_of::<Self>()
     }
 
@@ -212,7 +248,14 @@ impl Ord for HeapEntry {
 /// and [`ProjectionTables::furthest_candidates`]).
 #[derive(Debug)]
 pub struct CandidateStream<'a> {
-    tables: &'a [Vec<(Scalar, u32)>],
+    /// Flat sorted projection values, resolved once from the (possibly mapped)
+    /// buffer — per-probe derefs of a mapped `VecBuf` would pay a dynamic dispatch
+    /// in the hottest hashing loop.
+    values: &'a [Scalar],
+    /// Flat point ids aligned with `values`.
+    ids: &'a [u32],
+    /// Vectors per table.
+    n: usize,
     query_projections: Vec<Scalar>,
     order: ProbeOrder,
     /// Per (table, side) cursor: the index of the *next* entry to emit.
@@ -226,19 +269,21 @@ impl<'a> CandidateStream<'a> {
     fn new(tables: &'a ProjectionTables, query_projections: &[Scalar], order: ProbeOrder) -> Self {
         assert_eq!(query_projections.len(), tables.table_count());
         let mut stream = Self {
-            tables: &tables.tables,
+            values: tables.values(),
+            ids: tables.ids(),
+            n: tables.len(),
             query_projections: query_projections.to_vec(),
             order,
             cursors: Vec::with_capacity(tables.table_count()),
             heap: BinaryHeap::with_capacity(tables.table_count() * 2),
             probes: 0,
         };
-        for (t, table) in stream.tables.iter().enumerate() {
-            let n = table.len() as isize;
+        let n = tables.len() as isize;
+        for t in 0..tables.table_count() {
             let cursors = match order {
                 ProbeOrder::Nearest => {
                     let qp = stream.query_projections[t];
-                    let pos = table.partition_point(|&(v, _)| v < qp) as isize;
+                    let pos = stream.table_values(t).partition_point(|&v| v < qp) as isize;
                     [pos - 1, pos]
                 }
                 ProbeOrder::Furthest => [0, n - 1],
@@ -251,6 +296,11 @@ impl<'a> CandidateStream<'a> {
         stream
     }
 
+    #[inline]
+    fn table_values(&self, t: usize) -> &'a [Scalar] {
+        &self.values[t * self.n..(t + 1) * self.n]
+    }
+
     /// Number of probe steps performed so far.
     pub fn probes(&self) -> u64 {
         self.probes
@@ -259,11 +309,11 @@ impl<'a> CandidateStream<'a> {
     fn push_cursor(&mut self, table: u32, side: u8) {
         let t = table as usize;
         let idx = self.cursors[t][side as usize];
-        let tbl = &self.tables[t];
-        if idx < 0 || idx >= tbl.len() as isize {
+        let values = self.table_values(t);
+        if idx < 0 || idx >= values.len() as isize {
             return;
         }
-        let gap = (tbl[idx as usize].0 - self.query_projections[t]).abs();
+        let gap = (values[idx as usize] - self.query_projections[t]).abs();
         let priority = match self.order {
             ProbeOrder::Nearest => -gap,
             ProbeOrder::Furthest => gap,
@@ -288,7 +338,7 @@ impl Iterator for CandidateStream<'_> {
                 continue;
             }
             self.probes += 1;
-            let id = self.tables[t][idx as usize].1;
+            let id = self.ids[t * self.n + idx as usize];
             // Advance the cursor: outward for nearest (left decreases, right increases),
             // inward for furthest (left increases, right decreases).
             let delta: isize = match (self.order, side) {

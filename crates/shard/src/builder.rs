@@ -120,6 +120,7 @@ impl ShardedIndexBuilder {
             };
             shards.push(shard);
         }
+        let id_maps = id_maps.into_iter().map(Into::into).collect();
         ShardedIndex::from_parts(shards, id_maps, self.partitioner, self.seed)
     }
 }

@@ -4,6 +4,7 @@ use std::time::Instant;
 
 use p2h_core::{
     HyperplaneQuery, Neighbor, P2hIndex, QueryScratch, SearchParams, SearchResult, SearchStats,
+    VecBuf,
 };
 use p2h_store::LoadedIndex;
 
@@ -27,8 +28,9 @@ use crate::partition::Partitioner;
 pub struct ShardedIndex {
     shards: Vec<LoadedIndex>,
     /// `id_maps[s][local] = global`; strictly increasing per shard, disjoint cover of
-    /// `0..total_len` across shards.
-    id_maps: Vec<Vec<u32>>,
+    /// `0..total_len` across shards. Buffer-backed: zero-copy views of the map file
+    /// when the group was cold-started under `LoadMode::Mmap`.
+    id_maps: Vec<VecBuf<u32>>,
     partitioner: Partitioner,
     build_seed: u64,
     dim: usize,
@@ -47,7 +49,7 @@ impl ShardedIndex {
     /// disjoint cover of `0..n`.
     pub fn from_parts(
         shards: Vec<LoadedIndex>,
-        id_maps: Vec<Vec<u32>>,
+        id_maps: Vec<VecBuf<u32>>,
         partitioner: Partitioner,
         build_seed: u64,
     ) -> p2h_core::Result<Self> {
@@ -60,7 +62,7 @@ impl ShardedIndex {
             )));
         }
         let dim = shards[0].as_index().dim();
-        let total_len: usize = id_maps.iter().map(Vec::len).sum();
+        let total_len: usize = id_maps.iter().map(|ids| ids.len()).sum();
         let mut seen = vec![false; total_len];
         for (ordinal, (shard, ids)) in shards.iter().zip(&id_maps).enumerate() {
             let index = shard.as_index();
@@ -78,7 +80,7 @@ impl ShardedIndex {
                 )));
             }
             let mut prev: Option<u32> = None;
-            for &id in ids {
+            for &id in ids.iter() {
                 if prev.is_some_and(|p| p >= id) {
                     return Err(Error::Corrupt(format!(
                         "shard {ordinal} id map is not strictly increasing"
@@ -128,7 +130,7 @@ impl ShardedIndex {
     }
 
     /// All id maps, in shard-ordinal order.
-    pub fn id_maps(&self) -> &[Vec<u32>] {
+    pub fn id_maps(&self) -> &[VecBuf<u32>] {
         &self.id_maps
     }
 
@@ -314,7 +316,7 @@ mod tests {
 
         let ok = ShardedIndex::from_parts(
             vec![shard0(), shard1()],
-            vec![vec![0, 2], vec![1, 3]],
+            vec![vec![0, 2].into(), vec![1, 3].into()],
             partitioner,
             0,
         )
@@ -329,7 +331,7 @@ mod tests {
         // Mismatched id-map count.
         assert!(ShardedIndex::from_parts(
             vec![shard0(), shard1()],
-            vec![vec![0, 1]],
+            vec![vec![0, 1].into()],
             partitioner,
             0
         )
@@ -337,7 +339,7 @@ mod tests {
         // Wrong per-shard length.
         assert!(ShardedIndex::from_parts(
             vec![shard0(), shard1()],
-            vec![vec![0], vec![1, 2, 3]],
+            vec![vec![0].into(), vec![1, 2, 3].into()],
             partitioner,
             0
         )
@@ -345,7 +347,7 @@ mod tests {
         // Duplicate global id.
         assert!(ShardedIndex::from_parts(
             vec![shard0(), shard1()],
-            vec![vec![0, 1], vec![1, 3]],
+            vec![vec![0, 1].into(), vec![1, 3].into()],
             partitioner,
             0
         )
@@ -353,7 +355,7 @@ mod tests {
         // Out-of-order ids.
         assert!(ShardedIndex::from_parts(
             vec![shard0(), shard1()],
-            vec![vec![2, 0], vec![1, 3]],
+            vec![vec![2, 0].into(), vec![1, 3].into()],
             partitioner,
             0
         )
@@ -361,7 +363,7 @@ mod tests {
         // Out-of-range id.
         assert!(ShardedIndex::from_parts(
             vec![shard0(), shard1()],
-            vec![vec![0, 7], vec![1, 3]],
+            vec![vec![0, 7].into(), vec![1, 3].into()],
             partitioner,
             0
         )
@@ -376,7 +378,7 @@ mod tests {
         ];
         let sharded = ShardedIndex::from_parts(
             shards,
-            vec![vec![0, 2, 4], vec![1, 3, 5]],
+            vec![vec![0, 2, 4].into(), vec![1, 3, 5].into()],
             Partitioner::Hash { shards: 2 },
             0,
         )

@@ -293,3 +293,77 @@ fn list_p2hs(dir: &std::path::Path) -> Vec<String> {
     files.sort();
     files
 }
+
+// ---------------------------------------------------------------------------
+// Zero-copy (LoadMode::Mmap) shard groups
+// ---------------------------------------------------------------------------
+
+/// Bit-level equality of two indexes over a query batch (ids + distance bits).
+fn assert_answers_identical(a: &dyn P2hIndex, b: &dyn P2hIndex, points: &PointSet, seed: u64) {
+    let queries = generate_queries(points, 8, QueryDistribution::DataDifference, seed).unwrap();
+    for params in [SearchParams::exact(10), SearchParams::approximate(10, points.len() / 2)] {
+        for query in &queries {
+            let ra = a.search(query, &params);
+            let rb = b.search(query, &params);
+            assert_eq!(ra.neighbors.len(), rb.neighbors.len());
+            for (x, y) in ra.neighbors.iter().zip(&rb.neighbors) {
+                assert_eq!(x.index, y.index);
+                assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn shard_groups_cold_start_zero_copy_under_mmap() {
+    use p2h_store::LoadMode;
+    let dir = temp_dir("mmap-group");
+    let points = dataset(1_000, 8);
+    let sharded = build_sharded(&points, 3);
+    let store = Store::create(&dir).unwrap();
+    sharded.save_into(&store, "g").unwrap();
+
+    let copied = ShardedIndex::load_from(&store.clone().with_mode(LoadMode::Copy), "g").unwrap();
+    let mapped = ShardedIndex::load_from(&store.with_mode(LoadMode::Mmap), "g").unwrap();
+    // One region per epoch file: every shard's points view its own snapshot mapping.
+    assert_eq!(mapped.shard_count(), copied.shard_count());
+    assert_answers_identical(&copied, &mapped, &points, 21);
+    assert_answers_identical(&sharded, &mapped, &points, 22);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(5))]
+
+    /// `LoadMode::Mmap` ≡ `LoadMode::Copy` ≡ the in-memory original, bit-identically,
+    /// across shard counts and both partitioners (the single-index half of this
+    /// property lives in `p2h-store`'s zero-copy suite).
+    #[test]
+    fn mmap_equals_copy_for_shard_groups(
+        shards in 1usize..6,
+        partitioner_kind in 0usize..2,
+        seed in 0u64..500,
+    ) {
+        use p2h_store::LoadMode;
+        let dir = temp_dir(&format!("mmap-prop-{shards}-{partitioner_kind}-{seed}"));
+        let points = dataset(600, 6);
+        let partitioner = if partitioner_kind == 1 {
+            Partitioner::Hash { shards }
+        } else {
+            Partitioner::Contiguous { shards }
+        };
+        let sharded =
+            ShardedIndexBuilder::new(partitioner, ShardIndexKind::BcTree { leaf_size: 24 })
+                .with_seed(seed)
+                .build(&points)
+                .unwrap();
+        let store = Store::create(&dir).unwrap();
+        sharded.save_into(&store, "g").unwrap();
+        let copied =
+            ShardedIndex::load_from(&store.clone().with_mode(LoadMode::Copy), "g").unwrap();
+        let mapped = ShardedIndex::load_from(&store.with_mode(LoadMode::Mmap), "g").unwrap();
+        assert_answers_identical(&sharded, &copied, &points, seed ^ 1);
+        assert_answers_identical(&copied, &mapped, &points, seed ^ 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

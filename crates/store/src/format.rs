@@ -1,42 +1,61 @@
 //! The versioned snapshot container format: header, checksummed sections, and the
 //! typed errors every malformed input maps to.
 //!
-//! A snapshot is a single file (see `docs/SNAPSHOT_FORMAT.md` for the byte-level spec):
+//! A snapshot is a single file (see `docs/SNAPSHOT_FORMAT.md` for the byte-level spec).
+//! The current container is **format version 2**:
 //!
 //! ```text
 //! header   magic "P2HS" · format version u16 · index-kind tag u8 · reserved u8
-//!          · section count u32                                   (12 bytes)
+//!          · section count u32 · reserved u32 (zero)             (16 bytes)
 //! section  tag [4 ASCII bytes] · payload length u64 · CRC32 u32  (16 bytes)
-//!          · payload
-//! …        (sections repeat, back to back; nothing may follow the last one)
+//!          · payload · zero padding to the next 8-byte boundary
+//! …        (sections repeat; nothing may follow the last one)
 //! ```
+//!
+//! Because the v2 header is 16 bytes, section headers are 16 bytes, and every payload
+//! is padded to a multiple of 8, **every section payload starts on an 8-byte boundary
+//! of the file**. That is the property the zero-copy loader relies on: a memory-mapped
+//! snapshot can serve its `f32`/`u32` arrays as typed slices directly (mmap bases are
+//! page-aligned, so file alignment is absolute alignment). Format version 1 (12-byte
+//! header, no padding) is still read — via the copying path only.
 //!
 //! All integers are little-endian. Every section payload is covered by its CRC32, so a
 //! flipped bit anywhere in the tree arrays is caught at load time instead of silently
 //! corrupting search results. The reader is hardened against hostile input: truncation,
-//! bad magic, unknown versions or kinds, checksum mismatches, and `dim × count` size
-//! overflows all return a typed [`StoreError`] — never a panic, never an unbounded
-//! allocation (payload reads are bounded by the actual file size before any `Vec` is
-//! reserved).
+//! bad magic, unknown versions or kinds, checksum mismatches, misaligned/nonzero
+//! padding, and `dim × count` size overflows all return a typed [`StoreError`] — never
+//! a panic, never an unbounded allocation (payload reads are bounded by the actual file
+//! size before any `Vec` is reserved), and never an unaligned typed cast.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-use p2h_core::Scalar;
+use p2h_core::{BufBacking, Scalar, VecBuf};
 
 use crate::crc32::crc32;
+use crate::mmap::MmapRegion;
 
 /// Magic bytes opening every snapshot file.
 pub const MAGIC: [u8; 4] = *b"P2HS";
 
-/// The current (and only) container format version.
-pub const FORMAT_VERSION: u16 = 1;
+/// The current container format version (aligned sections, zero-copy loadable).
+pub const FORMAT_VERSION: u16 = 2;
 
-/// Byte length of the file header.
-pub const HEADER_LEN: usize = 12;
+/// The legacy container version (unaligned; still readable via the copying path).
+pub const FORMAT_VERSION_V1: u16 = 1;
 
-/// Byte length of a section header.
+/// Byte length of the current (v2) file header.
+pub const HEADER_LEN: usize = 16;
+
+/// Byte length of the legacy (v1) file header.
+pub const HEADER_LEN_V1: usize = 12;
+
+/// Byte length of a section header (both versions).
 pub const SECTION_HEADER_LEN: usize = 16;
+
+/// Alignment every v2 section payload is padded to.
+pub const SECTION_ALIGN: usize = 8;
 
 /// Which index type a snapshot holds, stored as a one-byte tag in the header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -177,6 +196,15 @@ pub enum StoreError {
         /// Number of unconsumed bytes.
         count: usize,
     },
+    /// A v2 section violates the 8-byte alignment rules: nonzero padding bytes, or an
+    /// array that would require an unaligned typed view. The loader refuses rather
+    /// than perform an unaligned cast.
+    Misaligned {
+        /// Tag of the offending section.
+        section: [u8; 4],
+        /// Absolute byte offset of the violation.
+        offset: usize,
+    },
     /// The decoded arrays failed the index's structural validation (see
     /// [`p2h_balltree::validate_structure`]), or a `PointSet` could not be formed.
     Invalid(p2h_core::Error),
@@ -247,6 +275,11 @@ impl fmt::Display for StoreError {
             StoreError::TrailingBytes { count } => {
                 write!(f, "{count} trailing bytes after the last section")
             }
+            StoreError::Misaligned { section, offset } => write!(
+                f,
+                "section `{}` violates the 8-byte alignment rules at offset {offset}",
+                String::from_utf8_lossy(section)
+            ),
             StoreError::Invalid(err) => write!(f, "invalid index data: {err}"),
             StoreError::Manifest { line, message } => {
                 write!(f, "malformed MANIFEST (line {line}): {message}")
@@ -296,16 +329,36 @@ pub(crate) fn io_error(path: &Path, err: std::io::Error) -> StoreError {
 // ---------------------------------------------------------------------------
 
 /// Assembles a snapshot byte buffer: fixed header followed by checksummed sections.
+///
+/// Writes the current format (v2: 16-byte header, payloads zero-padded to 8 bytes so
+/// every payload starts 8-aligned). [`SnapshotWriter::with_version`] can produce a
+/// legacy v1 container for compatibility tooling and tests.
 #[derive(Debug)]
 pub struct SnapshotWriter {
     kind: IndexKind,
+    version: u16,
     sections: Vec<([u8; 4], Vec<u8>)>,
 }
 
 impl SnapshotWriter {
-    /// Starts a snapshot of the given kind.
+    /// Starts a snapshot of the given kind in the current format version.
     pub fn new(kind: IndexKind) -> Self {
-        Self { kind, sections: Vec::new() }
+        Self::with_version(kind, FORMAT_VERSION)
+    }
+
+    /// Starts a snapshot in an explicit container version (v1 or v2). Section payload
+    /// *contents* are the caller's responsibility — index kinds whose payload layout
+    /// changed between versions (the projection tables) must write the matching one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `version` is not a known container version.
+    pub fn with_version(kind: IndexKind, version: u16) -> Self {
+        assert!(
+            version == FORMAT_VERSION || version == FORMAT_VERSION_V1,
+            "unknown container version {version}"
+        );
+        Self { kind, version, sections: Vec::new() }
     }
 
     /// Opens a new section and returns its payload buffer to append into. The length
@@ -319,18 +372,27 @@ impl SnapshotWriter {
     pub fn finish(self) -> Vec<u8> {
         let payload_total: usize = self.sections.iter().map(|(_, p)| p.len()).sum();
         let mut out = Vec::with_capacity(
-            HEADER_LEN + self.sections.len() * SECTION_HEADER_LEN + payload_total,
+            HEADER_LEN + self.sections.len() * (SECTION_HEADER_LEN + SECTION_ALIGN) + payload_total,
         );
         out.extend_from_slice(&MAGIC);
-        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.version.to_le_bytes());
         out.push(self.kind.tag());
         out.push(0); // reserved
         out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        if self.version >= 2 {
+            out.extend_from_slice(&[0u8; 4]); // reserved; pads the header to 16 bytes
+        }
         for (tag, payload) in &self.sections {
             out.extend_from_slice(tag);
             out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
             out.extend_from_slice(&crc32(payload).to_le_bytes());
             out.extend_from_slice(payload);
+            if self.version >= 2 {
+                // Zero padding keeps the next section header (and therefore the next
+                // payload) on an 8-byte boundary; the CRC covers the payload only.
+                let pad = out.len().next_multiple_of(SECTION_ALIGN) - out.len();
+                out.extend(std::iter::repeat_n(0u8, pad));
+            }
         }
         out
     }
@@ -376,7 +438,44 @@ pub mod wire {
 // Reading
 // ---------------------------------------------------------------------------
 
+/// The bytes a snapshot is decoded from: either a plain in-memory buffer (the copying
+/// loader) or a shared memory-mapped region (the zero-copy loader). Cheap to copy;
+/// decoding never clones the underlying bytes.
+#[derive(Debug, Clone, Copy)]
+pub enum SnapshotSource<'a> {
+    /// Decode by copying every array out of this buffer.
+    Bytes(&'a [u8]),
+    /// Decode zero-copy: arrays become [`VecBuf`] windows into the mapped region
+    /// (requires a v2 container; v1 inputs silently demote to the copying path).
+    Mapped(&'a Arc<MmapRegion>),
+}
+
+impl<'a> SnapshotSource<'a> {
+    /// The raw snapshot bytes.
+    pub fn bytes(&self) -> &'a [u8] {
+        match self {
+            SnapshotSource::Bytes(bytes) => bytes,
+            SnapshotSource::Mapped(region) => region.as_bytes(),
+        }
+    }
+
+    /// Demotes a mapped source to the copying path for container versions that cannot
+    /// guarantee payload alignment (v1). Bit-identical either way — only the backing
+    /// of the restored arrays differs.
+    pub(crate) fn for_version(self, version: u16) -> Self {
+        match self {
+            SnapshotSource::Mapped(_) if version < 2 => SnapshotSource::Bytes(self.bytes()),
+            other => other,
+        }
+    }
+}
+
 /// Parses the header of a snapshot buffer and walks its sections in order.
+///
+/// Reads both container versions: v2 (the current, aligned format) and the legacy v1.
+/// For v2, the reader consumes and verifies the zero padding after every payload, so a
+/// well-formed stream keeps every payload 8-aligned; crafted nonzero padding is a
+/// typed [`StoreError::Misaligned`].
 #[derive(Debug)]
 pub struct SnapshotReader<'a> {
     buf: &'a [u8],
@@ -384,7 +483,8 @@ pub struct SnapshotReader<'a> {
     sections_left: u32,
     /// Index kind declared in the header.
     pub kind: IndexKind,
-    /// Container version declared in the header (always [`FORMAT_VERSION`] today).
+    /// Container version declared in the header ([`FORMAT_VERSION`] or
+    /// [`FORMAT_VERSION_V1`]).
     pub version: u16,
 }
 
@@ -392,7 +492,7 @@ impl<'a> SnapshotReader<'a> {
     /// Parses the fixed header. Fails on short input, wrong magic, an unsupported
     /// version, or an unknown kind tag.
     pub fn new(buf: &'a [u8]) -> StoreResult<Self> {
-        if buf.len() < HEADER_LEN {
+        if buf.len() < HEADER_LEN_V1 {
             return Err(StoreError::Truncated { context: "file header" });
         }
         let mut magic = [0u8; 4];
@@ -401,18 +501,23 @@ impl<'a> SnapshotReader<'a> {
             return Err(StoreError::BadMagic { found: magic });
         }
         let version = u16::from_le_bytes([buf[4], buf[5]]);
-        if version != FORMAT_VERSION {
+        if version != FORMAT_VERSION && version != FORMAT_VERSION_V1 {
             return Err(StoreError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
             });
         }
+        let header_len = if version >= 2 { HEADER_LEN } else { HEADER_LEN_V1 };
+        if buf.len() < header_len {
+            return Err(StoreError::Truncated { context: "file header" });
+        }
         let kind = IndexKind::from_tag(buf[6]).ok_or(StoreError::UnknownKind(buf[6]))?;
         let sections_left = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
-        Ok(Self { buf, pos: HEADER_LEN, sections_left, kind, version })
+        Ok(Self { buf, pos: header_len, sections_left, kind, version })
     }
 
-    /// Reads the next section, which must carry `tag`, verifying its checksum.
+    /// Reads the next section, which must carry `tag`, verifying its checksum (and,
+    /// for v2, consuming and verifying the payload's zero padding).
     pub fn section(&mut self, tag: [u8; 4]) -> StoreResult<Payload<'a>> {
         if self.sections_left == 0 {
             return Err(StoreError::Truncated { context: "section count exhausted" });
@@ -444,8 +549,18 @@ impl<'a> SnapshotReader<'a> {
             });
         }
         self.pos = start + len;
+        if self.version >= 2 {
+            let pad = self.pos.next_multiple_of(SECTION_ALIGN) - self.pos;
+            if self.buf.len() - self.pos < pad {
+                return Err(StoreError::Truncated { context: "section padding" });
+            }
+            if self.buf[self.pos..self.pos + pad].iter().any(|&b| b != 0) {
+                return Err(StoreError::Misaligned { section: tag, offset: self.pos });
+            }
+            self.pos += pad;
+        }
         self.sections_left -= 1;
-        Ok(Payload { tag, data: payload, pos: 0 })
+        Ok(Payload { tag, data: payload, file_offset: start, pos: 0 })
     }
 
     /// Asserts that every declared section was read and nothing follows the last one.
@@ -465,6 +580,9 @@ impl<'a> SnapshotReader<'a> {
 pub struct Payload<'a> {
     tag: [u8; 4],
     data: &'a [u8],
+    /// Absolute byte offset of the payload start within the snapshot file — what the
+    /// zero-copy readers use to window a [`VecBuf`] into the mapped region.
+    file_offset: usize,
     pos: usize,
 }
 
@@ -542,6 +660,52 @@ impl<'a> Payload<'a> {
         self.take(len, context)
     }
 
+    /// Reads `len` scalars into an owned-or-mapped buffer. With a [`SnapshotSource::Bytes`]
+    /// source this copies (exactly [`Payload::get_f32_vec`]); with a mapped source it
+    /// returns a zero-copy [`VecBuf`] window into the region — after the usual bounds
+    /// checks, and rejecting any window that is not 4-byte aligned with a typed
+    /// [`StoreError::Misaligned`] (well-formed v2 files can never trigger this; it is
+    /// the guard in front of the typed cast).
+    pub fn get_f32_buf(
+        &mut self,
+        len: usize,
+        src: SnapshotSource<'_>,
+        context: &'static str,
+    ) -> StoreResult<VecBuf<Scalar>> {
+        match src {
+            SnapshotSource::Bytes(_) => Ok(self.get_f32_vec(len, context)?.into()),
+            SnapshotSource::Mapped(region) => self.map_buf(len, region, context),
+        }
+    }
+
+    /// Reads `len` `u32`s into an owned-or-mapped buffer (see [`Payload::get_f32_buf`]).
+    pub fn get_u32_buf(
+        &mut self,
+        len: usize,
+        src: SnapshotSource<'_>,
+        context: &'static str,
+    ) -> StoreResult<VecBuf<u32>> {
+        match src {
+            SnapshotSource::Bytes(_) => Ok(self.get_u32_vec(len, context)?.into()),
+            SnapshotSource::Mapped(region) => self.map_buf(len, region, context),
+        }
+    }
+
+    /// Shared zero-copy arm of the buffer readers: consumes `len` 4-byte elements from
+    /// the payload cursor and windows them out of the mapped region.
+    fn map_buf<T: p2h_core::BufElem>(
+        &mut self,
+        len: usize,
+        region: &Arc<MmapRegion>,
+        context: &'static str,
+    ) -> StoreResult<VecBuf<T>> {
+        let offset = self.file_offset + self.pos;
+        let bytes = len.checked_mul(4).ok_or(StoreError::Overflow { context })?;
+        self.take(bytes, context)?;
+        VecBuf::mapped(Arc::clone(region) as Arc<dyn BufBacking>, offset, len)
+            .map_err(|_| StoreError::Misaligned { section: self.tag, offset })
+    }
+
     /// Asserts the payload was consumed exactly.
     pub fn finish(self) -> StoreResult<()> {
         if self.pos != self.data.len() {
@@ -612,10 +776,11 @@ mod tests {
         let mut reader = SnapshotReader::new(&good).unwrap();
         assert!(matches!(reader.section(*b"PNTS"), Err(StoreError::SectionTagMismatch { .. })));
 
-        // Flipped payload bit → checksum mismatch.
+        // Flipped payload bit → checksum mismatch (first payload byte; the file may
+        // end in zero padding, which is covered by the alignment check instead).
         let mut corrupt = good.clone();
-        let last = corrupt.len() - 1;
-        corrupt[last] ^= 0x40;
+        let payload_start = HEADER_LEN + SECTION_HEADER_LEN;
+        corrupt[payload_start] ^= 0x40;
         let mut reader = SnapshotReader::new(&corrupt).unwrap();
         assert!(matches!(reader.section(*b"META"), Err(StoreError::ChecksumMismatch { .. })));
 

@@ -28,7 +28,7 @@
 //! ## Quick start
 //!
 //! ```no_run
-//! use p2h_store::{Snapshot, Store};
+//! use p2h_store::{LoadMode, Snapshot, Store};
 //! use p2h_balltree::{BallTree, BallTreeBuilder};
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! # let points = p2h_core::PointSet::augment(&[vec![0.0, 1.0], vec![2.0, 3.0]])?;
@@ -39,20 +39,37 @@
 //!
 //! // Serving: restore by name — no rebuild, bit-identical answers.
 //! let restored: BallTree = store.load("ball")?;
+//!
+//! // Zero-copy serving: memory-map the snapshots instead of copying them. The
+//! // restored arrays are views into the mapping (format v2 keeps them 8-byte
+//! // aligned); answers stay bit-identical and cold start is nearly free.
+//! let mapped: BallTree = store.with_mode(LoadMode::Mmap).load("ball")?;
+//! assert!(mapped.points().is_mapped());
 //! # Ok(()) }
 //! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+// All unsafe code of the storage layer lives in the single `mmap` module (the raw
+// mmap(2) externs and the checked [u8] → [f32]/[u32] casts); everything else is
+// enforced safe.
+#![deny(unsafe_code)]
 
 mod crc32;
 pub mod format;
+#[allow(unsafe_code)]
+mod mmap;
 mod snapshot;
 mod store;
 
 pub use crc32::crc32;
-pub use format::{IndexKind, StoreError, StoreResult, FORMAT_VERSION, MAGIC};
+pub use format::{
+    IndexKind, SnapshotSource, StoreError, StoreResult, FORMAT_VERSION, FORMAT_VERSION_V1, MAGIC,
+    SECTION_ALIGN,
+};
+pub use mmap::{LoadMode, MmapRegion};
 pub use snapshot::{snapshot_meta, Snapshot, SnapshotMeta};
 pub use store::{
     LoadedIndex, ShardGroup, ShardGroupMeta, Store, StoreEntry, MANIFEST_FILE, SNAPSHOT_EXT,
+    SWEEP_GRACE,
 };

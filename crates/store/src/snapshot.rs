@@ -13,12 +13,14 @@ use std::path::Path;
 
 use p2h_balltree::{BallTree, Node};
 use p2h_bctree::{BcTree, BcTreeParts, LeafPointAux};
-use p2h_core::{kernels, LinearScan, P2hIndex, PointSet, Scalar};
+use p2h_core::{kernels, LinearScan, P2hIndex, PointSet, Scalar, VecBuf};
 use p2h_hash::{FhIndex, FhParams, NhIndex, NhParams, ProjectionTables, QuadraticTransform};
 
 use crate::format::{
-    wire, IndexKind, Payload, SnapshotReader, SnapshotWriter, StoreError, StoreResult,
+    wire, IndexKind, Payload, SnapshotReader, SnapshotSource, SnapshotWriter, StoreError,
+    StoreResult,
 };
+use crate::mmap::{LoadMode, SourceOwner};
 
 /// Section tags of format version 1.
 pub(crate) mod tags {
@@ -57,17 +59,32 @@ pub trait Snapshot: P2hIndex + Sized {
     /// The index-kind tag this type writes into the snapshot header.
     const KIND: IndexKind;
 
-    /// Serializes the index into a self-contained snapshot byte buffer.
+    /// Serializes the index into a self-contained snapshot byte buffer (current
+    /// container version).
     fn encode_snapshot(&self) -> Vec<u8>;
 
-    /// Restores an index from snapshot bytes.
+    /// Restores an index from a decode source: either plain bytes (copying) or a
+    /// shared memory-mapped region, in which case every large array comes back as a
+    /// zero-copy [`p2h_core::VecBuf`] window into the mapping. Answers are
+    /// bit-identical either way; v1 containers silently demote a mapped source to the
+    /// copying path (their payloads are unaligned).
     ///
     /// # Errors
     ///
     /// Every malformed input returns a typed [`StoreError`] — truncation, bad magic,
-    /// wrong version, wrong kind, checksum mismatch, size overflow, or arrays that
-    /// fail the index's structural validation. No input can cause a panic.
-    fn decode_snapshot(bytes: &[u8]) -> StoreResult<Self>;
+    /// wrong version, wrong kind, checksum mismatch, misalignment, size overflow, or
+    /// arrays that fail the index's structural validation. No input can cause a panic
+    /// or an unaligned cast.
+    fn decode_snapshot_src(src: SnapshotSource<'_>) -> StoreResult<Self>;
+
+    /// Restores an index from snapshot bytes (the copying path).
+    ///
+    /// # Errors
+    ///
+    /// See [`Snapshot::decode_snapshot_src`].
+    fn decode_snapshot(bytes: &[u8]) -> StoreResult<Self> {
+        Self::decode_snapshot_src(SnapshotSource::Bytes(bytes))
+    }
 
     /// Writes the snapshot to `path` (via a `.tmp` sibling + rename, so a crashed
     /// writer never leaves a half-written file under the final name).
@@ -75,10 +92,16 @@ pub trait Snapshot: P2hIndex + Sized {
         write_file_atomically(path, &self.encode_snapshot())
     }
 
-    /// Reads and restores a snapshot from `path`.
+    /// Reads and restores a snapshot from `path` by copying.
     fn load_snapshot(path: &Path) -> StoreResult<Self> {
-        let bytes = fs::read(path).map_err(|e| crate::format::io_error(path, e))?;
-        Self::decode_snapshot(&bytes)
+        Self::load_snapshot_with(path, LoadMode::Copy)
+    }
+
+    /// Reads and restores a snapshot from `path` under an explicit [`LoadMode`]:
+    /// [`LoadMode::Mmap`] maps the file and restores the arrays zero-copy.
+    fn load_snapshot_with(path: &Path, mode: LoadMode) -> StoreResult<Self> {
+        let owner = SourceOwner::read(path, mode)?;
+        Self::decode_snapshot_src(owner.as_src())
     }
 }
 
@@ -165,12 +188,16 @@ fn expect_kind(reader: &SnapshotReader<'_>, expected: IndexKind) -> StoreResult<
     Ok(())
 }
 
-fn read_points(reader: &mut SnapshotReader<'_>, meta: &SnapshotMeta) -> StoreResult<PointSet> {
+fn read_points(
+    reader: &mut SnapshotReader<'_>,
+    meta: &SnapshotMeta,
+    src: SnapshotSource<'_>,
+) -> StoreResult<PointSet> {
     let scalars = checked_scalars(meta.dim, meta.count)?;
     let mut payload = reader.section(tags::PNTS)?;
-    let flat = payload.get_f32_vec(scalars, "PNTS payload")?;
+    let flat = payload.get_f32_buf(scalars, src, "PNTS payload")?;
     payload.finish()?;
-    let points = PointSet::from_flat(meta.dim, flat)?;
+    let points = PointSet::from_buf(meta.dim, flat)?;
     if points.len() != meta.count {
         return Err(StoreError::Invalid(p2h_core::Error::Corrupt(format!(
             "PNTS holds {} points, META declares {}",
@@ -181,9 +208,13 @@ fn read_points(reader: &mut SnapshotReader<'_>, meta: &SnapshotMeta) -> StoreRes
     Ok(points)
 }
 
-fn read_ids(reader: &mut SnapshotReader<'_>, meta: &SnapshotMeta) -> StoreResult<Vec<u32>> {
+fn read_ids(
+    reader: &mut SnapshotReader<'_>,
+    meta: &SnapshotMeta,
+    src: SnapshotSource<'_>,
+) -> StoreResult<VecBuf<u32>> {
     let mut payload = reader.section(tags::IDS)?;
-    let ids = payload.get_u32_vec(meta.count, "IDS payload")?;
+    let ids = payload.get_u32_buf(meta.count, src, "IDS payload")?;
     payload.finish()?;
     Ok(ids)
 }
@@ -217,10 +248,14 @@ fn read_nodes(reader: &mut SnapshotReader<'_>, meta: &SnapshotMeta) -> StoreResu
     Ok(nodes)
 }
 
-fn read_centers(reader: &mut SnapshotReader<'_>, meta: &SnapshotMeta) -> StoreResult<Vec<Scalar>> {
+fn read_centers(
+    reader: &mut SnapshotReader<'_>,
+    meta: &SnapshotMeta,
+    src: SnapshotSource<'_>,
+) -> StoreResult<VecBuf<Scalar>> {
     let scalars = checked_scalars(meta.dim, meta.node_count)?;
     let mut payload = reader.section(tags::CNTR)?;
-    let centers = payload.get_f32_vec(scalars, "CNTR payload")?;
+    let centers = payload.get_f32_buf(scalars, src, "CNTR payload")?;
     payload.finish()?;
     Ok(centers)
 }
@@ -244,11 +279,12 @@ impl Snapshot for LinearScan {
         writer.finish()
     }
 
-    fn decode_snapshot(bytes: &[u8]) -> StoreResult<Self> {
-        let mut reader = SnapshotReader::new(bytes)?;
+    fn decode_snapshot_src(src: SnapshotSource<'_>) -> StoreResult<Self> {
+        let mut reader = SnapshotReader::new(src.bytes())?;
+        let src = src.for_version(reader.version);
         expect_kind(&reader, Self::KIND)?;
         let meta = SnapshotMeta::read(reader.section(tags::META)?)?;
-        let points = read_points(&mut reader, &meta)?;
+        let points = read_points(&mut reader, &meta, src)?;
         reader.finish()?;
         Ok(LinearScan::new(points))
     }
@@ -275,14 +311,15 @@ impl Snapshot for BallTree {
         writer.finish()
     }
 
-    fn decode_snapshot(bytes: &[u8]) -> StoreResult<Self> {
-        let mut reader = SnapshotReader::new(bytes)?;
+    fn decode_snapshot_src(src: SnapshotSource<'_>) -> StoreResult<Self> {
+        let mut reader = SnapshotReader::new(src.bytes())?;
+        let src = src.for_version(reader.version);
         expect_kind(&reader, Self::KIND)?;
         let meta = SnapshotMeta::read(reader.section(tags::META)?)?;
-        let points = read_points(&mut reader, &meta)?;
-        let ids = read_ids(&mut reader, &meta)?;
+        let points = read_points(&mut reader, &meta, src)?;
+        let ids = read_ids(&mut reader, &meta, src)?;
         let nodes = read_nodes(&mut reader, &meta)?;
-        let centers = read_centers(&mut reader, &meta)?;
+        let centers = read_centers(&mut reader, &meta, src)?;
         reader.finish()?;
         // `from_parts` runs the full structural validation (ranges, partition,
         // permutation, adjacent sibling centers) and never panics on bad arrays.
@@ -319,16 +356,17 @@ impl Snapshot for BcTree {
         writer.finish()
     }
 
-    fn decode_snapshot(bytes: &[u8]) -> StoreResult<Self> {
-        let mut reader = SnapshotReader::new(bytes)?;
+    fn decode_snapshot_src(src: SnapshotSource<'_>) -> StoreResult<Self> {
+        let mut reader = SnapshotReader::new(src.bytes())?;
+        let src = src.for_version(reader.version);
         expect_kind(&reader, Self::KIND)?;
         let meta = SnapshotMeta::read(reader.section(tags::META)?)?;
-        let points = read_points(&mut reader, &meta)?;
-        let ids = read_ids(&mut reader, &meta)?;
+        let points = read_points(&mut reader, &meta, src)?;
+        let ids = read_ids(&mut reader, &meta, src)?;
         let nodes = read_nodes(&mut reader, &meta)?;
-        let centers = read_centers(&mut reader, &meta)?;
+        let centers = read_centers(&mut reader, &meta, src)?;
         let mut payload = reader.section(tags::NORM)?;
-        let center_norms = payload.get_f32_vec(meta.node_count, "NORM payload")?;
+        let center_norms = payload.get_f32_buf(meta.node_count, src, "NORM payload")?;
         payload.finish()?;
         let mut payload = reader.section(tags::AUXD)?;
         let mut aux = Vec::with_capacity(meta.count.min(payload.len() / 12));
@@ -385,39 +423,47 @@ fn read_transform(mut payload: Payload<'_>) -> StoreResult<QuadraticTransform> {
     Ok(QuadraticTransform::from_parts(input_dim, pairs, scale)?)
 }
 
-/// Serializes projection tables (directions, then each sorted table) into a payload.
+/// Serializes projection tables into a payload: `dim`, `m`, `n`, the direction matrix,
+/// then the sorted values (`m × n` f32, table-major) and the matching ids (`m × n`
+/// u32). The struct-of-arrays layout (v2) is what lets the zero-copy loader serve the
+/// value and id arrays as typed windows; v1 interleaved the `(value, id)` pairs.
 fn write_projection_tables(payload: &mut Vec<u8>, tables: &ProjectionTables) {
     wire::put_u64(payload, tables.dim() as u64);
     wire::put_u64(payload, tables.table_count() as u64);
     wire::put_u64(payload, tables.len() as u64);
     wire::put_f32_slice(payload, tables.directions());
-    payload.reserve(tables.table_count() * tables.len() * 8);
-    for table in tables.tables() {
-        for &(value, id) in table {
-            wire::put_f32(payload, value);
-            wire::put_u32(payload, id);
-        }
-    }
+    wire::put_f32_slice(payload, tables.values());
+    wire::put_u32_slice(payload, tables.ids());
 }
 
 /// Restores projection tables from a payload (sortedness and per-table permutations are
-/// validated by [`ProjectionTables::from_parts`]).
-fn read_projection_tables(payload: &mut Payload<'_>) -> StoreResult<ProjectionTables> {
+/// validated by [`ProjectionTables::from_parts`]). `version` selects the layout: v2 is
+/// struct-of-arrays (zero-copy capable), v1 interleaved pairs (always copied).
+fn read_projection_tables(
+    payload: &mut Payload<'_>,
+    src: SnapshotSource<'_>,
+    version: u16,
+) -> StoreResult<ProjectionTables> {
     let dim = payload.get_u64_usize("PROJ dim")?;
     let m = payload.get_u64_usize("PROJ table count")?;
     let n = payload.get_u64_usize("PROJ length")?;
     let direction_scalars =
         dim.checked_mul(m).ok_or(StoreError::Overflow { context: "PROJ m × dim" })?;
-    let directions = payload.get_f32_vec(direction_scalars, "PROJ directions")?;
-    let mut tables = Vec::with_capacity(m.min(payload.len() / 8));
-    for _ in 0..m {
-        let mut table = Vec::with_capacity(n.min(payload.len() / 8));
-        for _ in 0..n {
-            table.push((payload.get_f32("PROJ value")?, payload.get_u32("PROJ id")?));
-        }
-        tables.push(table);
+    let table_entries = m.checked_mul(n).ok_or(StoreError::Overflow { context: "PROJ m × n" })?;
+    if version >= 2 {
+        let directions = payload.get_f32_buf(direction_scalars, src, "PROJ directions")?;
+        let values = payload.get_f32_buf(table_entries, src, "PROJ values")?;
+        let ids = payload.get_u32_buf(table_entries, src, "PROJ ids")?;
+        return Ok(ProjectionTables::from_parts(dim, directions, n, values, ids)?);
     }
-    Ok(ProjectionTables::from_parts(dim, directions, tables)?)
+    let directions = payload.get_f32_vec(direction_scalars, "PROJ directions")?;
+    let mut values = Vec::with_capacity(table_entries.min(payload.len() / 8));
+    let mut ids = Vec::with_capacity(table_entries.min(payload.len() / 8));
+    for _ in 0..table_entries {
+        values.push(payload.get_f32("PROJ value")?);
+        ids.push(payload.get_u32("PROJ id")?);
+    }
+    Ok(ProjectionTables::from_parts(dim, directions, n, values, ids)?)
 }
 
 impl Snapshot for NhIndex {
@@ -447,8 +493,9 @@ impl Snapshot for NhIndex {
         writer.finish()
     }
 
-    fn decode_snapshot(bytes: &[u8]) -> StoreResult<Self> {
-        let mut reader = SnapshotReader::new(bytes)?;
+    fn decode_snapshot_src(src: SnapshotSource<'_>) -> StoreResult<Self> {
+        let mut reader = SnapshotReader::new(src.bytes())?;
+        let src = src.for_version(reader.version);
         expect_kind(&reader, Self::KIND)?;
         let meta = SnapshotMeta::read(reader.section(tags::META)?)?;
         let mut payload = reader.section(tags::NHPR)?;
@@ -460,10 +507,10 @@ impl Snapshot for NhIndex {
         };
         let alignment_m = payload.get_f32("NHPR alignment constant")?;
         payload.finish()?;
-        let points = read_points(&mut reader, &meta)?;
+        let points = read_points(&mut reader, &meta, src)?;
         let transform = read_transform(reader.section(tags::TPRS)?)?;
         let mut payload = reader.section(tags::PROJ)?;
-        let tables = read_projection_tables(&mut payload)?;
+        let tables = read_projection_tables(&mut payload, src, reader.version)?;
         payload.finish()?;
         reader.finish()?;
         // `from_parts` cross-validates the arrays (dims, counts, λ + 1 coordinate).
@@ -505,8 +552,9 @@ impl Snapshot for FhIndex {
         writer.finish()
     }
 
-    fn decode_snapshot(bytes: &[u8]) -> StoreResult<Self> {
-        let mut reader = SnapshotReader::new(bytes)?;
+    fn decode_snapshot_src(src: SnapshotSource<'_>) -> StoreResult<Self> {
+        let mut reader = SnapshotReader::new(src.bytes())?;
+        let src = src.for_version(reader.version);
         expect_kind(&reader, Self::KIND)?;
         let meta = SnapshotMeta::read(reader.section(tags::META)?)?;
         let mut payload = reader.section(tags::FHPR)?;
@@ -519,14 +567,14 @@ impl Snapshot for FhIndex {
         };
         let partition_count = payload.get_u64_usize("FHPR partition count")?;
         payload.finish()?;
-        let points = read_points(&mut reader, &meta)?;
+        let points = read_points(&mut reader, &meta, src)?;
         let transform = read_transform(reader.section(tags::TPRS)?)?;
         let mut partitions = Vec::with_capacity(partition_count.min(meta.count));
         for _ in 0..partition_count {
             let mut payload = reader.section(tags::PRTN)?;
             let id_count = payload.get_u64_usize("PRTN id count")?;
-            let ids = payload.get_u32_vec(id_count, "PRTN ids")?;
-            let tables = read_projection_tables(&mut payload)?;
+            let ids = payload.get_u32_buf(id_count, src, "PRTN ids")?;
+            let tables = read_projection_tables(&mut payload, src, reader.version)?;
             payload.finish()?;
             partitions.push((ids, tables));
         }

@@ -35,12 +35,14 @@ use std::sync::Arc;
 
 use p2h_balltree::BallTree;
 use p2h_bctree::BcTree;
-use p2h_core::{LinearScan, P2hIndex};
+use p2h_core::{LinearScan, P2hIndex, VecBuf};
 use p2h_hash::{FhIndex, NhIndex};
 
 use crate::format::{
-    io_error, wire, IndexKind, SnapshotReader, SnapshotWriter, StoreError, StoreResult,
+    io_error, wire, IndexKind, SnapshotReader, SnapshotSource, SnapshotWriter, StoreError,
+    StoreResult,
 };
+use crate::mmap::{LoadMode, SourceOwner};
 use crate::snapshot::{tags, write_file_atomically, Snapshot};
 
 /// Name of the manifest file inside a store directory.
@@ -54,6 +56,12 @@ const MANIFEST_HEADER: &str = "p2h-store 1";
 
 /// Marker in the second column of a manifest line that introduces a shard group.
 const GROUP_MARKER: &str = "shard-group";
+
+/// Minimum age before the open-time sweep reclaims an unreferenced staged file. A
+/// concurrent (single) writer stages its files seconds before the manifest commit;
+/// the grace window keeps a racing reader's sweep from deleting them mid-save, while
+/// crash leftovers — which persist indefinitely — age past it and are reclaimed.
+pub const SWEEP_GRACE: std::time::Duration = std::time::Duration::from_secs(60);
 
 /// One manifest entry: either a single snapshot file or a shard group.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -296,8 +304,9 @@ pub struct ShardGroup {
     /// Group metadata (partitioner, totals).
     pub meta: ShardGroupMeta,
     /// Per-shard id mappings: `id_maps[s][local] = global`. Strictly increasing per
-    /// shard; a disjoint cover of `0..meta.total_count` across shards.
-    pub id_maps: Vec<Vec<u32>>,
+    /// shard; a disjoint cover of `0..meta.total_count` across shards. Buffer-backed:
+    /// under `LoadMode::Mmap` these are zero-copy windows into the map file.
+    pub id_maps: Vec<VecBuf<u32>>,
     /// The restored shards, in ordinal order.
     pub shards: Vec<LoadedIndex>,
 }
@@ -315,7 +324,7 @@ pub enum StoreEntry {
 /// dimensions, and the global id mapping must be mutually consistent.
 fn validate_group(
     meta: &ShardGroupMeta,
-    id_maps: &[Vec<u32>],
+    id_maps: &[VecBuf<u32>],
     shards: &[LoadedIndex],
 ) -> StoreResult<()> {
     let inconsistent = |message: String| Err(StoreError::GroupInconsistent { message });
@@ -330,7 +339,7 @@ fn validate_group(
     // `meta.total_count` is an attacker-controlled header field — a huge declared
     // value must be a typed error, not an allocation.
     let n = meta.total_count;
-    let actual: usize = id_maps.iter().map(Vec::len).sum();
+    let actual: usize = id_maps.iter().map(|ids| ids.len()).sum();
     if actual != n {
         return inconsistent(format!("id maps list {actual} points, GMET declares {n}"));
     }
@@ -352,7 +361,7 @@ fn validate_group(
             ));
         }
         let mut prev: Option<u32> = None;
-        for &id in ids {
+        for &id in ids.iter() {
             if prev.is_some_and(|p| p >= id) {
                 return inconsistent(format!("shard {ordinal} id map is not strictly increasing"));
             }
@@ -374,7 +383,7 @@ fn validate_group(
 
 /// Encodes the shard-group map file (kind [`IndexKind::ShardMap`]): one `GMET` section
 /// followed by one `SIDS` section per shard.
-fn encode_shard_map(meta: &ShardGroupMeta, id_maps: &[Vec<u32>]) -> Vec<u8> {
+fn encode_shard_map(meta: &ShardGroupMeta, id_maps: &[VecBuf<u32>]) -> Vec<u8> {
     let mut writer = SnapshotWriter::new(IndexKind::ShardMap);
     let payload = writer.section(tags::GMET);
     wire::put_u32(payload, meta.partitioner_tag);
@@ -391,9 +400,12 @@ fn encode_shard_map(meta: &ShardGroupMeta, id_maps: &[Vec<u32>]) -> Vec<u8> {
     writer.finish()
 }
 
-/// Decodes a shard-group map file into its metadata and id mappings.
-fn decode_shard_map(bytes: &[u8]) -> StoreResult<(ShardGroupMeta, Vec<Vec<u32>>)> {
+/// Decodes a shard-group map file into its metadata and id mappings (buffer-backed:
+/// with a mapped source the id maps become zero-copy windows into the map file).
+fn decode_shard_map(src: SnapshotSource<'_>) -> StoreResult<(ShardGroupMeta, Vec<VecBuf<u32>>)> {
+    let bytes = src.bytes();
     let mut reader = SnapshotReader::new(bytes)?;
+    let src = src.for_version(reader.version);
     if reader.kind != IndexKind::ShardMap {
         return Err(StoreError::KindMismatch { expected: IndexKind::ShardMap, found: reader.kind });
     }
@@ -414,7 +426,7 @@ fn decode_shard_map(bytes: &[u8]) -> StoreResult<(ShardGroupMeta, Vec<Vec<u32>>)
     for _ in 0..shard_count {
         let mut payload = reader.section(tags::SIDS)?;
         let len = payload.get_u64_usize("SIDS length")?;
-        id_maps.push(payload.get_u32_vec(len, "SIDS ids")?);
+        id_maps.push(payload.get_u32_buf(len, src, "SIDS ids")?);
         payload.finish()?;
     }
     reader.finish()?;
@@ -425,13 +437,33 @@ fn decode_shard_map(bytes: &[u8]) -> StoreResult<(ShardGroupMeta, Vec<Vec<u32>>)
 #[derive(Debug, Clone)]
 pub struct Store {
     dir: PathBuf,
+    /// How this handle materializes loads ([`LoadMode::Copy`] or zero-copy
+    /// [`LoadMode::Mmap`]); saving is mode-independent.
+    mode: LoadMode,
 }
 
 impl Store {
-    /// Opens an existing store directory (the manifest must be present and parse).
+    /// Opens an existing store directory (the manifest must be present and parse),
+    /// with the load mode taken from the `P2H_STORE_MMAP` environment variable
+    /// ([`LoadMode::from_env`]).
+    ///
+    /// Opening also sweeps crash leftovers: unreferenced `.tmp` files and staged
+    /// epoch files (`<name>.e<E>.p2hs`, `<name>.g<E>.…p2hs`) that no manifest entry
+    /// names — e.g. from a save that crashed between staging and the manifest commit —
+    /// are deleted best-effort, never touching files the manifest references. Only
+    /// files older than [`SWEEP_GRACE`] are reclaimed, so a reader opening the store
+    /// while a (single) writer is mid-save cannot delete freshly staged files out
+    /// from under the upcoming manifest commit; genuine crash leftovers age past the
+    /// grace window and are removed by a later open.
     pub fn open(dir: impl AsRef<Path>) -> StoreResult<Self> {
-        let store = Self { dir: dir.as_ref().to_path_buf() };
-        store.manifest()?; // fail fast on a missing or malformed manifest
+        Self::open_with(dir, LoadMode::from_env())
+    }
+
+    /// Opens an existing store directory with an explicit [`LoadMode`].
+    pub fn open_with(dir: impl AsRef<Path>, mode: LoadMode) -> StoreResult<Self> {
+        let store = Self { dir: dir.as_ref().to_path_buf(), mode };
+        let manifest = store.manifest()?; // fail fast on a missing or malformed manifest
+        store.sweep_stale_files(&manifest);
         Ok(store)
     }
 
@@ -447,9 +479,52 @@ impl Store {
         Self::open(dir)
     }
 
+    /// Returns this handle with a different load mode (cheap; shares the directory).
+    pub fn with_mode(mut self, mode: LoadMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The load mode this handle uses.
+    pub fn load_mode(&self) -> LoadMode {
+        self.mode
+    }
+
     /// The store's root directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Deletes crash leftovers the manifest does not reference: `.tmp` files and
+    /// epoch-staged snapshot files, but only ones older than [`SWEEP_GRACE`] (an
+    /// in-flight save's freshly staged files must survive until its manifest commit,
+    /// even if another process opens the store mid-save). Best-effort — a failed
+    /// unlink or an unreadable mtime only leaks a stale file, reclaimed on a later
+    /// open or by the next save of the same name.
+    fn sweep_stale_files(&self, manifest: &Manifest) {
+        let live: BTreeSet<&str> =
+            manifest.entries.values().flat_map(|entry| entry.files()).collect();
+        let Ok(entries) = fs::read_dir(&self.dir) else { return };
+        let now = std::time::SystemTime::now();
+        for entry in entries.flatten() {
+            let file_name = entry.file_name();
+            let Some(name) = file_name.to_str() else { continue };
+            if name == MANIFEST_FILE || live.contains(name) {
+                continue;
+            }
+            if !name.ends_with(".tmp") && !is_epoch_staged(name) {
+                continue;
+            }
+            let old_enough = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|mtime| now.duration_since(mtime).ok())
+                .is_some_and(|age| age >= SWEEP_GRACE);
+            if old_enough {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
     }
 
     /// The registered entry names (single indexes and shard groups), sorted.
@@ -518,7 +593,7 @@ impl Store {
         &self,
         name: &str,
         meta: &ShardGroupMeta,
-        id_maps: &[Vec<u32>],
+        id_maps: &[VecBuf<u32>],
         shards: &[LoadedIndex],
     ) -> StoreResult<()> {
         validate_name(name)?;
@@ -573,9 +648,9 @@ impl Store {
     }
 
     fn load_group_files(&self, map_file: &str, shard_files: &[String]) -> StoreResult<ShardGroup> {
-        let map_path = self.dir.join(map_file);
-        let map_bytes = fs::read(&map_path).map_err(|e| io_error(&map_path, e))?;
-        let (meta, id_maps) = decode_shard_map(&map_bytes)?;
+        // One region (or buffer) per epoch file: the map file plus every shard file.
+        let map_owner = self.read_owner(map_file)?;
+        let (meta, id_maps) = decode_shard_map(map_owner.as_src())?;
         if id_maps.len() != shard_files.len() {
             return Err(StoreError::GroupInconsistent {
                 message: format!(
@@ -587,14 +662,15 @@ impl Store {
         }
         let shards = shard_files
             .iter()
-            .map(|file| {
-                let path = self.dir.join(file);
-                let bytes = fs::read(&path).map_err(|e| io_error(&path, e))?;
-                decode_any(&bytes)
-            })
+            .map(|file| decode_any_src(self.read_owner(file)?.as_src()))
             .collect::<StoreResult<Vec<_>>>()?;
         validate_group(&meta, &id_maps, &shards)?;
         Ok(ShardGroup { meta, id_maps, shards })
+    }
+
+    /// Reads one store file under this handle's load mode.
+    fn read_owner(&self, file: &str) -> StoreResult<SourceOwner> {
+        SourceOwner::read(&self.dir.join(file), self.mode)
     }
 
     /// Loads the index registered under `name` as its concrete type.
@@ -606,13 +682,13 @@ impl Store {
     /// [`StoreError::KindMismatch`] if the snapshot holds a different index kind, and
     /// any snapshot decoding error (see [`Snapshot::decode_snapshot`]).
     pub fn load<S: Snapshot>(&self, name: &str) -> StoreResult<S> {
-        S::decode_snapshot(&self.snapshot_bytes(name)?)
+        S::decode_snapshot_src(self.snapshot_owner(name)?.as_src())
     }
 
     /// Loads the index registered under `name`, dispatching on the kind recorded in the
     /// snapshot header.
     pub fn load_any(&self, name: &str) -> StoreResult<LoadedIndex> {
-        decode_any(&self.snapshot_bytes(name)?)
+        decode_any_src(self.snapshot_owner(name)?.as_src())
     }
 
     /// Loads every single-index entry in the manifest, in name order. The manifest is
@@ -644,9 +720,7 @@ impl Store {
             .map(|(name, entry)| {
                 let loaded = match entry {
                     ManifestEntry::Single(file) => {
-                        let path = self.dir.join(file);
-                        let bytes = fs::read(&path).map_err(|e| io_error(&path, e))?;
-                        StoreEntry::Single(decode_any(&bytes)?)
+                        StoreEntry::Single(decode_any_src(self.read_owner(file)?.as_src())?)
                     }
                     ManifestEntry::Group { map_file, shard_files } => {
                         StoreEntry::ShardGroup(self.load_group_files(map_file, shard_files)?)
@@ -675,9 +749,11 @@ impl Store {
         }
     }
 
-    fn snapshot_bytes(&self, name: &str) -> StoreResult<Vec<u8>> {
+    /// Reads the single-index snapshot registered under `name` under this handle's
+    /// load mode.
+    fn snapshot_owner(&self, name: &str) -> StoreResult<SourceOwner> {
         let path = self.snapshot_path(name)?;
-        fs::read(&path).map_err(|e| io_error(&path, e))
+        SourceOwner::read(&path, self.mode)
     }
 
     fn manifest(&self) -> StoreResult<Manifest> {
@@ -704,6 +780,24 @@ impl Store {
     }
 }
 
+/// Whether `file` matches one of the store's *epoch-staged* naming patterns —
+/// `<name>.e<E>.p2hs` (single replacement) or `<name>.g<E>.map.p2hs` /
+/// `<name>.g<E>.s<K>.p2hs` (shard group). Unreferenced files matching these patterns
+/// are crash leftovers and are reclaimed by the open-time sweep; plain `<name>.p2hs`
+/// files never match (conservative: they could be user-managed snapshots).
+fn is_epoch_staged(file: &str) -> bool {
+    let Some(stem) = file.strip_suffix(&format!(".{SNAPSHOT_EXT}")) else { return false };
+    let digits = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit());
+    let parts: Vec<&str> = stem.split('.').collect();
+    match parts.as_slice() {
+        [.., mid, last] if mid.len() > 1 && mid.starts_with('g') && digits(&mid[1..]) => {
+            *last == "map" || (last.len() > 1 && last.starts_with('s') && digits(&last[1..]))
+        }
+        [_, .., last] if last.len() > 1 && last.starts_with('e') && digits(&last[1..]) => true,
+        _ => false,
+    }
+}
+
 /// Parses the epoch out of a shard-group map file name (`<name>.g<epoch>.map.p2hs`).
 fn group_epoch(map_file: &str, name: &str) -> Option<u64> {
     map_file
@@ -724,16 +818,23 @@ fn single_epoch(file: &str, name: &str) -> Option<u64> {
         .ok()
 }
 
-/// Decodes a snapshot buffer into whichever index kind its header declares.
-fn decode_any(bytes: &[u8]) -> StoreResult<LoadedIndex> {
-    Ok(match SnapshotReader::new(bytes)?.kind {
-        IndexKind::LinearScan => LoadedIndex::LinearScan(LinearScan::decode_snapshot(bytes)?),
-        IndexKind::BallTree => LoadedIndex::BallTree(BallTree::decode_snapshot(bytes)?),
-        IndexKind::BcTree => LoadedIndex::BcTree(BcTree::decode_snapshot(bytes)?),
-        IndexKind::Nh => LoadedIndex::Nh(NhIndex::decode_snapshot(bytes)?),
-        IndexKind::Fh => LoadedIndex::Fh(FhIndex::decode_snapshot(bytes)?),
+/// Decodes a snapshot source into whichever index kind its header declares.
+fn decode_any_src(src: SnapshotSource<'_>) -> StoreResult<LoadedIndex> {
+    Ok(match SnapshotReader::new(src.bytes())?.kind {
+        IndexKind::LinearScan => LoadedIndex::LinearScan(LinearScan::decode_snapshot_src(src)?),
+        IndexKind::BallTree => LoadedIndex::BallTree(BallTree::decode_snapshot_src(src)?),
+        IndexKind::BcTree => LoadedIndex::BcTree(BcTree::decode_snapshot_src(src)?),
+        IndexKind::Nh => LoadedIndex::Nh(NhIndex::decode_snapshot_src(src)?),
+        IndexKind::Fh => LoadedIndex::Fh(FhIndex::decode_snapshot_src(src)?),
         IndexKind::ShardMap => return Err(StoreError::NotAnIndex(IndexKind::ShardMap)),
     })
+}
+
+/// Decodes a snapshot buffer into whichever index kind its header declares (the
+/// copying path of [`decode_any_src`]).
+#[cfg(test)]
+fn decode_any(bytes: &[u8]) -> StoreResult<LoadedIndex> {
+    decode_any_src(SnapshotSource::Bytes(bytes))
 }
 
 #[cfg(test)]
@@ -863,9 +964,9 @@ mod tests {
             dim: 3,
             build_seed: 0,
         };
-        let id_maps = vec![vec![0u32, 1]];
+        let id_maps: Vec<VecBuf<u32>> = vec![vec![0u32, 1].into()];
         let bytes = encode_shard_map(&meta, &id_maps);
-        let (decoded_meta, decoded_maps) = decode_shard_map(&bytes).unwrap();
+        let (decoded_meta, decoded_maps) = decode_shard_map(SnapshotSource::Bytes(&bytes)).unwrap();
         assert_eq!(decoded_meta.total_count, 1usize << 45);
         let shard = LoadedIndex::LinearScan(LinearScan::new(
             PointSet::from_rows(&[vec![0.0, 0.0, 1.0], vec![1.0, 1.0, 1.0]]).unwrap(),
@@ -885,21 +986,28 @@ mod tests {
             dim: 4,
             build_seed: 9,
         };
-        let id_maps = vec![vec![0, 2], vec![1, 3, 4]];
+        let id_maps: Vec<VecBuf<u32>> = vec![vec![0u32, 2].into(), vec![1u32, 3, 4].into()];
         let bytes = encode_shard_map(&meta, &id_maps);
-        let (meta2, maps2) = decode_shard_map(&bytes).unwrap();
+        let (meta2, maps2) = decode_shard_map(SnapshotSource::Bytes(&bytes)).unwrap();
         assert_eq!(meta2, meta);
         assert_eq!(maps2, id_maps);
 
         // Every truncation boundary is a typed error, never a panic.
         for len in 0..bytes.len() {
-            assert!(decode_shard_map(&bytes[..len]).is_err(), "truncation at {len}");
+            assert!(
+                decode_shard_map(SnapshotSource::Bytes(&bytes[..len])).is_err(),
+                "truncation at {len}"
+            );
         }
-        // A flipped payload bit is caught by the section checksum.
+        // A flipped payload bit is caught by the section checksum (flip inside the
+        // GMET payload; the file tail may be zero padding).
         let mut corrupt = bytes.clone();
-        let last = corrupt.len() - 1;
-        corrupt[last] ^= 0x01;
-        assert!(matches!(decode_shard_map(&corrupt), Err(StoreError::ChecksumMismatch { .. })));
+        let payload_start = crate::format::HEADER_LEN + crate::format::SECTION_HEADER_LEN;
+        corrupt[payload_start] ^= 0x01;
+        assert!(matches!(
+            decode_shard_map(SnapshotSource::Bytes(&corrupt)),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
         // A map file is not a standalone index.
         assert!(matches!(decode_any(&bytes), Err(StoreError::NotAnIndex(IndexKind::ShardMap))));
     }

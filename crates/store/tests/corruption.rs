@@ -10,8 +10,9 @@ use p2h_balltree::{BallTree, BallTreeBuilder};
 use p2h_bctree::{BcTree, BcTreeBuilder};
 use p2h_core::{LinearScan, PointSet, Scalar};
 use p2h_data::{DataDistribution, SyntheticDataset};
+use p2h_store::format::HEADER_LEN;
 use p2h_store::format::{wire, SnapshotWriter};
-use p2h_store::{crc32, IndexKind, Snapshot, StoreError};
+use p2h_store::{crc32, IndexKind, Snapshot, StoreError, SECTION_ALIGN};
 
 fn dataset(n: usize, dim: usize) -> PointSet {
     SyntheticDataset::new(
@@ -32,8 +33,9 @@ fn small_ball_snapshot() -> Vec<u8> {
 /// Patches a section payload byte and fixes the section CRC so only the *semantic*
 /// corruption remains (used to reach the validation layer behind the checksums).
 fn patch_section(bytes: &mut [u8], tag: &[u8; 4], patch: impl FnOnce(&mut [u8])) {
-    // Walk the section chain from the 12-byte file header.
-    let mut pos = 12;
+    // Walk the v2 section chain: 16-byte file header, then 16-byte section headers
+    // with payloads zero-padded to the 8-byte boundary.
+    let mut pos = HEADER_LEN;
     loop {
         let found: [u8; 4] = bytes[pos..pos + 4].try_into().unwrap();
         let len = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap()) as usize;
@@ -45,6 +47,7 @@ fn patch_section(bytes: &mut [u8], tag: &[u8; 4], patch: impl FnOnce(&mut [u8]))
             return;
         }
         pos += 16 + len;
+        pos = pos.next_multiple_of(SECTION_ALIGN);
     }
 }
 
@@ -79,7 +82,7 @@ fn bad_magic_wrong_version_unknown_kind() {
     future_version[4..6].copy_from_slice(&7u16.to_le_bytes());
     assert!(matches!(
         BallTree::decode_snapshot(&future_version),
-        Err(StoreError::UnsupportedVersion { found: 7, supported: 1 })
+        Err(StoreError::UnsupportedVersion { found: 7, supported: 2 })
     ));
 
     let mut alien_kind = full.clone();
@@ -108,7 +111,7 @@ fn every_section_is_checksum_protected() {
     let full = small_ball_snapshot();
     // Flip one bit in each section payload (without fixing the CRC): the loader must
     // report a checksum mismatch naming that section.
-    let mut pos = 12;
+    let mut pos = HEADER_LEN;
     while pos < full.len() {
         let tag: [u8; 4] = full[pos..pos + 4].try_into().unwrap();
         let len = u64::from_le_bytes(full[pos + 4..pos + 12].try_into().unwrap()) as usize;
@@ -120,6 +123,7 @@ fn every_section_is_checksum_protected() {
             other => panic!("flip in section {tag:?}: expected ChecksumMismatch, got {other:?}"),
         }
         pos += 16 + len;
+        pos = pos.next_multiple_of(SECTION_ALIGN);
     }
 }
 

@@ -101,7 +101,8 @@ fn nh_index_round_trips_bit_identically() {
     assert_eq!(loaded.lambda(), nh.lambda());
     assert_eq!(loaded.transform().pairs(), nh.transform().pairs());
     assert_eq!(loaded.tables().directions(), nh.tables().directions());
-    assert_eq!(loaded.tables().tables(), nh.tables().tables());
+    assert_eq!(loaded.tables().values(), nh.tables().values());
+    assert_eq!(loaded.tables().ids(), nh.tables().ids());
     assert_bit_identical(&nh, &loaded, &ps);
 
     let (kind, meta) = snapshot_meta(&bytes).unwrap();
@@ -130,7 +131,8 @@ fn fh_index_round_trips_bit_identically() {
     assert_eq!(loaded.partition_count(), fh.partition_count());
     for p in 0..fh.partition_count() {
         assert_eq!(loaded.partition_ids(p), fh.partition_ids(p));
-        assert_eq!(loaded.partition_tables(p).tables(), fh.partition_tables(p).tables());
+        assert_eq!(loaded.partition_tables(p).values(), fh.partition_tables(p).values());
+        assert_eq!(loaded.partition_tables(p).ids(), fh.partition_tables(p).ids());
     }
     assert_bit_identical(&fh, &loaded, &ps);
 

@@ -124,6 +124,48 @@
 //! (`ShardedIndex::save_into`), and [`engine::Engine::from_store`] cold-starts it
 //! together with every other index in the directory.
 //!
+//! ## Zero-copy cold start
+//!
+//! Snapshots (format v2) keep every array payload 8-byte aligned, so a serving
+//! process can cold-start by **memory-mapping** the snapshot files instead of copying
+//! them: pass [`LoadMode::Mmap`] (or set `P2H_STORE_MMAP=1`) and every large
+//! read-only array — point payloads, tree centers, id permutations, projection
+//! tables — becomes a [`VecBuf`] view into the mapping. Startup cost drops to one
+//! checksum pass per file, peak RSS no longer doubles, and the page cache shares the
+//! bytes between every process serving the same store. Answers are **bit-identical**
+//! to a copying or freshly built index:
+//!
+//! ```
+//! use p2hnns::engine::{BatchRequest, Engine};
+//! use p2hnns::{generate_queries, BcTreeBuilder, DataDistribution, LoadMode, P2hIndex,
+//!              QueryDistribution, SearchParams, Store, SyntheticDataset};
+//!
+//! let points = SyntheticDataset::new(
+//!     "quickstart-mmap", 2_000, 12,
+//!     DataDistribution::GaussianClusters { clusters: 4, std_dev: 1.5 }, 3,
+//! ).generate().unwrap();
+//! let tree = BcTreeBuilder::new(64).build(&points).unwrap();
+//!
+//! // Offline: snapshot once.
+//! let dir = std::env::temp_dir().join("p2hnns-quickstart-mmap");
+//! # std::fs::remove_dir_all(&dir).ok();
+//! let store = Store::create(&dir).unwrap();
+//! store.save("bc", &tree).unwrap();
+//!
+//! // Serving: zero-copy cold start — the tree's arrays are views into the mapping.
+//! let engine = Engine::from_store_with(&dir, 0, LoadMode::Mmap).unwrap();
+//! let queries = generate_queries(&points, 4, QueryDistribution::DataDifference, 5).unwrap();
+//! let request = BatchRequest::new(queries, SearchParams::exact(5));
+//! let served = engine.serve("bc", &request).unwrap();
+//!
+//! // Bit-identical to the in-memory build.
+//! for (result, query) in served.results.iter().zip(&request.queries) {
+//!     let expected = tree.search(query, &SearchParams::exact(5));
+//!     assert_eq!(result.neighbors, expected.neighbors);
+//! }
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+//!
 //! See the `examples/` directory for end-to-end scenarios (SVM active learning,
 //! maximum-margin style selection, index comparison, batch serving, snapshot-backed
 //! cold-start serving, sharded serving) and the `p2h-bench` crate for the
@@ -153,6 +195,7 @@ pub use p2h_core::{
     distance, BranchPreference, Error, HyperplaneQuery, LinearScan, Neighbor, P2hIndex, PointSet,
     Result, Scalar, SearchParams, SearchResult, SearchStats, TopKCollector,
 };
+pub use p2h_core::{BufBacking, VecBuf};
 pub use p2h_data::{
     generate_queries, DataDistribution, GroundTruth, QueryDistribution, SyntheticDataset,
 };
@@ -166,4 +209,4 @@ pub use p2h_eval::{
 };
 pub use p2h_hash::{FhIndex, FhParams, NhIndex, NhParams};
 pub use p2h_shard::{Partitioner, ShardIndexKind, ShardedIndex, ShardedIndexBuilder};
-pub use p2h_store::{LoadedIndex, ShardGroup, Snapshot, Store, StoreError};
+pub use p2h_store::{LoadMode, LoadedIndex, MmapRegion, ShardGroup, Snapshot, Store, StoreError};
