@@ -19,7 +19,7 @@ use std::time::Instant;
 use p2h_bench::num_threads;
 use p2h_core::{SearchParams, SearchResult};
 use p2h_data::{generate_queries, DataDistribution, QueryDistribution, SyntheticDataset};
-use p2h_engine::{BatchExecutor, BatchRequest, BcTreeBuilder};
+use p2h_engine::{BatchRequest, BcTreeBuilder, Engine, SharedIndex};
 use p2h_eval::{markdown_table, write_csv};
 
 struct Config {
@@ -146,11 +146,16 @@ fn main() {
     params.candidate_limit = cfg.budget;
     let request = BatchRequest::new(queries, params);
 
+    // Every measured run goes through `Engine::serve` — the instrumented production
+    // path — so the exposition dump at the end reflects exactly what was benchmarked.
+    let shared: SharedIndex = std::sync::Arc::new(tree);
+
     // The single-threaded run is always the reference — for the bit-identical check and
     // for the `speedup_vs_1` column — even when 1 is not in `--threads`.
-    let baseline_executor = BatchExecutor::new(1);
-    let _ = baseline_executor.execute(&tree, &request); // warm-up (fills caches)
-    let baseline = baseline_executor.execute(&tree, &request);
+    let baseline_engine = Engine::new(1);
+    baseline_engine.registry().register_shared("bc", std::sync::Arc::clone(&shared));
+    let _ = baseline_engine.serve("bc", &request).expect("warm-up"); // warm-up (fills caches)
+    let baseline = baseline_engine.serve("bc", &request).expect("baseline serve");
     let reference: Vec<SearchResult> = baseline.results.clone();
     let baseline_qps = baseline.throughput_qps();
 
@@ -159,10 +164,11 @@ fn main() {
         let response = if threads == 1 {
             baseline.clone()
         } else {
-            let executor = BatchExecutor::new(threads);
+            let engine = Engine::new(threads);
+            engine.registry().register_shared("bc", std::sync::Arc::clone(&shared));
             // Warm-up run, then the measured run.
-            let _ = executor.execute(&tree, &request);
-            executor.execute(&tree, &request)
+            let _ = engine.serve("bc", &request).expect("warm-up");
+            engine.serve("bc", &request).expect("measured serve")
         };
 
         for (qi, (got, want)) in response.results.iter().zip(reference.iter()).enumerate() {
@@ -195,4 +201,7 @@ fn main() {
         Ok(()) => println!("(written to {})", path.display()),
         Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
     }
+
+    println!("\n## metrics exposition (Prometheus text format)\n");
+    println!("```\n{}```", baseline_engine.render_metrics());
 }

@@ -21,8 +21,8 @@ use std::time::Instant;
 use p2h_bench::serving::{bit_identical, clustered_dataset, serving_queries};
 use p2h_core::{kernels, HyperplaneQuery, LinearScan, PointSet, SearchParams};
 use p2h_engine::{
-    BatchExecutor, BatchRequest, Partitioner, ShardIndexKind, ShardedExecutor, ShardedIndex,
-    ShardedIndexBuilder,
+    BatchExecutor, BatchRequest, Engine, Partitioner, ShardIndexKind, ShardedExecutor,
+    ShardedIndex, ShardedIndexBuilder,
 };
 use p2h_eval::{markdown_table, write_csv};
 use p2h_store::Store;
@@ -234,5 +234,21 @@ fn main() {
             "check passed: sharded, shard-parallel, and reloaded answers are bit-identical \
              to the unsharded reference for every shard count"
         );
+    }
+
+    // Serve the largest configuration once through the engine's shard-aware path so
+    // the exposition dump below carries per-shard latency series.
+    if let Some(&shards) = cfg.shards.last() {
+        let engine = Engine::new(cfg.threads);
+        let sharded = ShardedIndexBuilder::new(
+            Partitioner::Hash { shards },
+            ShardIndexKind::BallTree { leaf_size: 100 },
+        )
+        .build(&points)
+        .expect("build sharded index for metrics dump");
+        engine.registry().register_sharded("shard-bench", sharded);
+        engine.serve_sharded("shard-bench", &request).expect("serve sharded batch");
+        println!("\n## metrics exposition (Prometheus text format)\n");
+        println!("```\n{}```", engine.render_metrics());
     }
 }

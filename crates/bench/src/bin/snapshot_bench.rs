@@ -23,6 +23,7 @@ use p2h_balltree::{BallTree, BallTreeBuilder};
 use p2h_bctree::{BcTree, BcTreeBuilder};
 use p2h_bench::serving::{bit_identical, clustered_dataset, serving_queries};
 use p2h_core::{kernels, HyperplaneQuery, P2hIndex, PointSet, SearchParams, SearchResult};
+use p2h_engine::{BatchRequest, Engine};
 use p2h_eval::{markdown_table, write_csv};
 use p2h_store::{LoadMode, Snapshot, Store};
 
@@ -208,7 +209,28 @@ fn main() {
         );
         std::process::exit(1);
     }
+
+    // Serve the snapshotted indexes through the engine — the instrumented (and, with
+    // `P2H_TRACE` set, traced) production path — and verify serving changes nothing.
+    let engine = Engine::from_store(&dir, 1).expect("cold-start engine from bench store");
+    let request = BatchRequest::new(queries.clone(), SearchParams::exact(cfg.k));
+    let mut serve_identical = true;
+    for name in ["ball", "bc"] {
+        let response = engine.serve(name, &request).expect("serve bench batch");
+        let index = engine.registry().get(name).expect("registered index");
+        let reference = answers(index.as_ref(), &queries, cfg.k);
+        serve_identical &= bit_identical(&reference, &response.results);
+    }
+    if !serve_identical {
+        eprintln!("FAILED: engine serving returned different answers than direct search");
+        std::process::exit(1);
+    }
+
+    println!("\n## metrics exposition (Prometheus text format)\n");
+    println!("```\n{}```", engine.render_metrics());
+
     if cfg.check {
         println!("check passed: copy- and mmap-loaded indexes are bit-identical to the originals");
+        println!("check passed: engine serving (traced or not) is bit-identical to direct search");
     }
 }

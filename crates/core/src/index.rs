@@ -104,34 +104,100 @@ pub struct SearchStats {
     pub time_verify_ns: u64,
     /// Nanoseconds spent looking up hash tables / projection arrays. Zero for trees.
     pub time_lookup_ns: u64,
+    /// Nanoseconds spent merging per-shard top-k lists. Zero outside the sharded
+    /// fan-out serving path.
+    pub time_merge_ns: u64,
     /// Total wall-clock nanoseconds for the query.
     pub time_total_ns: u64,
 }
 
 impl SearchStats {
-    /// Merges another stats record into this one (component-wise sum).
+    /// Merges another stats record into this one (component-wise **saturating** sum).
+    ///
+    /// Aggregation saturates rather than wraps: stats merge across whole batches,
+    /// shards, and long-lived serving processes, and a counter quietly wrapping past
+    /// `u64::MAX` (e.g. a hostile batch replaying an expensive query) would corrupt
+    /// every downstream aggregate. A pegged `u64::MAX` is an obvious outlier instead.
     pub fn merge(&mut self, other: &SearchStats) {
-        self.inner_products += other.inner_products;
-        self.nodes_visited += other.nodes_visited;
-        self.leaves_visited += other.leaves_visited;
-        self.candidates_verified += other.candidates_verified;
-        self.pruned_subtrees += other.pruned_subtrees;
-        self.pruned_by_ball_bound += other.pruned_by_ball_bound;
-        self.pruned_by_cone_bound += other.pruned_by_cone_bound;
-        self.buckets_probed += other.buckets_probed;
-        self.time_bounds_ns += other.time_bounds_ns;
-        self.time_verify_ns += other.time_verify_ns;
-        self.time_lookup_ns += other.time_lookup_ns;
-        self.time_total_ns += other.time_total_ns;
+        self.inner_products = self.inner_products.saturating_add(other.inner_products);
+        self.nodes_visited = self.nodes_visited.saturating_add(other.nodes_visited);
+        self.leaves_visited = self.leaves_visited.saturating_add(other.leaves_visited);
+        self.candidates_verified =
+            self.candidates_verified.saturating_add(other.candidates_verified);
+        self.pruned_subtrees = self.pruned_subtrees.saturating_add(other.pruned_subtrees);
+        self.pruned_by_ball_bound =
+            self.pruned_by_ball_bound.saturating_add(other.pruned_by_ball_bound);
+        self.pruned_by_cone_bound =
+            self.pruned_by_cone_bound.saturating_add(other.pruned_by_cone_bound);
+        self.buckets_probed = self.buckets_probed.saturating_add(other.buckets_probed);
+        self.time_bounds_ns = self.time_bounds_ns.saturating_add(other.time_bounds_ns);
+        self.time_verify_ns = self.time_verify_ns.saturating_add(other.time_verify_ns);
+        self.time_lookup_ns = self.time_lookup_ns.saturating_add(other.time_lookup_ns);
+        self.time_merge_ns = self.time_merge_ns.saturating_add(other.time_merge_ns);
+        self.time_total_ns = self.time_total_ns.saturating_add(other.time_total_ns);
     }
 
-    /// Nanoseconds not accounted for by verification, lookup, or bound computation
-    /// (tree traversal bookkeeping, heap maintenance, …).
+    /// Nanoseconds not accounted for by verification, lookup, bound computation, or
+    /// fan-out merging (tree traversal bookkeeping, heap maintenance, …).
     pub fn time_other_ns(&self) -> u64 {
         self.time_total_ns
             .saturating_sub(self.time_bounds_ns)
             .saturating_sub(self.time_verify_ns)
             .saturating_sub(self.time_lookup_ns)
+            .saturating_sub(self.time_merge_ns)
+    }
+
+    /// Every counter as a `(name, value)` pair, in declaration order — the mapping an
+    /// observability layer turns into named metrics. The names are stable and match
+    /// the field names (they appear as `p2h_search_<name>_total` in the engine's
+    /// Prometheus exposition, see `docs/OBSERVABILITY.md`).
+    pub fn to_metrics(&self) -> [(&'static str, u64); 13] {
+        [
+            ("inner_products", self.inner_products),
+            ("nodes_visited", self.nodes_visited),
+            ("leaves_visited", self.leaves_visited),
+            ("candidates_verified", self.candidates_verified),
+            ("pruned_subtrees", self.pruned_subtrees),
+            ("pruned_by_ball_bound", self.pruned_by_ball_bound),
+            ("pruned_by_cone_bound", self.pruned_by_cone_bound),
+            ("buckets_probed", self.buckets_probed),
+            ("time_bounds_ns", self.time_bounds_ns),
+            ("time_verify_ns", self.time_verify_ns),
+            ("time_lookup_ns", self.time_lookup_ns),
+            ("time_merge_ns", self.time_merge_ns),
+            ("time_total_ns", self.time_total_ns),
+        ]
+    }
+}
+
+impl std::fmt::Display for SearchStats {
+    /// One log-friendly line: the work counters, then the timing split when present.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ip={} nodes={} leaves={} verified={} pruned={} ball={} cone={} buckets={}",
+            self.inner_products,
+            self.nodes_visited,
+            self.leaves_visited,
+            self.candidates_verified,
+            self.pruned_subtrees,
+            self.pruned_by_ball_bound,
+            self.pruned_by_cone_bound,
+            self.buckets_probed,
+        )?;
+        if self.time_total_ns > 0 {
+            write!(
+                f,
+                " time={:.3}ms (bounds={:.3} verify={:.3} lookup={:.3} merge={:.3} other={:.3})",
+                self.time_total_ns as f64 / 1.0e6,
+                self.time_bounds_ns as f64 / 1.0e6,
+                self.time_verify_ns as f64 / 1.0e6,
+                self.time_lookup_ns as f64 / 1.0e6,
+                self.time_merge_ns as f64 / 1.0e6,
+                self.time_other_ns() as f64 / 1.0e6,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -251,6 +317,80 @@ mod tests {
         assert_eq!(a.candidates_verified, 10);
         assert_eq!(a.nodes_visited, 1);
         assert_eq!(a.time_total_ns, 100);
+    }
+
+    #[test]
+    fn stats_merge_saturates_instead_of_wrapping() {
+        let mut near_max = SearchStats {
+            inner_products: u64::MAX - 1,
+            candidates_verified: u64::MAX,
+            time_total_ns: u64::MAX - 10,
+            ..Default::default()
+        };
+        let more = SearchStats {
+            inner_products: 5,
+            candidates_verified: 1,
+            nodes_visited: 3,
+            time_total_ns: 100,
+            ..Default::default()
+        };
+        near_max.merge(&more);
+        // Saturated, not wrapped to a tiny value.
+        assert_eq!(near_max.inner_products, u64::MAX);
+        assert_eq!(near_max.candidates_verified, u64::MAX);
+        assert_eq!(near_max.time_total_ns, u64::MAX);
+        // Unsaturated fields still sum normally.
+        assert_eq!(near_max.nodes_visited, 3);
+    }
+
+    #[test]
+    fn stats_metrics_mapping_covers_every_field_in_order() {
+        let stats = SearchStats {
+            inner_products: 1,
+            nodes_visited: 2,
+            leaves_visited: 3,
+            candidates_verified: 4,
+            pruned_subtrees: 5,
+            pruned_by_ball_bound: 6,
+            pruned_by_cone_bound: 7,
+            buckets_probed: 8,
+            time_bounds_ns: 9,
+            time_verify_ns: 10,
+            time_lookup_ns: 11,
+            time_merge_ns: 12,
+            time_total_ns: 13,
+        };
+        let metrics = stats.to_metrics();
+        assert_eq!(metrics.len(), 13);
+        let values: Vec<u64> = metrics.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, (1..=13).collect::<Vec<u64>>());
+        // Names are unique and field-shaped.
+        let mut names: Vec<&str> = metrics.iter().map(|&(n, _)| n).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 13);
+        assert!(metrics.iter().all(|(n, _)| n.chars().all(|c| c.is_ascii_lowercase() || c == '_')));
+    }
+
+    #[test]
+    fn stats_display_is_one_line_and_gains_timing_when_present() {
+        let plain = SearchStats { candidates_verified: 42, ..Default::default() };
+        let line = plain.to_string();
+        assert!(line.contains("verified=42"));
+        assert!(!line.contains("time="), "no timing section without timings");
+        assert!(!line.contains('\n'));
+
+        let timed = SearchStats {
+            candidates_verified: 42,
+            time_total_ns: 2_000_000,
+            time_verify_ns: 1_000_000,
+            time_merge_ns: 500_000,
+            ..Default::default()
+        };
+        let line = timed.to_string();
+        assert!(line.contains("time=2.000ms"));
+        assert!(line.contains("merge=0.500"));
+        assert!(line.contains("other=0.500"));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Batch request/response types and the latency histogram.
 
 use p2h_core::{HyperplaneQuery, Scalar, SearchParams, SearchResult, SearchStats};
+use p2h_obs::StreamingHistogram;
 
 /// A batch of hyperplane queries with a shared default [`SearchParams`] and optional
 /// per-query overrides.
@@ -78,37 +79,59 @@ impl BatchResponse {
     }
 }
 
-/// An exact latency distribution over one batch: stores the sorted per-query latencies
-/// and answers arbitrary quantiles.
+/// A latency distribution over the workspace's shared log-bucket layout (see
+/// [`p2h_obs::hist`]): constant-size, streaming (record as samples arrive, no sort, no
+/// clone of the latency vector), and mergeable — per-batch histograms accumulate into
+/// the process-wide [`p2h_obs`] registry without changing any reported quantile.
 ///
-/// Batch sizes in this workspace are at most tens of thousands of queries, so storing
-/// every sample exactly is cheaper and more precise than bucketing.
+/// Quantiles use the nearest-rank method over the buckets and report the bucket's
+/// upper bound (exact max for the overflow bucket), so p50/p95/p99 overestimate the
+/// true sample by at most 2x — the standard log-bucket contract. The exact per-query
+/// samples remain available as `BatchResponse::latencies_ns` for callers that need
+/// per-query attribution.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LatencyHistogram {
-    sorted_ns: Vec<u64>,
+    hist: StreamingHistogram,
 }
 
 impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one per-query latency sample.
+    #[inline]
+    pub fn record(&mut self, latency_ns: u64) {
+        self.hist.record(latency_ns);
+    }
+
+    /// Adds every sample of `other` (bucket-wise; identical to having recorded them
+    /// here).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.hist.merge(&other.hist);
+    }
+
     /// Builds a histogram from raw per-query latencies (any order).
-    pub fn from_latencies(mut latencies_ns: Vec<u64>) -> Self {
-        latencies_ns.sort_unstable();
-        Self { sorted_ns: latencies_ns }
+    pub fn from_latencies(latencies_ns: impl IntoIterator<Item = u64>) -> Self {
+        Self { hist: StreamingHistogram::from_samples(latencies_ns) }
+    }
+
+    /// The underlying bucketed histogram (e.g. to publish into a metrics registry via
+    /// [`p2h_obs::Histogram::merge_from`]).
+    pub fn histogram(&self) -> &StreamingHistogram {
+        &self.hist
     }
 
     /// Number of recorded samples.
     pub fn count(&self) -> usize {
-        self.sorted_ns.len()
+        self.hist.count() as usize
     }
 
-    /// The `q`-quantile latency in nanoseconds (`q` in `[0, 1]`, nearest-rank method),
-    /// or 0 if no samples were recorded.
+    /// The `q`-quantile latency in nanoseconds (`q` in `[0, 1]`, nearest-rank method
+    /// over the log buckets), or 0 if no samples were recorded.
     pub fn quantile_ns(&self, q: f64) -> u64 {
-        if self.sorted_ns.is_empty() {
-            return 0;
-        }
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((q * self.sorted_ns.len() as f64).ceil() as usize).max(1);
-        self.sorted_ns[rank - 1]
+        self.hist.quantile(q)
     }
 
     /// Median latency (ns).
@@ -126,17 +149,15 @@ impl LatencyHistogram {
         self.quantile_ns(0.99)
     }
 
-    /// Maximum latency (ns), or 0 with no samples.
+    /// Maximum latency (ns, exact), or 0 with no samples.
     pub fn max_ns(&self) -> u64 {
-        self.sorted_ns.last().copied().unwrap_or(0)
+        self.hist.max_value()
     }
 
-    /// Mean latency (ns), or 0 with no samples.
+    /// Mean latency (ns, exact — count and sum are tracked exactly), or 0 with no
+    /// samples.
     pub fn mean_ns(&self) -> f64 {
-        if self.sorted_ns.is_empty() {
-            return 0.0;
-        }
-        self.sorted_ns.iter().map(|&ns| ns as f64).sum::<f64>() / self.sorted_ns.len() as f64
+        self.hist.mean()
     }
 
     /// A compact one-line summary in milliseconds, for logs and benchmark output.
@@ -176,17 +197,33 @@ mod tests {
     }
 
     #[test]
-    fn histogram_quantiles_use_nearest_rank() {
-        let histogram = LatencyHistogram::from_latencies((1..=100).rev().collect());
+    fn histogram_quantiles_use_nearest_rank_bucket_bounds() {
+        let histogram = LatencyHistogram::from_latencies((1..=100).rev());
         assert_eq!(histogram.count(), 100);
-        assert_eq!(histogram.p50_ns(), 50);
-        assert_eq!(histogram.p95_ns(), 95);
-        assert_eq!(histogram.p99_ns(), 99);
+        // Nearest-rank over the log buckets: the rank-50 sample (value 50) lives in
+        // the [32, 63] bucket, ranks 95/99 in [64, 127].
+        assert_eq!(histogram.p50_ns(), 63);
+        assert_eq!(histogram.p95_ns(), 127);
+        assert_eq!(histogram.p99_ns(), 127);
+        // Max and mean stay exact.
         assert_eq!(histogram.max_ns(), 100);
         assert_eq!(histogram.quantile_ns(0.0), 1);
-        assert_eq!(histogram.quantile_ns(1.0), 100);
         assert!((histogram.mean_ns() - 50.5).abs() < 1e-9);
         assert!(histogram.summary_ms().contains("n=100"));
+    }
+
+    #[test]
+    fn histogram_streams_and_merges_like_batch_construction() {
+        let mut streamed = LatencyHistogram::new();
+        for ns in 1..=100u64 {
+            streamed.record(ns);
+        }
+        assert_eq!(streamed, LatencyHistogram::from_latencies(1..=100));
+
+        let mut merged = LatencyHistogram::from_latencies(1..=50);
+        merged.merge(&LatencyHistogram::from_latencies(51..=100));
+        assert_eq!(merged, streamed);
+        assert_eq!(merged.histogram().count(), 100);
     }
 
     #[test]

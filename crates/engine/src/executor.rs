@@ -117,17 +117,19 @@ impl BatchExecutor {
 
         let mut results = Vec::with_capacity(n);
         let mut latencies_ns = Vec::with_capacity(n);
+        let mut latency = LatencyHistogram::new();
         let mut total_stats = SearchStats::default();
         for slot in slots.iter_mut() {
             let (result, latency_ns) = slot.take().expect("every query index was dispatched");
             total_stats.merge(&result.stats);
+            latency.record(latency_ns);
             latencies_ns.push(latency_ns);
             results.push(result);
         }
 
         BatchResponse {
             results,
-            latency: LatencyHistogram::from_latencies(latencies_ns.clone()),
+            latency,
             latencies_ns,
             total_stats,
             wall_time_ns: start.elapsed().as_nanos() as u64,

@@ -52,6 +52,7 @@
 
 mod batch;
 mod executor;
+mod metrics;
 mod registry;
 mod serve;
 mod sharded;
@@ -72,3 +73,7 @@ pub use p2h_shard::{Partitioner, ShardIndexKind, ShardedIndex, ShardedIndexBuild
 // Re-exported so cold-start users (`Engine::from_store`) can create and populate the
 // snapshot store without adding `p2h-store` as a direct dependency.
 pub use p2h_store::{LoadMode, Snapshot, Store, StoreError};
+// Re-exported so serving operators can reach the process-wide metrics registry
+// (`Engine::render_metrics` / `metrics_snapshot` cover the common cases) and the
+// streaming histogram type behind `LatencyHistogram`.
+pub use p2h_obs::{MetricsRegistry, MetricsSnapshot, StreamingHistogram};

@@ -105,8 +105,11 @@ impl IndexRegistry {
     }
 
     fn open_dir_from(store: Store) -> std::result::Result<Self, StoreError> {
+        let start = std::time::Instant::now();
         let registry = Self::new();
+        let mut entries = 0u64;
         for (name, entry) in store.load_entries()? {
+            entries += 1;
             match entry {
                 StoreEntry::Single(index) => {
                     registry.register_shared(name, index.into_shared());
@@ -116,6 +119,21 @@ impl IndexRegistry {
                 }
             }
         }
+        // Cold-start telemetry: total wall clock and entry count (the store layer
+        // itself attributes the time to read/CRC/decode stages).
+        let obs = p2h_obs::global();
+        obs.counter(
+            "p2h_engine_cold_start_ns_total",
+            "Nanoseconds spent cold-starting registries from snapshot stores.",
+            &[],
+        )
+        .add(start.elapsed().as_nanos() as u64);
+        obs.counter(
+            "p2h_engine_cold_start_entries_total",
+            "Manifest entries loaded during registry cold starts.",
+            &[],
+        )
+        .add(entries);
         Ok(registry)
     }
 

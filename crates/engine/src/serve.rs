@@ -1,9 +1,11 @@
-//! The `Engine` façade: registry + executor + request validation.
+//! The `Engine` façade: registry + executor + request validation + observability.
 
-use p2h_core::{Error, P2hIndex, Result};
+use p2h_core::{Error, P2hIndex, Result, SearchResult};
+use p2h_obs::trace::{from_env, QueryTrace, TraceSink};
 
 use crate::batch::{BatchRequest, BatchResponse};
 use crate::executor::BatchExecutor;
+use crate::metrics::EngineMetrics;
 use crate::registry::{IndexRegistry, SharedIndex};
 use crate::sharded::{ShardedBatchResponse, ShardedExecutor};
 
@@ -12,17 +14,30 @@ use crate::sharded::{ShardedBatchResponse, ShardedExecutor};
 /// `Engine` is `Send + Sync`; wrap it in an `Arc` and serve batches from any number of
 /// threads concurrently. Registration and serving can interleave freely — an index
 /// removed mid-flight stays alive until its last in-flight batch completes.
+///
+/// Every served batch is also published to the process-wide [`p2h_obs`] metrics
+/// registry (per-index latency histograms, work counters, per-shard telemetry — see
+/// `docs/OBSERVABILITY.md` for the catalog) and, when `P2H_TRACE=path[:rate]` is set,
+/// sampled queries are written as JSON-line spans. Neither changes any answer: the
+/// instrumentation only adds counter updates (and clock reads for sampled queries),
+/// and the disabled/unsampled hot path stays allocation-free per query (pinned by the
+/// `obs_overhead` integration test).
 #[derive(Debug, Default)]
 pub struct Engine {
     registry: IndexRegistry,
     executor: BatchExecutor,
+    metrics: EngineMetrics,
 }
 
 impl Engine {
     /// Creates an engine whose executor uses `threads` workers per batch (`0` = one per
     /// available CPU).
     pub fn new(threads: usize) -> Self {
-        Self { registry: IndexRegistry::new(), executor: BatchExecutor::new(threads) }
+        Self {
+            registry: IndexRegistry::new(),
+            executor: BatchExecutor::new(threads),
+            metrics: EngineMetrics::new(),
+        }
     }
 
     /// Cold-starts an engine from a `p2h-store` snapshot directory: every index named
@@ -37,7 +52,11 @@ impl Engine {
         dir: impl AsRef<std::path::Path>,
         threads: usize,
     ) -> std::result::Result<Self, p2h_store::StoreError> {
-        Ok(Self { registry: IndexRegistry::open_dir(dir)?, executor: BatchExecutor::new(threads) })
+        Ok(Self {
+            registry: IndexRegistry::open_dir(dir)?,
+            executor: BatchExecutor::new(threads),
+            metrics: EngineMetrics::new(),
+        })
     }
 
     /// [`Engine::from_store`] with an explicit [`p2h_store::LoadMode`]:
@@ -54,6 +73,7 @@ impl Engine {
         Ok(Self {
             registry: IndexRegistry::open_dir_with(dir, mode)?,
             executor: BatchExecutor::new(threads),
+            metrics: EngineMetrics::new(),
         })
     }
 
@@ -65,6 +85,21 @@ impl Engine {
     /// The batch executor.
     pub fn executor(&self) -> &BatchExecutor {
         &self.executor
+    }
+
+    /// A point-in-time snapshot of the process-wide metrics registry — every series
+    /// this engine (and the store layer) has recorded, ready for programmatic
+    /// inspection.
+    pub fn metrics_snapshot(&self) -> p2h_obs::MetricsSnapshot {
+        p2h_obs::global().snapshot()
+    }
+
+    /// The process-wide metrics in Prometheus text exposition format: per-index
+    /// query-latency histograms (p50/p95/p99 derivable from the log buckets),
+    /// per-shard latency, `SearchStats`-derived counters, and store load-stage
+    /// timings. See `docs/OBSERVABILITY.md` for the metric catalog.
+    pub fn render_metrics(&self) -> String {
+        p2h_obs::global().render_text()
     }
 
     /// Serves a batch against the index registered under `index_name`.
@@ -80,10 +115,12 @@ impl Engine {
             name: "index_name",
             message: format!("no index registered under `{index_name}`"),
         })?;
-        self.serve_index(&index, request)
+        self.serve_named(index.as_ref(), index_name, request)
     }
 
     /// Serves a batch against an explicit index handle (skips the registry lookup).
+    /// Metrics for this path are labeled with the index's method name
+    /// ([`P2hIndex::name`]) since no registered name exists.
     ///
     /// # Errors
     ///
@@ -95,8 +132,26 @@ impl Engine {
         index: &SharedIndex,
         request: &BatchRequest,
     ) -> Result<BatchResponse> {
-        validate_request(index.as_ref(), request)?;
-        Ok(self.executor.execute(index.as_ref(), request))
+        self.serve_named(index.as_ref(), index.name(), request)
+    }
+
+    fn serve_named(
+        &self,
+        index: &dyn P2hIndex,
+        label: &str,
+        request: &BatchRequest,
+    ) -> Result<BatchResponse> {
+        validate_request(index, request)?;
+        let trace = plan_trace(request);
+        let response = match &trace {
+            Some(plan) => self.executor.execute(index, &plan.request),
+            None => self.executor.execute(index, request),
+        };
+        self.metrics.record_batch(label, &response);
+        if let Some(plan) = &trace {
+            write_traces(plan, label, "batch", &response.results, &response.latencies_ns);
+        }
+        Ok(response)
     }
 
     /// Serves a batch against the *sharded* index registered under `index_name`,
@@ -124,7 +179,84 @@ impl Engine {
                 message: format!("no sharded index registered under `{index_name}`"),
             })?;
         validate_request(index.as_ref(), request)?;
-        Ok(ShardedExecutor::new(self.executor.threads()).execute(&index, request))
+        let executor = ShardedExecutor::new(self.executor.threads());
+        let trace = plan_trace(request);
+        let response = match &trace {
+            Some(plan) => executor.execute(&index, &plan.request),
+            None => executor.execute(&index, request),
+        };
+        self.metrics.record_sharded(index_name, &response);
+        if let Some(plan) = &trace {
+            write_traces(plan, index_name, "sharded", &response.results, &response.latencies_ns);
+        }
+        Ok(response)
+    }
+}
+
+/// The sink plus everything execution needs when at least one query of a batch is
+/// sampled: the rewritten request (sampled queries get `collect_timing`) and the
+/// sampled `(position, trace sequence number)` pairs.
+struct TracePlan {
+    sink: &'static TraceSink,
+    request: BatchRequest,
+    sampled: Vec<(usize, u64)>,
+}
+
+/// Decides up front which queries of this batch are sampled for tracing. Returns
+/// `None` (and touches nothing) when tracing is disabled or no query won the sampling
+/// draw; otherwise returns a copy of the request whose sampled queries have
+/// `collect_timing` enabled — clock reads only, answers unchanged.
+fn plan_trace(request: &BatchRequest) -> Option<TracePlan> {
+    let sink = from_env()?;
+    let sampled: Vec<(usize, u64)> =
+        (0..request.queries.len()).filter_map(|i| sink.sample().map(|seq| (i, seq))).collect();
+    if sampled.is_empty() {
+        return None;
+    }
+    let mut traced = request.clone();
+    for &(position, _) in &sampled {
+        let mut params = request.params_for(position).clone();
+        params.collect_timing = true;
+        traced.overrides.push((position, params));
+    }
+    Some(TracePlan { sink, request: traced, sampled })
+}
+
+/// Writes one JSON-line span per sampled query of a completed batch.
+fn write_traces(
+    plan: &TracePlan,
+    index: &str,
+    path: &str,
+    results: &[SearchResult],
+    latencies_ns: &[u64],
+) {
+    for &(position, seq) in &plan.sampled {
+        let params = plan.request.params_for(position);
+        let stats = &results[position].stats;
+        let latency_ns = latencies_ns[position];
+        let attributed = stats
+            .time_bounds_ns
+            .saturating_add(stats.time_verify_ns)
+            .saturating_add(stats.time_lookup_ns)
+            .saturating_add(stats.time_merge_ns);
+        plan.sink.write(&QueryTrace {
+            seq,
+            index,
+            path,
+            query: position,
+            k: params.k as u64,
+            candidate_limit: params.candidate_limit.map(|c| c as u64),
+            latency_ns,
+            stage_bounds_ns: stats.time_bounds_ns,
+            stage_verify_ns: stats.time_verify_ns,
+            stage_lookup_ns: stats.time_lookup_ns,
+            stage_merge_ns: stats.time_merge_ns,
+            stage_other_ns: latency_ns.saturating_sub(attributed),
+            nodes_visited: stats.nodes_visited,
+            candidates_verified: stats.candidates_verified,
+            pruned_subtrees: stats.pruned_subtrees,
+            result_len: results[position].neighbors.len() as u64,
+        });
     }
 }
 
@@ -205,5 +337,24 @@ mod tests {
             engine.serve("scan", &request),
             Err(Error::DimensionMismatch { expected: 3, actual: 4 })
         ));
+    }
+
+    #[test]
+    fn serving_populates_the_exposition_dump() {
+        let engine = engine_with_scan();
+        let queries: Vec<HyperplaneQuery> = (0..6)
+            .map(|i| {
+                HyperplaneQuery::from_normal_and_bias(&[1.0, i as Scalar * 0.2], -2.0).unwrap()
+            })
+            .collect();
+        let request = BatchRequest::new(queries, SearchParams::exact(2));
+        engine.serve("scan", &request).unwrap();
+
+        let snapshot = engine.metrics_snapshot();
+        let labels: &[(&str, &str)] = &[("index", "scan")];
+        assert!(snapshot.series("p2h_queries_total", labels).unwrap().value.scalar() >= 6);
+        let text = engine.render_metrics();
+        assert!(text.contains("p2h_query_latency_ns_bucket{index=\"scan\""));
+        assert!(text.contains("p2h_search_candidates_verified_total{index=\"scan\"}"));
     }
 }

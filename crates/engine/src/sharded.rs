@@ -127,11 +127,14 @@ impl ShardedExecutor {
         }
 
         // Reassemble: merge each query's shard lists, aggregate per-shard telemetry.
+        // Latencies stream straight into the (constant-size) histograms — no latency
+        // vector is cloned or sorted.
         let mut results = Vec::with_capacity(n_queries);
         let mut latencies_ns = Vec::with_capacity(n_queries);
+        let mut latency = LatencyHistogram::new();
         let mut total_stats = SearchStats::default();
         let mut per_shard_stats = vec![SearchStats::default(); n_shards];
-        let mut per_shard_latencies: Vec<Vec<u64>> = vec![Vec::new(); n_shards];
+        let mut per_shard_latency = vec![LatencyHistogram::new(); n_shards];
         for query in 0..n_queries {
             let mut lists = Vec::with_capacity(n_shards);
             let mut stats = SearchStats::default();
@@ -145,29 +148,30 @@ impl ShardedExecutor {
                 if let Some(sub) = outcome {
                     stats.merge(&sub.stats);
                     per_shard_stats[shard].merge(&sub.stats);
-                    per_shard_latencies[shard].push(sub_latency);
+                    per_shard_latency[shard].record(sub_latency);
                     lists.push(sub.neighbors);
                 }
             }
+            let merge_start = Instant::now();
             let neighbors = merge_topk(request.params_for(query).k, lists);
+            stats.time_merge_ns = merge_start.elapsed().as_nanos() as u64;
             // Report the measured fan-out latency rather than the sum of the shards'
-            // self-reported totals (same quantity, one clock).
-            stats.time_total_ns = latency_ns;
+            // self-reported totals (same quantity, one clock); the merge happens after
+            // the fan-out, so it adds on top.
+            stats.time_total_ns = latency_ns + stats.time_merge_ns;
             total_stats.merge(&stats);
+            latency.record(latency_ns);
             latencies_ns.push(latency_ns);
             results.push(SearchResult { neighbors, stats });
         }
 
         ShardedBatchResponse {
             results,
-            latency: LatencyHistogram::from_latencies(latencies_ns.clone()),
+            latency,
             latencies_ns,
             total_stats,
             per_shard_stats,
-            per_shard_latency: per_shard_latencies
-                .into_iter()
-                .map(LatencyHistogram::from_latencies)
-                .collect(),
+            per_shard_latency,
             wall_time_ns: start.elapsed().as_nanos() as u64,
         }
     }
@@ -275,6 +279,12 @@ mod tests {
         // The shard stats partition the total work.
         let shard_sum: u64 = response.per_shard_stats.iter().map(|s| s.candidates_verified).sum();
         assert_eq!(shard_sum, response.total_stats.candidates_verified);
+        // Merge time is measured per query (not by the shards) and aggregates.
+        let merge_sum: u64 = response.results.iter().map(|r| r.stats.time_merge_ns).sum();
+        assert_eq!(response.total_stats.time_merge_ns, merge_sum);
+        for (result, &latency_ns) in response.results.iter().zip(&response.latencies_ns) {
+            assert_eq!(result.stats.time_total_ns, latency_ns + result.stats.time_merge_ns);
+        }
     }
 
     #[test]

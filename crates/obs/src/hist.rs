@@ -1,0 +1,239 @@
+//! Fixed-boundary log-bucketed streaming histograms.
+//!
+//! Every histogram in the workspace shares one bucket layout: bucket 0 holds the value
+//! 0, bucket `i` (1 ≤ i ≤ 41) holds the values in `[2^(i-1), 2^i - 1]`, and the last
+//! bucket is the `+Inf` overflow. The boundaries are powers of two, so classifying a
+//! sample is a `leading_zeros` instruction — no search, no float math — and two
+//! histograms recorded independently can be merged by adding their bucket counts
+//! without any loss relative to recording every sample into one histogram. That merge
+//! stability is what lets per-batch histograms accumulate into the process-wide
+//! registry, and it is property-tested in `tests/histogram_merge.rs`.
+//!
+//! Quantiles use the nearest-rank method and report the *upper bound* of the bucket
+//! containing the ranked sample (the exact maximum for the overflow bucket). The
+//! reported value therefore overestimates the true quantile by at most 2x — the usual
+//! log-bucket contract (Prometheus, HdrHistogram at base-2 granularity) — and is
+//! deterministic under merging.
+
+/// Number of buckets: value 0, 41 power-of-two ranges (up to `2^41 - 1` ≈ 36 minutes
+/// in nanoseconds), and the `+Inf` overflow.
+pub const BUCKET_COUNT: usize = 43;
+
+/// Index of the `+Inf` overflow bucket.
+pub const OVERFLOW_BUCKET: usize = BUCKET_COUNT - 1;
+
+/// The bucket a value falls into: 0 for 0, otherwise `ceil(log2(v + 1))` capped at the
+/// overflow bucket.
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        ((64 - value.leading_zeros()) as usize).min(OVERFLOW_BUCKET)
+    }
+}
+
+/// The inclusive upper bound of a bucket, or `None` for the `+Inf` overflow bucket.
+#[inline]
+pub fn bucket_upper_bound(bucket: usize) -> Option<u64> {
+    match bucket {
+        0 => Some(0),
+        b if b < OVERFLOW_BUCKET => Some((1u64 << b) - 1),
+        _ => None,
+    }
+}
+
+/// A single-threaded streaming histogram over the shared bucket layout, with exact
+/// count, sum, and maximum.
+///
+/// This is the value type: executors record into a local `StreamingHistogram` while a
+/// batch runs (no atomics on the per-query path), then merge it into the shared
+/// [`crate::Histogram`] in one pass. It is also what a registry snapshot hands back
+/// for rendering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamingHistogram {
+    buckets: [u64; BUCKET_COUNT],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for StreamingHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingHistogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self { buckets: [0; BUCKET_COUNT], count: 0, sum: 0, max: 0 }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Builds a histogram from an iterator of samples.
+    pub fn from_samples(samples: impl IntoIterator<Item = u64>) -> Self {
+        let mut hist = Self::new();
+        for sample in samples {
+            hist.record(sample);
+        }
+        hist
+    }
+
+    /// Adds every bucket of `other` into this histogram. Equivalent to having recorded
+    /// `other`'s samples here (up to the saturating sum), whatever order they arrived
+    /// in.
+    pub fn merge(&mut self, other: &StreamingHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Saturating sum of every recorded sample.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample, or 0 with no samples.
+    pub fn max_value(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, or 0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.count as f64
+    }
+
+    /// The per-bucket counts (non-cumulative), in bucket order.
+    pub fn bucket_counts(&self) -> &[u64; BUCKET_COUNT] {
+        &self.buckets
+    }
+
+    /// Assembles a histogram from raw parts — used by [`crate::Histogram::snapshot`]
+    /// to turn a set of atomic loads into the value type.
+    pub(crate) fn from_parts(buckets: [u64; BUCKET_COUNT], count: u64, sum: u64, max: u64) -> Self {
+        Self { buckets, count, sum, max }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`, nearest-rank method): the upper bound of the
+    /// bucket containing the ranked sample, the exact maximum for the overflow bucket,
+    /// and 0 with no samples. Deterministic under [`StreamingHistogram::merge`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (bucket, &count) in self.buckets.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                return bucket_upper_bound(bucket).unwrap_or(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), OVERFLOW_BUCKET);
+        // Every finite bucket's upper bound lands in its own bucket, and the next
+        // value lands in the next bucket.
+        for bucket in 0..OVERFLOW_BUCKET {
+            let le = bucket_upper_bound(bucket).unwrap();
+            assert_eq!(bucket_index(le), bucket, "le={le}");
+            assert_eq!(bucket_index(le + 1), bucket + 1);
+        }
+        assert_eq!(bucket_upper_bound(OVERFLOW_BUCKET), None);
+    }
+
+    #[test]
+    fn records_count_sum_max() {
+        let hist = StreamingHistogram::from_samples([0, 1, 5, 1000]);
+        assert_eq!(hist.count(), 4);
+        assert_eq!(hist.sum(), 1006);
+        assert_eq!(hist.max_value(), 1000);
+        assert!((hist.mean() - 251.5).abs() < 1e-9);
+        assert!(!hist.is_empty());
+    }
+
+    #[test]
+    fn quantile_reports_bucket_upper_bound() {
+        // 1..=100: ranks 1..=50 live in buckets up to bucket_index(50)=6 (le=63).
+        let hist = StreamingHistogram::from_samples(1..=100);
+        assert_eq!(hist.quantile(0.5), 63);
+        assert_eq!(hist.quantile(0.95), 127);
+        assert_eq!(hist.quantile(0.0), 1); // rank 1 → bucket 1, le=1
+        assert_eq!(hist.quantile(1.0), 127);
+        assert_eq!(hist.max_value(), 100);
+    }
+
+    #[test]
+    fn overflow_bucket_reports_exact_max() {
+        let huge = 1u64 << 50;
+        let hist = StreamingHistogram::from_samples([huge]);
+        assert_eq!(hist.bucket_counts()[OVERFLOW_BUCKET], 1);
+        assert_eq!(hist.quantile(0.99), huge);
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let all = StreamingHistogram::from_samples((0..500).map(|i| i * 37 % 4096));
+        let mut merged = StreamingHistogram::from_samples((0..250).map(|i| i * 37 % 4096));
+        merged.merge(&StreamingHistogram::from_samples((250..500).map(|i| i * 37 % 4096)));
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let hist = StreamingHistogram::new();
+        assert_eq!(hist.quantile(0.99), 0);
+        assert_eq!(hist.mean(), 0.0);
+        assert_eq!(hist.max_value(), 0);
+        assert!(hist.is_empty());
+    }
+
+    #[test]
+    fn sum_saturates() {
+        let mut hist = StreamingHistogram::from_samples([u64::MAX]);
+        hist.record(u64::MAX);
+        assert_eq!(hist.sum(), u64::MAX);
+        assert_eq!(hist.count(), 2);
+    }
+}

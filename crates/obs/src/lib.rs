@@ -1,0 +1,64 @@
+//! # p2h-obs
+//!
+//! The observability layer of the p2hnns serving stack: a lock-free metrics registry,
+//! streaming log-bucketed histograms, sampled structured query tracing, and a
+//! Prometheus text-format renderer. The crate is dependency-free (std only) and sits
+//! below every other workspace crate, so `p2h-store` and `p2h-engine` both record
+//! into the same [`global`] registry.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **The hot path stays allocation-free and lock-free.** Instrument handles
+//!    ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`s resolved once and cached;
+//!    recording is a handful of `Relaxed` atomic adds. Batch executors go further and
+//!    record per-query samples into a thread-local [`StreamingHistogram`], publishing
+//!    with one [`Histogram::merge_from`] per batch. The engine's
+//!    `obs_overhead` integration test pins this at ≤ 1 allocation per query.
+//! 2. **Quantiles are merge-stable.** All histograms share one fixed power-of-two
+//!    bucket layout ([`hist`]), so merging per-batch histograms into the registry
+//!    reports exactly the same p50/p95/p99 as recording every sample centrally
+//!    (property-tested).
+//! 3. **Tracing never perturbs answers.** The `P2H_TRACE=path[:rate]` sink ([`trace`])
+//!    samples every Nth query and only adds clock reads to sampled queries; answers
+//!    stay bit-identical, which CI enforces by running the snapshot bench's
+//!    oracle check under `P2H_TRACE`.
+//!
+//! ## Example
+//!
+//! ```
+//! use p2h_obs::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::new();
+//! let latency = registry.histogram(
+//!     "query_latency_ns",
+//!     "Per-query wall-clock latency.",
+//!     &[("index", "ball")],
+//! );
+//! for sample in [120_000u64, 95_000, 2_400_000] {
+//!     latency.record(sample);
+//! }
+//! let snapshot = registry.snapshot();
+//! let hist = snapshot
+//!     .series("query_latency_ns", &[("index", "ball")])
+//!     .and_then(|s| s.value.histogram())
+//!     .unwrap();
+//! assert_eq!(hist.count(), 3);
+//! assert!(registry.render_text().contains("query_latency_ns_bucket"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod hist;
+mod metrics;
+mod registry;
+mod render;
+pub mod trace;
+
+pub use hist::{bucket_index, bucket_upper_bound, StreamingHistogram, BUCKET_COUNT};
+pub use metrics::{Counter, Gauge, Histogram};
+pub use registry::{
+    global, FamilySnapshot, MetricKind, MetricsRegistry, MetricsSnapshot, SeriesSnapshot,
+    SeriesValue,
+};
+pub use trace::{QueryTrace, TraceSink};

@@ -1,0 +1,228 @@
+//! The lock-free metric instruments: counters, gauges, and atomic histograms.
+//!
+//! Every instrument is a plain collection of `AtomicU64`s updated with `Relaxed`
+//! ordering — each sample is an independent event and exposition only needs a
+//! point-in-time snapshot, so no ordering relationship between metrics is promised
+//! (the standard Prometheus-client contract). Handles are `Arc`s handed out by the
+//! [`crate::MetricsRegistry`]; recording never takes a lock and never allocates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::hist::{bucket_index, StreamingHistogram, BUCKET_COUNT};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter at zero.
+    pub const fn new() -> Self {
+        Self { value: AtomicU64::new(0) }
+    }
+
+    /// Adds `delta` (saturating at `u64::MAX` is not attempted — counters wrap only
+    /// after centuries of nanosecond accumulation, and Prometheus rate() handles
+    /// resets).
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (queue depths, bytes currently mapped).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub const fn new() -> Self {
+        Self { value: AtomicU64::new(0) }
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Subtracts `delta`, saturating at zero (a concurrent mis-paired `sub` must not
+    /// wrap the gauge to ~2^64).
+    #[inline]
+    pub fn sub(&self, delta: u64) {
+        let mut current = self.value.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(delta);
+            match self.value.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// The current value.
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A shared histogram over the workspace bucket layout (see [`crate::hist`]),
+/// recordable from any thread without locks.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_COUNT],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample: two `fetch_add`s, one `fetch_max`, one bucket `fetch_add`.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Merges a locally accumulated [`StreamingHistogram`] in one pass — the cheap way
+    /// for a batch executor to publish per-query samples: record into a local
+    /// histogram on the hot path, merge once per batch.
+    pub fn merge_from(&self, local: &StreamingHistogram) {
+        if local.is_empty() {
+            return;
+        }
+        for (bucket, &count) in local.bucket_counts().iter().enumerate() {
+            if count > 0 {
+                self.buckets[bucket].fetch_add(count, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(local.count(), Ordering::Relaxed);
+        self.sum.fetch_add(local.sum(), Ordering::Relaxed);
+        self.max.fetch_max(local.max_value(), Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the histogram as a value type.
+    pub fn snapshot(&self) -> StreamingHistogram {
+        let mut counts = [0u64; BUCKET_COUNT];
+        for (bucket, atomic) in self.buckets.iter().enumerate() {
+            counts[bucket] = atomic.load(Ordering::Relaxed);
+        }
+        StreamingHistogram::from_parts(
+            counts,
+            self.count.load(Ordering::Relaxed),
+            self.sum.load(Ordering::Relaxed),
+            self.max.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let counter = Counter::new();
+        counter.inc();
+        counter.add(41);
+        assert_eq!(counter.value(), 42);
+
+        let gauge = Gauge::new();
+        gauge.set(10);
+        gauge.add(5);
+        gauge.sub(3);
+        assert_eq!(gauge.value(), 12);
+        gauge.sub(100);
+        assert_eq!(gauge.value(), 0, "gauge sub saturates at zero");
+    }
+
+    #[test]
+    fn atomic_histogram_matches_streaming() {
+        let atomic = Histogram::new();
+        let mut local = StreamingHistogram::new();
+        for value in [0u64, 1, 7, 63, 64, 4096, 1 << 50] {
+            atomic.record(value);
+            local.record(value);
+        }
+        assert_eq!(atomic.snapshot(), local);
+        assert_eq!(atomic.count(), 7);
+    }
+
+    #[test]
+    fn merge_from_equals_recording() {
+        let direct = Histogram::new();
+        let merged = Histogram::new();
+        let mut local = StreamingHistogram::new();
+        for value in 0..1000u64 {
+            direct.record(value * 13 % 8192);
+            local.record(value * 13 % 8192);
+        }
+        merged.merge_from(&local);
+        assert_eq!(direct.snapshot(), merged.snapshot());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let hist = Histogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let hist = &hist;
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        hist.record(t * 1_000 + i % 977);
+                    }
+                });
+            }
+        });
+        assert_eq!(hist.count(), 40_000);
+        assert_eq!(hist.snapshot().count(), 40_000);
+    }
+}

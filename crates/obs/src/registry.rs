@@ -1,0 +1,315 @@
+//! The metrics registry: named, labeled families of counters/gauges/histograms.
+//!
+//! Registration (`counter`/`gauge`/`histogram`) takes a write lock and allocates; it
+//! is meant to run once per metric series, at startup or on first sight of a label
+//! value. The returned `Arc` handles are then cached by the instrumented layer and
+//! recording through them is lock-free (see [`crate::metrics`]). Snapshots take the
+//! read lock only long enough to copy the atomic values out.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use crate::hist::StreamingHistogram;
+use crate::metrics::{Counter, Gauge, Histogram};
+
+/// The kind of a metric family, matching the Prometheus `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing.
+    Counter,
+    /// Goes up and down.
+    Gauge,
+    /// Log-bucketed distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Sorted label pairs identifying one series within a family.
+type LabelSet = Vec<(String, String)>;
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Family {
+    help: String,
+    kind: MetricKind,
+    series: BTreeMap<LabelSet, Instrument>,
+}
+
+/// A process-wide (or test-local) collection of metric families.
+///
+/// Use [`global`] for the shared registry every instrumented layer records into, or
+/// `MetricsRegistry::new()` for an isolated one (tests, embedded exposition).
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: RwLock<BTreeMap<String, Family>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let families = self.families.read().expect("metrics registry poisoned");
+        f.debug_struct("MetricsRegistry").field("families", &families.len()).finish()
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn label_set(labels: &[(&str, &str)]) -> LabelSet {
+    debug_assert!(
+        labels.iter().all(|(k, _)| valid_name(k)),
+        "label names must match [a-zA-Z_][a-zA-Z0-9_]*: {labels:?}"
+    );
+    let mut set: LabelSet = labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+    set.sort();
+    set
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn instrument(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        debug_assert!(valid_name(name), "metric names must match [a-zA-Z_][a-zA-Z0-9_]*: {name}");
+        let set = label_set(labels);
+        let mut families = self.families.write().expect("metrics registry poisoned");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric `{name}` registered as {:?} and again as {kind:?}",
+            family.kind
+        );
+        match family.series.entry(set).or_insert_with(make) {
+            Instrument::Counter(c) => Instrument::Counter(Arc::clone(c)),
+            Instrument::Gauge(g) => Instrument::Gauge(Arc::clone(g)),
+            Instrument::Histogram(h) => Instrument::Histogram(Arc::clone(h)),
+        }
+    }
+
+    /// Registers (or retrieves) the counter `name{labels}`. The `help` text of the
+    /// first registration wins.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.instrument(name, help, MetricKind::Counter, labels, || {
+            Instrument::Counter(Arc::new(Counter::new()))
+        }) {
+            Instrument::Counter(c) => c,
+            _ => unreachable!("kind checked by instrument()"),
+        }
+    }
+
+    /// Registers (or retrieves) the gauge `name{labels}`.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.instrument(name, help, MetricKind::Gauge, labels, || {
+            Instrument::Gauge(Arc::new(Gauge::new()))
+        }) {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!("kind checked by instrument()"),
+        }
+    }
+
+    /// Registers (or retrieves) the histogram `name{labels}`.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        match self.instrument(name, help, MetricKind::Histogram, labels, || {
+            Instrument::Histogram(Arc::new(Histogram::new()))
+        }) {
+            Instrument::Histogram(h) => h,
+            _ => unreachable!("kind checked by instrument()"),
+        }
+    }
+
+    /// A point-in-time copy of every family and series, ready for rendering or
+    /// programmatic inspection. Families and series come out in deterministic
+    /// (lexicographic) order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let families = self.families.read().expect("metrics registry poisoned");
+        MetricsSnapshot {
+            families: families
+                .iter()
+                .map(|(name, family)| FamilySnapshot {
+                    name: name.clone(),
+                    help: family.help.clone(),
+                    kind: family.kind,
+                    series: family
+                        .series
+                        .iter()
+                        .map(|(labels, instrument)| SeriesSnapshot {
+                            labels: labels.clone(),
+                            value: match instrument {
+                                Instrument::Counter(c) => SeriesValue::Counter(c.value()),
+                                Instrument::Gauge(g) => SeriesValue::Gauge(g.value()),
+                                Instrument::Histogram(h) => SeriesValue::Histogram(h.snapshot()),
+                            },
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the current state in Prometheus text exposition format (shorthand for
+    /// `self.snapshot().render_text()`).
+    pub fn render_text(&self) -> String {
+        self.snapshot().render_text()
+    }
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Every metric family, in name order.
+    pub families: Vec<FamilySnapshot>,
+}
+
+/// One metric family (a name, its kind/help, and every label combination seen).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FamilySnapshot {
+    /// The family name, e.g. `p2h_query_latency_ns`.
+    pub name: String,
+    /// The `# HELP` text.
+    pub help: String,
+    /// Counter, gauge, or histogram.
+    pub kind: MetricKind,
+    /// Every series of the family, in label order.
+    pub series: Vec<SeriesSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// The series `name{labels}`, if present (labels in any order).
+    pub fn series(&self, name: &str, labels: &[(&str, &str)]) -> Option<&SeriesSnapshot> {
+        let want = label_set(labels);
+        self.families.iter().find(|f| f.name == name)?.series.iter().find(|s| s.labels == want)
+    }
+}
+
+/// One labeled series within a family.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSnapshot {
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The sampled value.
+    pub value: SeriesValue,
+}
+
+/// The sampled value of one series.
+///
+/// The histogram variant is boxed-free on purpose: snapshots are taken once per
+/// scrape, not per query, and an inline `StreamingHistogram` (a few hundred bytes)
+/// keeps snapshot traversal pointer-chase-free.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)]
+pub enum SeriesValue {
+    /// A counter reading.
+    Counter(u64),
+    /// A gauge reading.
+    Gauge(u64),
+    /// A full histogram copy.
+    Histogram(StreamingHistogram),
+}
+
+impl SeriesValue {
+    /// The scalar value of a counter/gauge, or a histogram's sample count.
+    pub fn scalar(&self) -> u64 {
+        match self {
+            SeriesValue::Counter(v) | SeriesValue::Gauge(v) => *v,
+            SeriesValue::Histogram(h) => h.count(),
+        }
+    }
+
+    /// The histogram, if this series is one.
+    pub fn histogram(&self) -> Option<&StreamingHistogram> {
+        match self {
+            SeriesValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+/// The process-wide registry every instrumented layer (engine, store) records into.
+pub fn global() -> &'static MetricsRegistry {
+    static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
+    GLOBAL.get_or_init(MetricsRegistry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_labels_share_the_instrument() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("requests_total", "Requests.", &[("index", "ball")]);
+        let b = registry.counter("requests_total", "Requests.", &[("index", "ball")]);
+        a.add(2);
+        b.add(3);
+        assert_eq!(a.value(), 5);
+        let other = registry.counter("requests_total", "Requests.", &[("index", "bc")]);
+        assert_eq!(other.value(), 0);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let registry = MetricsRegistry::new();
+        let a = registry.gauge("depth", "Depth.", &[("a", "1"), ("b", "2")]);
+        let b = registry.gauge("depth", "Depth.", &[("b", "2"), ("a", "1")]);
+        a.set(9);
+        assert_eq!(b.value(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_mismatch_panics() {
+        let registry = MetricsRegistry::new();
+        registry.counter("mixed", "A counter.", &[]);
+        registry.gauge("mixed", "Now a gauge?", &[]);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_lookupable() {
+        let registry = MetricsRegistry::new();
+        registry.counter("b_total", "B.", &[("z", "1")]).add(7);
+        registry.counter("a_total", "A.", &[]).add(1);
+        registry.histogram("h", "H.", &[]).record(100);
+        let snap = registry.snapshot();
+        let names: Vec<&str> = snap.families.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a_total", "b_total", "h"]);
+        assert_eq!(snap.series("b_total", &[("z", "1")]).unwrap().value.scalar(), 7);
+        assert_eq!(snap.series("h", &[]).unwrap().value.histogram().unwrap().count(), 1);
+        assert!(snap.series("b_total", &[("z", "2")]).is_none());
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let a = global().counter("obs_unit_global_total", "Shared.", &[]);
+        global().counter("obs_unit_global_total", "Shared.", &[]).inc();
+        assert!(a.value() >= 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Prometheus text exposition format (version 0.0.4) rendering.
+//!
+//! The renderer walks a [`MetricsSnapshot`] and emits one `# HELP`/`# TYPE` header per
+//! family followed by its series. Histograms expand into the standard triple:
+//! cumulative `_bucket{le="..."}` series (finite bounds from the shared log-bucket
+//! layout, then `le="+Inf"`), `_sum`, and `_count`. Empty buckets are elided except
+//! `+Inf`, which is always present — scrape-side quantile math only needs the
+//! cumulative counts at the bounds that actually changed.
+//!
+//! Output is deterministic: families, series, and labels all come out of the snapshot
+//! pre-sorted, so a golden-file test can compare byte-for-byte.
+
+use std::fmt::Write as _;
+
+use crate::hist::{bucket_upper_bound, StreamingHistogram};
+use crate::registry::{MetricsSnapshot, SeriesValue};
+
+impl MetricsSnapshot {
+    /// Renders the snapshot in Prometheus text exposition format.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for family in &self.families {
+            let _ = writeln!(out, "# HELP {} {}", family.name, escape_help(&family.help));
+            let _ = writeln!(out, "# TYPE {} {}", family.name, family.kind.as_str());
+            for series in &family.series {
+                match &series.value {
+                    SeriesValue::Counter(v) | SeriesValue::Gauge(v) => {
+                        write_sample(&mut out, &family.name, &series.labels, None, *v);
+                    }
+                    SeriesValue::Histogram(hist) => {
+                        write_histogram(&mut out, &family.name, &series.labels, hist);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn write_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    hist: &StreamingHistogram,
+) {
+    let bucket_name = format!("{name}_bucket");
+    let mut cumulative = 0u64;
+    for (bucket, &count) in hist.bucket_counts().iter().enumerate() {
+        cumulative += count;
+        match bucket_upper_bound(bucket) {
+            Some(le) => {
+                if count > 0 {
+                    write_sample(out, &bucket_name, labels, Some(&le.to_string()), cumulative);
+                }
+            }
+            None => write_sample(out, &bucket_name, labels, Some("+Inf"), cumulative),
+        }
+    }
+    write_sample(out, &format!("{name}_sum"), labels, None, hist.sum());
+    write_sample(out, &format!("{name}_count"), labels, None, hist.count());
+}
+
+fn write_sample(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    le: Option<&str>,
+    value: u64,
+) {
+    out.push_str(name);
+    if !labels.is_empty() || le.is_some() {
+        out.push('{');
+        let mut first = true;
+        for (key, val) in labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "{key}=\"{}\"", escape_label(val));
+        }
+        if let Some(le) = le {
+            if !first {
+                out.push(',');
+            }
+            let _ = write!(out, "le=\"{le}\"");
+        }
+        out.push('}');
+    }
+    let _ = writeln!(out, " {value}");
+}
+
+/// Escapes a label value per the exposition format: backslash, double-quote, newline.
+fn escape_label(value: &str) -> String {
+    let mut escaped = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => escaped.push_str("\\\\"),
+            '"' => escaped.push_str("\\\""),
+            '\n' => escaped.push_str("\\n"),
+            other => escaped.push(other),
+        }
+    }
+    escaped
+}
+
+/// Escapes help text: backslash and newline (quotes are legal in help).
+fn escape_help(value: &str) -> String {
+    let mut escaped = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => escaped.push_str("\\\\"),
+            '\n' => escaped.push_str("\\n"),
+            other => escaped.push(other),
+        }
+    }
+    escaped
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn renders_counters_and_gauges() {
+        let registry = MetricsRegistry::new();
+        registry.counter("reqs_total", "Requests served.", &[("index", "ball")]).add(3);
+        registry.gauge("depth", "Queue depth.", &[]).set(2);
+        let text = registry.render_text();
+        assert!(text.contains("# HELP reqs_total Requests served.\n"));
+        assert!(text.contains("# TYPE reqs_total counter\n"));
+        assert!(text.contains("reqs_total{index=\"ball\"} 3\n"));
+        assert!(text.contains("# TYPE depth gauge\n"));
+        assert!(text.contains("\ndepth 2\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_end_at_inf() {
+        let registry = MetricsRegistry::new();
+        let hist = registry.histogram("lat_ns", "Latency.", &[]);
+        for v in [1u64, 1, 2, 1000] {
+            hist.record(v);
+        }
+        let text = registry.render_text();
+        assert!(text.contains("lat_ns_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("lat_ns_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("lat_ns_bucket{le=\"1023\"} 4\n"));
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("lat_ns_sum 1004\n"));
+        assert!(text.contains("lat_ns_count 4\n"));
+        // Empty buckets between 3 and 1023 are elided.
+        assert!(!text.contains("le=\"7\""));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let registry = MetricsRegistry::new();
+        registry.counter("c_total", "C.", &[("name", "a\"b\\c\nd")]).inc();
+        let text = registry.render_text();
+        assert!(text.contains("c_total{name=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+}

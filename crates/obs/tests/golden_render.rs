@@ -1,0 +1,165 @@
+//! Golden-file coverage for the Prometheus text renderer: a registry with every
+//! instrument kind, multiple label sets, and escaping-sensitive values must render
+//! byte-for-byte to `tests/golden/metrics.prom`. A second test re-derives the
+//! format invariants (bucket cumulativity, `_sum`/`_count` consistency) from the
+//! rendered text itself, so the golden file can never drift into invalid exposition.
+//!
+//! To regenerate after an intentional format change:
+//! `P2H_OBS_BLESS=1 cargo test -p p2h-obs --test golden_render`
+
+use p2h_obs::MetricsRegistry;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/metrics.prom");
+
+/// A deterministic registry exercising every renderer code path.
+fn example_registry() -> MetricsRegistry {
+    let registry = MetricsRegistry::new();
+
+    registry
+        .counter("p2h_queries_total", "Queries served, by index.", &[("index", "ball")])
+        .add(1024);
+    registry.counter("p2h_queries_total", "Queries served, by index.", &[("index", "bc")]).add(7);
+    // Label order at registration must not matter.
+    registry
+        .counter(
+            "p2h_shard_sub_searches_total",
+            "Per-shard sub-searches.",
+            &[("shard", "0"), ("index", "ball")],
+        )
+        .add(512);
+    registry
+        .counter(
+            "p2h_shard_sub_searches_total",
+            "Per-shard sub-searches.",
+            &[("index", "ball"), ("shard", "1")],
+        )
+        .add(512);
+
+    registry.gauge("p2h_store_bytes_mapped", "Bytes currently memory-mapped.", &[]).set(65536);
+
+    let latency = registry.histogram(
+        "p2h_query_latency_ns",
+        "Per-query wall-clock latency.",
+        &[("index", "ball")],
+    );
+    for sample in [0u64, 1, 1, 3, 120, 121, 4096, 100_000, 1 << 50] {
+        latency.record(sample);
+    }
+    // An empty histogram series still renders +Inf/_sum/_count.
+    registry.histogram("p2h_query_latency_ns", "Per-query wall-clock latency.", &[("index", "bc")]);
+
+    // Escaping: backslash, quote, newline in a label value; backslash in help.
+    registry
+        .counter("p2h_escapes_total", "Help with \\ backslash.", &[("name", "a\"b\\c\nd")])
+        .inc();
+    registry
+}
+
+#[test]
+fn renderer_matches_golden_file() {
+    let rendered = example_registry().render_text();
+    if std::env::var("P2H_OBS_BLESS").is_ok() {
+        std::fs::write(GOLDEN_PATH, &rendered).expect("write golden file");
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("read golden file");
+    assert_eq!(
+        rendered, golden,
+        "rendered exposition differs from tests/golden/metrics.prom \
+         (bless with P2H_OBS_BLESS=1 after an intentional change)"
+    );
+}
+
+/// A tiny exposition-format parser: enough structure to verify the invariants a real
+/// Prometheus scraper relies on.
+#[derive(Debug)]
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: u64,
+}
+
+fn parse_samples(text: &str) -> Vec<Sample> {
+    let mut samples = Vec::new();
+    for line in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+        let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+        let (name, labels) = match series.split_once('{') {
+            Some((name, rest)) => {
+                let body = rest.strip_suffix('}').expect("closing brace");
+                let mut labels = Vec::new();
+                // Good enough for the golden corpus: no commas inside label values.
+                for pair in body.split(',') {
+                    let (key, quoted) = pair.split_once('=').expect("label pair");
+                    let val = quoted.trim_matches('"').to_string();
+                    labels.push((key.to_string(), val));
+                }
+                (name.to_string(), labels)
+            }
+            None => (series.to_string(), Vec::new()),
+        };
+        samples.push(Sample { name, labels, value: value.parse().expect("integer value") });
+    }
+    samples
+}
+
+#[test]
+fn golden_exposition_satisfies_histogram_invariants() {
+    let text = example_registry().render_text();
+    let samples = parse_samples(&text);
+
+    // Every series name appears under exactly one # TYPE header, and headers precede
+    // their samples.
+    for base in ["p2h_queries_total", "p2h_query_latency_ns", "p2h_store_bytes_mapped"] {
+        let help = text.find(&format!("# HELP {base} ")).expect("HELP line");
+        let typ = text.find(&format!("# TYPE {base} ")).expect("TYPE line");
+        let first_sample = text.find(&format!("\n{base}")).expect("sample line");
+        assert!(help < typ && typ < first_sample, "{base}: header order");
+    }
+
+    // Histogram invariants per label set: buckets are non-decreasing in `le`, the
+    // +Inf bucket equals `_count`, and `_sum` is at least `max bucket bound * 0`.
+    for index in ["ball", "bc"] {
+        let buckets: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| {
+                s.name == "p2h_query_latency_ns_bucket"
+                    && s.labels.contains(&("index".into(), index.into()))
+            })
+            .collect();
+        assert!(!buckets.is_empty(), "index={index} has bucket samples");
+        // Rendered order is ascending `le`, so cumulativity = non-decreasing values.
+        for pair in buckets.windows(2) {
+            assert!(pair[0].value <= pair[1].value, "cumulative buckets for {index}");
+        }
+        let inf = buckets.last().unwrap();
+        assert_eq!(inf.labels.iter().find(|(k, _)| k == "le").unwrap().1, "+Inf");
+        let count = samples
+            .iter()
+            .find(|s| {
+                s.name == "p2h_query_latency_ns_count"
+                    && s.labels.contains(&("index".into(), index.into()))
+            })
+            .expect("_count series");
+        assert_eq!(inf.value, count.value, "+Inf bucket equals _count for {index}");
+        let sum = samples
+            .iter()
+            .find(|s| {
+                s.name == "p2h_query_latency_ns_sum"
+                    && s.labels.contains(&("index".into(), index.into()))
+            })
+            .expect("_sum series");
+        if count.value == 0 {
+            assert_eq!(sum.value, 0, "empty histogram has zero sum");
+        }
+    }
+
+    // The populated histogram's exact aggregates.
+    let ball_count = samples
+        .iter()
+        .find(|s| {
+            s.name == "p2h_query_latency_ns_count"
+                && !s.labels.is_empty()
+                && s.labels[0].1 == "ball"
+        })
+        .unwrap();
+    assert_eq!(ball_count.value, 9);
+}

@@ -1,0 +1,59 @@
+//! Property: histograms are merge-stable. However a stream of samples is split across
+//! independently recorded histograms, merging them reports exactly the same bucket
+//! counts — and therefore the same quantiles — as recording the whole stream into one
+//! histogram. This is the invariant that lets per-batch histograms accumulate into
+//! the process-wide registry without distorting p50/p95/p99.
+
+use p2h_obs::{Histogram, StreamingHistogram};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merged_histograms_match_single_pass_recording(
+        samples in collection::vec(0u64..5_000_000_000, 1..400),
+        split_points in collection::vec(0usize..400, 0..6),
+    ) {
+        // Single pass: everything into one histogram.
+        let single = StreamingHistogram::from_samples(samples.iter().copied());
+
+        // Split the stream at arbitrary points and record each piece independently.
+        let mut cuts: Vec<usize> =
+            split_points.iter().map(|&p| p % samples.len()).collect();
+        cuts.push(0);
+        cuts.push(samples.len());
+        cuts.sort_unstable();
+        let mut merged = StreamingHistogram::new();
+        for window in cuts.windows(2) {
+            let piece = StreamingHistogram::from_samples(samples[window[0]..window[1]].iter().copied());
+            merged.merge(&piece);
+        }
+
+        prop_assert_eq!(&merged, &single);
+        for q in [0.0, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), single.quantile(q));
+        }
+
+        // Publishing through the atomic registry histogram preserves it too.
+        let shared = Histogram::new();
+        shared.merge_from(&merged);
+        prop_assert_eq!(shared.snapshot(), single);
+    }
+
+    #[test]
+    fn quantile_upper_bounds_the_true_quantile_within_2x(
+        samples in collection::vec(1u64..1_000_000_000, 1..200),
+    ) {
+        let hist = StreamingHistogram::from_samples(samples.iter().copied());
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.95, 0.99] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+            let exact = sorted[rank - 1];
+            let reported = hist.quantile(q);
+            prop_assert!(reported >= exact, "reported {} < exact {}", reported, exact);
+            prop_assert!(reported < exact * 2, "reported {} >= 2x exact {}", reported, exact);
+        }
+    }
+}

@@ -540,7 +540,9 @@ impl<'a> SnapshotReader<'a> {
             return Err(StoreError::Truncated { context: "section payload" });
         }
         let payload = &self.buf[start..start + len];
+        let crc_start = std::time::Instant::now();
         let computed = crc32(payload);
+        crate::metrics::record_crc(crc_start.elapsed().as_nanos() as u64, payload.len());
         if computed != stored_crc {
             return Err(StoreError::ChecksumMismatch {
                 section: tag,

@@ -57,6 +57,7 @@
 
 mod crc32;
 pub mod format;
+mod metrics;
 #[allow(unsafe_code)]
 mod mmap;
 mod snapshot;

@@ -76,11 +76,22 @@ impl SourceOwner {
     /// typed views assume little-endian storage.
     pub(crate) fn read(path: &Path, mode: LoadMode) -> StoreResult<Self> {
         let mode = if cfg!(target_endian = "big") { LoadMode::Copy } else { mode };
-        match mode {
+        let start = std::time::Instant::now();
+        let owner = match mode {
             LoadMode::Copy => {
-                Ok(SourceOwner::Bytes(std::fs::read(path).map_err(|e| io_error(path, e))?))
+                SourceOwner::Bytes(std::fs::read(path).map_err(|e| io_error(path, e))?)
             }
-            LoadMode::Mmap => Ok(SourceOwner::Mapped(MmapRegion::map_file(path)?)),
+            LoadMode::Mmap => SourceOwner::Mapped(MmapRegion::map_file(path)?),
+        };
+        crate::metrics::record_read(mode, start.elapsed().as_nanos() as u64, owner.byte_len());
+        Ok(owner)
+    }
+
+    /// The number of bytes this owner materialized (owned or mapped).
+    fn byte_len(&self) -> usize {
+        match self {
+            SourceOwner::Bytes(bytes) => bytes.len(),
+            SourceOwner::Mapped(region) => region.len(),
         }
     }
 

@@ -100,8 +100,10 @@ pub trait Snapshot: P2hIndex + Sized {
     /// Reads and restores a snapshot from `path` under an explicit [`LoadMode`]:
     /// [`LoadMode::Mmap`] maps the file and restores the arrays zero-copy.
     fn load_snapshot_with(path: &Path, mode: LoadMode) -> StoreResult<Self> {
-        let owner = SourceOwner::read(path, mode)?;
-        Self::decode_snapshot_src(owner.as_src())
+        crate::metrics::timed_decode(|| {
+            let owner = SourceOwner::read(path, mode)?;
+            Self::decode_snapshot_src(owner.as_src())
+        })
     }
 }
 

@@ -506,6 +506,7 @@ impl Store {
             manifest.entries.values().flat_map(|entry| entry.files()).collect();
         let Ok(entries) = fs::read_dir(&self.dir) else { return };
         let now = std::time::SystemTime::now();
+        let mut swept = 0u64;
         for entry in entries.flatten() {
             let file_name = entry.file_name();
             let Some(name) = file_name.to_str() else { continue };
@@ -521,10 +522,11 @@ impl Store {
                 .ok()
                 .and_then(|mtime| now.duration_since(mtime).ok())
                 .is_some_and(|age| age >= SWEEP_GRACE);
-            if old_enough {
-                let _ = fs::remove_file(entry.path());
+            if old_enough && fs::remove_file(entry.path()).is_ok() {
+                swept += 1;
             }
         }
+        crate::metrics::record_sweep(swept);
     }
 
     /// The registered entry names (single indexes and shard groups), sorted.
@@ -648,6 +650,14 @@ impl Store {
     }
 
     fn load_group_files(&self, map_file: &str, shard_files: &[String]) -> StoreResult<ShardGroup> {
+        crate::metrics::timed_decode(|| self.load_group_files_inner(map_file, shard_files))
+    }
+
+    fn load_group_files_inner(
+        &self,
+        map_file: &str,
+        shard_files: &[String],
+    ) -> StoreResult<ShardGroup> {
         // One region (or buffer) per epoch file: the map file plus every shard file.
         let map_owner = self.read_owner(map_file)?;
         let (meta, id_maps) = decode_shard_map(map_owner.as_src())?;
@@ -682,13 +692,13 @@ impl Store {
     /// [`StoreError::KindMismatch`] if the snapshot holds a different index kind, and
     /// any snapshot decoding error (see [`Snapshot::decode_snapshot`]).
     pub fn load<S: Snapshot>(&self, name: &str) -> StoreResult<S> {
-        S::decode_snapshot_src(self.snapshot_owner(name)?.as_src())
+        crate::metrics::timed_decode(|| S::decode_snapshot_src(self.snapshot_owner(name)?.as_src()))
     }
 
     /// Loads the index registered under `name`, dispatching on the kind recorded in the
     /// snapshot header.
     pub fn load_any(&self, name: &str) -> StoreResult<LoadedIndex> {
-        decode_any_src(self.snapshot_owner(name)?.as_src())
+        crate::metrics::timed_decode(|| decode_any_src(self.snapshot_owner(name)?.as_src()))
     }
 
     /// Loads every single-index entry in the manifest, in name order. The manifest is
@@ -720,7 +730,9 @@ impl Store {
             .map(|(name, entry)| {
                 let loaded = match entry {
                     ManifestEntry::Single(file) => {
-                        StoreEntry::Single(decode_any_src(self.read_owner(file)?.as_src())?)
+                        StoreEntry::Single(crate::metrics::timed_decode(|| {
+                            decode_any_src(self.read_owner(file)?.as_src())
+                        })?)
                     }
                     ManifestEntry::Group { map_file, shard_files } => {
                         StoreEntry::ShardGroup(self.load_group_files(map_file, shard_files)?)

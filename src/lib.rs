@@ -19,6 +19,7 @@
 //! | [`engine`] | `p2h-engine` | concurrent batch-query serving: index registry, parallel batch executor, latency histograms |
 //! | [`store`] | `p2h-store` | persistent snapshots: checksummed container, directory store, shard groups |
 //! | [`shard`] | `p2h-shard` | sharded serving: partitioners, per-shard builds, deterministic fan-out top-k merge |
+//! | [`obs`] | `p2h-obs` | observability: lock-free metrics registry, mergeable log-bucket histograms, Prometheus text exposition, sampled query tracing |
 //!
 //! ## Quickstart
 //!
@@ -119,6 +120,44 @@
 //! }
 //! ```
 //!
+//! ## Metrics and tracing
+//!
+//! Serving is instrumented end to end: every `Engine::serve`/`serve_sharded` call
+//! records per-index query-latency histograms, batch sizes, per-shard latency, and
+//! every [`SearchStats`] counter into a process-wide lock-free registry ([`obs`]),
+//! and the store layer publishes snapshot load timings split into read/CRC/decode
+//! stages. `Engine::render_metrics` returns the whole registry in Prometheus text
+//! exposition format; recording costs no per-query allocation or atomics (see
+//! `docs/OBSERVABILITY.md` for the metric catalog and the `P2H_TRACE` sampled
+//! query-tracing facility):
+//!
+//! ```
+//! use p2hnns::engine::{BatchRequest, Engine};
+//! use p2hnns::{generate_queries, BcTreeBuilder, DataDistribution, QueryDistribution,
+//!              SearchParams, SyntheticDataset};
+//!
+//! let points = SyntheticDataset::new(
+//!     "quickstart-metrics", 2_000, 12,
+//!     DataDistribution::GaussianClusters { clusters: 4, std_dev: 1.5 }, 4,
+//! ).generate().unwrap();
+//! let tree = BcTreeBuilder::new(64).build(&points).unwrap();
+//!
+//! let engine = Engine::new(0);
+//! engine.registry().register("bc", tree);
+//! let queries = generate_queries(&points, 8, QueryDistribution::DataDifference, 6).unwrap();
+//! engine.serve("bc", &BatchRequest::new(queries, SearchParams::exact(5))).unwrap();
+//!
+//! // Prometheus text exposition: scrape-ready, deterministic ordering.
+//! let dump = engine.render_metrics();
+//! assert!(dump.contains("p2h_query_latency_ns_bucket{index=\"bc\""));
+//!
+//! // Or inspect programmatically: p99 from the streaming log-bucket histogram.
+//! let snapshot = engine.metrics_snapshot();
+//! let series = snapshot.series("p2h_query_latency_ns", &[("index", "bc")]).unwrap();
+//! let p99_ns = series.value.histogram().unwrap().quantile(0.99);
+//! assert!(p99_ns > 0);
+//! ```
+//!
 //! A sharded index persists as a *shard group* — one snapshot per shard plus an
 //! id-map file, committed atomically through the store manifest
 //! (`ShardedIndex::save_into`), and [`engine::Engine::from_store`] cold-starts it
@@ -186,6 +225,7 @@ pub use p2h_data as data;
 pub use p2h_engine as engine;
 pub use p2h_eval as eval;
 pub use p2h_hash as hash;
+pub use p2h_obs as obs;
 pub use p2h_shard as shard;
 pub use p2h_store as store;
 
