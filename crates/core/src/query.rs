@@ -57,6 +57,30 @@ impl HyperplaneQuery {
         Self::new(coeffs)
     }
 
+    /// Reconstructs a query from *already normalized* coefficients and their norm, as
+    /// produced by [`Self::coeffs`] and [`Self::norm`] on the sending side of a wire
+    /// transport.
+    ///
+    /// [`Self::new`] would rescale by `1 / ‖normal‖` — a value that is ≈ 1 but not
+    /// exactly 1 after one normalization — and thereby perturb the coefficient bits,
+    /// so a round-tripped query would no longer produce bit-identical distances. This
+    /// constructor trusts the transported bits instead; it only validates shape and
+    /// finiteness, not the unit-norm invariant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidDimension`] if fewer than 2 coefficients are supplied
+    /// and [`Error::DegenerateQuery`] if any coefficient or the norm is non-finite.
+    pub fn from_transport_parts(coeffs: Vec<Scalar>, norm: Scalar) -> Result<Self> {
+        if coeffs.len() < 2 {
+            return Err(Error::InvalidDimension(coeffs.len()));
+        }
+        if !norm.is_finite() || norm <= 0.0 || coeffs.iter().any(|c| !c.is_finite()) {
+            return Err(Error::DegenerateQuery);
+        }
+        Ok(Self { coeffs, norm })
+    }
+
     /// The normalized coefficient vector, of length [`Self::dim`].
     #[inline]
     pub fn coeffs(&self) -> &[Scalar] {
@@ -127,6 +151,29 @@ mod tests {
         assert!(matches!(HyperplaneQuery::new(vec![1.0]), Err(Error::InvalidDimension(1))));
         assert!(matches!(
             HyperplaneQuery::new(vec![Scalar::NAN, 1.0, 0.0]),
+            Err(Error::DegenerateQuery)
+        ));
+    }
+
+    #[test]
+    fn transport_round_trip_is_bit_identical() {
+        let q = HyperplaneQuery::new(vec![3.0, 4.0, 10.0]).unwrap();
+        let rebuilt = HyperplaneQuery::from_transport_parts(q.coeffs().to_vec(), q.norm()).unwrap();
+        assert_eq!(q, rebuilt);
+        let x = [0.25, -1.5, 1.0];
+        assert_eq!(q.p2h_distance(&x).to_bits(), rebuilt.p2h_distance(&x).to_bits());
+        // Re-running `new` on normalized coeffs is NOT guaranteed bit-identical —
+        // that's exactly why this constructor exists.
+        assert!(matches!(
+            HyperplaneQuery::from_transport_parts(vec![1.0], 1.0),
+            Err(Error::InvalidDimension(1))
+        ));
+        assert!(matches!(
+            HyperplaneQuery::from_transport_parts(vec![Scalar::NAN, 1.0], 1.0),
+            Err(Error::DegenerateQuery)
+        ));
+        assert!(matches!(
+            HyperplaneQuery::from_transport_parts(vec![1.0, 0.0], 0.0),
             Err(Error::DegenerateQuery)
         ));
     }

@@ -54,12 +54,14 @@ mod batch;
 mod executor;
 mod metrics;
 mod registry;
+mod remote;
 mod serve;
 mod sharded;
 
 pub use batch::{BatchRequest, BatchResponse, LatencyHistogram};
 pub use executor::BatchExecutor;
 pub use registry::{IndexRegistry, SharedIndex};
+pub use remote::RemoteBatchResponse;
 pub use serve::Engine;
 pub use sharded::{ShardedBatchResponse, ShardedExecutor};
 
@@ -73,6 +75,11 @@ pub use p2h_shard::{Partitioner, ShardIndexKind, ShardedIndex, ShardedIndexBuild
 // Re-exported so cold-start users (`Engine::from_store`) can create and populate the
 // snapshot store without adding `p2h-store` as a direct dependency.
 pub use p2h_store::{LoadMode, Snapshot, Store, StoreError};
+// Re-exported so distributed serving (`Engine::serve_remote`) needs no direct
+// `p2h-net` dependency at call sites.
+pub use p2h_net::{
+    HedgeConfig, NetError, ReplicaSet, RoutedResponse, Router, RouterConfig, ShardServer,
+};
 // Re-exported so serving operators can reach the process-wide metrics registry
 // (`Engine::render_metrics` / `metrics_snapshot` cover the common cases) and the
 // streaming histogram type behind `LatencyHistogram`.

@@ -26,7 +26,7 @@ use crate::sharded::{ShardedBatchResponse, ShardedExecutor};
 pub struct Engine {
     registry: IndexRegistry,
     executor: BatchExecutor,
-    metrics: EngineMetrics,
+    pub(crate) metrics: EngineMetrics,
 }
 
 impl Engine {
@@ -196,9 +196,9 @@ impl Engine {
 /// The sink plus everything execution needs when at least one query of a batch is
 /// sampled: the rewritten request (sampled queries get `collect_timing`) and the
 /// sampled `(position, trace sequence number)` pairs.
-struct TracePlan {
+pub(crate) struct TracePlan {
     sink: &'static TraceSink,
-    request: BatchRequest,
+    pub(crate) request: BatchRequest,
     sampled: Vec<(usize, u64)>,
 }
 
@@ -206,7 +206,7 @@ struct TracePlan {
 /// `None` (and touches nothing) when tracing is disabled or no query won the sampling
 /// draw; otherwise returns a copy of the request whose sampled queries have
 /// `collect_timing` enabled — clock reads only, answers unchanged.
-fn plan_trace(request: &BatchRequest) -> Option<TracePlan> {
+pub(crate) fn plan_trace(request: &BatchRequest) -> Option<TracePlan> {
     let sink = from_env()?;
     let sampled: Vec<(usize, u64)> =
         (0..request.queries.len()).filter_map(|i| sink.sample().map(|seq| (i, seq))).collect();
@@ -223,7 +223,7 @@ fn plan_trace(request: &BatchRequest) -> Option<TracePlan> {
 }
 
 /// Writes one JSON-line span per sampled query of a completed batch.
-fn write_traces(
+pub(crate) fn write_traces(
     plan: &TracePlan,
     index: &str,
     path: &str,

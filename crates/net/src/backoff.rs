@@ -1,0 +1,126 @@
+//! Deterministic retry backoff.
+//!
+//! The delay before retry attempt `n` is `base * 2^n`, capped, plus a jitter term
+//! drawn from a SplitMix64 stream keyed by the router's seed, the shard ordinal,
+//! and the attempt number. Determinism is load-bearing: the fault-matrix tests
+//! replay identical fault schedules against identical retry timing, so nothing in
+//! this module may consult the clock or ambient randomness.
+
+use std::time::Duration;
+
+/// Retry/backoff policy for one router.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry (doubled each further attempt).
+    pub base: Duration,
+    /// Ceiling applied to the exponential term before jitter.
+    pub cap: Duration,
+    /// Jitter is uniform in `[0, jitter]`, drawn deterministically from the seed.
+    pub jitter: Duration,
+    /// Seed for the jitter stream. Two routers with the same seed sleep the same.
+    pub seed: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        Self {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(500),
+            jitter: Duration::from_millis(10),
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// One step of SplitMix64 — the same generator the fault registry and the synthetic
+/// datasets use, so the whole test surface shares a single PRNG idiom.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl BackoffPolicy {
+    /// A policy with zero delays — the fault-matrix tests use this so a retry storm
+    /// completes in microseconds while exercising the same control flow.
+    pub fn immediate(seed: u64) -> Self {
+        Self { base: Duration::ZERO, cap: Duration::ZERO, jitter: Duration::ZERO, seed }
+    }
+
+    /// The delay to sleep before retry `attempt` (0 = first retry) of `shard`.
+    /// Pure: same `(seed, shard, attempt)` → same duration, on every host.
+    pub fn delay(&self, shard: usize, attempt: u32) -> Duration {
+        let exp =
+            self.base.saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX)).min(self.cap);
+        if self.jitter.is_zero() {
+            return exp;
+        }
+        let jitter_ns = self.jitter.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let word = splitmix64(
+            self.seed ^ (shard as u64).wrapping_mul(0xA076_1D64_78BD_642F) ^ u64::from(attempt),
+        );
+        exp + Duration::from_nanos(word % (jitter_ns + 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_deterministic_and_grow_exponentially() {
+        let policy = BackoffPolicy {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+            jitter: Duration::ZERO,
+            seed: 42,
+        };
+        let raw: Vec<_> = (0..6).map(|a| policy.delay(0, a)).collect();
+        assert_eq!(
+            raw,
+            vec![
+                Duration::from_millis(10),
+                Duration::from_millis(20),
+                Duration::from_millis(40),
+                Duration::from_millis(80),
+                Duration::from_millis(100), // capped
+                Duration::from_millis(100),
+            ]
+        );
+        // A huge attempt index must not overflow the shift.
+        assert_eq!(policy.delay(0, 63), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn jitter_is_seeded_not_ambient() {
+        let policy =
+            BackoffPolicy { jitter: Duration::from_millis(50), seed: 7, ..Default::default() };
+        let twin =
+            BackoffPolicy { jitter: Duration::from_millis(50), seed: 7, ..Default::default() };
+        let other =
+            BackoffPolicy { jitter: Duration::from_millis(50), seed: 8, ..Default::default() };
+        let series = |p: &BackoffPolicy| -> Vec<Duration> {
+            (0..4)
+                .flat_map(|shard| (0..4).map(move |a| (shard, a)))
+                .map(|(s, a)| p.delay(s, a))
+                .collect()
+        };
+        assert_eq!(series(&policy), series(&twin), "same seed → same schedule");
+        assert_ne!(series(&policy), series(&other), "different seed → different jitter");
+        for (shard, attempt) in (0..4).flat_map(|s| (0..4).map(move |a| (s, a))) {
+            let d = policy.delay(shard, attempt);
+            let floor = policy.base.saturating_mul(1 << attempt).min(policy.cap);
+            assert!(d >= floor && d <= floor + policy.jitter, "jitter bounded: {d:?}");
+        }
+    }
+
+    #[test]
+    fn immediate_policy_never_sleeps() {
+        let policy = BackoffPolicy::immediate(3);
+        for attempt in 0..8 {
+            assert_eq!(policy.delay(5, attempt), Duration::ZERO);
+        }
+    }
+}

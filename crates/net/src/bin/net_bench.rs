@@ -1,0 +1,372 @@
+//! `net_bench` — throughput bench and chaos checker for the distributed path.
+//!
+//! ```text
+//! net_bench [--check] [--points N] [--queries M] [--shards S] [--seed X]
+//! ```
+//!
+//! Default mode: spawn two in-process replicas of every shard, route batches, and
+//! report throughput.
+//!
+//! `--check` mode (CI's chaos job): build a deterministic synthetic index, save it
+//! to a temp store, launch *real* `shard-server` child processes, and drive
+//! batches while killing a replica with SIGKILL mid-run, restarting it, and
+//! killing the other. Every routed answer is compared bit-for-bit (ids + f32
+//! distance bits) against a local unsharded linear scan. Any drift, panic, or hang
+//! exits non-zero.
+//!
+//! Everything is seeded — no ambient randomness — so a failure reproduces.
+
+use std::io::BufRead;
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use p2h_core::{
+    HyperplaneQuery, LinearScan, P2hIndex, PointSet, QueryScratch, Scalar, SearchParams,
+    SearchResult,
+};
+use p2h_net::{
+    BackoffPolicy, NetResult, ReplicaSet, RoutedResponse, Router, RouterConfig, ShardServer,
+};
+use p2h_shard::{Partitioner, ShardIndexKind, ShardedIndex, ShardedIndexBuilder};
+use p2h_store::Store;
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit_interval(x: &mut u64) -> Scalar {
+    ((splitmix64(x) >> 11) as f64 / (1u64 << 53) as f64) as Scalar
+}
+
+struct Args {
+    check: bool,
+    points: usize,
+    queries: usize,
+    shards: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { check: false, points: 600, queries: 16, shards: 3, seed: 0xBEEF };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            iter.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--check" => args.check = true,
+            "--points" => args.points = value("--points")?.parse().map_err(|e| format!("{e}"))?,
+            "--queries" => {
+                args.queries = value("--queries")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--shards" => args.shards = value("--shards")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--help" | "-h" => {
+                return Err("usage: net_bench [--check] [--points N] [--queries M] \
+                            [--shards S] [--seed X]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+const DIM_RAW: usize = 8;
+
+fn synthetic_points(n: usize, seed: u64) -> PointSet {
+    let mut state = seed;
+    let rows: Vec<Vec<Scalar>> = (0..n)
+        .map(|_| (0..DIM_RAW).map(|_| unit_interval(&mut state) * 4.0 - 2.0).collect())
+        .collect();
+    PointSet::augment(&rows).expect("non-empty synthetic rows")
+}
+
+fn synthetic_queries(m: usize, seed: u64) -> Vec<(HyperplaneQuery, SearchParams)> {
+    let mut state = seed ^ 0x5151_5151;
+    (0..m)
+        .map(|i| {
+            let normal: Vec<Scalar> =
+                (0..DIM_RAW).map(|_| unit_interval(&mut state) * 2.0 - 1.0).collect();
+            let bias = unit_interval(&mut state) - 0.5;
+            let query = HyperplaneQuery::from_normal_and_bias(&normal, bias)
+                .expect("non-degenerate synthetic normal");
+            // Alternate exact and budgeted searches so the check also covers the
+            // budget-split (shard-skip) path.
+            let params = match i % 3 {
+                0 => SearchParams::exact(10),
+                1 => SearchParams::approximate(5, 64),
+                _ => SearchParams::exact(3),
+            };
+            (query, params)
+        })
+        .collect()
+}
+
+/// The local unsharded ground truth: a plain linear scan over the full point set.
+fn oracle_answers(
+    points: &PointSet,
+    queries: &[(HyperplaneQuery, SearchParams)],
+) -> Vec<SearchResult> {
+    let scan = LinearScan::new(points.clone());
+    let mut scratch = QueryScratch::new();
+    queries.iter().map(|(q, p)| scan.search_with_scratch(q, p, &mut scratch)).collect()
+}
+
+fn assert_bit_identical(
+    routed: &RoutedResponse,
+    oracle: &[SearchResult],
+    context: &str,
+) -> Result<(), String> {
+    if !routed.missing_shards.is_empty() {
+        return Err(format!("{context}: unexpected missing shards {:?}", routed.missing_shards));
+    }
+    if routed.results.len() != oracle.len() {
+        return Err(format!(
+            "{context}: {} results vs {} oracle answers",
+            routed.results.len(),
+            oracle.len()
+        ));
+    }
+    for (position, (got, want)) in routed.results.iter().zip(oracle).enumerate() {
+        if got.neighbors.len() != want.neighbors.len() {
+            return Err(format!(
+                "{context}: query {position}: {} neighbors vs oracle {}",
+                got.neighbors.len(),
+                want.neighbors.len()
+            ));
+        }
+        for (rank, (g, w)) in got.neighbors.iter().zip(&want.neighbors).enumerate() {
+            if g.index != w.index || g.distance.to_bits() != w.distance.to_bits() {
+                return Err(format!(
+                    "{context}: query {position} rank {rank}: routed ({}, {:#010x}) \
+                     != oracle ({}, {:#010x})",
+                    g.index,
+                    g.distance.to_bits(),
+                    w.index,
+                    w.distance.to_bits()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn build_sharded(points: &PointSet, shards: usize, seed: u64) -> ShardedIndex {
+    ShardedIndexBuilder::new(Partitioner::Hash { shards }, ShardIndexKind::LinearScan)
+        .with_seed(seed)
+        .build(points)
+        .expect("sharded build")
+}
+
+// ---------------------------------------------------------------------------
+// Bench mode: in-process servers
+// ---------------------------------------------------------------------------
+
+fn run_bench(args: &Args) -> Result<(), String> {
+    let points = synthetic_points(args.points, args.seed);
+    let queries = synthetic_queries(args.queries, args.seed);
+    let index = Arc::new(build_sharded(&points, args.shards, args.seed));
+    let oracle = oracle_answers(&points, &queries);
+
+    let a = ShardServer::new(Arc::clone(&index))
+        .serve("127.0.0.1:0")
+        .map_err(|e| format!("serve A: {e}"))?;
+    let b = ShardServer::new(Arc::clone(&index))
+        .serve("127.0.0.1:0")
+        .map_err(|e| format!("serve B: {e}"))?;
+    let replicas: Vec<ReplicaSet> = (0..args.shards)
+        .map(|_| ReplicaSet::new([a.addr().to_string(), b.addr().to_string()]))
+        .collect();
+    let router =
+        Router::new(RouterConfig::new("bench", replicas)).map_err(|e| format!("router: {e}"))?;
+
+    let (query_list, param_list): (Vec<_>, Vec<_>) = queries.iter().cloned().unzip();
+    let rounds = 50usize;
+    let start = Instant::now();
+    for round in 0..rounds {
+        let routed = router.route(&query_list, &param_list).map_err(|e| format!("route: {e}"))?;
+        assert_bit_identical(&routed, &oracle, &format!("bench round {round}"))?;
+    }
+    let elapsed = start.elapsed();
+    let total_queries = rounds * query_list.len();
+    println!(
+        "net_bench: {total_queries} routed queries over {} shards x2 replicas in {:.3}s \
+         ({:.0} q/s, all bit-identical to local scan)",
+        args.shards,
+        elapsed.as_secs_f64(),
+        total_queries as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    a.shutdown();
+    b.shutdown();
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Check mode: real child processes, SIGKILL mid-run
+// ---------------------------------------------------------------------------
+
+struct ChildServer {
+    child: Child,
+    addr: String,
+}
+
+fn spawn_server(store_dir: &std::path::Path, entry: &str) -> Result<ChildServer, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = exe.parent().ok_or("bin has no parent dir")?;
+    let server_bin = dir.join("shard-server");
+    let mut child = Command::new(&server_bin)
+        .arg("--store")
+        .arg(store_dir)
+        .arg("--entry")
+        .arg(entry)
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", server_bin.display()))?;
+    let stdout = child.stdout.take().ok_or("no child stdout")?;
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let line = lines
+        .next()
+        .ok_or("server exited before announcing its address")?
+        .map_err(|e| format!("read server stdout: {e}"))?;
+    let addr = line
+        .strip_prefix("LISTENING ")
+        .ok_or_else(|| format!("unexpected server banner: {line}"))?
+        .to_string();
+    Ok(ChildServer { child, addr })
+}
+
+impl ChildServer {
+    fn kill9(&mut self) {
+        // On unix, Child::kill delivers SIGKILL — no cleanup handler runs, exactly
+        // the crash the router must absorb.
+        self.child.kill().ok();
+        self.child.wait().ok();
+    }
+}
+
+fn route_checked(
+    router: &Router,
+    queries: &[HyperplaneQuery],
+    params: &[SearchParams],
+    oracle: &[SearchResult],
+    context: &str,
+) -> Result<NetResult<()>, String> {
+    match router.route(queries, params) {
+        Ok(routed) => {
+            assert_bit_identical(&routed, oracle, context)?;
+            Ok(Ok(()))
+        }
+        Err(e) => Ok(Err(e)),
+    }
+}
+
+fn run_check(args: &Args) -> Result<(), String> {
+    let points = synthetic_points(args.points, args.seed);
+    let queries = synthetic_queries(args.queries, args.seed);
+    let oracle = oracle_answers(&points, &queries);
+    let index = build_sharded(&points, args.shards, args.seed);
+
+    let store_dir = std::env::temp_dir().join(format!("p2h-net-check-{}", std::process::id()));
+    std::fs::remove_dir_all(&store_dir).ok();
+    let store = Store::create(&store_dir).map_err(|e| format!("create store: {e}"))?;
+    index.save_into(&store, "check").map_err(|e| format!("save entry: {e}"))?;
+
+    let mut replica_a = spawn_server(&store_dir, "check")?;
+    let mut replica_b = spawn_server(&store_dir, "check")?;
+    println!("net_bench --check: replicas at {} and {}", replica_a.addr, replica_b.addr);
+
+    let make_router = |a: &str, b: &str| -> Result<Router, String> {
+        let replicas: Vec<ReplicaSet> =
+            (0..args.shards).map(|_| ReplicaSet::new([a.to_string(), b.to_string()])).collect();
+        let mut config = RouterConfig::new("check", replicas);
+        config.max_retries = 6;
+        config.deadline = Duration::from_secs(10);
+        config.backoff = BackoffPolicy {
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(50),
+            jitter: Duration::from_millis(2),
+            seed: args.seed,
+        };
+        Router::new(config).map_err(|e| format!("router: {e}"))
+    };
+    let router = make_router(&replica_a.addr, &replica_b.addr)?;
+    let (query_list, param_list): (Vec<_>, Vec<_>) = queries.iter().cloned().unzip();
+
+    // Phase 1: both replicas healthy.
+    for round in 0..5 {
+        route_checked(&router, &query_list, &param_list, &oracle, &format!("healthy {round}"))?
+            .map_err(|e| format!("healthy round {round} failed: {e}"))?;
+    }
+    println!("net_bench --check: healthy phase OK");
+
+    // Phase 2: SIGKILL replica A mid-run — every batch must still come back
+    // bit-identical, served by B after the failover retries.
+    let killer = std::thread::spawn({
+        let mut handle = std::mem::replace(&mut replica_a.child, dummy_child()?);
+        move || {
+            std::thread::sleep(Duration::from_millis(30));
+            handle.kill().ok();
+            handle.wait().ok();
+        }
+    });
+    for round in 0..10 {
+        route_checked(&router, &query_list, &param_list, &oracle, &format!("kill-A {round}"))?
+            .map_err(|e| format!("round {round} with A dying failed: {e}"))?;
+    }
+    killer.join().ok();
+    println!("net_bench --check: kill -9 of replica A absorbed");
+
+    // Phase 3: restart A, kill B. The dead replica is listed FIRST, so every
+    // shard's first attempt hits a refused connection and must fail over.
+    let mut replica_a2 = spawn_server(&store_dir, "check")?;
+    let router = make_router(&replica_b.addr, &replica_a2.addr)?;
+    replica_b.kill9();
+    for round in 0..5 {
+        route_checked(&router, &query_list, &param_list, &oracle, &format!("kill-B {round}"))?
+            .map_err(|e| format!("round {round} after B died failed: {e}"))?;
+    }
+    println!("net_bench --check: restart + failback OK");
+
+    replica_a2.kill9();
+    replica_a.kill9();
+    std::fs::remove_dir_all(&store_dir).ok();
+    println!("net_bench --check: PASS (all answers bit-identical to local scan)");
+    Ok(())
+}
+
+/// A placeholder child (`/bin/true`-style) so the real handle can be moved into
+/// the killer thread; never signalled with anything meaningful.
+fn dummy_child() -> Result<Child, String> {
+    Command::new("sleep")
+        .arg("0")
+        .stdout(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawn placeholder: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("net_bench: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = if args.check { run_check(&args) } else { run_bench(&args) };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("net_bench: FAIL: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! `shard-server` — serve shards of a stored entry over TCP.
+//!
+//! ```text
+//! shard-server --store DIR --entry NAME [--addr 127.0.0.1:0] [--shards 0,2]
+//! ```
+//!
+//! Cold-starts the entry from the snapshot store (latest epoch; `P2H_STORE_MMAP`
+//! picks the load mode) and serves it until killed. Prints `LISTENING <addr>` on
+//! stdout once bound so a parent process can parse the ephemeral port — the chaos
+//! harness relies on that line, then `kill -9`s this process mid-batch and expects
+//! the router to fail over without a bit of drift.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use p2h_net::ShardServer;
+use p2h_store::Store;
+
+struct Args {
+    store: String,
+    entry: String,
+    addr: String,
+    shards: Option<Vec<usize>>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut store = None;
+    let mut entry = None;
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut shards = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--store" => store = Some(value("--store")?),
+            "--entry" => entry = Some(value("--entry")?),
+            "--addr" => addr = value("--addr")?,
+            "--shards" => {
+                let spec = value("--shards")?;
+                let parsed: Result<Vec<usize>, _> =
+                    spec.split(',').map(|s| s.trim().parse::<usize>()).collect();
+                shards = Some(parsed.map_err(|e| format!("--shards '{spec}': {e}"))?);
+            }
+            "--help" | "-h" => {
+                return Err("usage: shard-server --store DIR --entry NAME \
+                            [--addr 127.0.0.1:0] [--shards 0,1]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(Args {
+        store: store.ok_or("--store is required")?,
+        entry: entry.ok_or("--entry is required")?,
+        addr,
+        shards,
+    })
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let store = Store::open(&args.store).map_err(|e| format!("open store: {e}"))?;
+    let mut server =
+        ShardServer::load(&store, &args.entry).map_err(|e| format!("cold start: {e}"))?;
+    if let Some(shards) = args.shards {
+        server = server.with_shards(shards).map_err(|e| e.to_string())?;
+    }
+    let handle = server.serve(&args.addr).map_err(|e| format!("bind {}: {e}", args.addr))?;
+    // The parent parses this exact line to learn the ephemeral port.
+    println!("LISTENING {}", handle.addr());
+    std::io::stdout().flush().ok();
+    // Serve until killed. The chaos tests terminate this process with SIGKILL, so
+    // there is deliberately no graceful-shutdown path to hide behind.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("shard-server: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

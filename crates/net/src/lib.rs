@@ -1,0 +1,40 @@
+//! # p2h-net — fault-tolerant distributed serving
+//!
+//! Serves a [`p2h_shard::ShardedIndex`] across processes: shard servers cold-start
+//! from snapshot [`p2h_store::Store`]s and answer per-shard queries over a
+//! length-prefixed, CRC-checked TCP protocol; a [`Router`] scatter-gathers a batch
+//! over replicated shards with per-request deadlines, deterministic retry/backoff,
+//! hedged requests keyed off observed p99 latency, and optional replica
+//! cross-checking.
+//!
+//! Everything rides on `std` — no async runtime, no wire-format dependency. The
+//! crate's one non-negotiable invariant is inherited from the sharded merge: a
+//! routed answer is **bit-identical** (neighbor ids and `f32` distance bits) to
+//! the same batch served by a local unsharded index, no matter which replicas
+//! answered or which faults fired in between. Failures are always typed
+//! ([`NetError`]) or explicitly declared ([`RoutedResponse::missing_shards`],
+//! opt-in only) — never a panic, a hang, or a silently shortened answer.
+//!
+//! Chaos testing is built in: the [`p2h_obs::fault`] registry
+//! (`P2H_FAULTS=point:kind:rate:seed`) injects connection refusal, mid-frame
+//! disconnects, truncated/corrupted/delayed frames, and EINTR at named sites in
+//! both the client and server I/O paths, deterministically and with zero cost when
+//! unset. See `docs/NETWORKING.md` for the wire format and the failure-mode table.
+
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod error;
+pub mod metrics;
+pub mod pool;
+pub mod router;
+pub mod server;
+pub mod wire;
+
+pub use backoff::BackoffPolicy;
+pub use error::{ErrorCode, NetError, NetResult};
+pub use metrics::{net_metrics, NetMetrics};
+pub use pool::{Conn, Pool, ServerInfo};
+pub use router::{HedgeConfig, ReplicaSet, RoutedResponse, Router, RouterConfig};
+pub use server::{ServerHandle, ShardServer};
+pub use wire::{Message, WireQuery, MAX_FRAME_BYTES, PROTOCOL_VERSION};

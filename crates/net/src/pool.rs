@@ -1,0 +1,127 @@
+//! Per-address TCP connection pooling with a version-checked handshake.
+//!
+//! The router checks a connection out before each attempt and back in only after a
+//! clean round trip — a connection that saw any error is dropped on the floor, so
+//! a poisoned stream (half-written frame, injected corruption) can never serve a
+//! second request. Fresh connections perform the `Hello`/`HelloOk` handshake and
+//! reject protocol-version mismatches before any query bytes are sent.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use p2h_obs::fault;
+use p2h_obs::FaultKind;
+
+use crate::error::{NetError, NetResult};
+use crate::metrics::net_metrics;
+use crate::wire::{read_frame, write_frame, Message, PROTOCOL_VERSION};
+
+/// What a shard server disclosed about itself in the handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Shards in the entry the server cold-started.
+    pub shard_count: u32,
+    /// Augmented dimensionality of the served entry.
+    pub dim: u32,
+    /// Total points across all shards.
+    pub total_len: u64,
+}
+
+/// A checked-out connection plus the server's handshake facts.
+#[derive(Debug)]
+pub struct Conn {
+    /// The live stream. `TCP_NODELAY` is set; read timeouts are the router's job.
+    pub stream: TcpStream,
+    /// Handshake facts from this server.
+    pub info: ServerInfo,
+}
+
+/// A pool of idle, already-handshaken connections keyed by server address.
+#[derive(Debug, Default)]
+pub struct Pool {
+    idle: Mutex<HashMap<String, Vec<Conn>>>,
+}
+
+impl Pool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Checks out a connection to `addr`, reusing an idle one when available and
+    /// dialing (+ handshaking) otherwise. The `client.connect` fault site can refuse
+    /// or delay the dial.
+    pub fn checkout(&self, addr: &str, connect_timeout: Duration) -> NetResult<Conn> {
+        if let Some(conn) = self.idle.lock().expect("pool lock").get_mut(addr).and_then(Vec::pop) {
+            return Ok(conn);
+        }
+        dial(addr, connect_timeout)
+    }
+
+    /// Returns a connection that completed a clean round trip. Connections that saw
+    /// any error must be dropped instead — never checked back in.
+    pub fn checkin(&self, addr: &str, conn: Conn) {
+        self.idle.lock().expect("pool lock").entry(addr.to_string()).or_default().push(conn);
+    }
+
+    /// Drops every idle connection (used by tests to force fresh dials).
+    pub fn clear(&self) {
+        self.idle.lock().expect("pool lock").clear();
+    }
+
+    /// Idle connections currently pooled for `addr`.
+    pub fn idle_count(&self, addr: &str) -> usize {
+        self.idle.lock().expect("pool lock").get(addr).map_or(0, Vec::len)
+    }
+}
+
+fn resolve(addr: &str) -> NetResult<SocketAddr> {
+    addr.to_socket_addrs()
+        .map_err(NetError::Io)?
+        .next()
+        .ok_or_else(|| NetError::InvalidRequest { message: format!("unresolvable address {addr}") })
+}
+
+/// Dials `addr`, applies the `client.connect` fault site, and performs the
+/// `Hello`/`HelloOk` handshake.
+pub fn dial(addr: &str, connect_timeout: Duration) -> NetResult<Conn> {
+    match fault::check("client.connect") {
+        Some(FaultKind::Refuse) | Some(FaultKind::Disconnect) => {
+            net_metrics().connect_errors.inc();
+            return Err(NetError::Refused { addr: addr.to_string() });
+        }
+        Some(FaultKind::Slow(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+        _ => {}
+    }
+    let sockaddr = resolve(addr)?;
+    let stream = TcpStream::connect_timeout(&sockaddr, connect_timeout).map_err(|e| {
+        net_metrics().connect_errors.inc();
+        if e.kind() == std::io::ErrorKind::ConnectionRefused {
+            NetError::Refused { addr: addr.to_string() }
+        } else {
+            NetError::Io(e)
+        }
+    })?;
+    stream.set_nodelay(true).ok();
+    // The handshake gets a bounded read window so a wedged server cannot hang the
+    // dial; the router re-arms the timeout per attempt afterwards.
+    stream.set_read_timeout(Some(connect_timeout.max(Duration::from_millis(10)))).ok();
+    let mut conn = Conn { stream, info: ServerInfo { shard_count: 0, dim: 0, total_len: 0 } };
+    write_frame(&mut conn.stream, &Message::Hello { version: PROTOCOL_VERSION }, "client.send")?;
+    match read_frame(&mut conn.stream, "client.recv")? {
+        Some(Message::HelloOk { version, shard_count, dim, total_len }) => {
+            if version != PROTOCOL_VERSION {
+                return Err(NetError::Version { ours: PROTOCOL_VERSION, theirs: version });
+            }
+            conn.info = ServerInfo { shard_count, dim, total_len };
+            Ok(conn)
+        }
+        Some(Message::ErrorReply { code, message }) => Err(NetError::Remote { code, message }),
+        Some(other) => {
+            Err(NetError::Malformed { context: format!("expected HelloOk, got {other:?}") })
+        }
+        None => Err(NetError::Disconnected),
+    }
+}

@@ -1,0 +1,506 @@
+//! The distributed fan-out router: replicated shards, deadlines, deterministic
+//! retry, hedged requests, and replica cross-checking.
+//!
+//! ## Equivalence contract
+//!
+//! For every query the router merges per-shard answers with the same
+//! [`merge_topk`] and stats-merge the local [`p2h_shard::ShardedIndex`] fan-out
+//! uses, and queries travel bit-exactly (see [`crate::wire`]). A routed answer is
+//! therefore **bit-identical** — neighbor ids and `f32` distance bits — to the
+//! local unsharded search, *regardless of which replica answered, how many retries
+//! or hedges it took, and what faults fired on the way*. The chaos tests hold the
+//! router to exactly that.
+//!
+//! ## Failure semantics
+//!
+//! Per shard: up to `1 + max_retries` attempts, rotating through the replica set,
+//! separated by deterministic exponential backoff with seeded jitter
+//! ([`BackoffPolicy`] — no ambient clock or RNG). The whole batch shares one
+//! deadline. When hedging is enabled and a primary has not answered within the
+//! hedge delay — `max(floor, observed p99)` read from the `p2h_shard_latency_ns`
+//! histograms this router also feeds — a duplicate request goes to the next
+//! replica and the first success wins. With `cross_check` every replica of a shard
+//! is queried and answers must match bit-for-bit; divergence is a typed
+//! [`NetError::ReplicaMismatch`], never a quorum vote. A shard that stays
+//! unreachable fails the batch with [`NetError::ShardUnavailable`] — unless the
+//! caller opted into partial answers, in which case the response carries an
+//! explicit `missing_shards` list (and the merged answers cover the shards that
+//! did respond). Degradation is always explicit, never silent.
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use p2h_core::{HyperplaneQuery, Neighbor, SearchParams, SearchResult, SearchStats};
+use p2h_obs::Histogram;
+use p2h_shard::merge_topk;
+
+use crate::backoff::BackoffPolicy;
+use crate::error::{NetError, NetResult};
+use crate::metrics::net_metrics;
+use crate::pool::{Conn, Pool};
+use crate::wire::{read_frame, write_frame, Message, WireQuery};
+
+/// The replica addresses serving one shard ordinal, in preference order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaSet {
+    /// `host:port` addresses; the router rotates through them on retry.
+    pub addrs: Vec<String>,
+}
+
+impl ReplicaSet {
+    /// A replica set from any address iterator.
+    pub fn new<I: IntoIterator<Item = S>, S: Into<String>>(addrs: I) -> Self {
+        Self { addrs: addrs.into_iter().map(Into::into).collect() }
+    }
+}
+
+/// Hedged-request policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HedgeConfig {
+    /// Lower bound on the hedge delay. The effective delay is
+    /// `max(floor, p99(p2h_shard_latency_ns{index=entry, shard=s}))`, so the floor
+    /// is what applies before any latency history exists.
+    pub floor: Duration,
+}
+
+/// Everything a [`Router`] needs to know.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// The served entry's name — label for the shared latency histograms.
+    pub entry: String,
+    /// One replica set per shard ordinal (index = shard).
+    pub shards: Vec<ReplicaSet>,
+    /// Wall-clock budget for a whole routed batch, shared by retries and hedges.
+    pub deadline: Duration,
+    /// Retries per shard after the first attempt.
+    pub max_retries: u32,
+    /// Deterministic backoff between attempts.
+    pub backoff: BackoffPolicy,
+    /// Hedged requests; `None` disables hedging.
+    pub hedge: Option<HedgeConfig>,
+    /// Query every replica and require bit-identical answers.
+    pub cross_check: bool,
+    /// Opt-in degraded mode: report unreachable shards in `missing_shards` instead
+    /// of failing the batch. Never silent — off by default.
+    pub allow_partial: bool,
+    /// TCP connect budget per dial.
+    pub connect_timeout: Duration,
+}
+
+impl RouterConfig {
+    /// Conservative defaults: 2 retries, 2s deadline, no hedging, no partials.
+    pub fn new(entry: impl Into<String>, shards: Vec<ReplicaSet>) -> Self {
+        Self {
+            entry: entry.into(),
+            shards,
+            deadline: Duration::from_secs(2),
+            max_retries: 2,
+            backoff: BackoffPolicy::default(),
+            hedge: None,
+            cross_check: false,
+            allow_partial: false,
+            connect_timeout: Duration::from_millis(500),
+        }
+    }
+}
+
+/// A routed batch's outcome.
+#[derive(Debug, Clone)]
+pub struct RoutedResponse {
+    /// Per-query merged results, in request order. With `missing_shards` non-empty
+    /// these cover only the shards that answered.
+    pub results: Vec<SearchResult>,
+    /// Shards that could not be reached within the retry/deadline budget. Non-empty
+    /// only when [`RouterConfig::allow_partial`] was opted into.
+    pub missing_shards: Vec<usize>,
+    /// Wall-clock time of the whole fan-out, nanoseconds.
+    pub wall_time_ns: u64,
+}
+
+impl RoutedResponse {
+    /// Whether every shard contributed.
+    pub fn is_complete(&self) -> bool {
+        self.missing_shards.is_empty()
+    }
+}
+
+/// The scatter-gather client. One instance is shared across batches; its
+/// connection pool and latency histograms persist between calls.
+pub struct Router {
+    config: RouterConfig,
+    pool: Pool,
+    /// Per-shard RPC latency, recorded into the same `p2h_shard_latency_ns` family
+    /// the local sharded executor feeds — the hedge delay reads its p99 back.
+    latency: Vec<std::sync::Arc<Histogram>>,
+}
+
+impl Router {
+    /// Validates the config and builds the router.
+    pub fn new(config: RouterConfig) -> NetResult<Self> {
+        if config.shards.is_empty() {
+            return Err(NetError::InvalidRequest { message: "router has no shards".into() });
+        }
+        for (s, set) in config.shards.iter().enumerate() {
+            if set.addrs.is_empty() {
+                return Err(NetError::InvalidRequest {
+                    message: format!("shard {s} has an empty replica set"),
+                });
+            }
+        }
+        let registry = p2h_obs::global();
+        let latency = (0..config.shards.len())
+            .map(|s| {
+                let shard_label = s.to_string();
+                registry.histogram(
+                    "p2h_shard_latency_ns",
+                    "Per-shard sub-search latency in nanoseconds.",
+                    &[("index", config.entry.as_str()), ("shard", &shard_label)],
+                )
+            })
+            .collect();
+        Ok(Self { config, pool: Pool::new(), latency })
+    }
+
+    /// The router's configuration.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// Routes one batch: `params[i]` are the *effective* parameters of `queries[i]`
+    /// (callers resolve any per-position overrides first). Returns merged per-query
+    /// results bit-identical to a local fan-out over the same index.
+    pub fn route(
+        &self,
+        queries: &[HyperplaneQuery],
+        params: &[SearchParams],
+    ) -> NetResult<RoutedResponse> {
+        if queries.len() != params.len() {
+            return Err(NetError::InvalidRequest {
+                message: format!("{} queries but {} params", queries.len(), params.len()),
+            });
+        }
+        let start = Instant::now();
+        if queries.is_empty() {
+            return Ok(RoutedResponse {
+                results: Vec::new(),
+                missing_shards: Vec::new(),
+                wall_time_ns: start.elapsed().as_nanos() as u64,
+            });
+        }
+        let wire: Vec<WireQuery> =
+            queries.iter().zip(params).map(|(q, p)| WireQuery::from_query(q, p)).collect();
+        let deadline = start + self.config.deadline;
+
+        let shard_count = self.config.shards.len();
+        let shard_outcomes: Vec<NetResult<Vec<Option<SearchResult>>>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..shard_count)
+                    .map(|shard| {
+                        let wire = &wire;
+                        scope.spawn(move || self.serve_shard(shard, wire, deadline))
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("shard worker panicked")).collect()
+            });
+
+        // Merge exactly like ShardedIndex::search_with_scratch: skipped shards
+        // (None answers) contribute nothing, stats are saturating-merged, and the
+        // final per-query list is merge_topk over the shard lists.
+        let mut lists: Vec<Vec<Vec<Neighbor>>> = vec![Vec::new(); queries.len()];
+        let mut stats: Vec<SearchStats> = vec![SearchStats::default(); queries.len()];
+        let mut missing = Vec::new();
+        for (shard, outcome) in shard_outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(answers) => {
+                    if answers.len() != queries.len() {
+                        return Err(NetError::Malformed {
+                            context: format!(
+                                "shard {shard} answered {} queries, expected {}",
+                                answers.len(),
+                                queries.len()
+                            ),
+                        });
+                    }
+                    for (position, answer) in answers.into_iter().enumerate() {
+                        if let Some(result) = answer {
+                            stats[position].merge(&result.stats);
+                            lists[position].push(result.neighbors);
+                        }
+                    }
+                }
+                Err(
+                    e @ (NetError::ShardUnavailable { .. } | NetError::DeadlineExceeded { .. }),
+                ) if self.config.allow_partial => {
+                    let _ = e; // the shard list is the caller-facing record
+                    missing.push(shard);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if !missing.is_empty() {
+            net_metrics().partial_batches.inc();
+        }
+
+        let wall_time_ns = start.elapsed().as_nanos() as u64;
+        let results = lists
+            .into_iter()
+            .zip(stats)
+            .zip(params)
+            .map(|((shard_lists, mut query_stats), p)| {
+                let neighbors = merge_topk(p.k, shard_lists);
+                query_stats.time_total_ns = wall_time_ns;
+                SearchResult { neighbors, stats: query_stats }
+            })
+            .collect();
+        Ok(RoutedResponse { results, missing_shards: missing, wall_time_ns })
+    }
+
+    // -- per-shard orchestration ------------------------------------------------
+
+    fn serve_shard(
+        &self,
+        shard: usize,
+        wire: &[WireQuery],
+        deadline: Instant,
+    ) -> NetResult<Vec<Option<SearchResult>>> {
+        let replicas = &self.config.shards[shard].addrs;
+        if self.config.cross_check && replicas.len() > 1 {
+            return self.serve_shard_cross_checked(shard, wire, deadline);
+        }
+        self.attempt_loop(shard, replicas, wire, deadline)
+    }
+
+    /// The retry loop: rotate through `replicas`, backing off deterministically,
+    /// until a success, a non-retryable error, the retry cap, or the deadline.
+    fn attempt_loop(
+        &self,
+        shard: usize,
+        replicas: &[String],
+        wire: &[WireQuery],
+        deadline: Instant,
+    ) -> NetResult<Vec<Option<SearchResult>>> {
+        let metrics = net_metrics();
+        let mut last_error: Option<NetError> = None;
+        for attempt in 0..=self.config.max_retries {
+            if Instant::now() >= deadline {
+                metrics.timeouts.inc();
+                return Err(match last_error {
+                    Some(e) => NetError::ShardUnavailable { shard, last_error: e.to_string() },
+                    None => NetError::DeadlineExceeded { shard },
+                });
+            }
+            let primary = &replicas[attempt as usize % replicas.len()];
+            let outcome = match (&self.config.hedge, replicas.len() > 1) {
+                (Some(hedge), true) => {
+                    let backup = &replicas[(attempt as usize + 1) % replicas.len()];
+                    self.attempt_hedged(shard, primary, backup, wire, deadline, hedge)
+                }
+                _ => self.attempt_once(shard, primary, wire, deadline),
+            };
+            match outcome {
+                Ok(answers) => return Ok(answers),
+                Err(e) if e.is_retryable() && attempt < self.config.max_retries => {
+                    metrics.retries.inc();
+                    let delay = self.config.backoff.delay(shard, attempt);
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    last_error = Some(e);
+                }
+                Err(e) if e.is_retryable() => {
+                    return Err(NetError::ShardUnavailable { shard, last_error: e.to_string() })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("loop returns on the last attempt");
+    }
+
+    /// Queries every replica of `shard` (each through its own retry loop) and
+    /// requires bit-identical answers.
+    fn serve_shard_cross_checked(
+        &self,
+        shard: usize,
+        wire: &[WireQuery],
+        deadline: Instant,
+    ) -> NetResult<Vec<Option<SearchResult>>> {
+        let replicas = &self.config.shards[shard].addrs;
+        let mut baseline: Option<Vec<Option<SearchResult>>> = None;
+        for addr in replicas {
+            let answers = self.attempt_loop(shard, std::slice::from_ref(addr), wire, deadline)?;
+            match &baseline {
+                None => baseline = Some(answers),
+                Some(expected) => {
+                    if let Some(detail) = first_divergence(expected, &answers) {
+                        net_metrics().replica_mismatches.inc();
+                        return Err(NetError::ReplicaMismatch { shard, detail });
+                    }
+                }
+            }
+        }
+        Ok(baseline.expect("validated non-empty replica set"))
+    }
+
+    /// One attempt with a hedge: fire `primary`, and if it has not answered within
+    /// the hedge delay, fire `backup` too; first success wins, first-error waits
+    /// for the other.
+    fn attempt_hedged(
+        &self,
+        shard: usize,
+        primary: &str,
+        backup: &str,
+        wire: &[WireQuery],
+        deadline: Instant,
+        hedge: &HedgeConfig,
+    ) -> NetResult<Vec<Option<SearchResult>>> {
+        let metrics = net_metrics();
+        let hedge_delay = self.hedge_delay(shard, hedge);
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel();
+            let primary_tx = tx.clone();
+            scope.spawn(move || {
+                let outcome = self.attempt_once(shard, primary, wire, deadline);
+                primary_tx.send((false, outcome)).ok();
+            });
+            let first = match rx.recv_timeout(hedge_delay) {
+                Ok(arrived) => Some(arrived),
+                Err(mpsc::RecvTimeoutError::Timeout) => None,
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    unreachable!("tx is held by this scope")
+                }
+            };
+            if let Some((_, outcome)) = first {
+                // The primary answered inside the hedge window — succeed or let the
+                // retry loop deal with its error; no duplicate work needed.
+                return outcome;
+            }
+            metrics.hedges.inc();
+            let hedge_tx = tx.clone();
+            scope.spawn(move || {
+                let outcome = self.attempt_once(shard, backup, wire, deadline);
+                hedge_tx.send((true, outcome)).ok();
+            });
+            let mut first_error: Option<NetError> = None;
+            for _ in 0..2 {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(remaining) {
+                    Ok((is_hedge, Ok(answers))) => {
+                        if is_hedge {
+                            metrics.hedge_wins.inc();
+                        }
+                        return Ok(answers);
+                    }
+                    Ok((_, Err(e))) => first_error = Some(first_error.unwrap_or(e)),
+                    Err(_) => {
+                        metrics.timeouts.inc();
+                        return Err(NetError::DeadlineExceeded { shard });
+                    }
+                }
+            }
+            Err(first_error.expect("two error outcomes collected"))
+        })
+    }
+
+    /// The hedge delay for `shard`: the configured floor, raised to the shard's
+    /// observed p99 latency when history exists.
+    fn hedge_delay(&self, shard: usize, hedge: &HedgeConfig) -> Duration {
+        let shard_label = shard.to_string();
+        let p99_ns = p2h_obs::global()
+            .snapshot()
+            .series(
+                "p2h_shard_latency_ns",
+                &[("index", self.config.entry.as_str()), ("shard", &shard_label)],
+            )
+            .and_then(|series| series.value.histogram().map(|h| h.quantile(0.99)))
+            .unwrap_or(0);
+        hedge.floor.max(Duration::from_nanos(p99_ns))
+    }
+
+    /// One RPC to one replica: checkout (possibly dialing), send, receive, checkin.
+    /// A connection that saw any error is dropped, never pooled.
+    fn attempt_once(
+        &self,
+        shard: usize,
+        addr: &str,
+        wire: &[WireQuery],
+        deadline: Instant,
+    ) -> NetResult<Vec<Option<SearchResult>>> {
+        let metrics = net_metrics();
+        let remaining = deadline
+            .checked_duration_since(Instant::now())
+            .filter(|d| !d.is_zero())
+            .ok_or_else(|| {
+                metrics.timeouts.inc();
+                NetError::DeadlineExceeded { shard }
+            })?;
+        let mut conn: Conn =
+            self.pool.checkout(addr, self.config.connect_timeout.min(remaining))?;
+        conn.stream.set_read_timeout(Some(remaining)).ok();
+
+        let started = Instant::now();
+        let request = Message::ShardQuery { shard: shard as u32, queries: wire.to_vec() };
+        write_frame(&mut conn.stream, &request, "client.send")?;
+        match read_frame(&mut conn.stream, "client.recv") {
+            Ok(Some(Message::ShardReply { shard: echoed, answers })) => {
+                if echoed as usize != shard {
+                    return Err(NetError::Malformed {
+                        context: format!("asked shard {shard}, reply names {echoed}"),
+                    });
+                }
+                self.latency[shard].record(started.elapsed().as_nanos() as u64);
+                self.pool.checkin(addr, conn);
+                Ok(answers)
+            }
+            Ok(Some(Message::ErrorReply { code, message })) => {
+                // The stream is still framed correctly — the server just refused.
+                self.pool.checkin(addr, conn);
+                Err(NetError::Remote { code, message })
+            }
+            Ok(Some(other)) => {
+                Err(NetError::Malformed { context: format!("expected ShardReply, got {other:?}") })
+            }
+            Ok(None) => Err(NetError::Disconnected),
+            Err(e) if e.is_timeout() => {
+                metrics.timeouts.inc();
+                Err(NetError::DeadlineExceeded { shard })
+            }
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// First bit-level divergence between two replicas' answer vectors, if any.
+fn first_divergence(a: &[Option<SearchResult>], b: &[Option<SearchResult>]) -> Option<String> {
+    if a.len() != b.len() {
+        return Some(format!("answer counts differ: {} vs {}", a.len(), b.len()));
+    }
+    for (position, (left, right)) in a.iter().zip(b).enumerate() {
+        match (left, right) {
+            (None, None) => {}
+            (Some(_), None) | (None, Some(_)) => {
+                return Some(format!("query {position}: one replica skipped the shard"));
+            }
+            (Some(l), Some(r)) => {
+                if l.neighbors.len() != r.neighbors.len() {
+                    return Some(format!(
+                        "query {position}: {} vs {} neighbors",
+                        l.neighbors.len(),
+                        r.neighbors.len()
+                    ));
+                }
+                for (rank, (ln, rn)) in l.neighbors.iter().zip(&r.neighbors).enumerate() {
+                    if ln.index != rn.index || ln.distance.to_bits() != rn.distance.to_bits() {
+                        return Some(format!(
+                            "query {position} rank {rank}: ({}, {:#010x}) vs ({}, {:#010x})",
+                            ln.index,
+                            ln.distance.to_bits(),
+                            rn.index,
+                            rn.distance.to_bits()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    None
+}

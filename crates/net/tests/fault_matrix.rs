@@ -1,0 +1,466 @@
+//! Satellite 4 — the deterministic fault matrix.
+//!
+//! Every combination of injected fault × recovery mechanism must end in exactly one
+//! of two outcomes: a routed answer **bit-identical** (ids + `f32` distance bits) to
+//! the local fan-out over the same index, or a **typed** [`NetError`]. Never a
+//! panic, never a hang (every route carries a deadline), never a silently shortened
+//! answer.
+//!
+//! The fault registry is process-global, so every test here serializes on one
+//! mutex; cargo runs test binaries sequentially, so rules cannot leak into other
+//! suites. All schedules are seeded — reruns replay identical fault sequences.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+use p2h_core::{
+    HyperplaneQuery, LinearScan, Neighbor, P2hIndex, PointSet, QueryScratch, SearchParams,
+};
+use p2h_data::{generate_queries, DataDistribution, QueryDistribution, SyntheticDataset};
+use p2h_net::{
+    BackoffPolicy, NetError, ReplicaSet, Router, RouterConfig, ServerHandle, ShardServer,
+};
+use p2h_obs::fault::{self, FaultRule};
+use p2h_obs::FaultKind;
+use p2h_shard::{Partitioner, ShardIndexKind, ShardedIndex, ShardedIndexBuilder};
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn serialize() -> MutexGuard<'static, ()> {
+    FAULT_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Clears the installed rules even when the test body panics, so one failure
+/// cannot cascade fake failures into the rest of the suite.
+struct FaultScope;
+
+impl FaultScope {
+    fn install(rules: Vec<FaultRule>) -> Self {
+        fault::set_rules(rules);
+        FaultScope
+    }
+}
+
+impl Drop for FaultScope {
+    fn drop(&mut self) {
+        fault::set_rules(Vec::new());
+    }
+}
+
+const SHARDS: usize = 3;
+
+struct Cluster {
+    index: Arc<ShardedIndex>,
+    points: PointSet,
+    queries: Vec<HyperplaneQuery>,
+    params: Vec<SearchParams>,
+    replica_a: ServerHandle,
+    replica_b: ServerHandle,
+}
+
+fn cluster(seed: u64) -> Cluster {
+    let points = SyntheticDataset::new(
+        "net-fault-matrix",
+        400,
+        8,
+        DataDistribution::GaussianClusters { clusters: 4, std_dev: 1.1 },
+        seed,
+    )
+    .generate()
+    .unwrap();
+    let queries =
+        generate_queries(&points, 6, QueryDistribution::DataDifference, seed ^ 7).unwrap();
+    // Linear-scan shards: budgeted search is bit-identical to the unsharded prefix
+    // scan, so the oracle covers the shard-skip path too.
+    let index = Arc::new(
+        ShardedIndexBuilder::new(Partitioner::Hash { shards: SHARDS }, ShardIndexKind::LinearScan)
+            .with_seed(seed)
+            .build(&points)
+            .unwrap(),
+    );
+    let params: Vec<SearchParams> = (0..queries.len())
+        .map(|i| match i % 3 {
+            0 => SearchParams::exact(10),
+            1 => SearchParams::approximate(5, 48),
+            _ => SearchParams::exact(3),
+        })
+        .collect();
+    let replica_a = ShardServer::new(Arc::clone(&index)).serve("127.0.0.1:0").unwrap();
+    let replica_b = ShardServer::new(Arc::clone(&index)).serve("127.0.0.1:0").unwrap();
+    Cluster { index, points, queries, params, replica_a, replica_b }
+}
+
+impl Cluster {
+    fn router_config(&self) -> RouterConfig {
+        let replicas: Vec<ReplicaSet> = (0..SHARDS)
+            .map(|_| {
+                ReplicaSet::new([
+                    self.replica_a.addr().to_string(),
+                    self.replica_b.addr().to_string(),
+                ])
+            })
+            .collect();
+        let mut config = RouterConfig::new("fault-matrix", replicas);
+        config.max_retries = 6;
+        config.deadline = Duration::from_secs(10);
+        config.backoff = BackoffPolicy::immediate(42);
+        config
+    }
+
+    fn router(&self) -> Router {
+        Router::new(self.router_config()).unwrap()
+    }
+
+    /// The local ground truth: the same sharded index searched in-process (itself
+    /// bit-identical to an unsharded scan, proven in the shard crate's suite).
+    fn local_answers(&self) -> Vec<Vec<Neighbor>> {
+        let mut scratch = QueryScratch::new();
+        self.queries
+            .iter()
+            .zip(&self.params)
+            .map(|(q, p)| self.index.search_with_scratch(q, p, &mut scratch).neighbors)
+            .collect()
+    }
+
+    /// Routes under whatever faults are installed; asserts bit-identity on success
+    /// and returns the typed error otherwise.
+    fn route_and_check(&self, router: &Router, context: &str) -> Result<(), NetError> {
+        let routed = router.route(&self.queries, &self.params)?;
+        assert!(routed.missing_shards.is_empty(), "{context}: partial response without opting in");
+        let expected = self.local_answers();
+        assert_eq!(routed.results.len(), expected.len(), "{context}: result count");
+        for (position, (got, want)) in routed.results.iter().zip(&expected).enumerate() {
+            assert_eq!(
+                got.neighbors.len(),
+                want.len(),
+                "{context}: query {position} neighbor count"
+            );
+            for (rank, (g, w)) in got.neighbors.iter().zip(want).enumerate() {
+                assert_eq!(g.index, w.index, "{context}: query {position} rank {rank} id");
+                assert_eq!(
+                    g.distance.to_bits(),
+                    w.distance.to_bits(),
+                    "{context}: query {position} rank {rank} distance bits"
+                );
+            }
+        }
+        Ok(())
+    }
+}
+
+/// With no faults installed the routed path is simply bit-identical, and the oracle
+/// also matches a fully unsharded scan.
+#[test]
+fn routed_answers_match_local_and_unsharded_without_faults() {
+    let _guard = serialize();
+    let cluster = cluster(1);
+    let router = cluster.router();
+    cluster.route_and_check(&router, "no faults").unwrap();
+
+    let scan = LinearScan::new(cluster.points.clone());
+    let routed = router.route(&cluster.queries, &cluster.params).unwrap();
+    let mut scratch = QueryScratch::new();
+    for (position, (query, params)) in cluster.queries.iter().zip(&cluster.params).enumerate() {
+        let expected = scan.search_with_scratch(query, params, &mut scratch);
+        let got = &routed.results[position].neighbors;
+        assert_eq!(got.len(), expected.neighbors.len());
+        for (g, w) in got.iter().zip(&expected.neighbors) {
+            assert_eq!((g.index, g.distance.to_bits()), (w.index, w.distance.to_bits()));
+        }
+    }
+}
+
+/// The core matrix: each fault kind at each site, at a rate retries can beat.
+/// Success must be bit-identical; failure must be one of the typed variants.
+#[test]
+fn every_fault_mix_yields_bit_identical_answers_or_typed_errors() {
+    let _guard = serialize();
+    let cluster = cluster(2);
+    let router = cluster.router();
+    let sites = [
+        "client.connect",
+        "client.send",
+        "client.recv",
+        "server.send",
+        "server.recv",
+        "server.accept",
+    ];
+    let kinds = [
+        FaultKind::Refuse,
+        FaultKind::Disconnect,
+        FaultKind::Truncate,
+        FaultKind::Corrupt,
+        FaultKind::Eintr,
+        FaultKind::Slow(5),
+    ];
+    for (i, site) in sites.iter().enumerate() {
+        for (j, kind) in kinds.iter().enumerate() {
+            let seed = (i * kinds.len() + j) as u64;
+            let context = format!("{site}:{}", kind.as_str());
+            let _scope = FaultScope::install(vec![FaultRule::new(*site, *kind, 0.3, seed)]);
+            match cluster.route_and_check(&router, &context) {
+                Ok(()) => {}
+                Err(
+                    NetError::ShardUnavailable { .. }
+                    | NetError::DeadlineExceeded { .. }
+                    | NetError::Refused { .. }
+                    | NetError::Disconnected
+                    | NetError::Corrupt { .. },
+                ) => {}
+                Err(other) => panic!("{context}: unexpected error class: {other}"),
+            }
+        }
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+    /// Randomized mixes of up to three simultaneous fault rules, replayed from seeds.
+    #[test]
+    fn random_fault_mixes_never_break_bit_identity(
+        seed in 0u64..10_000,
+        rule_count in 1usize..4,
+    ) {
+        let _guard = serialize();
+        let cluster = cluster(3);
+        let router = cluster.router();
+        let sites = ["client.connect", "client.send", "client.recv", "server.send", "server.recv"];
+        let kinds = [
+            FaultKind::Refuse,
+            FaultKind::Disconnect,
+            FaultKind::Truncate,
+            FaultKind::Corrupt,
+            FaultKind::Eintr,
+            FaultKind::Slow(3),
+        ];
+        let mut rules = Vec::new();
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for r in 0..rule_count {
+            let site = sites[next() as usize % sites.len()];
+            let kind = kinds[next() as usize % kinds.len()];
+            rules.push(FaultRule::new(site, kind, 0.25, seed ^ r as u64));
+        }
+        let context = format!("seed {seed} rules {rule_count}");
+        let _scope = FaultScope::install(rules);
+        match cluster.route_and_check(&router, &context) {
+            Ok(()) => {}
+            Err(
+                NetError::ShardUnavailable { .. }
+                | NetError::DeadlineExceeded { .. }
+                | NetError::Refused { .. }
+                | NetError::Disconnected
+                | NetError::Corrupt { .. },
+            ) => {}
+            Err(other) => panic!("{context}: unexpected error class: {other}"),
+        }
+    }
+}
+
+/// Transient EINTR on the network paths is absorbed below the retry layer — the
+/// route succeeds without burning a single router-level retry.
+#[test]
+fn network_eintr_is_invisible_above_the_syscall_layer() {
+    let _guard = serialize();
+    let cluster = cluster(4);
+    let router = cluster.router();
+    let retries_before = counter("p2h_net_retries_total");
+    let _scope = FaultScope::install(vec![
+        FaultRule::new("client.send", FaultKind::Eintr, 0.5, 21),
+        FaultRule::new("client.recv", FaultKind::Eintr, 0.5, 22),
+        FaultRule::new("server.send", FaultKind::Eintr, 0.5, 23),
+        FaultRule::new("server.recv", FaultKind::Eintr, 0.5, 24),
+    ]);
+    for round in 0..4 {
+        cluster.route_and_check(&router, &format!("eintr round {round}")).unwrap();
+    }
+    assert_eq!(
+        counter("p2h_net_retries_total"),
+        retries_before,
+        "EINTR must be retried at the syscall, not the request, layer"
+    );
+}
+
+/// Hedged requests under injected tail latency: answers stay bit-identical and the
+/// hedge counters move.
+#[test]
+fn hedging_preserves_bit_identity_under_slow_replicas() {
+    let _guard = serialize();
+    let cluster = cluster(5);
+    let mut config = cluster.router_config();
+    config.hedge = Some(p2h_net::HedgeConfig { floor: Duration::from_millis(15) });
+    let router = Router::new(config).unwrap();
+    let hedges_before = counter("p2h_net_hedges_total");
+    let _scope =
+        FaultScope::install(vec![FaultRule::new("server.send", FaultKind::Slow(60), 0.5, 31)]);
+    for round in 0..4 {
+        cluster.route_and_check(&router, &format!("hedge round {round}")).unwrap();
+    }
+    drop(_scope);
+    assert!(
+        counter("p2h_net_hedges_total") > hedges_before,
+        "a 60ms p50 stall against a 15ms hedge floor must trigger hedges"
+    );
+}
+
+/// Deadlines fire as typed errors, not hangs: a server stalled far beyond the
+/// deadline yields `ShardUnavailable`/`DeadlineExceeded` within bounded time.
+#[test]
+fn deadline_is_a_typed_error_not_a_hang() {
+    let _guard = serialize();
+    let cluster = cluster(6);
+    let mut config = cluster.router_config();
+    config.deadline = Duration::from_millis(150);
+    config.max_retries = 1;
+    let router = Router::new(config).unwrap();
+    let _scope =
+        FaultScope::install(vec![FaultRule::new("server.send", FaultKind::Slow(2_000), 1.0, 41)]);
+    let started = std::time::Instant::now();
+    match router.route(&cluster.queries, &cluster.params) {
+        Err(NetError::ShardUnavailable { .. } | NetError::DeadlineExceeded { .. }) => {}
+        Ok(_) => panic!("a fully stalled server cannot produce an answer in 150ms"),
+        Err(other) => panic!("unexpected error class: {other}"),
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the deadline must bound wall time even with sleeping connection threads"
+    );
+}
+
+/// Partial responses are strictly opt-in: with a permanently dead shard the default
+/// router fails typed, and the opted-in router reports the missing shard explicitly
+/// while the answers for live shards stay bit-identical per shard.
+#[test]
+fn degraded_mode_is_explicit_and_opt_in() {
+    let _guard = serialize();
+    let cluster = cluster(7);
+
+    // A dead address: bind, learn the port, drop the listener.
+    let dead_addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let live = cluster.replica_a.addr().to_string();
+    let mut replicas: Vec<ReplicaSet> =
+        (0..SHARDS).map(|_| ReplicaSet::new([live.clone()])).collect();
+    replicas[1] = ReplicaSet::new([dead_addr]);
+    let mut config = RouterConfig::new("fault-matrix", replicas);
+    config.max_retries = 2;
+    config.backoff = BackoffPolicy::immediate(1);
+    config.deadline = Duration::from_secs(5);
+
+    // Default: typed failure naming the shard.
+    let strict = Router::new(config.clone()).unwrap();
+    match strict.route(&cluster.queries, &cluster.params) {
+        Err(NetError::ShardUnavailable { shard, .. }) => assert_eq!(shard, 1),
+        other => panic!("expected ShardUnavailable for shard 1, got {other:?}"),
+    }
+
+    // Opt-in: explicit missing list + per-shard-correct partial answers.
+    config.allow_partial = true;
+    let partial_router = Router::new(config).unwrap();
+    let routed = partial_router.route(&cluster.queries, &cluster.params).unwrap();
+    assert_eq!(routed.missing_shards, vec![1]);
+    let mut scratch = QueryScratch::new();
+    for (position, (query, params)) in cluster.queries.iter().zip(&cluster.params).enumerate() {
+        // Expected: local fan-out over the shards that answered (0 and 2 only).
+        let mut lists = Vec::new();
+        for s in [0usize, 2] {
+            if let Some(result) = cluster.index.search_shard(s, query, params, &mut scratch) {
+                lists.push(result.neighbors);
+            }
+        }
+        let expected = p2h_shard::merge_topk(params.k, lists);
+        let got = &routed.results[position].neighbors;
+        assert_eq!(got.len(), expected.len(), "query {position}");
+        for (g, w) in got.iter().zip(&expected) {
+            assert_eq!((g.index, g.distance.to_bits()), (w.index, w.distance.to_bits()));
+        }
+    }
+}
+
+/// Replica cross-checking turns divergent replica state into a typed
+/// `ReplicaMismatch` — bit-identity between replicas is load-bearing, so a replica
+/// serving different data must be caught, not averaged away.
+#[test]
+fn cross_check_catches_divergent_replicas() {
+    let _guard = serialize();
+    let cluster = cluster(8);
+
+    // A rogue replica: same shape, entirely different data — a split-brain where a
+    // replica kept serving a stale (or wrong) epoch.
+    let rogue_points = SyntheticDataset::new(
+        "net-fault-matrix-rogue",
+        400,
+        8,
+        DataDistribution::GaussianClusters { clusters: 4, std_dev: 1.1 },
+        999,
+    )
+    .generate()
+    .unwrap();
+    let rogue_index = Arc::new(
+        ShardedIndexBuilder::new(Partitioner::Hash { shards: SHARDS }, ShardIndexKind::LinearScan)
+            .with_seed(8)
+            .build(&rogue_points)
+            .unwrap(),
+    );
+    let rogue = ShardServer::new(rogue_index).serve("127.0.0.1:0").unwrap();
+
+    let replicas: Vec<ReplicaSet> = (0..SHARDS)
+        .map(|_| ReplicaSet::new([cluster.replica_a.addr().to_string(), rogue.addr().to_string()]))
+        .collect();
+    let mut config = RouterConfig::new("fault-matrix", replicas);
+    config.cross_check = true;
+    config.backoff = BackoffPolicy::immediate(2);
+    let router = Router::new(config).unwrap();
+    let mismatches_before = counter("p2h_net_replica_mismatch_total");
+    match router.route(&cluster.queries, &cluster.params) {
+        Err(NetError::ReplicaMismatch { .. }) => {}
+        other => panic!("expected ReplicaMismatch, got {other:?}"),
+    }
+    assert!(counter("p2h_net_replica_mismatch_total") > mismatches_before);
+    rogue.shutdown();
+
+    // Healthy twins pass the same cross-check.
+    let replicas: Vec<ReplicaSet> = (0..SHARDS)
+        .map(|_| {
+            ReplicaSet::new([
+                cluster.replica_a.addr().to_string(),
+                cluster.replica_b.addr().to_string(),
+            ])
+        })
+        .collect();
+    let mut config = RouterConfig::new("fault-matrix", replicas);
+    config.cross_check = true;
+    config.backoff = BackoffPolicy::immediate(3);
+    let router = Router::new(config).unwrap();
+    cluster.route_and_check(&router, "cross-check healthy").unwrap();
+}
+
+/// The fan-out holds under the forced-scalar kernel dispatch too (CI runs this
+/// whole binary under `P2H_FORCE_SCALAR=1` as well; this test just documents that
+/// the guarantee is kernel-independent rather than relying on the job matrix).
+#[test]
+fn fault_recovery_is_kernel_dispatch_independent() {
+    let _guard = serialize();
+    let cluster = cluster(9);
+    let router = cluster.router();
+    let _scope = FaultScope::install(vec![
+        FaultRule::new("client.send", FaultKind::Disconnect, 0.25, 51),
+        FaultRule::new("server.send", FaultKind::Corrupt, 0.25, 52),
+    ]);
+    match cluster.route_and_check(&router, "mixed faults") {
+        Ok(()) | Err(NetError::ShardUnavailable { .. }) => {}
+        Err(other) => panic!("unexpected error class: {other}"),
+    }
+}
+
+fn counter(name: &str) -> u64 {
+    p2h_obs::global().snapshot().series(name, &[]).map_or(0, |s| s.value.scalar())
+}

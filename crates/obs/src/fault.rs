@@ -1,0 +1,330 @@
+//! Deterministic fault injection: named failure points threaded through I/O paths.
+//!
+//! A *fail point* is a named site in client or server code (e.g. `client.connect`,
+//! `server.send`, `store.read`) that asks this registry whether an artificial fault
+//! should fire before doing its real work. Faults are configured once per process via
+//! the `P2H_FAULTS` environment variable (same `OnceLock` pattern as `P2H_TRACE`):
+//!
+//! ```text
+//! P2H_FAULTS=point:kind:rate:seed[,point:kind:rate:seed…]
+//! ```
+//!
+//! * `point` — the fail-point name to attach to (each crate documents its points).
+//! * `kind` — what fires: `refuse`, `disconnect`, `truncate`, `corrupt`, `eintr`,
+//!   or `slow(<ms>)`.
+//! * `rate` — firing probability in `[0, 1]` (`1` = every check).
+//! * `seed` — a `u64` seeding the deterministic draw sequence for this rule.
+//!
+//! Example: `P2H_FAULTS=server.send:corrupt:0.3:42,client.connect:refuse:0.1:7`.
+//!
+//! Determinism is the point: each rule draws from a [SplitMix64] stream keyed by its
+//! seed and a per-rule atomic counter, so a given `(rate, seed)` pair fires on exactly
+//! the same check ordinals in every run — no wall clock, no global RNG. Tests assert
+//! hard properties ("the router's completed answers are bit-identical under this fault
+//! mix") instead of statistical ones.
+//!
+//! When `P2H_FAULTS` is unset the whole machinery costs one relaxed atomic load per
+//! check ([`check`] reads a static `AtomicBool` and returns) — nothing allocates, no
+//! lock is touched, and the serve path stays on its ≤ 1 alloc/query budget.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+/// What a fired fault asks the instrumented site to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail a connection attempt as if the peer refused it.
+    Refuse,
+    /// Drop the connection mid-operation (mid-frame when framing is in play).
+    Disconnect,
+    /// Deliver or persist only a prefix of the bytes, then behave as if complete.
+    Truncate,
+    /// Flip bits in the payload (checksums must catch this downstream).
+    Corrupt,
+    /// Fail one syscall with `EINTR` (`ErrorKind::Interrupted`); retry loops must
+    /// absorb it.
+    Eintr,
+    /// Sleep for the given number of milliseconds before proceeding (tail latency).
+    Slow(u64),
+}
+
+impl FaultKind {
+    /// The metric label value for this kind.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultKind::Refuse => "refuse",
+            FaultKind::Disconnect => "disconnect",
+            FaultKind::Truncate => "truncate",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Eintr => "eintr",
+            FaultKind::Slow(_) => "slow",
+        }
+    }
+
+    fn parse(token: &str) -> Option<Self> {
+        match token {
+            "refuse" => Some(FaultKind::Refuse),
+            "disconnect" => Some(FaultKind::Disconnect),
+            "truncate" => Some(FaultKind::Truncate),
+            "corrupt" => Some(FaultKind::Corrupt),
+            "eintr" => Some(FaultKind::Eintr),
+            _ => {
+                let ms = token.strip_prefix("slow(")?.strip_suffix(')')?;
+                ms.parse::<u64>().ok().map(FaultKind::Slow)
+            }
+        }
+    }
+}
+
+/// One configured fault rule: fire `kind` at `point` with probability `rate`,
+/// deterministically derived from `seed` and the rule's own check counter.
+#[derive(Debug)]
+pub struct FaultRule {
+    /// The fail-point name this rule attaches to.
+    pub point: String,
+    /// What fires.
+    pub kind: FaultKind,
+    /// Firing probability in `[0, 1]`.
+    pub rate: f64,
+    /// Seed of the deterministic draw stream.
+    pub seed: u64,
+    counter: AtomicU64,
+}
+
+impl FaultRule {
+    /// Creates a rule (rate clamped to `[0, 1]`).
+    pub fn new(point: impl Into<String>, kind: FaultKind, rate: f64, seed: u64) -> Self {
+        Self {
+            point: point.into(),
+            kind,
+            rate: rate.clamp(0.0, 1.0),
+            seed,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Draws the next deterministic decision for this rule.
+    fn fires(&self) -> bool {
+        let ordinal = self.counter.fetch_add(1, Ordering::Relaxed);
+        if self.rate >= 1.0 {
+            return true;
+        }
+        if self.rate <= 0.0 {
+            return false;
+        }
+        // SplitMix64 over (seed, ordinal): the top 53 bits become a uniform draw in
+        // [0, 1) — the same ordinal always gets the same verdict for a given seed.
+        let draw = (splitmix64(self.seed ^ ordinal.wrapping_mul(0x9E37_79B9_7F4A_7C15)) >> 11)
+            as f64
+            / (1u64 << 53) as f64;
+        draw < self.rate
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Parses a full `P2H_FAULTS` specification. Returns `Err` with a description of the
+/// first malformed clause; an empty spec yields no rules.
+pub fn parse_spec(spec: &str) -> Result<Vec<FaultRule>, String> {
+    let mut rules = Vec::new();
+    for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+        let fields: Vec<&str> = clause.split(':').collect();
+        let [point, kind, rate, seed] = fields.as_slice() else {
+            return Err(format!("expected `point:kind:rate:seed`, found `{clause}`"));
+        };
+        if point.is_empty() {
+            return Err(format!("empty fail-point name in `{clause}`"));
+        }
+        let kind = FaultKind::parse(kind).ok_or_else(|| {
+            format!(
+                "unknown fault kind `{kind}` in `{clause}` (expected refuse, disconnect, \
+                 truncate, corrupt, eintr, or slow(<ms>))"
+            )
+        })?;
+        let rate: f64 = rate
+            .parse()
+            .map_err(|_| format!("rate `{rate}` in `{clause}` is not a number in [0, 1]"))?;
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!("rate `{rate}` in `{clause}` is outside [0, 1]"));
+        }
+        let seed: u64 =
+            seed.parse().map_err(|_| format!("seed `{seed}` in `{clause}` is not a u64"))?;
+        rules.push(FaultRule::new(*point, kind, rate, seed));
+    }
+    Ok(rules)
+}
+
+struct FaultRegistry {
+    rules: RwLock<Vec<FaultRule>>,
+}
+
+/// Whether any rule is active — the only state the disabled hot path reads.
+static ANY_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn registry() -> &'static FaultRegistry {
+    static REGISTRY: OnceLock<FaultRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let rules = match std::env::var("P2H_FAULTS") {
+            Ok(spec) if !spec.is_empty() => match parse_spec(&spec) {
+                Ok(rules) => rules,
+                Err(message) => {
+                    // A malformed spec must not take the process down (the variable may
+                    // be set fleet-wide); it is reported once and ignored.
+                    eprintln!("p2h-obs: ignoring malformed P2H_FAULTS: {message}");
+                    Vec::new()
+                }
+            },
+            _ => Vec::new(),
+        };
+        if !rules.is_empty() {
+            ANY_ACTIVE.store(true, Ordering::Release);
+        }
+        FaultRegistry { rules: RwLock::new(rules) }
+    })
+}
+
+/// Asks whether a fault should fire at `point`. Returns the first matching rule's
+/// [`FaultKind`] whose deterministic draw fires, or `None`.
+///
+/// With no rules configured this is one relaxed atomic load — safe to call on hot
+/// paths.
+#[inline]
+pub fn check(point: &str) -> Option<FaultKind> {
+    if !ANY_ACTIVE.load(Ordering::Acquire) {
+        return None;
+    }
+    check_slow(point)
+}
+
+#[cold]
+fn check_slow(point: &str) -> Option<FaultKind> {
+    let registry = registry();
+    let rules = registry.rules.read().expect("fault registry poisoned");
+    for rule in rules.iter().filter(|r| r.point == point) {
+        if rule.fires() {
+            record_injection(&rule.point, rule.kind);
+            return Some(rule.kind);
+        }
+    }
+    None
+}
+
+/// Counts every injected fault in the process-wide metrics registry, labeled by point
+/// and kind — a chaos run's ground truth for "how many faults actually fired".
+fn record_injection(point: &str, kind: FaultKind) {
+    crate::global()
+        .counter(
+            "p2h_faults_injected_total",
+            "Artificial faults fired by the P2H_FAULTS registry.",
+            &[("point", point), ("kind", kind.as_str())],
+        )
+        .inc();
+}
+
+/// Replaces the active rule set programmatically — the test-harness entry point
+/// (`P2H_FAULTS` is read once per process, which multi-case test binaries cannot use).
+/// Passing an empty vector disables all injection.
+///
+/// Tests that call this from a shared test binary must serialize themselves (the rule
+/// set is process-global).
+pub fn set_rules(rules: Vec<FaultRule>) {
+    let registry = registry();
+    let mut active = registry.rules.write().expect("fault registry poisoned");
+    ANY_ACTIVE.store(!rules.is_empty(), Ordering::Release);
+    *active = rules;
+}
+
+/// Parses and installs a spec string (see [`parse_spec`]); the test-side equivalent of
+/// setting `P2H_FAULTS`.
+///
+/// # Errors
+///
+/// Returns the parse error of the first malformed clause; the active rules are left
+/// unchanged in that case.
+pub fn set_spec(spec: &str) -> Result<(), String> {
+    set_rules(parse_spec(spec)?);
+    Ok(())
+}
+
+/// Serializes in-crate tests that mutate the process-global rule set.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parsing_accepts_the_documented_grammar() {
+        let rules = parse_spec("server.send:corrupt:0.25:42, client.connect:refuse:1:7").unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].point, "server.send");
+        assert_eq!(rules[0].kind, FaultKind::Corrupt);
+        assert!((rules[0].rate - 0.25).abs() < 1e-12);
+        assert_eq!(rules[0].seed, 42);
+        assert_eq!(rules[1].kind, FaultKind::Refuse);
+
+        let slow = parse_spec("shard.serve:slow(15):1.0:3").unwrap();
+        assert_eq!(slow[0].kind, FaultKind::Slow(15));
+        assert!(parse_spec("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_specs_are_typed_errors() {
+        for bad in [
+            "no-fields",
+            "p:unknownkind:1:1",
+            "p:refuse:2.0:1",
+            "p:refuse:x:1",
+            "p:refuse:1:x",
+            ":refuse:1:1",
+            "p:slow(x):1:1",
+        ] {
+            assert!(parse_spec(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_seed() {
+        let a = FaultRule::new("p", FaultKind::Corrupt, 0.5, 99);
+        let b = FaultRule::new("p", FaultKind::Corrupt, 0.5, 99);
+        let seq_a: Vec<bool> = (0..64).map(|_| a.fires()).collect();
+        let seq_b: Vec<bool> = (0..64).map(|_| b.fires()).collect();
+        assert_eq!(seq_a, seq_b, "same seed, same ordinals, same verdicts");
+        assert!(seq_a.iter().any(|&f| f) && seq_a.iter().any(|&f| !f), "rate 0.5 mixes");
+
+        let c = FaultRule::new("p", FaultKind::Corrupt, 0.5, 100);
+        let seq_c: Vec<bool> = (0..64).map(|_| c.fires()).collect();
+        assert_ne!(seq_a, seq_c, "different seeds diverge");
+    }
+
+    #[test]
+    fn rate_extremes_always_and_never_fire() {
+        let always = FaultRule::new("p", FaultKind::Eintr, 1.0, 0);
+        let never = FaultRule::new("p", FaultKind::Eintr, 0.0, 0);
+        assert!((0..32).all(|_| always.fires()));
+        assert!((0..32).all(|_| !never.fires()));
+    }
+
+    #[test]
+    fn check_is_inert_until_rules_are_set() {
+        let _guard = test_lock();
+        // The shared registry starts empty in the test process (P2H_FAULTS unset).
+        assert_eq!(check("obs.unit.nothing"), None);
+        set_rules(vec![FaultRule::new("obs.unit.point", FaultKind::Refuse, 1.0, 1)]);
+        assert_eq!(check("obs.unit.point"), Some(FaultKind::Refuse));
+        assert_eq!(check("obs.unit.other"), None);
+        set_rules(Vec::new());
+        assert_eq!(check("obs.unit.point"), None);
+    }
+}

@@ -49,12 +49,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod fault;
 pub mod hist;
 mod metrics;
 mod registry;
 mod render;
 pub mod trace;
 
+pub use fault::{FaultKind, FaultRule};
 pub use hist::{bucket_index, bucket_upper_bound, StreamingHistogram, BUCKET_COUNT};
 pub use metrics::{Counter, Gauge, Histogram};
 pub use registry::{

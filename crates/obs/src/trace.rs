@@ -18,15 +18,24 @@
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// A JSON-lines trace sink with every-Nth sampling.
+///
+/// A failed append (disk full, closed fd) permanently disables the sink: tracing is
+/// best-effort telemetry, and an unwritable sink must neither take the serve path
+/// down nor re-discover the same error on every sampled query. The first failure
+/// increments `p2h_trace_errors_total` exactly once; after that [`sample`] returns
+/// `None` without drawing a sequence number, so the serve path pays one relaxed load.
+///
+/// [`sample`]: TraceSink::sample
 #[derive(Debug)]
 pub struct TraceSink {
     writer: Mutex<BufWriter<File>>,
     rate: u64,
     sequence: AtomicU64,
+    disabled: AtomicBool,
 }
 
 impl TraceSink {
@@ -38,6 +47,7 @@ impl TraceSink {
             writer: Mutex::new(BufWriter::new(file)),
             rate: rate.max(1),
             sequence: AtomicU64::new(0),
+            disabled: AtomicBool::new(false),
         })
     }
 
@@ -46,26 +56,57 @@ impl TraceSink {
         self.rate
     }
 
+    /// Whether a write failure has permanently disabled this sink.
+    pub fn is_disabled(&self) -> bool {
+        self.disabled.load(Ordering::Acquire)
+    }
+
     /// Draws the next global sequence number and decides whether that query is
-    /// sampled; returns the sequence number if so. One `fetch_add` per call.
+    /// sampled; returns the sequence number if so. One `fetch_add` per call, one
+    /// relaxed load once the sink is disabled.
     #[inline]
     pub fn sample(&self) -> Option<u64> {
+        if self.disabled.load(Ordering::Acquire) {
+            return None;
+        }
         let seq = self.sequence.fetch_add(1, Ordering::Relaxed);
         seq.is_multiple_of(self.rate).then_some(seq)
     }
 
     /// Writes one record as a JSON line and flushes it (the sink lives for the whole
-    /// process, so buffered bytes would otherwise only surface at exit).
+    /// process, so buffered bytes would otherwise only surface at exit). A failed
+    /// write or flush disables the sink (see the type-level docs).
     pub fn write(&self, record: &QueryTrace<'_>) {
         let line = record.to_json_line();
         let mut writer = self.writer.lock().expect("trace sink poisoned");
-        let _ = writer.write_all(line.as_bytes());
-        let _ = writer.flush();
+        let result = match crate::fault::check("trace.write") {
+            Some(_) => Err(std::io::Error::other("injected trace write failure")),
+            None => writer.write_all(line.as_bytes()).and_then(|()| writer.flush()),
+        };
+        if result.is_err() {
+            self.disable();
+        }
     }
 
-    /// Flushes buffered records.
+    /// Flushes buffered records; a failure disables the sink like a failed write.
     pub fn flush(&self) {
-        let _ = self.writer.lock().expect("trace sink poisoned").flush();
+        if self.writer.lock().expect("trace sink poisoned").flush().is_err() {
+            self.disable();
+        }
+    }
+
+    fn disable(&self) {
+        // swap() makes the metric increment exactly-once even under concurrent
+        // failing writers.
+        if !self.disabled.swap(true, Ordering::AcqRel) {
+            crate::global()
+                .counter(
+                    "p2h_trace_errors_total",
+                    "Trace sinks disabled after a failed JSON-lines append.",
+                    &[],
+                )
+                .inc();
+        }
     }
 }
 
@@ -256,6 +297,34 @@ mod tests {
         // rate 0 clamps to 1: every query sampled.
         let every = TraceSink::create(&dir.join("u.jsonl"), 0).unwrap();
         assert!(every.sample().is_some() && every.sample().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_write_disables_sink_with_one_metric_increment() {
+        let _guard = crate::fault::test_lock();
+        let dir = std::env::temp_dir().join(format!("p2h-obs-trace-f-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sink = TraceSink::create(&dir.join("fail.jsonl"), 1).unwrap();
+        let errors = crate::global().counter(
+            "p2h_trace_errors_total",
+            "Trace sinks disabled after a failed JSON-lines append.",
+            &[],
+        );
+        let before = errors.value();
+
+        crate::fault::set_spec("trace.write:disconnect:1:1").unwrap();
+        assert!(sink.sample().is_some(), "sink starts enabled");
+        sink.write(&record());
+        crate::fault::set_rules(Vec::new());
+
+        assert!(sink.is_disabled(), "failed append disables the sink");
+        assert_eq!(errors.value(), before + 1, "exactly one error increment");
+        assert!(sink.sample().is_none(), "disabled sink stops sampling");
+        // Further writes must not error again or double-count.
+        sink.write(&record());
+        sink.flush();
+        assert_eq!(errors.value(), before + 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -60,6 +60,7 @@ pub mod format;
 mod metrics;
 #[allow(unsafe_code)]
 mod mmap;
+pub mod retry;
 mod snapshot;
 mod store;
 
@@ -69,6 +70,7 @@ pub use format::{
     SECTION_ALIGN,
 };
 pub use mmap::{LoadMode, MmapRegion};
+pub use retry::{retry_interrupted, MAX_EINTR_ATTEMPTS};
 pub use snapshot::{snapshot_meta, Snapshot, SnapshotMeta};
 pub use store::{
     LoadedIndex, ShardGroup, ShardGroupMeta, Store, StoreEntry, MANIFEST_FILE, SNAPSHOT_EXT,

@@ -42,6 +42,8 @@ pub(crate) struct StoreMetrics {
     bytes_mmap: Arc<Counter>,
     sweeps: Arc<Counter>,
     swept_files: Arc<Counter>,
+    sweep_future_skips: Arc<Counter>,
+    eintr_retries: Arc<Counter>,
 }
 
 fn store_metrics() -> &'static StoreMetrics {
@@ -91,6 +93,18 @@ fn store_metrics() -> &'static StoreMetrics {
             swept_files: reg.counter(
                 "p2h_store_swept_files_total",
                 "Crash-leftover files deleted by stale-file sweeps.",
+                &[],
+            ),
+            sweep_future_skips: reg.counter(
+                "p2h_store_sweep_future_skips_total",
+                "Sweep candidates skipped because their mtime is in the future \
+                 (clock skew or a restored backup — not provably stale).",
+                &[],
+            ),
+            eintr_retries: reg.counter(
+                "p2h_store_eintr_retries_total",
+                "Interrupted (EINTR) syscalls transparently reissued by the store's \
+                 I/O retry loops.",
                 &[],
             ),
         }
@@ -152,11 +166,18 @@ pub(crate) fn timed_decode<T>(f: impl FnOnce() -> T) -> T {
     out
 }
 
-/// Records one stale-file sweep deleting `swept` files.
-pub(crate) fn record_sweep(swept: u64) {
+/// Records one stale-file sweep deleting `swept` files and skipping `future_skipped`
+/// candidates whose mtime lies in the future.
+pub(crate) fn record_sweep(swept: u64, future_skipped: u64) {
     let m = store_metrics();
     m.sweeps.inc();
     m.swept_files.add(swept);
+    m.sweep_future_skips.add(future_skipped);
+}
+
+/// Records one EINTR-interrupted syscall that the retry loop reissued.
+pub(crate) fn record_eintr_retry() {
+    store_metrics().eintr_retries.inc();
 }
 
 #[cfg(test)]
@@ -194,7 +215,7 @@ mod tests {
         let sweeps0 = m.sweeps.value();
         let swept0 = m.swept_files.value();
         let mmap_bytes0 = m.bytes_mmap.value();
-        record_sweep(3);
+        record_sweep(3, 0);
         record_read(LoadMode::Mmap, 10, 4096);
         assert_eq!(m.sweeps.value() - sweeps0, 1);
         assert_eq!(m.swept_files.value() - swept0, 3);

@@ -78,9 +78,10 @@ impl SourceOwner {
         let mode = if cfg!(target_endian = "big") { LoadMode::Copy } else { mode };
         let start = std::time::Instant::now();
         let owner = match mode {
-            LoadMode::Copy => {
-                SourceOwner::Bytes(std::fs::read(path).map_err(|e| io_error(path, e))?)
-            }
+            LoadMode::Copy => SourceOwner::Bytes(
+                crate::retry::retry_interrupted("store.read", || std::fs::read(path))
+                    .map_err(|e| io_error(path, e))?,
+            ),
             LoadMode::Mmap => SourceOwner::Mapped(MmapRegion::map_file(path)?),
         };
         crate::metrics::record_read(mode, start.elapsed().as_nanos() as u64, owner.byte_len());
@@ -177,7 +178,8 @@ impl MmapRegion {
     /// Maps `path` read-only. A zero-length file (or a host/syscall that cannot map)
     /// yields a heap-backed region with identical behavior.
     pub fn map_file(path: &Path) -> StoreResult<Arc<Self>> {
-        let file = File::open(path).map_err(|e| io_error(path, e))?;
+        let file = crate::retry::retry_interrupted("store.read", || File::open(path))
+            .map_err(|e| io_error(path, e))?;
         let len = file.metadata().map_err(|e| io_error(path, e))?.len();
         let len = usize::try_from(len).map_err(|_| {
             io_error(path, std::io::Error::other("file larger than the address space"))
@@ -205,7 +207,8 @@ impl MmapRegion {
         // Fallback: read into an owned aligned buffer (empty files, exotic
         // filesystems, non-Unix hosts). Behaviorally identical, just not shared with
         // other processes.
-        let bytes = std::fs::read(path).map_err(|e| io_error(path, e))?;
+        let bytes = crate::retry::retry_interrupted("store.read", || std::fs::read(path))
+            .map_err(|e| io_error(path, e))?;
         Ok(Arc::new(Self { base: Base::Owned(AlignedBytes::new(&bytes)) }))
     }
 

@@ -1,0 +1,103 @@
+//! EINTR-hardened I/O: retry loops around the store's raw syscall paths.
+//!
+//! A signal delivered mid-syscall makes `read(2)`/`write(2)`/`open(2)` fail with
+//! `EINTR` even though nothing is wrong — the call just needs to be reissued. `std`
+//! absorbs some of these internally (`read_to_end` retries) but not all (`open`,
+//! `rename`, short writes), and a snapshot load that aborts because a profiling
+//! signal landed at the wrong instant is a robustness bug. Every raw filesystem
+//! touch in this crate (and the socket paths in `p2h-net`) therefore goes through
+//! [`retry_interrupted`].
+//!
+//! The loop is bounded: a syscall that reports `EINTR` on [`MAX_EINTR_ATTEMPTS`]
+//! consecutive attempts (a misbehaving signal storm, or fault injection at rate 1)
+//! surfaces as a typed `ErrorKind::Interrupted` error instead of spinning forever.
+//!
+//! Each call names a fail point (`store.read`, `store.write`, …) consulted through
+//! [`p2h_obs::fault`]: an injected `eintr` fault makes one attempt fail exactly as a
+//! real interrupted syscall would, which is how the tests prove a transient EINTR
+//! never aborts a snapshot load.
+
+use std::io;
+
+use p2h_obs::fault;
+use p2h_obs::FaultKind;
+
+/// Consecutive `EINTR` failures tolerated before giving up with a typed error.
+pub const MAX_EINTR_ATTEMPTS: u32 = 64;
+
+/// Runs `op`, reissuing it while it fails with [`io::ErrorKind::Interrupted`]
+/// (`EINTR`), up to [`MAX_EINTR_ATTEMPTS`] times. Any other outcome — success or a
+/// different error — is returned as-is on the attempt it happens.
+///
+/// `point` names the fault-injection site checked before each attempt: `eintr` fails
+/// the attempt as an interrupted syscall, `slow(ms)` delays it, and any other
+/// configured kind fails the operation permanently (simulating a dead disk or closed
+/// fd, which a retry loop must *not* absorb).
+pub fn retry_interrupted<T>(point: &str, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    for _ in 0..MAX_EINTR_ATTEMPTS {
+        let result = match fault::check(point) {
+            Some(FaultKind::Eintr) => {
+                Err(io::Error::new(io::ErrorKind::Interrupted, "injected EINTR"))
+            }
+            Some(FaultKind::Slow(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                op()
+            }
+            Some(kind) => Err(io::Error::other(format!("injected {} fault", kind.as_str()))),
+            None => op(),
+        };
+        match result {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                crate::metrics::record_eintr_retry();
+                continue;
+            }
+            other => return other,
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::Interrupted,
+        format!("still interrupted (EINTR) after {MAX_EINTR_ATTEMPTS} attempts"),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_results_and_foreign_errors_through() {
+        assert_eq!(retry_interrupted("store.unit.none", || Ok(7)).unwrap(), 7);
+        let err = retry_interrupted::<()>("store.unit.none", || {
+            Err(io::Error::new(io::ErrorKind::NotFound, "gone"))
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+
+    #[test]
+    fn transient_interrupts_are_absorbed() {
+        let mut failures = 5;
+        let value = retry_interrupted("store.unit.none", || {
+            if failures > 0 {
+                failures -= 1;
+                return Err(io::Error::new(io::ErrorKind::Interrupted, "EINTR"));
+            }
+            Ok(42)
+        })
+        .unwrap();
+        assert_eq!(value, 42);
+    }
+
+    #[test]
+    fn persistent_interrupts_become_a_typed_error() {
+        let mut attempts = 0u32;
+        let err = retry_interrupted::<()>("store.unit.none", || {
+            attempts += 1;
+            Err(io::Error::new(io::ErrorKind::Interrupted, "EINTR"))
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        assert_eq!(attempts, MAX_EINTR_ATTEMPTS);
+        assert!(err.to_string().contains("attempts"));
+    }
+}

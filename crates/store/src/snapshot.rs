@@ -112,8 +112,10 @@ pub(crate) fn write_file_atomically(path: &Path, bytes: &[u8]) -> StoreResult<()
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = Path::new(&tmp);
-    fs::write(tmp, bytes).map_err(|e| crate::format::io_error(tmp, e))?;
-    fs::rename(tmp, path).map_err(|e| crate::format::io_error(path, e))
+    crate::retry::retry_interrupted("store.write", || fs::write(tmp, bytes))
+        .map_err(|e| crate::format::io_error(tmp, e))?;
+    crate::retry::retry_interrupted("store.write", || fs::rename(tmp, path))
+        .map_err(|e| crate::format::io_error(path, e))
 }
 
 /// The `META` section contents shared by every index kind.

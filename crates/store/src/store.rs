@@ -57,11 +57,26 @@ const MANIFEST_HEADER: &str = "p2h-store 1";
 /// Marker in the second column of a manifest line that introduces a shard group.
 const GROUP_MARKER: &str = "shard-group";
 
-/// Minimum age before the open-time sweep reclaims an unreferenced staged file. A
-/// concurrent (single) writer stages its files seconds before the manifest commit;
-/// the grace window keeps a racing reader's sweep from deleting them mid-save, while
-/// crash leftovers — which persist indefinitely — age past it and are reclaimed.
+/// Default minimum age before the open-time sweep reclaims an unreferenced staged
+/// file. A concurrent (single) writer stages its files seconds before the manifest
+/// commit; the grace window keeps a racing reader's sweep from deleting them
+/// mid-save, while crash leftovers — which persist indefinitely — age past it and are
+/// reclaimed. Override per process with `P2H_SWEEP_GRACE_SECS`, or per handle with
+/// [`Store::with_sweep_grace`].
 pub const SWEEP_GRACE: std::time::Duration = std::time::Duration::from_secs(60);
+
+/// Resolves the sweep grace window from a `P2H_SWEEP_GRACE_SECS` value: whole
+/// seconds, falling back to [`SWEEP_GRACE`] when absent or unparseable (a malformed
+/// fleet-wide variable must not change sweep behavior silently to zero).
+fn parse_sweep_grace(value: Option<&str>) -> std::time::Duration {
+    value
+        .and_then(|raw| raw.trim().parse::<u64>().ok())
+        .map_or(SWEEP_GRACE, std::time::Duration::from_secs)
+}
+
+fn sweep_grace_from_env() -> std::time::Duration {
+    parse_sweep_grace(std::env::var("P2H_SWEEP_GRACE_SECS").ok().as_deref())
+}
 
 /// One manifest entry: either a single snapshot file or a shard group.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -440,6 +455,10 @@ pub struct Store {
     /// How this handle materializes loads ([`LoadMode::Copy`] or zero-copy
     /// [`LoadMode::Mmap`]); saving is mode-independent.
     mode: LoadMode,
+    /// Minimum age before this handle's sweeps reclaim an unreferenced staged file
+    /// (default [`SWEEP_GRACE`], overridable via `P2H_SWEEP_GRACE_SECS` or
+    /// [`Store::with_sweep_grace`]).
+    sweep_grace: std::time::Duration,
 }
 
 impl Store {
@@ -461,7 +480,8 @@ impl Store {
 
     /// Opens an existing store directory with an explicit [`LoadMode`].
     pub fn open_with(dir: impl AsRef<Path>, mode: LoadMode) -> StoreResult<Self> {
-        let store = Self { dir: dir.as_ref().to_path_buf(), mode };
+        let store =
+            Self { dir: dir.as_ref().to_path_buf(), mode, sweep_grace: sweep_grace_from_env() };
         let manifest = store.manifest()?; // fail fast on a missing or malformed manifest
         store.sweep_stale_files(&manifest);
         Ok(store)
@@ -485,6 +505,31 @@ impl Store {
         self
     }
 
+    /// Returns this handle with a different sweep grace window. Tests and embedders
+    /// that manage their own save/open concurrency can shrink it (down to zero for
+    /// an immediate sweep) without touching the process environment.
+    pub fn with_sweep_grace(mut self, grace: std::time::Duration) -> Self {
+        self.sweep_grace = grace;
+        self
+    }
+
+    /// The minimum age before this handle's sweeps reclaim an unreferenced staged
+    /// file.
+    pub fn sweep_grace(&self) -> std::time::Duration {
+        self.sweep_grace
+    }
+
+    /// Runs a stale-file sweep now (the same one [`Store::open`] runs) and returns
+    /// how many crash-leftover files it deleted.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the manifest cannot be read — the sweep itself is best-effort.
+    pub fn sweep_now(&self) -> StoreResult<u64> {
+        let manifest = self.manifest()?;
+        Ok(self.sweep_stale_files(&manifest))
+    }
+
     /// The load mode this handle uses.
     pub fn load_mode(&self) -> LoadMode {
         self.mode
@@ -496,17 +541,19 @@ impl Store {
     }
 
     /// Deletes crash leftovers the manifest does not reference: `.tmp` files and
-    /// epoch-staged snapshot files, but only ones older than [`SWEEP_GRACE`] (an
-    /// in-flight save's freshly staged files must survive until its manifest commit,
-    /// even if another process opens the store mid-save). Best-effort — a failed
-    /// unlink or an unreadable mtime only leaks a stale file, reclaimed on a later
-    /// open or by the next save of the same name.
-    fn sweep_stale_files(&self, manifest: &Manifest) {
+    /// epoch-staged snapshot files, but only ones older than [`Store::sweep_grace`]
+    /// (an in-flight save's freshly staged files must survive until its manifest
+    /// commit, even if another process opens the store mid-save). Best-effort — a
+    /// failed unlink or an unreadable mtime only leaks a stale file, reclaimed on a
+    /// later open or by the next save of the same name. Returns the number of files
+    /// deleted.
+    fn sweep_stale_files(&self, manifest: &Manifest) -> u64 {
         let live: BTreeSet<&str> =
             manifest.entries.values().flat_map(|entry| entry.files()).collect();
-        let Ok(entries) = fs::read_dir(&self.dir) else { return };
+        let Ok(entries) = fs::read_dir(&self.dir) else { return 0 };
         let now = std::time::SystemTime::now();
         let mut swept = 0u64;
+        let mut future_skipped = 0u64;
         for entry in entries.flatten() {
             let file_name = entry.file_name();
             let Some(name) = file_name.to_str() else { continue };
@@ -516,17 +563,23 @@ impl Store {
             if !name.ends_with(".tmp") && !is_epoch_staged(name) {
                 continue;
             }
-            let old_enough = entry
-                .metadata()
-                .and_then(|m| m.modified())
-                .ok()
-                .and_then(|mtime| now.duration_since(mtime).ok())
-                .is_some_and(|age| age >= SWEEP_GRACE);
-            if old_enough && fs::remove_file(entry.path()).is_ok() {
+            let Ok(mtime) = entry.metadata().and_then(|m| m.modified()) else { continue };
+            let age = match now.duration_since(mtime) {
+                Ok(age) => age,
+                Err(_) => {
+                    // An mtime in the future (clock skew between hosts sharing the
+                    // directory, or a restored backup) makes the file's age
+                    // unknowable — it is not provably stale, so leave it alone.
+                    future_skipped += 1;
+                    continue;
+                }
+            };
+            if age >= self.sweep_grace && fs::remove_file(entry.path()).is_ok() {
                 swept += 1;
             }
         }
-        crate::metrics::record_sweep(swept);
+        crate::metrics::record_sweep(swept, future_skipped);
+        swept
     }
 
     /// The registered entry names (single indexes and shard groups), sorted.
@@ -770,7 +823,8 @@ impl Store {
 
     fn manifest(&self) -> StoreResult<Manifest> {
         let path = self.dir.join(MANIFEST_FILE);
-        let text = fs::read_to_string(&path).map_err(|e| io_error(&path, e))?;
+        let text = crate::retry::retry_interrupted("store.read", || fs::read_to_string(&path))
+            .map_err(|e| io_error(&path, e))?;
         Manifest::parse(&text)
     }
 
@@ -867,6 +921,19 @@ mod tests {
         );
         let parsed = Manifest::parse(&manifest.render()).unwrap();
         assert_eq!(parsed, manifest);
+    }
+
+    #[test]
+    fn sweep_grace_parsing() {
+        // Pure-value parsing (no env mutation: other tests run concurrently).
+        assert_eq!(parse_sweep_grace(None), SWEEP_GRACE);
+        assert_eq!(parse_sweep_grace(Some("0")), std::time::Duration::ZERO);
+        assert_eq!(parse_sweep_grace(Some("7200")), std::time::Duration::from_secs(7200));
+        assert_eq!(parse_sweep_grace(Some(" 15 ")), std::time::Duration::from_secs(15));
+        // Malformed values fall back to the default rather than sweeping eagerly.
+        for bad in ["", "-3", "1.5", "fast", "1e3"] {
+            assert_eq!(parse_sweep_grace(Some(bad)), SWEEP_GRACE, "`{bad}`");
+        }
     }
 
     #[test]

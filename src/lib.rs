@@ -19,7 +19,8 @@
 //! | [`engine`] | `p2h-engine` | concurrent batch-query serving: index registry, parallel batch executor, latency histograms |
 //! | [`store`] | `p2h-store` | persistent snapshots: checksummed container, directory store, shard groups |
 //! | [`shard`] | `p2h-shard` | sharded serving: partitioners, per-shard builds, deterministic fan-out top-k merge |
-//! | [`obs`] | `p2h-obs` | observability: lock-free metrics registry, mergeable log-bucket histograms, Prometheus text exposition, sampled query tracing |
+//! | [`obs`] | `p2h-obs` | observability: lock-free metrics registry, mergeable log-bucket histograms, Prometheus text exposition, sampled query tracing, deterministic fault injection |
+//! | [`net`] | `p2h-net` | fault-tolerant distributed serving: TCP shard servers, replicated router with retries, hedged requests, and replica cross-checking |
 //!
 //! ## Quickstart
 //!
@@ -205,9 +206,26 @@
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 //!
+//! ## Distributed serving
+//!
+//! The [`net`] layer takes the sharded fan-out across processes: `shard-server`
+//! binaries cold-start shards from a snapshot store and answer query slices over a
+//! length-prefixed, checksummed TCP protocol, while a client-side [`Router`] fans
+//! batches out over per-shard replica sets with deadlines, deterministic
+//! retry/backoff, hedged requests, and optional replica cross-checking. Queries and
+//! distances travel as raw bits (no re-normalization on either side), and the
+//! router reuses the local deterministic merge — so routed answers stay
+//! **bit-identical** to local serving even while replicas are being `kill -9`ed
+//! mid-batch, and every failure is a typed [`NetError`], never a silent wrong bit.
+//! Degraded (partial) answers are strictly opt-in and always carry the missing-shard
+//! list. `Engine::serve_remote` is the batch entry point; a deterministic
+//! fault-injection layer (`P2H_FAULTS`, see `docs/NETWORKING.md`) makes the failure
+//! handling testable end to end.
+//!
 //! See the `examples/` directory for end-to-end scenarios (SVM active learning,
 //! maximum-margin style selection, index comparison, batch serving, snapshot-backed
-//! cold-start serving, sharded serving) and the `p2h-bench` crate for the
+//! cold-start serving, sharded serving, distributed fault-tolerant serving) and the
+//! `p2h-bench` crate for the
 //! reproduction of the paper's evaluation plus the engine throughput-scaling
 //! experiment (`engine_throughput`), the snapshot load-vs-rebuild experiment
 //! (`snapshot_bench`), and the shard-count sweep (`shard_bench`). Built indexes
@@ -225,6 +243,7 @@ pub use p2h_data as data;
 pub use p2h_engine as engine;
 pub use p2h_eval as eval;
 pub use p2h_hash as hash;
+pub use p2h_net as net;
 pub use p2h_obs as obs;
 pub use p2h_shard as shard;
 pub use p2h_store as store;
@@ -248,5 +267,9 @@ pub use p2h_eval::{
     TimeProfile,
 };
 pub use p2h_hash::{FhIndex, FhParams, NhIndex, NhParams};
+pub use p2h_net::{
+    BackoffPolicy, HedgeConfig, NetError, ReplicaSet, RoutedResponse, Router, RouterConfig,
+    ShardServer,
+};
 pub use p2h_shard::{Partitioner, ShardIndexKind, ShardedIndex, ShardedIndexBuilder};
 pub use p2h_store::{LoadMode, LoadedIndex, MmapRegion, ShardGroup, Snapshot, Store, StoreError};
