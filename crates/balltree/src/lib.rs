@@ -26,5 +26,5 @@ pub mod parallel;
 mod search;
 pub mod split;
 
-pub use build::{BallTree, BallTreeBuilder};
+pub use build::{BallTree, BallTreeBuilder, DEFAULT_LEAF_SIZE};
 pub use node::{validate_permutation, validate_structure, Node, NO_CHILD};

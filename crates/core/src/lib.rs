@@ -9,7 +9,9 @@
 //! * [`HyperplaneQuery`] — a hyperplane query normalized so that the point-to-hyperplane
 //!   distance reduces to an absolute inner product,
 //! * [`TopKCollector`] and [`Neighbor`] — a bounded max-heap for maintaining the current
-//!   top-k answers and the pruning threshold `q.λ`,
+//!   top-k answers and the pruning threshold `q.λ`, plus [`merge_topk`] — the
+//!   deterministic total-order merge shared by every fan-out path (shards, the
+//!   distributed router, the live memtable layering),
 //! * [`P2hIndex`] — the trait every index (linear scan, Ball-Tree, BC-Tree, NH, FH)
 //!   implements, together with [`SearchParams`], [`SearchResult`] and [`SearchStats`],
 //! * [`LinearScan`] — the exhaustive-scan baseline used for ground truth,
@@ -73,7 +75,7 @@ pub use linear_scan::LinearScan;
 pub use point_set::PointSet;
 pub use query::HyperplaneQuery;
 pub use scratch::{QueryScratch, LEAF_STRIP};
-pub use topk::{Neighbor, TopKCollector};
+pub use topk::{merge_topk, Neighbor, TopKCollector};
 
 /// The floating point type used for data points and queries throughout the workspace.
 ///

@@ -39,6 +39,38 @@ impl Ord for Neighbor {
     }
 }
 
+/// Merges per-source top-k lists (already mapped to global ids) into the global top-k,
+/// using the total [`Neighbor`] order — fully deterministic, no arrival-order tie
+/// breaking. Each input list must itself be sorted; the output holds at most
+/// `max(k, 1)` neighbors (matching the collector's clamp of `k = 0`).
+///
+/// This is the single merge used by every fan-out path in the workspace — shard
+/// fan-out, the distributed router, and the live memtable-over-base layering — which
+/// is what makes their answers bit-identical to an unsharded/rebuilt index.
+pub fn merge_topk(k: usize, lists: Vec<Vec<Neighbor>>) -> Vec<Neighbor> {
+    let k = k.max(1);
+    let mut merged: Vec<Neighbor> = match lists.len() {
+        0 => Vec::new(),
+        1 => lists.into_iter().next().expect("one list"),
+        _ => {
+            // Exact-size concatenation: `flatten().collect()` would reallocate while
+            // growing (flatten cannot size-hint the total), breaking the fixed
+            // shards + 2 per-query allocation budget of the fan-out path.
+            let total = lists.iter().map(Vec::len).sum();
+            let mut merged = Vec::with_capacity(total);
+            for list in &lists {
+                merged.extend_from_slice(list);
+            }
+            merged
+        }
+    };
+    // Per-source lists are tiny (≤ k each), so one sort beats a k-way heap merge in
+    // both simplicity and constant factor; `Neighbor`'s `Ord` is the total order.
+    merged.sort_unstable();
+    merged.truncate(k);
+    merged
+}
+
 /// A bounded max-heap that keeps the `k` smallest-distance neighbors seen so far.
 ///
 /// This is the `q.bm` / `q.λ` pair of Algorithms 3 and 5 in the paper generalized to

@@ -75,6 +75,9 @@ pub use p2h_shard::{Partitioner, ShardIndexKind, ShardedIndex, ShardedIndexBuild
 // Re-exported so cold-start users (`Engine::from_store`) can create and populate the
 // snapshot store without adding `p2h-store` as a direct dependency.
 pub use p2h_store::{LoadMode, Snapshot, Store, StoreError};
+// Re-exported so online-update users (`Engine::serve_live`, `register_live`) need no
+// direct `p2h-live` dependency at call sites.
+pub use p2h_live::{CompactionReport, LiveError, LiveIndex, LiveResult};
 // Re-exported so distributed serving (`Engine::serve_remote`) needs no direct
 // `p2h-net` dependency at call sites.
 pub use p2h_net::{

@@ -5,6 +5,7 @@ use std::path::Path;
 use std::sync::{Arc, RwLock};
 
 use p2h_core::P2hIndex;
+use p2h_live::LiveIndex;
 use p2h_shard::ShardedIndex;
 use p2h_store::{LoadMode, Store, StoreEntry, StoreError};
 
@@ -25,12 +26,18 @@ pub type SharedIndex = Arc<dyn P2hIndex>;
 /// [`IndexRegistry::get_sharded`], which is what `Engine::serve_sharded` uses to
 /// expose per-shard latency statistics; through [`IndexRegistry::get`] they serve
 /// like any other index.
+/// Live (mutable) indexes registered through [`IndexRegistry::register_live`] live in
+/// their own map — [`LiveIndex`] is not a [`P2hIndex`] (its searches return `Result`
+/// so serving paths can surface dimension errors instead of panicking) — but share
+/// the name space: a name holds a plain, sharded, *or* live index, never several.
 #[derive(Default)]
 pub struct IndexRegistry {
     inner: RwLock<HashMap<String, SharedIndex>>,
     /// Concrete handles for sharded indexes, kept alongside the trait-object map so
     /// shard-aware serving paths can reach shard-level APIs without downcasting.
     sharded: RwLock<HashMap<String, Arc<ShardedIndex>>>,
+    /// Mutable live-tier indexes (`Engine::serve_live`, inserts/deletes/compaction).
+    live: RwLock<HashMap<String, Arc<LiveIndex>>>,
 }
 
 impl IndexRegistry {
@@ -48,10 +55,12 @@ impl IndexRegistry {
     /// Registers an already-shared index under `name`, replacing any previous entry.
     pub fn register_shared(&self, name: impl Into<String>, index: SharedIndex) -> SharedIndex {
         let name = name.into();
-        // A plain registration under a name that held a sharded index drops the
-        // concrete handle too — the two maps must never disagree about a name.
+        // A plain registration under a name that held a sharded or live index drops
+        // those handles too — the maps must never disagree about a name.
         let mut sharded = self.sharded.write().expect("index registry lock poisoned");
         sharded.remove(&name);
+        let mut live = self.live.write().expect("index registry lock poisoned");
+        live.remove(&name);
         let mut map = self.inner.write().expect("index registry lock poisoned");
         map.insert(name, Arc::clone(&index));
         index
@@ -69,10 +78,37 @@ impl IndexRegistry {
         let name = name.into();
         let handle = Arc::new(index);
         let mut sharded = self.sharded.write().expect("index registry lock poisoned");
+        let mut live = self.live.write().expect("index registry lock poisoned");
         let mut map = self.inner.write().expect("index registry lock poisoned");
+        live.remove(&name);
         sharded.insert(name.clone(), Arc::clone(&handle));
         map.insert(name, Arc::clone(&handle) as SharedIndex);
         handle
+    }
+
+    /// Registers a live (mutable) index under `name`, replacing any previous entry of
+    /// any kind, and returns the shared handle. Live indexes serve through
+    /// `Engine::serve_live` and are retrievable via [`IndexRegistry::get_live`]; they
+    /// do not answer the trait-object [`IndexRegistry::get`] lookup because
+    /// [`LiveIndex`] searches return `Result` rather than implementing [`P2hIndex`].
+    pub fn register_live(&self, name: impl Into<String>, index: LiveIndex) -> Arc<LiveIndex> {
+        self.register_live_shared(name, Arc::new(index))
+    }
+
+    /// [`IndexRegistry::register_live`] for an already-shared handle.
+    pub fn register_live_shared(
+        &self,
+        name: impl Into<String>,
+        index: Arc<LiveIndex>,
+    ) -> Arc<LiveIndex> {
+        let name = name.into();
+        let mut sharded = self.sharded.write().expect("index registry lock poisoned");
+        let mut live = self.live.write().expect("index registry lock poisoned");
+        let mut map = self.inner.write().expect("index registry lock poisoned");
+        sharded.remove(&name);
+        map.remove(&name);
+        live.insert(name, Arc::clone(&index));
+        index
     }
 
     /// Opens a `p2h-store` snapshot directory and registers every manifest entry under
@@ -117,6 +153,11 @@ impl IndexRegistry {
                 StoreEntry::ShardGroup(group) => {
                     registry.register_sharded(name, ShardedIndex::from_group(group)?);
                 }
+                StoreEntry::Live(_) => {
+                    // Replays the entry's WAL segments over its base snapshot —
+                    // exactly the acknowledged mutations come back.
+                    registry.register_live(name.clone(), LiveIndex::open(&store, &name)?);
+                }
             }
         }
         // Cold-start telemetry: total wall clock and entry count (the store layer
@@ -150,26 +191,40 @@ impl IndexRegistry {
         map.get(name).cloned()
     }
 
-    /// Removes an index, returning its handle if it was present. In-flight searches
-    /// holding the `Arc` are unaffected; the index is freed when the last handle drops.
+    /// Looks a live index up by name. `None` when the name is unregistered or holds
+    /// an immutable index.
+    pub fn get_live(&self, name: &str) -> Option<Arc<LiveIndex>> {
+        let map = self.live.read().expect("index registry lock poisoned");
+        map.get(name).cloned()
+    }
+
+    /// Removes an index of any kind, returning its trait-object handle if the name
+    /// held an immutable index (live indexes are removed but have no such handle).
+    /// In-flight searches holding an `Arc` are unaffected; the index is freed when
+    /// the last handle drops.
     pub fn remove(&self, name: &str) -> Option<SharedIndex> {
         let mut sharded = self.sharded.write().expect("index registry lock poisoned");
         sharded.remove(name);
+        let mut live = self.live.write().expect("index registry lock poisoned");
+        live.remove(name);
         let mut map = self.inner.write().expect("index registry lock poisoned");
         map.remove(name)
     }
 
-    /// The registered names, sorted for deterministic output.
+    /// The registered names (immutable and live), sorted for deterministic output.
     pub fn names(&self) -> Vec<String> {
         let map = self.inner.read().expect("index registry lock poisoned");
-        let mut names: Vec<String> = map.keys().cloned().collect();
+        let live = self.live.read().expect("index registry lock poisoned");
+        let mut names: Vec<String> = map.keys().chain(live.keys()).cloned().collect();
         names.sort_unstable();
         names
     }
 
-    /// Number of registered indexes.
+    /// Number of registered indexes (immutable and live).
     pub fn len(&self) -> usize {
-        self.inner.read().expect("index registry lock poisoned").len()
+        let inner = self.inner.read().expect("index registry lock poisoned").len();
+        let live = self.live.read().expect("index registry lock poisoned").len();
+        inner + live
     }
 
     /// Whether the registry is empty.

@@ -1,7 +1,13 @@
 //! The `Engine` façade: registry + executor + request validation + observability.
 
-use p2h_core::{Error, P2hIndex, Result, SearchResult};
+use std::sync::Arc;
+use std::time::Instant;
+
+use p2h_core::{Error, P2hIndex, QueryScratch, Result, Scalar, SearchResult, SearchStats};
+use p2h_live::{LiveError, LiveIndex};
 use p2h_obs::trace::{from_env, QueryTrace, TraceSink};
+
+use crate::batch::LatencyHistogram;
 
 use crate::batch::{BatchRequest, BatchResponse};
 use crate::executor::BatchExecutor;
@@ -191,6 +197,98 @@ impl Engine {
         }
         Ok(response)
     }
+
+    /// Registers a live (mutable) index under `name` and returns the shared handle —
+    /// shorthand for [`IndexRegistry::register_live`].
+    pub fn register_live(&self, name: impl Into<String>, index: LiveIndex) -> Arc<LiveIndex> {
+        self.registry.register_live(name, index)
+    }
+
+    /// The live index registered under `name`, for direct mutation
+    /// (insert/delete/compact) alongside serving.
+    pub fn live(&self, name: &str) -> Option<Arc<LiveIndex>> {
+        self.registry.get_live(name)
+    }
+
+    /// Inserts `rows` (raw, unaugmented points) into the live index registered under
+    /// `index_name`, returning the assigned ids. Durable (WAL-fsynced) on return.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidParameter` when no live index holds that name; otherwise whatever
+    /// [`LiveIndex::insert_batch`] returns (dimension mismatch, WAL I/O failure).
+    pub fn live_insert(
+        &self,
+        index_name: &str,
+        rows: &[Vec<Scalar>],
+    ) -> std::result::Result<Vec<u32>, LiveError> {
+        self.live_handle(index_name)?.insert_batch(rows)
+    }
+
+    /// Deletes the point with global id `id` from the live index registered under
+    /// `index_name`. Durable (WAL-fsynced) on return.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidParameter` when no live index holds that name;
+    /// [`LiveError::NotFound`] when `id` is not live; WAL I/O failures.
+    pub fn live_delete(&self, index_name: &str, id: u32) -> std::result::Result<(), LiveError> {
+        self.live_handle(index_name)?.delete(id)
+    }
+
+    fn live_handle(&self, index_name: &str) -> std::result::Result<Arc<LiveIndex>, LiveError> {
+        self.registry.get_live(index_name).ok_or_else(|| {
+            LiveError::Core(Error::InvalidParameter {
+                name: "index_name",
+                message: format!("no live index registered under `{index_name}`"),
+            })
+        })
+    }
+
+    /// Serves a batch against the *live* index registered under `index_name`. Same
+    /// validation, metrics, and tracing as [`Engine::serve`]; answers are
+    /// bit-identical to a full rebuild containing the same live points. Queries run
+    /// sequentially on the calling thread (the live tier's read lock is held per
+    /// query, so mutations interleave between queries, never inside one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if no live index is registered under
+    /// `index_name` and the same validation errors as [`Engine::serve`].
+    pub fn serve_live(&self, index_name: &str, request: &BatchRequest) -> Result<BatchResponse> {
+        let index = self.registry.get_live(index_name).ok_or_else(|| Error::InvalidParameter {
+            name: "index_name",
+            message: format!("no live index registered under `{index_name}`"),
+        })?;
+        validate_queries(index.dim(), request)?;
+        let trace = plan_trace(request);
+        let effective = trace.as_ref().map_or(request, |plan| &plan.request);
+        let wall_start = Instant::now();
+        let mut scratch = QueryScratch::new();
+        let mut results = Vec::with_capacity(effective.queries.len());
+        let mut latencies_ns = Vec::with_capacity(effective.queries.len());
+        let mut total_stats = SearchStats::default();
+        for (position, query) in effective.queries.iter().enumerate() {
+            let params = effective.params_for(position);
+            let query_start = Instant::now();
+            let result = index.search_with_scratch(query, params, &mut scratch)?;
+            latencies_ns.push(query_start.elapsed().as_nanos() as u64);
+            total_stats.merge(&result.stats);
+            results.push(result);
+        }
+        let response = BatchResponse {
+            latency: LatencyHistogram::from_latencies(latencies_ns.iter().copied()),
+            results,
+            latencies_ns,
+            total_stats,
+            wall_time_ns: wall_start.elapsed().as_nanos() as u64,
+        };
+        self.metrics.record_batch(index_name, &response);
+        if let Some(plan) = &trace {
+            write_traces(plan, index_name, "live", &response.results, &response.latencies_ns);
+        }
+        Ok(response)
+    }
 }
 
 /// The sink plus everything execution needs when at least one query of a batch is
@@ -263,7 +361,12 @@ pub(crate) fn write_traces(
 /// Up-front request validation shared by every serving path: dimension mismatches and
 /// out-of-range overrides are errors, not worker-thread panics or silent no-ops.
 fn validate_request(index: &dyn P2hIndex, request: &BatchRequest) -> Result<()> {
-    let dim = index.dim();
+    validate_queries(index.dim(), request)
+}
+
+/// [`validate_request`] against a bare augmented dimension, for serving paths whose
+/// index is not a [`P2hIndex`] trait object (the live tier).
+fn validate_queries(dim: usize, request: &BatchRequest) -> Result<()> {
     for query in &request.queries {
         if query.dim() != dim {
             return Err(Error::DimensionMismatch { expected: dim, actual: query.dim() });

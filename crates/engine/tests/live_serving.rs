@@ -1,0 +1,86 @@
+//! Engine integration for the live tier: registration, mutate-and-serve through
+//! `Engine::live_insert`/`live_delete`/`serve_live`, the same up-front validation as
+//! `Engine::serve`, and cold start — a store directory holding a live entry loads
+//! through `Engine::from_store` and answers bit-identically to the pre-restart
+//! engine.
+
+use std::path::PathBuf;
+
+use p2h_core::{Error, HyperplaneQuery, SearchParams};
+use p2h_engine::{BatchRequest, BatchResponse, Engine, LiveIndex, Store};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("p2h-engine-live-{tag}-{}", std::process::id()))
+}
+
+fn answer_bits(response: &BatchResponse) -> Vec<Vec<(usize, u32)>> {
+    response
+        .results
+        .iter()
+        .map(|r| r.neighbors.iter().map(|n| (n.index, n.distance.to_bits())).collect())
+        .collect()
+}
+
+#[test]
+fn live_mutate_serve_and_cold_start() {
+    let dir = temp_dir("roundtrip");
+    std::fs::remove_dir_all(&dir).ok();
+    let store = Store::create(&dir).unwrap();
+    let live = LiveIndex::create(&store, "stream", 3).unwrap();
+
+    let engine = Engine::new(2);
+    engine.register_live("stream", live);
+    assert_eq!(engine.registry().names(), vec!["stream".to_string()]);
+    assert_eq!(engine.registry().len(), 1);
+
+    let ids =
+        engine.live_insert("stream", &[vec![0.0, 0.0], vec![1.0, 1.0], vec![4.0, 0.5]]).unwrap();
+    assert_eq!(ids, vec![0, 1, 2]);
+    engine.live_delete("stream", 1).unwrap();
+
+    let queries = vec![
+        HyperplaneQuery::from_normal_and_bias(&[1.0, 0.0], -3.0).unwrap(),
+        HyperplaneQuery::from_normal_and_bias(&[0.5, -1.0], 0.2).unwrap(),
+    ];
+    let request = BatchRequest::new(queries.clone(), SearchParams::exact(2));
+    let response = engine.serve_live("stream", &request).unwrap();
+    assert_eq!(response.results.len(), 2);
+    assert_eq!(response.results[0].neighbors[0].index, 2);
+    assert!(response.results.iter().all(|r| r.neighbors.iter().all(|n| n.index != 1)));
+    assert_eq!(response.latencies_ns.len(), 2);
+
+    // Live names answer only the live path; unknown names and bad requests are
+    // typed errors exactly like `Engine::serve`.
+    assert!(matches!(
+        engine.serve("stream", &request),
+        Err(Error::InvalidParameter { name: "index_name", .. })
+    ));
+    assert!(matches!(
+        engine.serve_live("missing", &request),
+        Err(Error::InvalidParameter { name: "index_name", .. })
+    ));
+    let wrong_dim = BatchRequest::new(
+        vec![HyperplaneQuery::from_normal_and_bias(&[1.0, 0.0, 0.0], 0.0).unwrap()],
+        SearchParams::exact(1),
+    );
+    assert!(matches!(
+        engine.serve_live("stream", &wrong_dim),
+        Err(Error::DimensionMismatch { expected: 3, actual: 4 })
+    ));
+    assert!(engine.live_insert("missing", &[vec![0.0, 0.0]]).is_err());
+
+    // Compact (new store epoch), then cold-start a second engine from the same
+    // directory: the manifest's live entry replays and answers are bit-identical.
+    engine.live("stream").unwrap().compact().unwrap();
+    let after_compact = engine.serve_live("stream", &request).unwrap();
+    assert_eq!(answer_bits(&response), answer_bits(&after_compact));
+
+    let cold = Engine::from_store(&dir, 1).unwrap();
+    assert_eq!(cold.registry().names(), vec!["stream".to_string()]);
+    let cold_response = cold.serve_live("stream", &request).unwrap();
+    assert_eq!(answer_bits(&response), answer_bits(&cold_response));
+
+    // The cold-started handle is mutable too — the tier stays live across restarts.
+    assert_eq!(cold.live_insert("stream", &[vec![-2.0, 3.0]]).unwrap(), vec![3]);
+    std::fs::remove_dir_all(&dir).ok();
+}

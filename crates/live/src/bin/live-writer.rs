@@ -1,0 +1,94 @@
+//! Crash-test helper: a single-writer process that streams acknowledged mutations to
+//! stdout so a harness can `kill -9` it at an arbitrary instant and verify that
+//! recovery preserves exactly the acknowledged prefix.
+//!
+//! ```text
+//! live-writer <store-dir> <name> <raw-dim> insert-loop
+//! live-writer <store-dir> <name> <raw-dim> compact-after <n>
+//! ```
+//!
+//! Every `ACK I <id>` / `ACK D <id>` line is printed *after* the operation's WAL
+//! fsync returned, so any acknowledged line the harness observed must survive a
+//! crash. `compact-after` inserts `n` points, prints `COMPACT-START`, compacts
+//! (printing `COMPACT-DONE <epoch>`), and keeps inserting — the harness kills it
+//! anywhere in that window. Points are a pure function of (id, dim) so the harness
+//! can rebuild the expected set bit-for-bit; every 7th insert is followed by a
+//! delete five ids back, exercising tombstones across base and memtable.
+
+use std::io::{self, Write};
+
+use p2h_core::Scalar;
+use p2h_live::LiveIndex;
+use p2h_store::Store;
+
+/// Deterministic raw point for a global id (splitmix64 per coordinate, mapped into
+/// [-1, 1]). The crash harness reimplements this function; keep them identical.
+fn raw_point(id: u32, raw_dim: usize) -> Vec<Scalar> {
+    (0..raw_dim)
+        .map(|j| {
+            let mut x = (u64::from(id) << 32) | j as u64;
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^= x >> 31;
+            (x >> 40) as Scalar / (1u64 << 23) as Scalar - 1.0
+        })
+        .collect()
+}
+
+fn ack(out: &mut impl Write, tag: &str, id: u32) {
+    writeln!(out, "ACK {tag} {id}").expect("stdout");
+    out.flush().expect("stdout flush");
+}
+
+/// Inserts the next point; every id ≡ 3 (mod 7) is followed by a delete of id − 5.
+fn step(live: &LiveIndex, raw_dim: usize, out: &mut impl Write) {
+    let id = live.insert(&raw_point(live.next_id(), raw_dim)).expect("insert");
+    ack(out, "I", id);
+    if id % 7 == 3 && id >= 5 {
+        let victim = id - 5;
+        live.delete(victim).expect("delete");
+        ack(out, "D", victim);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() < 5 {
+        eprintln!("usage: live-writer <store-dir> <name> <raw-dim> <insert-loop|compact-after n>");
+        std::process::exit(2);
+    }
+    let (dir, name) = (&args[1], &args[2]);
+    let raw_dim: usize = args[3].parse().expect("raw-dim");
+    let store = match Store::open(dir) {
+        Ok(store) => store,
+        Err(_) => Store::create(dir).expect("create store"),
+    };
+    let live = LiveIndex::open_or_create(&store, name, raw_dim + 1).expect("open live index");
+    let mut out = io::stdout().lock();
+    writeln!(out, "READY {}", live.next_id()).expect("stdout");
+    out.flush().expect("stdout flush");
+    match args[4].as_str() {
+        "insert-loop" => loop {
+            step(&live, raw_dim, &mut out);
+        },
+        "compact-after" => {
+            let n: u32 = args[5].parse().expect("n");
+            for _ in 0..n {
+                step(&live, raw_dim, &mut out);
+            }
+            writeln!(out, "COMPACT-START").expect("stdout");
+            out.flush().expect("stdout flush");
+            let report = live.compact().expect("compact");
+            writeln!(out, "COMPACT-DONE {}", report.epoch).expect("stdout");
+            out.flush().expect("stdout flush");
+            loop {
+                step(&live, raw_dim, &mut out);
+            }
+        }
+        other => {
+            eprintln!("unknown mode `{other}`");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Typed errors of the live tier.
+
+use std::fmt;
+
+use p2h_store::StoreError;
+
+/// Everything a [`crate::LiveIndex`] mutation or compaction can fail with.
+///
+/// Open/create paths return [`p2h_store::StoreResult`] directly (they can only fail
+/// in the storage layer), and searches return [`p2h_core::Result`] (they can only
+/// fail validation); this enum is the union the mutating paths need.
+#[derive(Debug)]
+pub enum LiveError {
+    /// Invalid argument or state (dimension mismatch, exhausted id space, …).
+    Core(p2h_core::Error),
+    /// Storage failure: WAL I/O, segment corruption, manifest trouble.
+    Store(StoreError),
+    /// A delete targeted an id that is not live — never assigned, or already
+    /// deleted. Deletes of dead ids are refused *before* they reach the log, so a
+    /// replayed WAL never contains one.
+    NotFound(u32),
+    /// A compaction is already running on this index; retry after it finishes.
+    CompactionInProgress,
+}
+
+/// Convenience alias for live-tier results.
+pub type LiveResult<T> = std::result::Result<T, LiveError>;
+
+impl fmt::Display for LiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiveError::Core(e) => write!(f, "{e}"),
+            LiveError::Store(e) => write!(f, "{e}"),
+            LiveError::NotFound(id) => write!(f, "id {id} is not live"),
+            LiveError::CompactionInProgress => {
+                write!(f, "a compaction is already running on this index")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LiveError::Core(e) => Some(e),
+            LiveError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<p2h_core::Error> for LiveError {
+    fn from(e: p2h_core::Error) -> Self {
+        LiveError::Core(e)
+    }
+}
+
+impl From<StoreError> for LiveError {
+    fn from(e: StoreError) -> Self {
+        LiveError::Store(e)
+    }
+}

@@ -1,0 +1,114 @@
+//! Live-tier observability: per-index memtable gauges, WAL counters, and compaction
+//! timings, published to the process-wide [`p2h_obs`] registry (`p2h_live_*`
+//! families; see `docs/OBSERVABILITY.md`).
+
+use std::sync::Arc;
+
+use p2h_obs::{Counter, Gauge, Histogram};
+
+/// Cached instrument handles for one live index, labeled `index=<name>`.
+#[derive(Debug)]
+pub(crate) struct LiveMetrics {
+    /// Rows currently held by the memtable layers (live, not yet compacted).
+    pub memtable_points: Arc<Gauge>,
+    /// Tombstones currently masking base or memtable rows.
+    pub memtable_tombstones: Arc<Gauge>,
+    /// Bytes appended to WAL segments (frames only, not headers).
+    pub wal_bytes: Arc<Counter>,
+    /// Append batches written (one `write` each).
+    pub wal_appends: Arc<Counter>,
+    /// `fdatasync` calls issued by append batches (the acknowledgement point).
+    pub wal_fsyncs: Arc<Counter>,
+    /// Operations replayed from WAL segments on open.
+    pub wal_replayed_ops: Arc<Counter>,
+    /// Accepted (durable) inserts.
+    pub inserts: Arc<Counter>,
+    /// Accepted (durable) deletes.
+    pub deletes: Arc<Counter>,
+    /// Completed compactions.
+    pub compactions: Arc<Counter>,
+    /// Epoch swaps committed through the manifest (one per completed compaction).
+    pub epoch_swaps: Arc<Counter>,
+    /// End-to-end compaction wall time.
+    pub compaction_wall_ns: Arc<Histogram>,
+    /// Freeze phase (under the write lock: segment rollover + survivor snapshot).
+    pub phase_freeze_ns: Arc<Histogram>,
+    /// Build phase (lock-free: tree construction + durable staging).
+    pub phase_build_ns: Arc<Histogram>,
+    /// Commit phase (under the write lock: manifest swap + state install).
+    pub phase_commit_ns: Arc<Histogram>,
+}
+
+impl LiveMetrics {
+    pub fn for_index(name: &str) -> Self {
+        let reg = p2h_obs::global();
+        let labels: &[(&str, &str)] = &[("index", name)];
+        let phase = |p: &str| {
+            reg.histogram(
+                "p2h_live_compaction_phase_ns",
+                "Per-phase compaction time (freeze under lock, build lock-free, commit under lock).",
+                &[("index", name), ("phase", p)],
+            )
+        };
+        Self {
+            memtable_points: reg.gauge(
+                "p2h_live_memtable_points",
+                "Live rows currently held by the memtable layers of a live index.",
+                labels,
+            ),
+            memtable_tombstones: reg.gauge(
+                "p2h_live_memtable_tombstones",
+                "Tombstones currently masking base or memtable rows of a live index.",
+                labels,
+            ),
+            wal_bytes: reg.counter(
+                "p2h_live_wal_bytes_total",
+                "Frame bytes appended to the write-ahead log.",
+                labels,
+            ),
+            wal_appends: reg.counter(
+                "p2h_live_wal_appends_total",
+                "WAL append batches written (one write syscall each).",
+                labels,
+            ),
+            wal_fsyncs: reg.counter(
+                "p2h_live_wal_fsyncs_total",
+                "WAL fdatasync calls — each one acknowledges a batch of operations.",
+                labels,
+            ),
+            wal_replayed_ops: reg.counter(
+                "p2h_live_wal_replayed_ops_total",
+                "Operations replayed from WAL segments while opening a live index.",
+                labels,
+            ),
+            inserts: reg.counter(
+                "p2h_live_inserts_total",
+                "Durably acknowledged point inserts.",
+                labels,
+            ),
+            deletes: reg.counter(
+                "p2h_live_deletes_total",
+                "Durably acknowledged point deletes.",
+                labels,
+            ),
+            compactions: reg.counter(
+                "p2h_live_compactions_total",
+                "Completed memtable compactions.",
+                labels,
+            ),
+            epoch_swaps: reg.counter(
+                "p2h_live_epoch_swaps_total",
+                "Store epochs committed through the atomic manifest rename.",
+                labels,
+            ),
+            compaction_wall_ns: reg.histogram(
+                "p2h_live_compaction_wall_ns",
+                "End-to-end compaction wall time.",
+                labels,
+            ),
+            phase_freeze_ns: phase("freeze"),
+            phase_build_ns: phase("build"),
+            phase_commit_ns: phase("commit"),
+        }
+    }
+}

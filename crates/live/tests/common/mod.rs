@@ -1,0 +1,156 @@
+//! Shared oracle checker for the layered-serving property tests.
+//!
+//! A random interleaving of insert/delete/query/compact runs twice: against a
+//! [`LiveIndex`] in a throwaway store, and against a plain model (`Vec` of raw rows
+//! keyed by global id) whose oracle is a **fresh [`LinearScan`] rebuild** over the
+//! model at query time. Every query must agree with the rebuild on global ids *and*
+//! raw `f32` distance bits — the crate's central invariant. After the interleaving,
+//! the store is reopened under both [`LoadMode`]s (replaying the WAL over the
+//! snapshot base) and every recorded query must still agree with the final rebuild.
+//!
+//! Two test binaries include this module so the dispatched-SIMD and forced-scalar
+//! backends each get their own process (the kernel override is process-global).
+
+#![allow(dead_code)]
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use p2h_core::{HyperplaneQuery, LinearScan, P2hIndex, PointSet, Scalar, SearchParams};
+use p2h_live::LiveIndex;
+use p2h_store::{LoadMode, Store};
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+/// Raw (unaugmented) dimensionality of every generated point.
+pub const RAW_DIM: usize = 3;
+
+/// One generated op: `(tag, selector, coords, bias)`, interpreted by
+/// [`check_interleaving`] — tags 0–4 insert `coords`, 5–6 query the hyperplane
+/// `(coords, bias)` with `k = 1 + selector % 6`, 7–8 delete the `selector`-th live
+/// point, 9 compacts.
+pub type OpTuple = (u32, u32, Vec<Scalar>, Scalar);
+
+/// Strategy for one interleaving: up to 40 ops over `RAW_DIM`-dimensional points.
+pub fn ops_strategy() -> impl Strategy<Value = Vec<OpTuple>> {
+    proptest::collection::vec(
+        (0u32..10, 0u32..1_000_000, proptest::collection::vec(-1.0f32..1.0, RAW_DIM), -2.0f32..2.0),
+        0..40,
+    )
+}
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let case = CASE.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("p2h-live-{tag}-{}-{case}", std::process::id()))
+}
+
+/// `(global id, distance bits)` pairs — the exact comparison currency.
+type Answer = Vec<(u32, u32)>;
+
+/// The fresh-rebuild oracle: a [`LinearScan`] over the model rows in id order.
+fn oracle_answer(model: &[(u32, Vec<Scalar>)], query: &HyperplaneQuery, k: usize) -> Answer {
+    if model.is_empty() {
+        return Vec::new();
+    }
+    let rows: Vec<Vec<Scalar>> = model.iter().map(|(_, row)| row.clone()).collect();
+    let scan = LinearScan::new(PointSet::augment(&rows).expect("oracle point set"));
+    let result = scan.search(query, &SearchParams::exact(k));
+    result.neighbors.iter().map(|n| (model[n.index].0, n.distance.to_bits())).collect()
+}
+
+fn live_answer(
+    live: &LiveIndex,
+    query: &HyperplaneQuery,
+    k: usize,
+) -> Result<Answer, TestCaseError> {
+    match live.search_exact(query, k) {
+        Ok(result) => {
+            Ok(result.neighbors.iter().map(|n| (n.index as u32, n.distance.to_bits())).collect())
+        }
+        Err(e) => Err(TestCaseError::Fail(format!("layered search failed: {e}"))),
+    }
+}
+
+/// Augments a raw model row the way [`LiveIndex::insert`] does.
+fn augmented(row: &[Scalar]) -> Vec<Scalar> {
+    let mut point = row.to_vec();
+    point.push(1.0);
+    point
+}
+
+/// Runs one interleaving against the live index and the rebuild oracle. Returns
+/// `Err(TestCaseError::Fail)` on the first divergence.
+pub fn check_interleaving(tag: &str, ops: &[OpTuple]) -> Result<(), TestCaseError> {
+    let dir = temp_dir(tag);
+    let store = Store::create(&dir).expect("create store");
+    let live = LiveIndex::create(&store, "stream", RAW_DIM + 1).expect("create live index");
+
+    let mut model: Vec<(u32, Vec<Scalar>)> = Vec::new();
+    let mut recorded: Vec<(HyperplaneQuery, usize)> = Vec::new();
+
+    for (tag_value, selector, coords, bias) in ops {
+        match tag_value % 10 {
+            0..=4 => {
+                let id = match live.insert(coords) {
+                    Ok(id) => id,
+                    Err(e) => return Err(TestCaseError::Fail(format!("insert failed: {e}"))),
+                };
+                model.push((id, coords.clone()));
+            }
+            5 | 6 => {
+                let Ok(query) = HyperplaneQuery::from_normal_and_bias(coords, *bias) else {
+                    continue; // degenerate normal — skip, not a property violation
+                };
+                let k = 1 + (*selector as usize) % 6;
+                prop_assert_eq!(live_answer(&live, &query, k)?, oracle_answer(&model, &query, k));
+                recorded.push((query, k));
+            }
+            7 | 8 => {
+                if model.is_empty() {
+                    // Nothing live: any id must answer NotFound, and the refusal
+                    // must never reach the WAL (checked implicitly on reopen).
+                    prop_assert!(live.delete(*selector).is_err());
+                } else {
+                    let victim = *selector as usize % model.len();
+                    let (id, _) = model.remove(victim);
+                    if let Err(e) = live.delete(id) {
+                        return Err(TestCaseError::Fail(format!("delete({id}) failed: {e}")));
+                    }
+                    // A second delete of the same id must be NotFound.
+                    prop_assert!(live.delete(id).is_err());
+                }
+            }
+            _ => {
+                if let Err(e) = live.compact() {
+                    return Err(TestCaseError::Fail(format!("compact failed: {e}")));
+                }
+            }
+        }
+    }
+
+    // The live set itself must match the model bit-for-bit, in ascending id order.
+    let expected: Vec<(u32, Vec<Scalar>)> =
+        model.iter().map(|(id, row)| (*id, augmented(row))).collect();
+    prop_assert_eq!(live.live_points(), expected.clone());
+
+    // Reopen under both load modes: WAL replay over the (possibly compacted) base
+    // must reconstruct the same state, and every recorded query must still agree
+    // with a rebuild over the final model.
+    drop(live);
+    for mode in [LoadMode::Copy, LoadMode::Mmap] {
+        let reopened_store = Store::open_with(&dir, mode).expect("reopen store");
+        let reopened = match LiveIndex::open(&reopened_store, "stream") {
+            Ok(live) => live,
+            Err(e) => return Err(TestCaseError::Fail(format!("reopen ({mode:?}) failed: {e}"))),
+        };
+        prop_assert_eq!(reopened.live_points(), expected.clone());
+        for (query, k) in &recorded {
+            prop_assert_eq!(live_answer(&reopened, query, *k)?, oracle_answer(&model, query, *k));
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    Ok(())
+}

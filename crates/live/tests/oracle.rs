@@ -1,0 +1,17 @@
+//! Property test: random insert/delete/query/compact interleavings against a
+//! fresh-rebuild [`p2h_core::LinearScan`] oracle, under the dispatched (SIMD where
+//! available) kernel backend. `oracle_scalar.rs` runs the same checker with the
+//! scalar backend forced — separate binary because the override is process-global.
+
+mod common;
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn layered_serving_matches_fresh_rebuild(ops in common::ops_strategy()) {
+        common::check_interleaving("simd", &ops)?;
+    }
+}

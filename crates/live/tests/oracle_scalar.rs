@@ -1,0 +1,17 @@
+//! Property test: the `oracle.rs` interleaving checker with the scalar kernel
+//! backend forced (`p2h_core::kernels::force_scalar`), proving the layered tier's
+//! bit-identity is backend-independent. Own binary: the override is process-global.
+
+mod common;
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn layered_serving_matches_fresh_rebuild_scalar(ops in common::ops_strategy()) {
+        p2h_core::kernels::force_scalar(true);
+        common::check_interleaving("scalar", &ops)?;
+    }
+}

@@ -3,8 +3,7 @@
 use std::time::Instant;
 
 use p2h_core::{
-    HyperplaneQuery, Neighbor, P2hIndex, QueryScratch, SearchParams, SearchResult, SearchStats,
-    VecBuf,
+    HyperplaneQuery, P2hIndex, QueryScratch, SearchParams, SearchResult, SearchStats, VecBuf,
 };
 use p2h_store::LoadedIndex;
 
@@ -189,33 +188,10 @@ impl ShardedIndex {
     }
 }
 
-/// Merges per-shard top-k lists (already mapped to global ids) into the global top-k,
-/// using the total [`Neighbor`] order — fully deterministic, no arrival-order tie
-/// breaking. Each input list must itself be sorted; the output holds at most
-/// `max(k, 1)` neighbors (matching the collector's clamp of `k = 0`).
-pub fn merge_topk(k: usize, lists: Vec<Vec<Neighbor>>) -> Vec<Neighbor> {
-    let k = k.max(1);
-    let mut merged: Vec<Neighbor> = match lists.len() {
-        0 => Vec::new(),
-        1 => lists.into_iter().next().expect("one list"),
-        _ => {
-            // Exact-size concatenation: `flatten().collect()` would reallocate while
-            // growing (flatten cannot size-hint the total), breaking the fixed
-            // shards + 2 per-query allocation budget of the fan-out path.
-            let total = lists.iter().map(Vec::len).sum();
-            let mut merged = Vec::with_capacity(total);
-            for list in &lists {
-                merged.extend_from_slice(list);
-            }
-            merged
-        }
-    };
-    // Shard lists are tiny (≤ k each), so one sort beats a k-way heap merge in both
-    // simplicity and constant factor; `Neighbor`'s `Ord` is the total order.
-    merged.sort_unstable();
-    merged.truncate(k);
-    merged
-}
+// Promoted to `p2h_core::topk` so the live memtable layering shares the exact same
+// merge (bit-identity across fan-out paths is a single-implementation property);
+// re-exported here because the shard fan-out is its original home.
+pub use p2h_core::merge_topk;
 
 impl P2hIndex for ShardedIndex {
     fn name(&self) -> &'static str {
@@ -266,7 +242,7 @@ impl P2hIndex for ShardedIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use p2h_core::{LinearScan, PointSet, Scalar};
+    use p2h_core::{LinearScan, Neighbor, PointSet, Scalar};
     use p2h_store::LoadedIndex;
 
     fn neighbors(raw: &[(usize, Scalar)]) -> Vec<Neighbor> {

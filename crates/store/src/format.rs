@@ -74,6 +74,10 @@ pub enum IndexKind {
     /// snapshots of one sharded index together. Not a standalone index — it is loaded
     /// through the shard-group path, never through `load`/`load_any`.
     ShardMap,
+    /// A live-entry id file: the surviving global ids and epoch metadata of one
+    /// `p2h-live` mutable index's base snapshot. Not a standalone index — it is loaded
+    /// through the live-entry path, never through `load`/`load_any`.
+    LiveIds,
 }
 
 impl IndexKind {
@@ -86,6 +90,7 @@ impl IndexKind {
             IndexKind::Nh => 3,
             IndexKind::Fh => 4,
             IndexKind::ShardMap => 5,
+            IndexKind::LiveIds => 6,
         }
     }
 
@@ -98,6 +103,7 @@ impl IndexKind {
             3 => Some(IndexKind::Nh),
             4 => Some(IndexKind::Fh),
             5 => Some(IndexKind::ShardMap),
+            6 => Some(IndexKind::LiveIds),
             _ => None,
         }
     }
@@ -111,6 +117,7 @@ impl IndexKind {
             IndexKind::Nh => "nh",
             IndexKind::Fh => "fh",
             IndexKind::ShardMap => "shard-map",
+            IndexKind::LiveIds => "live-ids",
         }
     }
 }
@@ -235,6 +242,13 @@ pub enum StoreError {
         /// What disagrees.
         message: String,
     },
+    /// A write-ahead-log segment is corrupt beyond the torn-tail rule: a frame in the
+    /// middle of the segment fails its CRC, declares an impossible length, or replays
+    /// an operation no valid writer history could have appended.
+    WalCorrupt {
+        /// What is wrong with the segment.
+        message: String,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -303,6 +317,9 @@ impl fmt::Display for StoreError {
             }
             StoreError::GroupInconsistent { message } => {
                 write!(f, "inconsistent shard group: {message}")
+            }
+            StoreError::WalCorrupt { message } => {
+                write!(f, "corrupt WAL segment: {message}")
             }
         }
     }

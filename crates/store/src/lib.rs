@@ -23,7 +23,10 @@
 //!   one snapshot per shard plus a map file of id mappings, staged under fresh epoch
 //!   file names and committed atomically through the manifest rename, so a crash
 //!   mid-save never leaves a dangling or half-replaced entry. The `p2h-shard` crate
-//!   builds its `ShardedIndex` persistence on this layer.
+//!   builds its `ShardedIndex` persistence on this layer. The manifest also registers
+//!   **live entries** ([`Store::commit_live`] / [`Store::live_entry`]): the id file,
+//!   base snapshot, and CRC-framed WAL segments (module [`wal`]) behind a `p2h-live`
+//!   mutable index, advanced epoch-by-epoch through the same atomic manifest rename.
 //!
 //! ## Quick start
 //!
@@ -57,22 +60,26 @@
 
 mod crc32;
 pub mod format;
+mod live;
 mod metrics;
 #[allow(unsafe_code)]
 mod mmap;
 pub mod retry;
 mod snapshot;
 mod store;
+pub mod wal;
 
 pub use crc32::crc32;
 pub use format::{
     IndexKind, SnapshotSource, StoreError, StoreResult, FORMAT_VERSION, FORMAT_VERSION_V1, MAGIC,
     SECTION_ALIGN,
 };
+pub use live::{live_base_file, live_ids_file, live_wal_file, LiveIdsSnapshot};
 pub use mmap::{LoadMode, MmapRegion};
 pub use retry::{retry_interrupted, MAX_EINTR_ATTEMPTS};
 pub use snapshot::{snapshot_meta, Snapshot, SnapshotMeta};
 pub use store::{
-    LoadedIndex, ShardGroup, ShardGroupMeta, Store, StoreEntry, MANIFEST_FILE, SNAPSHOT_EXT,
-    SWEEP_GRACE,
+    LiveEntryFiles, LoadedIndex, ShardGroup, ShardGroupMeta, Store, StoreEntry, MANIFEST_FILE,
+    SNAPSHOT_EXT, SWEEP_GRACE,
 };
+pub use wal::{replay_wal, WalHeader, WalOp, WalReplay, WalWriter};

@@ -52,6 +52,10 @@ pub(crate) mod tags {
     pub const GMET: [u8; 4] = *b"GMET";
     /// One shard's local-position → global-id mapping.
     pub const SIDS: [u8; 4] = *b"SIDS";
+    /// Live-entry metadata (epoch, dim, next id, survivor count).
+    pub const LMET: [u8; 4] = *b"LMET";
+    /// Live-entry surviving global ids (base-local position → global id).
+    pub const LIDS: [u8; 4] = *b"LIDS";
 }
 
 /// A built index that can be snapshotted to disk and restored without rebuilding.

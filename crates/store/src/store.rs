@@ -7,9 +7,13 @@
 //! <dir>/MANIFEST             text; first line `p2h-store 1`, then one line per entry:
 //!                              <name>\t<file>                              (single index)
 //!                              <name>\tshard-group\t<map>\t<s0>\t<s1>…     (sharded index)
+//!                              <name>\tlive\t<ids>\t<base|->\t<w0>\t<w1>…  (live index)
 //! <dir>/<name>.p2hs          one snapshot per single index
 //! <dir>/<name>.g<E>.map.p2hs shard-group map file (epoch E): id mappings + metadata
 //! <dir>/<name>.g<E>.s<K>.p2hs  shard K of group <name>, epoch E
+//! <dir>/<name>.l<E>.ids.p2hs live-entry id file (epoch E): surviving global ids
+//! <dir>/<name>.l<E>.base.p2hs  live-entry base snapshot, epoch E (absent when empty)
+//! <dir>/<name>.l<E>.wal      live-entry write-ahead-log segment opened at epoch E
 //! ```
 //!
 //! The manifest maps registry names to snapshot files; the index *kind* is not in the
@@ -57,6 +61,14 @@ const MANIFEST_HEADER: &str = "p2h-store 1";
 /// Marker in the second column of a manifest line that introduces a shard group.
 const GROUP_MARKER: &str = "shard-group";
 
+/// Marker in the second column of a manifest line that introduces a live entry
+/// (a `p2h-live` mutable index: id file, optional base snapshot, ≥ 1 WAL segment).
+const LIVE_MARKER: &str = "live";
+
+/// Placeholder in a live manifest line's base column when the entry has no base
+/// snapshot (every point lives in the WAL-replayed memtable).
+const LIVE_NO_BASE: &str = "-";
+
 /// Default minimum age before the open-time sweep reclaims an unreferenced staged
 /// file. A concurrent (single) writer stages its files seconds before the manifest
 /// commit; the grace window keeps a racing reader's sweep from deleting them
@@ -80,16 +92,22 @@ fn sweep_grace_from_env() -> std::time::Duration {
 
 /// One manifest entry: either a single snapshot file or a shard group.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum ManifestEntry {
+pub(crate) enum ManifestEntry {
     /// A single `<name>.p2hs` snapshot.
     Single(String),
     /// A shard group: the map file plus one snapshot file per shard, in ordinal order.
     Group { map_file: String, shard_files: Vec<String> },
+    /// A live entry: id file, optional base snapshot, and the WAL segments to replay
+    /// over it, in segment order. More than one WAL segment is the mid-compaction
+    /// state: the next segment is committed *before* the epoch swap so acknowledged
+    /// writes are never referenced only by an uncommitted file.
+    Live { ids_file: String, base_file: Option<String>, wal_files: Vec<String> },
 }
 
 impl ManifestEntry {
-    /// Every file this entry references (used for replaced-entry cleanup).
-    fn files(&self) -> Vec<&str> {
+    /// Every file this entry references (used for replaced-entry cleanup and for the
+    /// sweep's live set — a referenced WAL segment must never be reclaimed).
+    pub(crate) fn files(&self) -> Vec<&str> {
         match self {
             ManifestEntry::Single(file) => vec![file.as_str()],
             ManifestEntry::Group { map_file, shard_files } => {
@@ -98,15 +116,22 @@ impl ManifestEntry {
                 files.extend(shard_files.iter().map(String::as_str));
                 files
             }
+            ManifestEntry::Live { ids_file, base_file, wal_files } => {
+                let mut files = Vec::with_capacity(wal_files.len() + 2);
+                files.push(ids_file.as_str());
+                files.extend(base_file.as_deref());
+                files.extend(wal_files.iter().map(String::as_str));
+                files
+            }
         }
     }
 }
 
 /// The parsed name → entry mapping of a store directory.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-struct Manifest {
+pub(crate) struct Manifest {
     /// Sorted so renders (and therefore manifest diffs) are deterministic.
-    entries: BTreeMap<String, ManifestEntry>,
+    pub(crate) entries: BTreeMap<String, ManifestEntry>,
 }
 
 impl Manifest {
@@ -151,12 +176,37 @@ impl Manifest {
                         },
                     )
                 }
+                [name, marker, ids_file, base_file, wal_files @ ..]
+                    if *marker == LIVE_MARKER && !wal_files.is_empty() =>
+                {
+                    validate_name(name)?;
+                    validate_file_column(ids_file, idx + 1)?;
+                    let base_file = if *base_file == LIVE_NO_BASE {
+                        None
+                    } else {
+                        validate_file_column(base_file, idx + 1)?;
+                        Some(base_file.to_string())
+                    };
+                    for file in wal_files {
+                        validate_file_column(file, idx + 1)?;
+                    }
+                    (
+                        name.to_string(),
+                        ManifestEntry::Live {
+                            ids_file: ids_file.to_string(),
+                            base_file,
+                            wal_files: wal_files.iter().map(|s| s.to_string()).collect(),
+                        },
+                    )
+                }
                 _ => {
                     return Err(StoreError::Manifest {
                         line: idx + 1,
                         message: format!(
-                            "expected `<name>\\t<file>` or \
-                             `<name>\\t{GROUP_MARKER}\\t<map>\\t<shard>…`, found `{line}`"
+                            "expected `<name>\\t<file>`, \
+                             `<name>\\t{GROUP_MARKER}\\t<map>\\t<shard>…`, or \
+                             `<name>\\t{LIVE_MARKER}\\t<ids>\\t<base|{LIVE_NO_BASE}>\\t<wal>…`, \
+                             found `{line}`"
                         ),
                     })
                 }
@@ -192,6 +242,18 @@ impl Manifest {
                         out.push_str(file);
                     }
                 }
+                ManifestEntry::Live { ids_file, base_file, wal_files } => {
+                    out.push('\t');
+                    out.push_str(LIVE_MARKER);
+                    out.push('\t');
+                    out.push_str(ids_file);
+                    out.push('\t');
+                    out.push_str(base_file.as_deref().unwrap_or(LIVE_NO_BASE));
+                    for file in wal_files {
+                        out.push('\t');
+                        out.push_str(file);
+                    }
+                }
             }
             out.push('\n');
         }
@@ -213,7 +275,7 @@ fn is_safe_file_component(s: &str, max_len: usize) -> bool {
 /// Validates a manifest file column. The file columns obey the same character rules as
 /// names (a name plus extensions): a tampered manifest cannot point the loader at
 /// hidden files, absolute paths, or anything outside the store directory.
-fn validate_file_column(file: &str, line: usize) -> StoreResult<()> {
+pub(crate) fn validate_file_column(file: &str, line: usize) -> StoreResult<()> {
     if !is_safe_file_component(file, MAX_FILE_COMPONENT) {
         return Err(StoreError::Manifest {
             line,
@@ -225,7 +287,7 @@ fn validate_file_column(file: &str, line: usize) -> StoreResult<()> {
 
 /// Validates a registry name for use as a snapshot file stem: 1–100 characters from
 /// `[A-Za-z0-9._-]`, not starting with a dot (no hidden files, no path traversal).
-fn validate_name(name: &str) -> StoreResult<()> {
+pub(crate) fn validate_name(name: &str) -> StoreResult<()> {
     if !is_safe_file_component(name, 100) {
         return Err(StoreError::InvalidName(name.to_string()));
     }
@@ -326,6 +388,23 @@ pub struct ShardGroup {
     pub shards: Vec<LoadedIndex>,
 }
 
+/// The file set of a live entry (a `p2h-live` mutable index), as recorded in the
+/// manifest. The store hands these out without opening them: replaying the WAL
+/// segments and layering the memtable over the base is `p2h-live`'s job
+/// (`LiveIndex::open` consumes this).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveEntryFiles {
+    /// The id file (`<name>.l<E>.ids.p2hs`, kind [`IndexKind::LiveIds`]).
+    pub ids_file: String,
+    /// The base snapshot (`<name>.l<E>.base.p2hs`), absent when the entry has no
+    /// compacted base (all points live in the WAL-replayed memtable).
+    pub base_file: Option<String>,
+    /// The WAL segments to replay over the base, in segment order. More than one
+    /// segment means a compaction committed its next segment but crashed (or has not
+    /// yet reached) the epoch swap.
+    pub wal_files: Vec<String>,
+}
+
 /// One entry of a store directory, as returned by [`Store::load_entries`].
 #[derive(Debug)]
 pub enum StoreEntry {
@@ -333,6 +412,9 @@ pub enum StoreEntry {
     Single(LoadedIndex),
     /// A restored shard group.
     ShardGroup(ShardGroup),
+    /// A live entry's file set. Deliberately *not* opened by the store — `p2h-live`
+    /// owns WAL replay and memtable reconstruction.
+    Live(LiveEntryFiles),
 }
 
 /// Structural validation shared by the save and load paths of shard groups: shapes,
@@ -693,7 +775,7 @@ impl Store {
         let manifest = self.manifest()?;
         match manifest.entries.get(name) {
             None => Err(StoreError::MissingEntry(name.to_string())),
-            Some(ManifestEntry::Single(_)) => {
+            Some(ManifestEntry::Single(_)) | Some(ManifestEntry::Live { .. }) => {
                 Err(StoreError::EntryKind { name: name.to_string(), is_group: false })
             }
             Some(ManifestEntry::Group { map_file, shard_files }) => {
@@ -732,7 +814,7 @@ impl Store {
     }
 
     /// Reads one store file under this handle's load mode.
-    fn read_owner(&self, file: &str) -> StoreResult<SourceOwner> {
+    pub(crate) fn read_owner(&self, file: &str) -> StoreResult<SourceOwner> {
         SourceOwner::read(&self.dir.join(file), self.mode)
     }
 
@@ -767,7 +849,9 @@ impl Store {
             .into_iter()
             .map(|(name, entry)| match entry {
                 StoreEntry::Single(index) => Ok((name, index)),
-                StoreEntry::ShardGroup(_) => Err(StoreError::EntryKind { name, is_group: true }),
+                StoreEntry::ShardGroup(_) | StoreEntry::Live(_) => {
+                    Err(StoreError::EntryKind { name, is_group: true })
+                }
             })
             .collect()
     }
@@ -790,6 +874,13 @@ impl Store {
                     ManifestEntry::Group { map_file, shard_files } => {
                         StoreEntry::ShardGroup(self.load_group_files(map_file, shard_files)?)
                     }
+                    ManifestEntry::Live { ids_file, base_file, wal_files } => {
+                        StoreEntry::Live(LiveEntryFiles {
+                            ids_file: ids_file.clone(),
+                            base_file: base_file.clone(),
+                            wal_files: wal_files.clone(),
+                        })
+                    }
                 };
                 Ok((name.clone(), loaded))
             })
@@ -807,7 +898,7 @@ impl Store {
         let manifest = self.manifest()?;
         match manifest.entries.get(name) {
             Some(ManifestEntry::Single(file)) => Ok(self.dir.join(file)),
-            Some(ManifestEntry::Group { .. }) => {
+            Some(ManifestEntry::Group { .. }) | Some(ManifestEntry::Live { .. }) => {
                 Err(StoreError::EntryKind { name: name.to_string(), is_group: true })
             }
             None => Err(StoreError::MissingEntry(name.to_string())),
@@ -821,21 +912,25 @@ impl Store {
         SourceOwner::read(&path, self.mode)
     }
 
-    fn manifest(&self) -> StoreResult<Manifest> {
+    pub(crate) fn manifest(&self) -> StoreResult<Manifest> {
         let path = self.dir.join(MANIFEST_FILE);
         let text = crate::retry::retry_interrupted("store.read", || fs::read_to_string(&path))
             .map_err(|e| io_error(&path, e))?;
         Manifest::parse(&text)
     }
 
-    fn commit_manifest(&self, manifest: &Manifest) -> StoreResult<()> {
+    pub(crate) fn commit_manifest(&self, manifest: &Manifest) -> StoreResult<()> {
         write_file_atomically(&self.dir.join(MANIFEST_FILE), manifest.render().as_bytes())
     }
 
     /// Deletes the files of a replaced entry that the new entry no longer references.
     /// Best-effort: the manifest has already committed, so a failed unlink only leaks
     /// a stale file (reclaimed by the next save of the same name).
-    fn remove_superseded_files(&self, replaced: Option<&ManifestEntry>, current: &ManifestEntry) {
+    pub(crate) fn remove_superseded_files(
+        &self,
+        replaced: Option<&ManifestEntry>,
+        current: &ManifestEntry,
+    ) {
         let Some(replaced) = replaced else { return };
         let live: BTreeSet<&str> = current.files().into_iter().collect();
         for file in replaced.files() {
@@ -847,18 +942,29 @@ impl Store {
 }
 
 /// Whether `file` matches one of the store's *epoch-staged* naming patterns —
-/// `<name>.e<E>.p2hs` (single replacement) or `<name>.g<E>.map.p2hs` /
-/// `<name>.g<E>.s<K>.p2hs` (shard group). Unreferenced files matching these patterns
-/// are crash leftovers and are reclaimed by the open-time sweep; plain `<name>.p2hs`
-/// files never match (conservative: they could be user-managed snapshots).
+/// `<name>.e<E>.p2hs` (single replacement), `<name>.g<E>.map.p2hs` /
+/// `<name>.g<E>.s<K>.p2hs` (shard group), or `<name>.l<E>.ids.p2hs` /
+/// `<name>.l<E>.base.p2hs` / `<name>.l<E>.wal` (live entry). Unreferenced files
+/// matching these patterns are crash leftovers and are reclaimed by the open-time
+/// sweep; plain `<name>.p2hs` files never match (conservative: they could be
+/// user-managed snapshots). WAL segments the manifest references are excluded from
+/// sweeping *before* this pattern check (they are in the live set) — only segments no
+/// manifest entry names, i.e. from a crashed live create or a crashed compaction
+/// phase, ever age into reclamation.
 fn is_epoch_staged(file: &str) -> bool {
-    let Some(stem) = file.strip_suffix(&format!(".{SNAPSHOT_EXT}")) else { return false };
     let digits = |s: &str| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit());
+    let live_epoch = |part: &str| part.len() > 1 && part.starts_with('l') && digits(&part[1..]);
+    if let Some(stem) = file.strip_suffix(".wal") {
+        // `<name>.l<E>.wal`: a WAL segment.
+        return matches!(stem.split('.').next_back(), Some(last) if live_epoch(last));
+    }
+    let Some(stem) = file.strip_suffix(&format!(".{SNAPSHOT_EXT}")) else { return false };
     let parts: Vec<&str> = stem.split('.').collect();
     match parts.as_slice() {
         [.., mid, last] if mid.len() > 1 && mid.starts_with('g') && digits(&mid[1..]) => {
             *last == "map" || (last.len() > 1 && last.starts_with('s') && digits(&last[1..]))
         }
+        [.., mid, last] if live_epoch(mid) => *last == "ids" || *last == "base",
         [_, .., last] if last.len() > 1 && last.starts_with('e') && digits(&last[1..]) => true,
         _ => false,
     }
@@ -885,7 +991,7 @@ fn single_epoch(file: &str, name: &str) -> Option<u64> {
 }
 
 /// Decodes a snapshot source into whichever index kind its header declares.
-fn decode_any_src(src: SnapshotSource<'_>) -> StoreResult<LoadedIndex> {
+pub(crate) fn decode_any_src(src: SnapshotSource<'_>) -> StoreResult<LoadedIndex> {
     Ok(match SnapshotReader::new(src.bytes())?.kind {
         IndexKind::LinearScan => LoadedIndex::LinearScan(LinearScan::decode_snapshot_src(src)?),
         IndexKind::BallTree => LoadedIndex::BallTree(BallTree::decode_snapshot_src(src)?),
@@ -893,6 +999,7 @@ fn decode_any_src(src: SnapshotSource<'_>) -> StoreResult<LoadedIndex> {
         IndexKind::Nh => LoadedIndex::Nh(NhIndex::decode_snapshot_src(src)?),
         IndexKind::Fh => LoadedIndex::Fh(FhIndex::decode_snapshot_src(src)?),
         IndexKind::ShardMap => return Err(StoreError::NotAnIndex(IndexKind::ShardMap)),
+        IndexKind::LiveIds => return Err(StoreError::NotAnIndex(IndexKind::LiveIds)),
     })
 }
 

@@ -180,3 +180,68 @@ fn future_mtime_files_are_skipped_not_swept() {
     assert_eq!(eager.sweep_now().unwrap(), 1);
     assert!(!from_the_future.exists());
 }
+
+/// PR 8, satellite 5: the sweep recognizes live-entry files. Manifest-referenced WAL
+/// segments and live epoch files are in the live set and must never be reclaimed, no
+/// matter their age; *unreferenced* staged live files (a crashed compaction's
+/// leftovers) are swept once aged — and superseded segments are reclaimed by the
+/// epoch commit itself, never by the sweep racing ahead of it.
+#[test]
+fn sweep_protects_referenced_live_files_and_reclaims_staged_ones() {
+    let _guard = serialize();
+    let dir = temp_dir("live-sweep");
+    let store = Store::create(&dir).unwrap();
+
+    // A committed live entry at epoch 0 (ids + wal referenced by the manifest).
+    let ids = p2h_store::LiveIdsSnapshot { epoch: 0, dim: 3, next_id: 0, ids: Vec::new().into() };
+    let ids_file = p2h_store::live_ids_file("stream", 0);
+    let wal_file = p2h_store::live_wal_file("stream", 0);
+    store.save_live_ids(&ids_file, &ids).unwrap();
+    let header = p2h_store::WalHeader { epoch: 0, dim: 3, first_id: 0 };
+    let mut wal =
+        p2h_store::WalWriter::create(&store.live_path(&wal_file).unwrap(), header).unwrap();
+    wal.append(&[p2h_store::WalOp::Insert { id: 0, point: vec![1.0, 2.0, 1.0] }]).unwrap();
+    drop(wal);
+    store
+        .commit_live(
+            "stream",
+            &p2h_store::LiveEntryFiles {
+                ids_file: ids_file.clone(),
+                base_file: None,
+                wal_files: vec![wal_file.clone()],
+            },
+        )
+        .unwrap();
+
+    // Crashed-compaction leftovers: staged epoch-1 files no manifest entry names.
+    let staged = [
+        dir.join("stream.l1.ids.p2hs"),
+        dir.join("stream.l1.base.p2hs"),
+        dir.join("stream.l1.wal"),
+    ];
+    for file in &staged {
+        std::fs::write(file, b"crashed compaction").unwrap();
+    }
+
+    // Even a zero-grace sweep must leave the referenced epoch-0 files alone while
+    // reclaiming the aged staged ones.
+    let eager = store.clone().with_sweep_grace(Duration::ZERO);
+    assert_eq!(eager.sweep_now().unwrap(), staged.len() as u64);
+    for file in &staged {
+        assert!(!file.exists(), "unreferenced staged live file must be swept");
+    }
+    assert!(dir.join(&ids_file).exists(), "referenced id file must survive the sweep");
+    assert!(dir.join(&wal_file).exists(), "referenced WAL segment must survive the sweep");
+
+    // The acknowledged write is still replayable after the sweep.
+    let replay = p2h_store::replay_wal(&store.live_path(&wal_file).unwrap()).unwrap();
+    assert_eq!(replay.ops.len(), 1);
+
+    // A fresh staged WAL inside the grace window survives (the mid-compaction case:
+    // the compactor staged epoch 1 but has not committed yet).
+    let fresh = dir.join("stream.l1.wal");
+    std::fs::write(&fresh, b"mid-compaction").unwrap();
+    let patient = store.with_sweep_grace(Duration::from_secs(7200));
+    assert_eq!(patient.sweep_now().unwrap(), 0);
+    assert!(fresh.exists(), "fresh staged segment inside the grace window must survive");
+}

@@ -1,14 +1,20 @@
 //! Pool-based active learning with a linear classifier (the motivating application of
-//! the paper's introduction).
+//! the paper's introduction) — run **end-to-end as a stream**, the way the workload
+//! actually arrives, with no index rebuilds.
 //!
 //! A linear classifier's decision boundary is a hyperplane; the classic "uncertainty
 //! sampling" strategy asks a human to label the *unlabeled points closest to that
-//! hyperplane*. That selection step is exactly a P2HNNS query, so a BC-Tree over the
-//! unlabeled pool turns every active-learning round into one fast index lookup instead
-//! of a linear scan.
+//! hyperplane*. That selection step is exactly a P2HNNS query. The pool, though, is
+//! not static: new unlabeled candidates arrive every round, and every labelled point
+//! leaves the pool. This example drives that loop through the live tier
+//! ([`LiveIndex`]): arrivals are **inserted** (durable before acknowledged), the
+//! round's selection is one layered query against the current hyperplane, labelled
+//! points are **deleted**, and every few rounds a background-style **compaction**
+//! folds the memtable into a fresh Ball-Tree base — serving continues throughout,
+//! bit-identical to a full rebuild at every step.
 //!
-//! This example compares uncertainty sampling (via BC-Tree) against random sampling on a
-//! synthetic two-class problem and prints the test accuracy after each labelling round.
+//! The uncertainty sampler is compared against random sampling on the same stream;
+//! test accuracy is printed after each labelling round.
 //!
 //! Run with:
 //!
@@ -16,21 +22,27 @@
 //! cargo run --release --example active_learning
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{seq::SliceRandom, Rng, SeedableRng};
+use std::collections::HashSet;
 
-use p2hnns::{BcTreeBuilder, HyperplaneQuery, P2hIndex, PointSet, Scalar, SearchParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use p2hnns::{HyperplaneQuery, LiveIndex, Scalar, Store};
 
 /// Number of raw feature dimensions.
 const DIM: usize = 32;
-/// Size of the unlabeled pool.
-const POOL: usize = 20_000;
+/// Unlabeled points available before the first round.
+const INITIAL_POOL: usize = 5_000;
+/// New unlabeled candidates arriving each round.
+const ARRIVALS: usize = 1_000;
 /// Size of the held-out test set.
 const TEST: usize = 2_000;
 /// Points labelled per active-learning round.
 const BATCH: usize = 10;
 /// Number of labelling rounds.
 const ROUNDS: usize = 15;
+/// Compact the live tier every this many rounds.
+const COMPACT_EVERY: usize = 5;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(2023);
@@ -39,68 +51,120 @@ fn main() {
     let true_weights: Vec<Scalar> = (0..DIM).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let true_bias: Scalar = rng.gen_range(-0.5..0.5);
 
-    let (pool_points, pool_labels) = sample_problem(POOL, &true_weights, true_bias, &mut rng);
     let (test_points, test_labels) = sample_problem(TEST, &true_weights, true_bias, &mut rng);
 
-    // Index the unlabeled pool once; every uncertainty-sampling round reuses it.
-    let pool_set = PointSet::augment(&pool_points).expect("pool is non-empty");
-    let index = BcTreeBuilder::new(100).build(&pool_set).expect("build BC-Tree");
+    // The streaming pool: one live index in a throwaway store. Global ids are
+    // assigned in insertion order, so they double as indices into `points`/`labels`.
+    let dir = std::env::temp_dir().join(format!("p2hnns-active-learning-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let store = Store::create(&dir).expect("create store");
+    let pool = LiveIndex::create(&store, "pool", DIM + 1).expect("create live pool");
 
-    println!("pool: {POOL} points, test: {TEST} points, {BATCH} labels per round\n");
-    println!("round | labelled | accuracy (uncertainty/BC-Tree) | accuracy (random)");
-    println!("------|----------|--------------------------------|------------------");
+    let mut points: Vec<Vec<Scalar>> = Vec::new();
+    let mut labels: Vec<i8> = Vec::new();
+    let arrive = |n: usize,
+                  pool: &LiveIndex,
+                  rng: &mut StdRng,
+                  points: &mut Vec<Vec<Scalar>>,
+                  labels: &mut Vec<i8>| {
+        let (batch, truth) = sample_problem(n, &true_weights, true_bias, rng);
+        let ids = pool.insert_batch(&batch).expect("insert arrivals");
+        debug_assert_eq!(ids[0] as usize, points.len());
+        points.extend(batch);
+        labels.extend(truth);
+    };
+    arrive(INITIAL_POOL, &pool, &mut rng, &mut points, &mut labels);
+
+    println!(
+        "pool: {INITIAL_POOL} points + {ARRIVALS}/round arriving, test: {TEST} points, \
+         {BATCH} labels per round\n"
+    );
+    println!("round | labelled | pool size | accuracy (uncertainty/live) | accuracy (random)");
+    println!("------|----------|-----------|-----------------------------|------------------");
 
     let mut active = Learner::new(DIM);
     let mut random = Learner::new(DIM);
     let mut active_labelled: Vec<usize> = Vec::new();
     let mut random_labelled: Vec<usize> = Vec::new();
+    let mut random_seen: HashSet<usize> = HashSet::new();
 
-    // Seed both learners with the same handful of random labels.
-    let mut seed_ids: Vec<usize> = (0..POOL).collect();
-    seed_ids.shuffle(&mut rng);
-    for &i in seed_ids.iter().take(BATCH) {
-        active_labelled.push(i);
-        random_labelled.push(i);
-    }
-    active.fit(&pool_points, &pool_labels, &active_labelled);
-    random.fit(&pool_points, &pool_labels, &random_labelled);
-
-    for round in 1..=ROUNDS {
-        // Uncertainty sampling: the current decision boundary is a hyperplane query; ask
-        // the BC-Tree for the unlabeled points with the smallest margin.
-        let query = HyperplaneQuery::from_normal_and_bias(&active.weights, active.bias)
-            .expect("non-degenerate model");
-        let want = active_labelled.len() + BATCH;
-        let result = index.search(&query, &SearchParams::exact(want));
-        for neighbor in result.neighbors {
-            if !active_labelled.contains(&neighbor.index) {
-                active_labelled.push(neighbor.index);
-                if active_labelled.len() >= want {
-                    break;
-                }
-            }
-        }
-        active.fit(&pool_points, &pool_labels, &active_labelled);
-
-        // Baseline: label the same number of random points.
-        for &i in seed_ids.iter().skip(round * BATCH).take(BATCH) {
+    // Seed both learners with the same handful of random labels. The active
+    // learner's labelled points leave its pool (they are no longer unlabeled).
+    for _ in 0..BATCH {
+        let i = rng.gen_range(0..points.len());
+        if random_seen.insert(i) {
             random_labelled.push(i);
         }
-        random.fit(&pool_points, &pool_labels, &random_labelled);
+        if pool.is_live(i as u32) {
+            pool.delete(i as u32).expect("remove labelled point");
+            active_labelled.push(i);
+        }
+    }
+    active.fit(&points, &labels, &active_labelled);
+    random.fit(&points, &labels, &random_labelled);
+
+    for round in 1..=ROUNDS {
+        // New unlabeled candidates stream in — a plain durable insert, no rebuild.
+        arrive(ARRIVALS, &pool, &mut rng, &mut points, &mut labels);
+
+        // Uncertainty sampling: the current decision boundary is a hyperplane
+        // query; ask the live tier for the unlabeled points with the smallest
+        // margin. Labelled points were deleted, so every hit is fresh.
+        let query = HyperplaneQuery::from_normal_and_bias(&active.weights, active.bias)
+            .expect("non-degenerate model");
+        let result = pool.search_exact(&query, BATCH).expect("selection query");
+        for neighbor in result.neighbors {
+            pool.delete(neighbor.index as u32).expect("remove labelled point");
+            active_labelled.push(neighbor.index);
+        }
+        active.fit(&points, &labels, &active_labelled);
+
+        // Baseline: label the same number of random unlabeled points.
+        while random_labelled.len() < active_labelled.len() {
+            let i = rng.gen_range(0..points.len());
+            if random_seen.insert(i) {
+                random_labelled.push(i);
+            }
+        }
+        random.fit(&points, &labels, &random_labelled);
 
         println!(
-            "{round:>5} | {:>8} | {:>30.3} | {:>17.3}",
+            "{round:>5} | {:>8} | {:>9} | {:>27.3} | {:>17.3}",
             active_labelled.len(),
+            pool.len(),
             active.accuracy(&test_points, &test_labels),
             random.accuracy(&test_points, &test_labels),
         );
+
+        // Periodically fold the memtable into a compacted Ball-Tree base. Queries
+        // before, during, and after are bit-identical to a full rebuild.
+        if round % COMPACT_EVERY == 0 {
+            let report = pool.compact().expect("compact");
+            println!(
+                "      | (compacted to epoch {}: {} survivors, {} memtable rows folded, \
+                 {:.1} ms)",
+                report.epoch,
+                report.survivors,
+                report.folded_rows,
+                report.wall_ns as f64 / 1.0e6,
+            );
+        }
     }
+
+    // The pool is durable: a restart replays the WAL over the compacted base and
+    // recovers the identical live set.
+    let final_len = pool.len();
+    drop(pool);
+    let recovered = LiveIndex::open(&store, "pool").expect("reopen pool");
+    assert_eq!(recovered.len(), final_len);
 
     println!(
         "\nUncertainty sampling reaches high accuracy with far fewer labels because every \
-         round queries the points nearest the decision hyperplane — a P2HNNS query served \
-         by the BC-Tree in well under a millisecond."
+         round queries the points nearest the decision hyperplane — served by the live \
+         tier over a streaming pool with zero index rebuilds, and every insert/delete \
+         durable before it is acknowledged."
     );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 /// Draws `n` points from a Gaussian cloud and labels them by the true hyperplane, with a

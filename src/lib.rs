@@ -21,6 +21,7 @@
 //! | [`shard`] | `p2h-shard` | sharded serving: partitioners, per-shard builds, deterministic fan-out top-k merge |
 //! | [`obs`] | `p2h-obs` | observability: lock-free metrics registry, mergeable log-bucket histograms, Prometheus text exposition, sampled query tracing, deterministic fault injection |
 //! | [`net`] | `p2h-net` | fault-tolerant distributed serving: TCP shard servers, replicated router with retries, hedged requests, and replica cross-checking |
+//! | [`live`] | `p2h-live` | online updates: WAL-backed mutable memtable tier over immutable bases, epoch compaction, bit-identical layered serving |
 //!
 //! ## Quickstart
 //!
@@ -206,6 +207,48 @@
 //! # std::fs::remove_dir_all(&dir).ok();
 //! ```
 //!
+//! ## Online updates
+//!
+//! Every index above is immutable once built — the paper's active-learning workload,
+//! though, *streams*: label the points nearest the current hyperplane, insert new
+//! candidates, re-query. The [`live`] layer closes that loop with an LSM-style tier:
+//! a memtable of recent inserts (scanned through the same dispatched kernels) plus a
+//! tombstone set, layered over an immutable base snapshot, with every mutation made
+//! durable by a CRC-framed, fsync-batched **write-ahead log** before it is
+//! acknowledged. Layered answers are **bit-identical** to a full rebuild over the
+//! same live points, a background [`LiveIndex::compact`] folds the memtable into a
+//! fresh Ball-Tree committed as a new store epoch (serving continues throughout),
+//! and `kill -9` at any instant loses no acknowledged write — see
+//! `docs/ONLINE_UPDATES.md` for the durability contract and WAL format:
+//!
+//! ```
+//! use p2hnns::engine::{BatchRequest, Engine};
+//! use p2hnns::{HyperplaneQuery, LiveIndex, SearchParams, Store};
+//!
+//! let dir = std::env::temp_dir().join("p2hnns-quickstart-live");
+//! # std::fs::remove_dir_all(&dir).ok();
+//! let store = Store::create(&dir).unwrap();
+//! let engine = Engine::new(0);
+//! engine.register_live("stream", LiveIndex::create(&store, "stream", 3).unwrap());
+//!
+//! // Mutations are durable (WAL-appended and fsynced) when they return.
+//! engine.live_insert("stream", &[vec![0.0, 0.0], vec![1.0, 1.0], vec![4.0, 0.5]]).unwrap();
+//! engine.live_delete("stream", 1).unwrap();
+//!
+//! let query = HyperplaneQuery::from_normal_and_bias(&[1.0, 1.0], -1.8).unwrap();
+//! let request = BatchRequest::new(vec![query], SearchParams::exact(1));
+//! let response = engine.serve_live("stream", &request).unwrap();
+//! assert_eq!(response.results[0].neighbors[0].index, 0);
+//!
+//! // Fold the memtable into a compacted Ball-Tree base (a new store epoch), then
+//! // cold-start: the manifest's live entry replays to the identical state.
+//! engine.live("stream").unwrap().compact().unwrap();
+//! let restarted = Engine::from_store(&dir, 0).unwrap();
+//! let again = restarted.serve_live("stream", &request).unwrap();
+//! assert_eq!(response.results[0].neighbors, again.results[0].neighbors);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+//!
 //! ## Distributed serving
 //!
 //! The [`net`] layer takes the sharded fan-out across processes: `shard-server`
@@ -243,6 +286,7 @@ pub use p2h_data as data;
 pub use p2h_engine as engine;
 pub use p2h_eval as eval;
 pub use p2h_hash as hash;
+pub use p2h_live as live;
 pub use p2h_net as net;
 pub use p2h_obs as obs;
 pub use p2h_shard as shard;
@@ -267,6 +311,7 @@ pub use p2h_eval::{
     TimeProfile,
 };
 pub use p2h_hash::{FhIndex, FhParams, NhIndex, NhParams};
+pub use p2h_live::{CompactionReport, LiveError, LiveIndex, LiveResult};
 pub use p2h_net::{
     BackoffPolicy, HedgeConfig, NetError, ReplicaSet, RoutedResponse, Router, RouterConfig,
     ShardServer,
