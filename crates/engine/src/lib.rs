@@ -62,7 +62,7 @@ pub use batch::{BatchRequest, BatchResponse, LatencyHistogram};
 pub use executor::BatchExecutor;
 pub use registry::{IndexRegistry, SharedIndex};
 pub use remote::RemoteBatchResponse;
-pub use serve::Engine;
+pub use serve::{Engine, FrontPath};
 pub use sharded::{ShardedBatchResponse, ShardedExecutor};
 
 // Re-exported so engine users can build indexes in parallel without naming the tree
@@ -75,9 +75,12 @@ pub use p2h_shard::{Partitioner, ShardIndexKind, ShardedIndex, ShardedIndexBuild
 // Re-exported so cold-start users (`Engine::from_store`) can create and populate the
 // snapshot store without adding `p2h-store` as a direct dependency.
 pub use p2h_store::{LoadMode, Snapshot, Store, StoreError};
-// Re-exported so online-update users (`Engine::serve_live`, `register_live`) need no
-// direct `p2h-live` dependency at call sites.
-pub use p2h_live::{CompactionReport, LiveError, LiveIndex, LiveResult};
+// Re-exported so online-update users (`Engine::serve_live`, `register_live`,
+// background compaction policies) need no direct `p2h-live` dependency at call sites.
+pub use p2h_live::{
+    CompactionPolicy, CompactionReport, CompactionTrigger, Compactor, LiveError, LiveIndex,
+    LiveResult,
+};
 // Re-exported so distributed serving (`Engine::serve_remote`) needs no direct
 // `p2h-net` dependency at call sites.
 pub use p2h_net::{

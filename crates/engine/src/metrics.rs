@@ -190,6 +190,26 @@ impl IndexInstruments {
         }
     }
 
+    /// The observed per-shard sub-search latency quantile `q`, one entry per shard,
+    /// or `None` until every shard has at least `min_samples` recorded sub-searches
+    /// (a half-warm distribution would bias routing toward whichever shards happened
+    /// to serve first).
+    fn shard_latency_quantiles(&self, q: f64, min_samples: u64) -> Option<Vec<u64>> {
+        let shards = self.shards.read().expect("shard instruments poisoned");
+        if shards.is_empty() {
+            return None;
+        }
+        let mut quantiles = Vec::with_capacity(shards.len());
+        for shard in shards.iter() {
+            let snapshot = shard.latency.snapshot();
+            if snapshot.count() < min_samples {
+                return None;
+            }
+            quantiles.push(snapshot.quantile(q));
+        }
+        Some(quantiles)
+    }
+
     fn ensure_shards(&self, index: &str, count: usize) {
         if self.shards.read().expect("shard instruments poisoned").len() >= count {
             return;
@@ -258,6 +278,17 @@ impl EngineMetrics {
     /// Records a batch served through the sharded fan-out path.
     pub(crate) fn record_sharded(&self, index: &str, response: &ShardedBatchResponse) {
         self.instruments(index).record_sharded(index, response);
+    }
+
+    /// Observed `p2h_shard_latency_ns` p99 per shard of `index`, or `None` before the
+    /// sharded path has served this name with at least `min_samples` sub-searches on
+    /// every shard. Feeds the front-end dispatch heuristic; reading is a snapshot of
+    /// the cached histogram handles, no registry lock.
+    pub(crate) fn shard_latency_p99s(&self, index: &str, min_samples: u64) -> Option<Vec<u64>> {
+        let cache = self.per_index.read().expect("engine metrics poisoned");
+        let instruments = Arc::clone(cache.get(index)?);
+        drop(cache);
+        instruments.shard_latency_quantiles(0.99, min_samples)
     }
 }
 

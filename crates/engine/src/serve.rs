@@ -15,6 +15,38 @@ use crate::metrics::EngineMetrics;
 use crate::registry::{IndexRegistry, SharedIndex};
 use crate::sharded::{ShardedBatchResponse, ShardedExecutor};
 
+/// Which execution path [`Engine::serve_front`] dispatched a batch to.
+///
+/// Every path returns answers **bit-identical** to [`Engine::serve`] /
+/// [`Engine::serve_live`] on the same name — the choice is purely a performance
+/// decision, so a front-end can log it (`p2h_front_dispatch_total{path=…}`) without
+/// callers ever observing a difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontPath {
+    /// The live (mutable) tier answered.
+    Live,
+    /// A sharded index answered through the shard-parallel [`ShardedExecutor`].
+    ShardParallel,
+    /// The query-parallel [`BatchExecutor`] answered — a plain index, or a sharded
+    /// one the routing heuristic judged better served across queries.
+    QueryParallel,
+}
+
+impl FrontPath {
+    /// A stable label value for dispatch counters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FrontPath::Live => "live",
+            FrontPath::ShardParallel => "shard_parallel",
+            FrontPath::QueryParallel => "query_parallel",
+        }
+    }
+}
+
+/// Minimum recorded sub-searches per shard before the dispatch heuristic trusts the
+/// observed `p2h_shard_latency_ns` distributions over its static default.
+const DISPATCH_MIN_SHARD_SAMPLES: u64 = 64;
+
 /// A batch-query serving engine: a shared [`IndexRegistry`] plus a [`BatchExecutor`].
 ///
 /// `Engine` is `Send + Sync`; wrap it in an `Arc` and serve batches from any number of
@@ -121,7 +153,75 @@ impl Engine {
             name: "index_name",
             message: format!("no index registered under `{index_name}`"),
         })?;
-        self.serve_named(index.as_ref(), index_name, request)
+        self.serve_named(index.as_ref(), index_name, request, "batch")
+    }
+
+    /// Serves a batch against whatever kind of index is registered under
+    /// `index_name` — the front-end dispatch path: live indexes serve through the
+    /// live tier, sharded indexes through whichever executor shape the routing
+    /// heuristic predicts is faster, and plain indexes through the batch executor.
+    /// Returns the response together with the [`FrontPath`] actually taken.
+    ///
+    /// The answers are **bit-identical** to [`Engine::serve`] (or
+    /// [`Engine::serve_live`] for live names) on the same request regardless of the
+    /// path chosen; sampled traces are tagged `path="front"`.
+    ///
+    /// Routing for sharded names: small batches (fewer than `2 × shards` queries)
+    /// fan each query across shards, which cuts tail latency when workers would
+    /// otherwise idle — *unless* the observed per-shard p99s
+    /// (`p2h_shard_latency_ns`) say one shard is a ≥4× straggler, in which case
+    /// fan-out would gate every query on it and query-parallel wins. Large batches
+    /// always go query-parallel (every worker stays busy without fan-out/merge
+    /// overhead).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if no index of any kind is registered
+    /// under `index_name`, plus the same validation errors as [`Engine::serve`].
+    pub fn serve_front(
+        &self,
+        index_name: &str,
+        request: &BatchRequest,
+    ) -> Result<(BatchResponse, FrontPath)> {
+        if let Some(live) = self.registry.get_live(index_name) {
+            let response = self.serve_live_on(&live, index_name, request, "front")?;
+            return Ok((response, FrontPath::Live));
+        }
+        if let Some(sharded) = self.registry.get_sharded(index_name) {
+            if self.prefer_shard_parallel(index_name, sharded.shard_count(), request.queries.len())
+            {
+                let response = self.serve_sharded_on(&sharded, index_name, request, "front")?;
+                return Ok((flatten_sharded(response), FrontPath::ShardParallel));
+            }
+            // Fall through: the trait-object map holds the same index, so the
+            // query-parallel executor serves it bit-identically.
+        }
+        let index = self.registry.get(index_name).ok_or_else(|| Error::InvalidParameter {
+            name: "index_name",
+            message: format!("no index registered under `{index_name}`"),
+        })?;
+        let response = self.serve_named(index.as_ref(), index_name, request, "front")?;
+        Ok((response, FrontPath::QueryParallel))
+    }
+
+    /// The shard-vs-query parallelism call for [`Engine::serve_front`].
+    fn prefer_shard_parallel(&self, index_name: &str, shards: usize, batch: usize) -> bool {
+        if batch >= shards.saturating_mul(2).max(2) {
+            return false; // enough queries to saturate workers without fan-out
+        }
+        match self.metrics.shard_latency_p99s(index_name, DISPATCH_MIN_SHARD_SAMPLES) {
+            Some(p99s) if !p99s.is_empty() => {
+                let mut sorted = p99s;
+                sorted.sort_unstable();
+                let median = sorted[sorted.len() / 2].max(1);
+                let slowest = *sorted.last().expect("non-empty");
+                // A heavy straggler shard gates every fanned-out query on itself.
+                slowest < median.saturating_mul(4)
+            }
+            // No (or not enough) observations yet: default to fan-out for small
+            // batches — the static half of the heuristic.
+            _ => true,
+        }
     }
 
     /// Serves a batch against an explicit index handle (skips the registry lookup).
@@ -138,7 +238,7 @@ impl Engine {
         index: &SharedIndex,
         request: &BatchRequest,
     ) -> Result<BatchResponse> {
-        self.serve_named(index.as_ref(), index.name(), request)
+        self.serve_named(index.as_ref(), index.name(), request, "batch")
     }
 
     fn serve_named(
@@ -146,6 +246,7 @@ impl Engine {
         index: &dyn P2hIndex,
         label: &str,
         request: &BatchRequest,
+        path: &str,
     ) -> Result<BatchResponse> {
         validate_request(index, request)?;
         let trace = plan_trace(request);
@@ -155,7 +256,7 @@ impl Engine {
         };
         self.metrics.record_batch(label, &response);
         if let Some(plan) = &trace {
-            write_traces(plan, label, "batch", &response.results, &response.latencies_ns);
+            write_traces(plan, label, path, &response.results, &response.latencies_ns);
         }
         Ok(response)
     }
@@ -184,16 +285,26 @@ impl Engine {
                 name: "index_name",
                 message: format!("no sharded index registered under `{index_name}`"),
             })?;
+        self.serve_sharded_on(&index, index_name, request, "sharded")
+    }
+
+    fn serve_sharded_on(
+        &self,
+        index: &Arc<p2h_shard::ShardedIndex>,
+        label: &str,
+        request: &BatchRequest,
+        path: &str,
+    ) -> Result<ShardedBatchResponse> {
         validate_request(index.as_ref(), request)?;
         let executor = ShardedExecutor::new(self.executor.threads());
         let trace = plan_trace(request);
         let response = match &trace {
-            Some(plan) => executor.execute(&index, &plan.request),
-            None => executor.execute(&index, request),
+            Some(plan) => executor.execute(index, &plan.request),
+            None => executor.execute(index, request),
         };
-        self.metrics.record_sharded(index_name, &response);
+        self.metrics.record_sharded(label, &response);
         if let Some(plan) = &trace {
-            write_traces(plan, index_name, "sharded", &response.results, &response.latencies_ns);
+            write_traces(plan, label, path, &response.results, &response.latencies_ns);
         }
         Ok(response)
     }
@@ -260,6 +371,16 @@ impl Engine {
             name: "index_name",
             message: format!("no live index registered under `{index_name}`"),
         })?;
+        self.serve_live_on(&index, index_name, request, "live")
+    }
+
+    fn serve_live_on(
+        &self,
+        index: &Arc<LiveIndex>,
+        label: &str,
+        request: &BatchRequest,
+        path: &str,
+    ) -> Result<BatchResponse> {
         validate_queries(index.dim(), request)?;
         let trace = plan_trace(request);
         let effective = trace.as_ref().map_or(request, |plan| &plan.request);
@@ -283,11 +404,24 @@ impl Engine {
             total_stats,
             wall_time_ns: wall_start.elapsed().as_nanos() as u64,
         };
-        self.metrics.record_batch(index_name, &response);
+        self.metrics.record_batch(label, &response);
         if let Some(plan) = &trace {
-            write_traces(plan, index_name, "live", &response.results, &response.latencies_ns);
+            write_traces(plan, label, path, &response.results, &response.latencies_ns);
         }
         Ok(response)
+    }
+}
+
+/// Drops the per-shard telemetry off a [`ShardedBatchResponse`], leaving the merged
+/// per-query payload a front-end actually returns to clients. The results, latencies,
+/// and stats are moved, not recomputed — bit-for-bit what the sharded path produced.
+fn flatten_sharded(response: ShardedBatchResponse) -> BatchResponse {
+    BatchResponse {
+        results: response.results,
+        latencies_ns: response.latencies_ns,
+        latency: response.latency,
+        total_stats: response.total_stats,
+        wall_time_ns: response.wall_time_ns,
     }
 }
 
@@ -439,6 +573,64 @@ mod tests {
         assert!(matches!(
             engine.serve("scan", &request),
             Err(Error::DimensionMismatch { expected: 3, actual: 4 })
+        ));
+    }
+
+    #[test]
+    fn serve_front_dispatches_and_stays_bit_identical() {
+        use p2h_shard::{Partitioner, ShardIndexKind, ShardedIndexBuilder};
+        let engine = engine_with_scan();
+        let rows: Vec<Vec<Scalar>> =
+            (0..100).map(|i| vec![i as Scalar * 0.1, (i % 5) as Scalar]).collect();
+        let sharded = ShardedIndexBuilder::new(
+            Partitioner::Contiguous { shards: 2 },
+            ShardIndexKind::LinearScan,
+        )
+        .build(&PointSet::augment(&rows).unwrap())
+        .unwrap();
+        engine.registry().register_sharded("sh", sharded);
+
+        let make_request = |n: usize| {
+            let queries: Vec<HyperplaneQuery> = (0..n)
+                .map(|i| {
+                    HyperplaneQuery::from_normal_and_bias(&[1.0, i as Scalar * 0.3], -2.0).unwrap()
+                })
+                .collect();
+            BatchRequest::new(queries, SearchParams::exact(4))
+        };
+        let assert_same = |a: &BatchResponse, b: &BatchResponse| {
+            assert_eq!(a.results.len(), b.results.len());
+            for (x, y) in a.results.iter().zip(&b.results) {
+                let xb: Vec<(usize, u32)> =
+                    x.neighbors.iter().map(|n| (n.index, n.distance.to_bits())).collect();
+                let yb: Vec<(usize, u32)> =
+                    y.neighbors.iter().map(|n| (n.index, n.distance.to_bits())).collect();
+                assert_eq!(xb, yb);
+            }
+        };
+
+        // Plain index: the only path is query-parallel.
+        let request = make_request(3);
+        let (front, path) = engine.serve_front("scan", &request).unwrap();
+        assert_eq!(path, FrontPath::QueryParallel);
+        assert_same(&front, &engine.serve("scan", &request).unwrap());
+
+        // Sharded, small batch (< 2×shards): fan-out across shards.
+        let small = make_request(2);
+        let (front, path) = engine.serve_front("sh", &small).unwrap();
+        assert_eq!(path, FrontPath::ShardParallel);
+        assert_same(&front, &engine.serve("sh", &small).unwrap());
+
+        // Sharded, large batch: query-parallel wins.
+        let large = make_request(16);
+        let (front, path) = engine.serve_front("sh", &large).unwrap();
+        assert_eq!(path, FrontPath::QueryParallel);
+        assert_same(&front, &engine.serve("sh", &large).unwrap());
+
+        // Unknown names are typed errors on the front path too.
+        assert!(matches!(
+            engine.serve_front("nope", &small),
+            Err(Error::InvalidParameter { name: "index_name", .. })
         ));
     }
 

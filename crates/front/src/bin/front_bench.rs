@@ -1,0 +1,340 @@
+//! `front_bench` — throughput bench and correctness checker for the coalescing
+//! front-end.
+//!
+//! ```text
+//! front_bench [--check] [--points N] [--queries M] [--shards S] [--seed X]
+//! ```
+//!
+//! Default mode: build a deterministic synthetic index, serve it in-process, and
+//! sweep client concurrency × coalescing policy (`max_batch=32/500µs` vs
+//! `max_batch=1`), reporting QPS and p99 latency per cell. Every reply is compared
+//! bit-for-bit (ids + f32 distance bits) against a local linear scan — the bench
+//! doubles as a correctness harness.
+//!
+//! `--check` mode (CI's front job): a smaller sweep plus two hard assertions —
+//! coalescing actually formed multi-query batches (batch counters from
+//! `/metrics`), and a store-backed server answers bit-identically before and
+//! after a mid-traffic `Reload`. Runs under both `P2H_STORE_MMAP` settings in CI.
+//!
+//! Everything is seeded — no ambient randomness — so a failure reproduces.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use p2h_core::{
+    HyperplaneQuery, LinearScan, P2hIndex, PointSet, QueryScratch, Scalar, SearchParams,
+    SearchResult,
+};
+use p2h_engine::Engine;
+use p2h_front::{FrontClient, FrontConfig, FrontServer};
+use p2h_shard::{Partitioner, ShardIndexKind, ShardedIndexBuilder};
+use p2h_store::Store;
+
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit_interval(x: &mut u64) -> Scalar {
+    ((splitmix64(x) >> 11) as f64 / (1u64 << 53) as f64) as Scalar
+}
+
+struct Args {
+    check: bool,
+    points: usize,
+    queries: usize,
+    shards: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { check: false, points: 600, queries: 24, shards: 3, seed: 0xF407 };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            iter.next().ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--check" => args.check = true,
+            "--points" => args.points = value("--points")?.parse().map_err(|e| format!("{e}"))?,
+            "--queries" => {
+                args.queries = value("--queries")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--shards" => args.shards = value("--shards")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--help" | "-h" => {
+                return Err("usage: front_bench [--check] [--points N] [--queries M] \
+                            [--shards S] [--seed X]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+const DIM_RAW: usize = 8;
+
+fn synthetic_points(n: usize, seed: u64) -> PointSet {
+    let mut state = seed;
+    let rows: Vec<Vec<Scalar>> = (0..n)
+        .map(|_| (0..DIM_RAW).map(|_| unit_interval(&mut state) * 4.0 - 2.0).collect())
+        .collect();
+    PointSet::augment(&rows).expect("non-empty synthetic rows")
+}
+
+fn synthetic_queries(m: usize, seed: u64) -> Vec<(HyperplaneQuery, SearchParams)> {
+    let mut state = seed ^ 0x5151_5151;
+    (0..m)
+        .map(|i| {
+            let normal: Vec<Scalar> =
+                (0..DIM_RAW).map(|_| unit_interval(&mut state) * 2.0 - 1.0).collect();
+            let bias = unit_interval(&mut state) - 0.5;
+            let query = HyperplaneQuery::from_normal_and_bias(&normal, bias)
+                .expect("non-degenerate synthetic normal");
+            // Mix exact and budgeted searches so per-position parameter overrides
+            // ride through the coalescer too.
+            let params = match i % 3 {
+                0 => SearchParams::exact(10),
+                1 => SearchParams::approximate(5, 64),
+                _ => SearchParams::exact(3),
+            };
+            (query, params)
+        })
+        .collect()
+}
+
+fn oracle_answers(
+    points: &PointSet,
+    queries: &[(HyperplaneQuery, SearchParams)],
+) -> Vec<SearchResult> {
+    let scan = LinearScan::new(points.clone());
+    let mut scratch = QueryScratch::new();
+    queries.iter().map(|(q, p)| scan.search_with_scratch(q, p, &mut scratch)).collect()
+}
+
+fn assert_result_bits(
+    got: &SearchResult,
+    want: &SearchResult,
+    context: &str,
+) -> Result<(), String> {
+    if got.neighbors.len() != want.neighbors.len() {
+        return Err(format!(
+            "{context}: {} neighbors vs oracle {}",
+            got.neighbors.len(),
+            want.neighbors.len()
+        ));
+    }
+    for (rank, (g, w)) in got.neighbors.iter().zip(&want.neighbors).enumerate() {
+        if g.index != w.index || g.distance.to_bits() != w.distance.to_bits() {
+            return Err(format!(
+                "{context}: rank {rank}: front ({}, {:#010x}) != oracle ({}, {:#010x})",
+                g.index,
+                g.distance.to_bits(),
+                w.index,
+                w.distance.to_bits()
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn build_engine(points: &PointSet, shards: usize, seed: u64) -> Engine {
+    let index = ShardedIndexBuilder::new(Partitioner::Hash { shards }, ShardIndexKind::LinearScan)
+        .with_seed(seed)
+        .build(points)
+        .expect("sharded build");
+    let engine = Engine::new(0);
+    engine.registry().register_sharded("bench", index);
+    engine
+}
+
+/// One sweep cell: `clients` threads, each pipelining the whole query set per
+/// round over its own connection (`FrontClient::query_many` — the open-loop shape
+/// coalescing exists for), every answer checked bit-for-bit. Returns
+/// `(qps, p99_round_us)` where a round is one pipelined wave of queries.
+fn drive(
+    addr: &str,
+    queries: &[(HyperplaneQuery, SearchParams)],
+    oracle: &[SearchResult],
+    clients: usize,
+    rounds: usize,
+) -> Result<(f64, f64), String> {
+    let wall = Instant::now();
+    let latencies = std::thread::scope(|scope| -> Result<Vec<u64>, String> {
+        let mut handles = Vec::with_capacity(clients);
+        for worker in 0..clients {
+            handles.push(scope.spawn(move || -> Result<Vec<u64>, String> {
+                let mut client = FrontClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                let mut lat = Vec::with_capacity(rounds);
+                for round in 0..rounds {
+                    let sent = Instant::now();
+                    let outcomes = client
+                        .query_many("bench", queries, 0)
+                        .map_err(|e| format!("worker {worker} round {round}: {e}"))?;
+                    lat.push(sent.elapsed().as_nanos() as u64);
+                    for (position, outcome) in outcomes.into_iter().enumerate() {
+                        let result = outcome.map_err(|(code, message)| {
+                            format!("worker {worker} round {round} q{position}: {code}: {message}")
+                        })?;
+                        assert_result_bits(
+                            &result,
+                            &oracle[position],
+                            &format!("worker {worker} round {round} q{position}"),
+                        )?;
+                    }
+                }
+                Ok(lat)
+            }));
+        }
+        let mut all = Vec::new();
+        for handle in handles {
+            all.extend(handle.join().map_err(|_| "worker panicked".to_string())??);
+        }
+        Ok(all)
+    })?;
+    let elapsed = wall.elapsed().as_secs_f64().max(1e-9);
+    let served = clients * rounds * queries.len();
+    let mut sorted = latencies;
+    sorted.sort_unstable();
+    let p99 = sorted[(sorted.len() * 99 / 100).min(sorted.len() - 1)] as f64 / 1_000.0;
+    Ok((served as f64 / elapsed, p99))
+}
+
+/// Parses one un-labeled counter value out of Prometheus text exposition.
+fn metric_value(text: &str, family: &str) -> u64 {
+    text.lines()
+        .filter(|line| !line.starts_with('#'))
+        .filter_map(|line| {
+            let (name, value) = line.rsplit_once(' ')?;
+            (name == family || name.starts_with(&format!("{family}{{")))
+                .then(|| value.trim().parse::<u64>().ok())?
+        })
+        .sum()
+}
+
+fn policy(coalesce: bool) -> FrontConfig {
+    FrontConfig {
+        loops: 2,
+        max_batch: if coalesce { 32 } else { 1 },
+        max_delay: if coalesce { Duration::from_micros(500) } else { Duration::ZERO },
+        queue_depth: 4096,
+        threads: 0,
+    }
+}
+
+fn run_bench(args: &Args) -> Result<(), String> {
+    let points = synthetic_points(args.points, args.seed);
+    let queries = synthetic_queries(args.queries, args.seed);
+    let oracle = oracle_answers(&points, &queries);
+    let engine = Arc::new(build_engine(&points, args.shards, args.seed));
+
+    println!(
+        "front_bench: {} points, {} distinct queries, {} shards",
+        args.points, args.queries, args.shards
+    );
+    println!("{:<12} {:>8} {:>12} {:>14}", "policy", "clients", "qps", "p99_round_us");
+    for coalesce in [false, true] {
+        let handle = FrontServer::new(Arc::clone(&engine), policy(coalesce))
+            .serve("127.0.0.1:0")
+            .map_err(|e| format!("serve: {e}"))?;
+        let addr = handle.addr().to_string();
+        for clients in [1usize, 4, 16] {
+            let rounds = (200 / clients).max(8);
+            let (qps, p99) = drive(&addr, &queries, &oracle, clients, rounds)?;
+            println!(
+                "{:<12} {:>8} {:>12.0} {:>14.1}",
+                if coalesce { "coalesce" } else { "batch=1" },
+                clients,
+                qps,
+                p99
+            );
+        }
+        handle.shutdown();
+    }
+    println!("front_bench: all answers bit-identical to local scan");
+    Ok(())
+}
+
+fn run_check(args: &Args) -> Result<(), String> {
+    let points = synthetic_points(args.points, args.seed);
+    let queries = synthetic_queries(args.queries, args.seed);
+    let oracle = oracle_answers(&points, &queries);
+
+    // Phase 1: coalescing correctness + effectiveness against an in-process engine.
+    let engine = Arc::new(build_engine(&points, args.shards, args.seed));
+    let handle = FrontServer::new(Arc::clone(&engine), policy(true))
+        .serve("127.0.0.1:0")
+        .map_err(|e| format!("serve: {e}"))?;
+    let addr = handle.addr().to_string();
+    let mut probe = FrontClient::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+    let before = probe.metrics().map_err(|e| format!("metrics: {e}"))?;
+    drive(&addr, &queries, &oracle, 8, 6)?;
+    let after = probe.metrics().map_err(|e| format!("metrics: {e}"))?;
+    let requests = metric_value(&after, "p2h_front_requests_total")
+        - metric_value(&before, "p2h_front_requests_total");
+    let batches = metric_value(&after, "p2h_front_batches_total")
+        - metric_value(&before, "p2h_front_batches_total");
+    if batches == 0 || batches >= requests {
+        return Err(format!(
+            "coalescing ineffective: {requests} requests dispatched as {batches} batches"
+        ));
+    }
+    println!(
+        "front_bench --check: coalescing OK ({requests} requests -> {batches} batches, \
+         all bit-identical)"
+    );
+    handle.shutdown();
+
+    // Phase 2: store-backed serving + zero-downtime reload (this is the leg CI
+    // re-runs under P2H_STORE_MMAP=0 and =1).
+    let store_dir = std::env::temp_dir().join(format!("p2h-front-check-{}", std::process::id()));
+    std::fs::remove_dir_all(&store_dir).ok();
+    let store = Store::create(&store_dir).map_err(|e| format!("create store: {e}"))?;
+    ShardedIndexBuilder::new(Partitioner::Hash { shards: args.shards }, ShardIndexKind::LinearScan)
+        .with_seed(args.seed)
+        .build(&points)
+        .expect("sharded build")
+        .save_into(&store, "bench")
+        .map_err(|e| format!("save entry: {e}"))?;
+
+    let handle = FrontServer::from_store(&store_dir, policy(true))
+        .map_err(|e| format!("cold start: {e}"))?
+        .serve("127.0.0.1:0")
+        .map_err(|e| format!("serve: {e}"))?;
+    let addr = handle.addr().to_string();
+    drive(&addr, &queries, &oracle, 4, 3)?;
+    let mut admin = FrontClient::connect(&addr).map_err(|e| format!("connect: {e}"))?;
+    let entries = admin.reload().map_err(|e| format!("reload: {e}"))?;
+    if entries == 0 {
+        return Err("reload reported an empty registry".into());
+    }
+    drive(&addr, &queries, &oracle, 4, 3)?;
+    println!("front_bench --check: store-backed serving + reload OK ({entries} entries)");
+    handle.shutdown();
+    std::fs::remove_dir_all(&store_dir).ok();
+    println!("front_bench --check: PASS (all answers bit-identical to local scan)");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("front_bench: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = if args.check { run_check(&args) } else { run_bench(&args) };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("front_bench: FAIL: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! `front-server` — the coalescing serving front-end over a snapshot store.
+//!
+//! ```text
+//! front-server --store DIR [--addr 127.0.0.1:0] [--max-batch 32]
+//!              [--max-delay-us 500] [--queue-depth 1024] [--loops 2]
+//! ```
+//!
+//! Cold-starts every manifest entry from the store (`P2H_STORE_MMAP` picks the
+//! load mode), then serves `FrontQuery`/`MetricsRequest`/`Reload` frames until
+//! killed. Prints the same one-line parseable banner as `shard-server` —
+//! `READY addr=<addr> pid=<pid>` — so a parent process learns the ephemeral port
+//! and the pid in one read. The listener sets `SO_REUSEADDR`, so a restarted
+//! front can re-bind the killed one's exact port immediately.
+//!
+//! Batching/admission knobs default from `P2H_FRONT_*` environment variables
+//! ([`FrontConfig::from_env`]); flags override the environment.
+
+use std::io::Write;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use p2h_front::{FrontConfig, FrontServer};
+
+struct Args {
+    store: String,
+    addr: String,
+    config: FrontConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut store = None;
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut config = FrontConfig::from_env();
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| iter.next().ok_or_else(|| format!("{name} requires a value"));
+        let parse = |name: &str, raw: String| {
+            raw.parse::<u64>().map_err(|e| format!("{name} '{raw}': {e}"))
+        };
+        match flag.as_str() {
+            "--store" => store = Some(value("--store")?),
+            "--addr" => addr = value("--addr")?,
+            "--max-batch" => {
+                config.max_batch = (parse("--max-batch", value("--max-batch")?)? as usize).max(1)
+            }
+            "--max-delay-us" => {
+                config.max_delay =
+                    Duration::from_micros(parse("--max-delay-us", value("--max-delay-us")?)?)
+            }
+            "--queue-depth" => {
+                config.queue_depth =
+                    (parse("--queue-depth", value("--queue-depth")?)? as usize).max(1)
+            }
+            "--loops" => config.loops = parse("--loops", value("--loops")?)? as usize,
+            "--threads" => config.threads = parse("--threads", value("--threads")?)? as usize,
+            "--help" | "-h" => {
+                return Err("usage: front-server --store DIR [--addr 127.0.0.1:0] \
+                            [--max-batch N] [--max-delay-us N] [--queue-depth N] \
+                            [--loops N] [--threads N]"
+                    .into())
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(Args { store: store.ok_or("--store is required")?, addr, config })
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let server = FrontServer::from_store(&args.store, args.config)
+        .map_err(|e| format!("cold start: {e}"))?;
+    let handle = server.serve(&args.addr).map_err(|e| format!("bind {}: {e}", args.addr))?;
+    // The parent parses this exact one-line banner: the address it will dial and
+    // the pid it will later signal.
+    println!("READY addr={} pid={}", handle.addr(), std::process::id());
+    std::io::stdout().flush().ok();
+    // Serve until killed; reloads arrive over the wire, not via signals.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("front-server: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! A minimal `poll(2)` readiness shim — the event-loop primitive under the
+//! front-end, and this crate's **only** module containing `unsafe` (mirroring the
+//! single-unsafe-module rule `p2h-store` uses for `mmap`).
+//!
+//! No async runtime exists offline, so the front-end multiplexes nonblocking
+//! sockets the classic way: one `pollfd` array per event loop, rebuilt each
+//! iteration (connection counts are small enough that the rebuild is noise), with
+//! a [`WakePipe`] — a nonblocking `UnixStream` pair, no extra syscall surface —
+//! letting other threads interrupt a sleeping `poll`.
+//!
+//! On non-Unix targets the shim degrades to "sleep briefly, report everything
+//! ready": correctness is preserved (every fd gets serviced), only wakeup latency
+//! and idle CPU suffer — acceptable for a platform the workspace does not target.
+
+/// Interest/readiness: data to read (`POLLIN` in `<poll.h>`).
+pub const POLL_IN: i16 = 0x001;
+/// Interest/readiness: writable without blocking (`POLLOUT`).
+pub const POLL_OUT: i16 = 0x004;
+/// Readiness only: error condition (`POLLERR`; always reported, never requested).
+pub const POLL_ERR: i16 = 0x008;
+/// Readiness only: peer hung up (`POLLHUP`).
+pub const POLL_HUP: i16 = 0x010;
+
+#[cfg(unix)]
+mod imp {
+    use std::os::fd::RawFd;
+
+    /// `struct pollfd` from `<poll.h>`. The layout is fixed by POSIX: the fd, the
+    /// requested events, and the kernel-filled returned events.
+    #[repr(C)]
+    #[derive(Debug, Clone, Copy)]
+    struct PollFd {
+        fd: RawFd,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        /// `int poll(struct pollfd *fds, nfds_t nfds, int timeout);`
+        fn poll(
+            fds: *mut PollFd,
+            nfds: std::os::raw::c_ulong,
+            timeout: std::os::raw::c_int,
+        ) -> std::os::raw::c_int;
+    }
+
+    /// A reusable `pollfd` array. `clear` + `push` each iteration, then [`Self::wait`].
+    #[derive(Debug, Default)]
+    pub struct PollSet {
+        fds: Vec<PollFd>,
+    }
+
+    impl PollSet {
+        /// An empty set.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Forgets every registered fd (keeps the allocation).
+        pub fn clear(&mut self) {
+            self.fds.clear();
+        }
+
+        /// Registers `fd` with the given interest mask, returning its slot index for
+        /// [`Self::revents`] after the wait.
+        pub fn push(&mut self, fd: RawFd, events: i16) -> usize {
+            self.fds.push(PollFd { fd, events, revents: 0 });
+            self.fds.len() - 1
+        }
+
+        /// Blocks until at least one fd is ready or `timeout_ms` elapses (`0` =
+        /// return immediately). Returns the number of ready fds; `EINTR` is retried
+        /// internally (a signal is not readiness).
+        pub fn wait(&mut self, timeout_ms: i32) -> std::io::Result<usize> {
+            loop {
+                // SAFETY: `self.fds` is a live, exclusively borrowed Vec of
+                // `#[repr(C)]` PollFd structs; the pointer/length pair describes
+                // exactly that allocation for the duration of the call, and the
+                // kernel only writes the `revents` fields within it.
+                let rc = unsafe {
+                    poll(self.fds.as_mut_ptr(), self.fds.len() as std::os::raw::c_ulong, timeout_ms)
+                };
+                if rc >= 0 {
+                    return Ok(rc as usize);
+                }
+                let err = std::io::Error::last_os_error();
+                if err.kind() != std::io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            }
+        }
+
+        /// The readiness bits the kernel reported for slot `index`.
+        pub fn revents(&self, index: usize) -> i16 {
+            self.fds[index].revents
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    /// Degenerate fallback: no fd multiplexing, every registered slot reports ready
+    /// after a short sleep. Keeps the event loops correct (if hot) off-Unix.
+    #[derive(Debug, Default)]
+    pub struct PollSet {
+        slots: usize,
+    }
+
+    impl PollSet {
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        pub fn clear(&mut self) {
+            self.slots = 0;
+        }
+
+        pub fn push(&mut self, _fd: i32, _events: i16) -> usize {
+            self.slots += 1;
+            self.slots - 1
+        }
+
+        pub fn wait(&mut self, timeout_ms: i32) -> std::io::Result<usize> {
+            std::thread::sleep(std::time::Duration::from_millis(timeout_ms.clamp(0, 5) as u64));
+            Ok(self.slots)
+        }
+
+        pub fn revents(&self, _index: usize) -> i16 {
+            super::POLL_IN | super::POLL_OUT
+        }
+    }
+}
+
+pub use imp::PollSet;
+
+/// A cross-thread wakeup channel for a sleeping [`PollSet::wait`]: the read end is
+/// registered `POLL_IN` in the loop's set; any thread holding a [`Waker`] writes one
+/// byte to end the sleep early. Built on a nonblocking `UnixStream` pair, so no
+/// extra unsafe surface beyond `poll` itself.
+#[derive(Debug)]
+pub struct WakePipe {
+    #[cfg(unix)]
+    read: std::os::unix::net::UnixStream,
+    #[cfg(unix)]
+    write: std::os::unix::net::UnixStream,
+}
+
+/// The writable half of a [`WakePipe`], cloneable into any thread.
+#[derive(Debug)]
+pub struct Waker {
+    #[cfg(unix)]
+    write: std::os::unix::net::UnixStream,
+}
+
+impl WakePipe {
+    /// A fresh pipe; both ends nonblocking.
+    pub fn new() -> std::io::Result<Self> {
+        #[cfg(unix)]
+        {
+            let (read, write) = std::os::unix::net::UnixStream::pair()?;
+            read.set_nonblocking(true)?;
+            write.set_nonblocking(true)?;
+            Ok(Self { read, write })
+        }
+        #[cfg(not(unix))]
+        Ok(Self {})
+    }
+
+    /// The fd to register `POLL_IN` in the loop's [`PollSet`].
+    #[cfg(unix)]
+    pub fn poll_fd(&self) -> std::os::fd::RawFd {
+        use std::os::fd::AsRawFd;
+        self.read.as_raw_fd()
+    }
+
+    /// Fallback fd for the degenerate poll set.
+    #[cfg(not(unix))]
+    pub fn poll_fd(&self) -> i32 {
+        -1
+    }
+
+    /// Drains every pending wake byte (level-triggered `poll` would otherwise spin).
+    pub fn drain(&self) {
+        #[cfg(unix)]
+        {
+            use std::io::Read;
+            let mut sink = [0u8; 64];
+            // Nonblocking: WouldBlock ends the drain; any other error means the
+            // write half is gone, which shutdown handles elsewhere.
+            while matches!((&self.read).read(&mut sink), Ok(n) if n > 0) {}
+        }
+    }
+
+    /// A handle other threads use to interrupt this pipe's poll loop.
+    pub fn waker(&self) -> std::io::Result<Waker> {
+        #[cfg(unix)]
+        {
+            Ok(Waker { write: self.write.try_clone()? })
+        }
+        #[cfg(not(unix))]
+        Ok(Waker {})
+    }
+}
+
+impl Waker {
+    /// Ends the target loop's current (or next) `poll` sleep. A full pipe counts as
+    /// already-woken, so the result is ignored by design.
+    pub fn wake(&self) {
+        #[cfg(unix)]
+        {
+            use std::io::Write;
+            let _ = (&self.write).write(&[1u8]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[cfg(unix)]
+    #[test]
+    fn poll_reports_readable_sockets_and_wake_pipes() {
+        use std::io::Write;
+        use std::os::fd::AsRawFd;
+
+        let (mut a, b) = std::os::unix::net::UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut set = PollSet::new();
+
+        // Nothing readable yet: a zero-timeout wait reports no readiness.
+        let slot = set.push(b.as_raw_fd(), POLL_IN);
+        assert_eq!(set.wait(0).unwrap(), 0);
+        assert_eq!(set.revents(slot) & POLL_IN, 0);
+
+        // One written byte flips the same fd readable.
+        a.write_all(&[9]).unwrap();
+        set.clear();
+        let slot = set.push(b.as_raw_fd(), POLL_IN);
+        assert_eq!(set.wait(1000).unwrap(), 1);
+        assert_ne!(set.revents(slot) & POLL_IN, 0);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn waker_interrupts_a_sleeping_poll() {
+        let pipe = WakePipe::new().unwrap();
+        let waker = pipe.waker().unwrap();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            waker.wake();
+        });
+        let mut set = PollSet::new();
+        let slot = set.push(pipe.poll_fd(), POLL_IN);
+        let start = std::time::Instant::now();
+        // Without the wake this would sleep the full 10 s and fail the elapsed check.
+        assert_eq!(set.wait(10_000).unwrap(), 1);
+        assert_ne!(set.revents(slot) & POLL_IN, 0);
+        assert!(start.elapsed() < std::time::Duration::from_secs(5));
+        pipe.drain();
+        assert_eq!(set.wait(0).unwrap(), 0, "drain consumed the wake byte");
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,271 @@
+//! The coalescing queue: concurrent single queries become engine batches under a
+//! `max_batch` / `max_delay` policy, with bounded-depth admission control.
+//!
+//! Invariants the rest of the crate leans on:
+//!
+//! * **Bounded**: [`CoalesceQueue::push`] refuses (returning the item) once
+//!   `queue_depth` queries wait — the caller sheds with a typed `Overloaded`
+//!   error. Nothing is ever silently dropped.
+//! * **Deadline-aware**: a query whose deadline expires while queued comes back
+//!   through [`BatchTake::expired`], never inside a served batch.
+//! * **Order-preserving per index**: a batch takes the oldest waiting queries of
+//!   the head-of-line index, in arrival order. Queries for other indexes keep
+//!   their positions for the next take.
+//!
+//! The queue knows nothing about sockets or engines; it moves [`Pending`] values
+//! between the event loops (producers) and the batcher thread (consumer).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use p2h_net::WireQuery;
+
+/// One admitted front query waiting to be batched.
+#[derive(Debug)]
+pub(crate) struct Pending {
+    /// Which event loop owns the connection.
+    pub loop_id: usize,
+    /// The connection within that loop.
+    pub conn_id: u64,
+    /// The client's request id, echoed in the reply.
+    pub request_id: u64,
+    /// Registered index name this query targets.
+    pub index: String,
+    /// Absolute queueing deadline, if the client set one.
+    pub deadline: Option<Instant>,
+    /// The query and its effective search parameters.
+    pub query: WireQuery,
+    /// When admission accepted the query (feeds `p2h_front_queue_wait_ns`).
+    pub enqueued: Instant,
+}
+
+impl Pending {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|deadline| now >= deadline)
+    }
+}
+
+/// What one [`CoalesceQueue::next_batch`] call hands the batcher.
+#[derive(Debug)]
+pub(crate) struct BatchTake {
+    /// The index every item in `items` targets.
+    pub index: String,
+    /// The batch to serve, in arrival order. May be empty when the take only
+    /// carries expirations.
+    pub items: Vec<Pending>,
+    /// Queries whose deadline lapsed while queued — shed, not served.
+    pub expired: Vec<Pending>,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    waiting: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+/// The bounded, deadline-aware coalescing queue. One per server.
+#[derive(Debug)]
+pub(crate) struct CoalesceQueue {
+    state: Mutex<QueueState>,
+    arrived: Condvar,
+    depth: usize,
+    max_batch: usize,
+    max_delay: Duration,
+}
+
+impl CoalesceQueue {
+    pub fn new(depth: usize, max_batch: usize, max_delay: Duration) -> Self {
+        Self {
+            state: Mutex::new(QueueState::default()),
+            arrived: Condvar::new(),
+            depth: depth.max(1),
+            max_batch: max_batch.max(1),
+            max_delay,
+        }
+    }
+
+    /// Queries currently waiting.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("coalesce queue poisoned").waiting.len()
+    }
+
+    /// Admission: accepts the query unless `depth` queries already wait, in which
+    /// case the item comes straight back (`Err`) for the caller to shed with a
+    /// typed `Overloaded` error.
+    // The Err variant carries the whole Pending by design: the caller needs the
+    // request id and connection routing back to answer the shed, and boxing the
+    // rare rejection path would cost an allocation on the common admit path too.
+    #[allow(clippy::result_large_err)]
+    pub fn push(&self, pending: Pending) -> Result<(), Pending> {
+        let mut state = self.state.lock().expect("coalesce queue poisoned");
+        if state.shutdown || state.waiting.len() >= self.depth {
+            return Err(pending);
+        }
+        state.waiting.push_back(pending);
+        drop(state);
+        self.arrived.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until the policy yields a batch (or expirations to shed), or until
+    /// [`CoalesceQueue::shutdown`]. `None` means the queue is shut down and drained.
+    pub fn next_batch(&self) -> Option<BatchTake> {
+        let mut state = self.state.lock().expect("coalesce queue poisoned");
+        loop {
+            if state.shutdown && state.waiting.is_empty() {
+                return None;
+            }
+            let now = Instant::now();
+            // Sweep lapsed deadlines out of the whole queue first: an expired query
+            // must be shed promptly even when it sits behind another index.
+            let mut expired = Vec::new();
+            if state.waiting.iter().any(|pending| pending.expired(now)) {
+                let mut kept = VecDeque::with_capacity(state.waiting.len());
+                for pending in state.waiting.drain(..) {
+                    if pending.expired(now) {
+                        expired.push(pending);
+                    } else {
+                        kept.push_back(pending);
+                    }
+                }
+                state.waiting = kept;
+            }
+            if !expired.is_empty() {
+                return Some(BatchTake { index: String::new(), items: Vec::new(), expired });
+            }
+            let Some(head) = state.waiting.front() else {
+                state = self.arrived.wait(state).expect("coalesce queue poisoned");
+                continue;
+            };
+            let head_index = head.index.clone();
+            let head_age = now.saturating_duration_since(head.enqueued);
+            let matching =
+                state.waiting.iter().filter(|pending| pending.index == head_index).count();
+            if matching >= self.max_batch || head_age >= self.max_delay || state.shutdown {
+                let mut items = Vec::with_capacity(matching.min(self.max_batch));
+                let mut kept = VecDeque::with_capacity(state.waiting.len());
+                for pending in state.waiting.drain(..) {
+                    if pending.index == head_index && items.len() < self.max_batch {
+                        items.push(pending);
+                    } else {
+                        kept.push_back(pending);
+                    }
+                }
+                state.waiting = kept;
+                return Some(BatchTake { index: head_index, items, expired });
+            }
+            // Wait for batch-mates, but never past the head's delay budget — and
+            // never past the earliest queued deadline, so expirations shed on time.
+            let mut wake_in = self.max_delay - head_age;
+            for pending in &state.waiting {
+                if let Some(deadline) = pending.deadline {
+                    wake_in = wake_in.min(deadline.saturating_duration_since(now));
+                }
+            }
+            let (guard, _timeout) = self
+                .arrived
+                .wait_timeout(state, wake_in.max(Duration::from_micros(50)))
+                .expect("coalesce queue poisoned");
+            state = guard;
+        }
+    }
+
+    /// Stops the queue: pushes start failing, and `next_batch` drains what is left
+    /// then returns `None`.
+    pub fn shutdown(&self) {
+        self.state.lock().expect("coalesce queue poisoned").shutdown = true;
+        self.arrived.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p2h_core::SearchParams;
+
+    fn pending(index: &str, request_id: u64, deadline: Option<Instant>) -> Pending {
+        Pending {
+            loop_id: 0,
+            conn_id: 0,
+            request_id,
+            index: index.to_string(),
+            deadline,
+            query: WireQuery { coeffs: vec![1.0, 0.0], norm: 1.0, params: SearchParams::exact(1) },
+            enqueued: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn full_queue_refuses_instead_of_growing() {
+        let queue = CoalesceQueue::new(2, 8, Duration::from_millis(50));
+        assert!(queue.push(pending("a", 1, None)).is_ok());
+        assert!(queue.push(pending("a", 2, None)).is_ok());
+        let refused = queue.push(pending("a", 3, None)).unwrap_err();
+        assert_eq!(refused.request_id, 3, "the refused item comes back for a typed shed");
+        assert_eq!(queue.len(), 2);
+    }
+
+    #[test]
+    fn full_batch_dispatches_without_waiting_for_the_delay() {
+        let queue = CoalesceQueue::new(64, 3, Duration::from_secs(3600));
+        for id in 0..5 {
+            queue.push(pending("a", id, None)).unwrap();
+        }
+        let start = Instant::now();
+        let take = queue.next_batch().unwrap();
+        assert!(start.elapsed() < Duration::from_secs(10), "must not wait out the huge delay");
+        assert_eq!(take.index, "a");
+        let ids: Vec<u64> = take.items.iter().map(|p| p.request_id).collect();
+        assert_eq!(ids, [0, 1, 2], "oldest first, capped at max_batch");
+        assert_eq!(queue.len(), 2);
+    }
+
+    #[test]
+    fn delay_expiry_dispatches_a_partial_batch() {
+        let queue = CoalesceQueue::new(64, 1000, Duration::from_millis(20));
+        queue.push(pending("a", 7, None)).unwrap();
+        let take = queue.next_batch().unwrap();
+        assert_eq!(take.items.len(), 1);
+        assert_eq!(take.items[0].request_id, 7);
+    }
+
+    #[test]
+    fn batches_are_per_index_and_keep_arrival_order() {
+        let queue = CoalesceQueue::new(64, 8, Duration::ZERO);
+        queue.push(pending("a", 1, None)).unwrap();
+        queue.push(pending("b", 2, None)).unwrap();
+        queue.push(pending("a", 3, None)).unwrap();
+        let first = queue.next_batch().unwrap();
+        assert_eq!(first.index, "a");
+        assert_eq!(first.items.iter().map(|p| p.request_id).collect::<Vec<_>>(), [1, 3]);
+        let second = queue.next_batch().unwrap();
+        assert_eq!(second.index, "b");
+        assert_eq!(second.items.iter().map(|p| p.request_id).collect::<Vec<_>>(), [2]);
+    }
+
+    #[test]
+    fn lapsed_deadlines_come_back_as_expirations_not_batch_items() {
+        let queue = CoalesceQueue::new(64, 8, Duration::from_millis(5));
+        let past = Instant::now() - Duration::from_millis(1);
+        queue.push(pending("a", 1, Some(past))).unwrap();
+        queue.push(pending("a", 2, None)).unwrap();
+        let take = queue.next_batch().unwrap();
+        assert_eq!(take.expired.len(), 1);
+        assert_eq!(take.expired[0].request_id, 1);
+        assert!(take.items.is_empty(), "expirations shed before any batch forms");
+        let served = queue.next_batch().unwrap();
+        assert_eq!(served.items.iter().map(|p| p.request_id).collect::<Vec<_>>(), [2]);
+    }
+
+    #[test]
+    fn shutdown_drains_then_ends() {
+        let queue = CoalesceQueue::new(64, 8, Duration::from_secs(3600));
+        queue.push(pending("a", 1, None)).unwrap();
+        queue.shutdown();
+        assert!(queue.push(pending("a", 2, None)).is_err(), "no admissions after shutdown");
+        let take = queue.next_batch().unwrap();
+        assert_eq!(take.items.len(), 1, "queued work still drains");
+        assert!(queue.next_batch().is_none());
+    }
+}

@@ -1,0 +1,146 @@
+//! Satellite 1 — the front-end fault matrix.
+//!
+//! Deterministic faults (`P2H_FAULTS` semantics, installed programmatically) fire
+//! at the front-end's four fail points — `front.accept`, `front.read`,
+//! `front.write`, `front.queue` — while a retrying client drives traffic. The
+//! contract under every mix: the client ends with an answer **bit-identical** to
+//! serving the query alone, or a **typed** error. Never a hang (every read is
+//! bounded), never a silently wrong bit.
+//!
+//! The fault registry is process-global, so tests serialize on one mutex and
+//! clear rules on drop even when panicking.
+
+mod common;
+
+use std::sync::{Mutex, MutexGuard};
+
+use common::{assert_bits, fixture, serve_alone, Fixture, ENTRIES};
+use p2h_front::{FrontConfig, FrontServer, RetryingClient};
+use p2h_net::ErrorCode;
+use p2h_obs::fault::{self, FaultRule};
+use p2h_obs::FaultKind;
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn serialize() -> MutexGuard<'static, ()> {
+    FAULT_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Clears installed rules even when the test body panics.
+struct FaultScope;
+
+impl FaultScope {
+    fn install(rules: Vec<FaultRule>) -> Self {
+        fault::set_rules(rules);
+        FaultScope
+    }
+}
+
+impl Drop for FaultScope {
+    fn drop(&mut self) {
+        fault::set_rules(Vec::new());
+    }
+}
+
+/// Drives every fixture query against every entry kind through a retrying client
+/// and checks each completed answer bit-for-bit. `DeadlineExceeded` is the only
+/// acceptable typed failure (final by contract); anything else fails the run.
+fn drive_checked(fix: &Fixture, addr: &str, context: &str) {
+    let mut client = RetryingClient::new(addr);
+    client.max_attempts = 24;
+    for entry in ENTRIES {
+        for (position, (query, params)) in fix.queries.iter().enumerate() {
+            match client.query(entry, query, params, 0) {
+                Ok(Ok(got)) => assert_bits(
+                    &got,
+                    &serve_alone(&fix.engine, entry, query, params),
+                    &format!("{context}: {entry} q{position}"),
+                ),
+                Ok(Err((ErrorCode::DeadlineExceeded, _))) => {}
+                Ok(Err((code, message))) => {
+                    panic!(
+                        "{context}: {entry} q{position}: unexpected typed error {code}: {message}"
+                    )
+                }
+                Err(e) => panic!("{context}: {entry} q{position}: retries exhausted: {e}"),
+            }
+        }
+    }
+}
+
+fn run_matrix_cell(point: &str, kind: FaultKind, rate: f64, seed: u64) {
+    let _guard = serialize();
+    let fix = fixture("chaos", seed ^ 0xC4A0, 200, 5);
+    let handle = FrontServer::new(fix.engine.clone(), FrontConfig::default())
+        .serve("127.0.0.1:0")
+        .expect("serve");
+    let addr = handle.addr().to_string();
+    {
+        let _scope = FaultScope::install(vec![FaultRule::new(point, kind, rate, seed)]);
+        drive_checked(&fix, &addr, &format!("{point}:{kind:?}@{rate}"));
+    }
+    // Faults cleared: the same server must serve cleanly afterwards.
+    drive_checked(&fix, &addr, &format!("{point} aftermath"));
+    handle.shutdown();
+}
+
+#[test]
+fn accept_refusal_is_absorbed_by_reconnects() {
+    run_matrix_cell("front.accept", FaultKind::Refuse, 0.4, 11);
+}
+
+#[test]
+fn read_disconnects_are_absorbed_by_reconnects() {
+    run_matrix_cell("front.read", FaultKind::Disconnect, 0.15, 12);
+}
+
+#[test]
+fn read_corruption_is_caught_by_crc_and_retried() {
+    run_matrix_cell("front.read", FaultKind::Corrupt, 0.15, 13);
+}
+
+#[test]
+fn truncated_reads_never_produce_a_wrong_answer() {
+    run_matrix_cell("front.read", FaultKind::Truncate, 0.1, 14);
+}
+
+#[test]
+fn write_disconnects_are_absorbed_by_reconnects() {
+    run_matrix_cell("front.write", FaultKind::Disconnect, 0.15, 15);
+}
+
+#[test]
+fn write_corruption_is_caught_by_the_client_crc() {
+    run_matrix_cell("front.write", FaultKind::Corrupt, 0.15, 16);
+}
+
+#[test]
+fn truncated_writes_never_produce_a_wrong_answer() {
+    run_matrix_cell("front.write", FaultKind::Truncate, 0.1, 17);
+}
+
+#[test]
+fn admission_refusals_surface_as_overloaded_and_retry_through() {
+    run_matrix_cell("front.queue", FaultKind::Refuse, 0.3, 18);
+}
+
+#[test]
+fn a_mixed_storm_across_every_fail_point_still_converges() {
+    let _guard = serialize();
+    let fix = fixture("storm", 0x5701, 200, 5);
+    let handle = FrontServer::new(fix.engine.clone(), FrontConfig::default())
+        .serve("127.0.0.1:0")
+        .expect("serve");
+    let addr = handle.addr().to_string();
+    {
+        let _scope = FaultScope::install(vec![
+            FaultRule::new("front.accept", FaultKind::Refuse, 0.2, 21),
+            FaultRule::new("front.read", FaultKind::Corrupt, 0.05, 22),
+            FaultRule::new("front.write", FaultKind::Disconnect, 0.05, 23),
+            FaultRule::new("front.queue", FaultKind::Refuse, 0.2, 24),
+        ]);
+        drive_checked(&fix, &addr, "mixed storm");
+    }
+    drive_checked(&fix, &addr, "storm aftermath");
+    handle.shutdown();
+}

@@ -1,0 +1,104 @@
+//! Admission control: overload and lapsed deadlines shed with **typed** errors —
+//! never a silent drop, never a hang, and never a wrong answer for the requests
+//! that were admitted.
+
+mod common;
+
+use std::time::{Duration, Instant};
+
+use common::{assert_bits, fixture, serve_alone};
+use p2h_front::{FrontClient, FrontConfig, FrontServer};
+use p2h_net::ErrorCode;
+
+#[test]
+fn a_full_queue_sheds_typed_overloaded_and_serves_what_it_admitted() {
+    let fix = fixture("overload", 0x0F10, 200, 6);
+    // Depth 1 with a long-but-bounded delay: the first pipelined query occupies
+    // the queue while it waits for batch-mates, so every later arrival in the
+    // same wave is refused at admission.
+    let config = FrontConfig {
+        loops: 1,
+        max_batch: 64,
+        max_delay: Duration::from_millis(300),
+        queue_depth: 1,
+        threads: 2,
+    };
+    let handle = FrontServer::new(fix.engine.clone(), config).serve("127.0.0.1:0").expect("serve");
+    let mut client = FrontClient::connect(&handle.addr().to_string()).expect("connect");
+
+    let outcomes = client.query_many("plain", &fix.queries, 0).expect("pipelined wave");
+    let (mut served, mut shed) = (0usize, 0usize);
+    for (position, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok(result) => {
+                served += 1;
+                let (query, params) = &fix.queries[position];
+                assert_bits(
+                    &result,
+                    &serve_alone(&fix.engine, "plain", query, params),
+                    &format!("admitted q{position}"),
+                );
+            }
+            Err((code, message)) => {
+                shed += 1;
+                assert_eq!(
+                    code,
+                    ErrorCode::Overloaded,
+                    "q{position} shed with the wrong code: {message}"
+                );
+            }
+        }
+    }
+    assert!(served >= 1, "the queue admitted at least its depth");
+    assert!(shed >= 1, "a depth-1 queue cannot admit a whole pipelined wave");
+    handle.shutdown();
+}
+
+#[test]
+fn a_lapsed_queue_deadline_comes_back_as_deadline_exceeded() {
+    let fix = fixture("deadline", 0x0F11, 200, 1);
+    // A lone query can never fill max_batch, and the delay window far exceeds its
+    // deadline — so the deadline must lapse *in the queue*, deterministically.
+    let config = FrontConfig {
+        loops: 1,
+        max_batch: 64,
+        max_delay: Duration::from_secs(30),
+        queue_depth: 64,
+        threads: 2,
+    };
+    let handle = FrontServer::new(fix.engine.clone(), config).serve("127.0.0.1:0").expect("serve");
+    let mut client = FrontClient::connect(&handle.addr().to_string()).expect("connect");
+
+    let (query, params) = &fix.queries[0];
+    let start = Instant::now();
+    let outcome = client.query("plain", query, params, 40).expect("transport ok");
+    let elapsed = start.elapsed();
+    let (code, _message) = outcome.expect_err("the deadline must lapse before max_delay");
+    assert_eq!(code, ErrorCode::DeadlineExceeded);
+    assert!(
+        elapsed < Duration::from_secs(20),
+        "the shed must arrive at deadline time, not after max_delay ({elapsed:?})"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_index_and_malformed_query_get_typed_bad_request() {
+    let fix = fixture("badreq", 0x0F12, 120, 2);
+    let handle = FrontServer::new(fix.engine.clone(), FrontConfig::default())
+        .serve("127.0.0.1:0")
+        .expect("serve");
+    let mut client = FrontClient::connect(&handle.addr().to_string()).expect("connect");
+
+    let (query, params) = &fix.queries[0];
+    let (code, message) = client
+        .query("no-such-index", query, params, 0)
+        .expect("transport ok")
+        .expect_err("an unknown index is a per-request failure, not a connection failure");
+    assert_eq!(code, ErrorCode::BadRequest, "{message}");
+
+    // The same connection keeps working afterwards — typed errors are not fatal.
+    let ok = client.query("plain", query, params, 0).expect("transport ok").expect("served");
+    assert_bits(&ok, &serve_alone(&fix.engine, "plain", query, params), "post-error query");
+    handle.shutdown();
+}

@@ -39,6 +39,30 @@ use p2h_store::{
 use crate::error::{LiveError, LiveResult};
 use crate::index::{CompactionPending, Layer, LiveIndex};
 
+/// What caused a compaction to run — the `trigger` label on
+/// `p2h_live_compactions_total`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompactionTrigger {
+    /// An explicit [`LiveIndex::compact`] call.
+    Manual,
+    /// The background policy fired because the memtable crossed its point threshold.
+    Size,
+    /// The background policy fired because too much time passed since the last
+    /// compaction while mutations were pending.
+    Time,
+}
+
+impl CompactionTrigger {
+    /// The stable label value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CompactionTrigger::Manual => "manual",
+            CompactionTrigger::Size => "size",
+            CompactionTrigger::Time => "time",
+        }
+    }
+}
+
 /// What a completed compaction did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompactionReport {
@@ -73,11 +97,19 @@ impl LiveIndex {
     /// [`LiveError::Store`] / [`LiveError::Core`] on staging or build failure — the
     /// index keeps serving the old epoch and a retry starts a fresh attempt.
     pub fn compact(&self) -> LiveResult<CompactionReport> {
+        self.compact_triggered(CompactionTrigger::Manual)
+    }
+
+    /// [`LiveIndex::compact`] with an explicit [`CompactionTrigger`] — what the
+    /// background policy ([`crate::CompactionPolicy`]) calls, so the
+    /// `p2h_live_compactions_total{trigger=…}` counters attribute each compaction to
+    /// its cause. The compaction itself is identical regardless of trigger.
+    pub fn compact_triggered(&self, trigger: CompactionTrigger) -> LiveResult<CompactionReport> {
         let wall_start = Instant::now();
         let freeze_start = Instant::now();
         let frozen = self.freeze_phase()?;
         self.metrics.phase_freeze_ns.record(freeze_start.elapsed().as_nanos() as u64);
-        match self.build_and_commit(frozen, wall_start) {
+        match self.build_and_commit(frozen, wall_start, trigger) {
             Ok(report) => Ok(report),
             Err(e) => {
                 // Abandon the attempt but keep a consistent serving state: appends
@@ -152,6 +184,7 @@ impl LiveIndex {
         &self,
         frozen: Frozen,
         wall_start: Instant,
+        trigger: CompactionTrigger,
     ) -> LiveResult<CompactionReport> {
         let build_start = Instant::now();
         let Frozen { new_epoch, dim, freeze_next_id, new_wal_name, ids, flat, folded_rows } =
@@ -213,7 +246,7 @@ impl LiveIndex {
         self.metrics.phase_commit_ns.record(commit_start.elapsed().as_nanos() as u64);
         let wall_ns = wall_start.elapsed().as_nanos() as u64;
         self.metrics.compaction_wall_ns.record(wall_ns);
-        self.metrics.compactions.inc();
+        self.metrics.compactions_for(trigger).inc();
         self.metrics.epoch_swaps.inc();
         self.publish_gauges(&state);
         Ok(CompactionReport { epoch: new_epoch, survivors, folded_rows, wall_ns })

@@ -59,8 +59,10 @@ mod compact;
 mod error;
 mod index;
 mod metrics;
+mod policy;
 mod search;
 
-pub use compact::CompactionReport;
+pub use compact::{CompactionReport, CompactionTrigger};
 pub use error::{LiveError, LiveResult};
 pub use index::LiveIndex;
+pub use policy::{CompactionPolicy, Compactor};

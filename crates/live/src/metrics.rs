@@ -25,8 +25,12 @@ pub(crate) struct LiveMetrics {
     pub inserts: Arc<Counter>,
     /// Accepted (durable) deletes.
     pub deletes: Arc<Counter>,
-    /// Completed compactions.
-    pub compactions: Arc<Counter>,
+    /// Completed compactions requested explicitly ([`crate::LiveIndex::compact`]).
+    pub compactions_manual: Arc<Counter>,
+    /// Completed compactions the background policy fired on memtable size.
+    pub compactions_size: Arc<Counter>,
+    /// Completed compactions the background policy fired on elapsed time.
+    pub compactions_time: Arc<Counter>,
     /// Epoch swaps committed through the manifest (one per completed compaction).
     pub epoch_swaps: Arc<Counter>,
     /// End-to-end compaction wall time.
@@ -37,6 +41,15 @@ pub(crate) struct LiveMetrics {
     pub phase_build_ns: Arc<Histogram>,
     /// Commit phase (under the write lock: manifest swap + state install).
     pub phase_commit_ns: Arc<Histogram>,
+}
+
+/// The `p2h_live_compactions_total{index,trigger}` counter for one trigger value.
+fn compactions(name: &str, trigger: &str) -> Arc<Counter> {
+    p2h_obs::global().counter(
+        "p2h_live_compactions_total",
+        "Completed memtable compactions, by what triggered them.",
+        &[("index", name), ("trigger", trigger)],
+    )
 }
 
 impl LiveMetrics {
@@ -91,11 +104,9 @@ impl LiveMetrics {
                 "Durably acknowledged point deletes.",
                 labels,
             ),
-            compactions: reg.counter(
-                "p2h_live_compactions_total",
-                "Completed memtable compactions.",
-                labels,
-            ),
+            compactions_manual: compactions(name, "manual"),
+            compactions_size: compactions(name, "size"),
+            compactions_time: compactions(name, "time"),
             epoch_swaps: reg.counter(
                 "p2h_live_epoch_swaps_total",
                 "Store epochs committed through the atomic manifest rename.",
@@ -109,6 +120,15 @@ impl LiveMetrics {
             phase_freeze_ns: phase("freeze"),
             phase_build_ns: phase("build"),
             phase_commit_ns: phase("commit"),
+        }
+    }
+
+    /// The completed-compactions counter for `trigger`.
+    pub fn compactions_for(&self, trigger: crate::CompactionTrigger) -> &Arc<Counter> {
+        match trigger {
+            crate::CompactionTrigger::Manual => &self.compactions_manual,
+            crate::CompactionTrigger::Size => &self.compactions_size,
+            crate::CompactionTrigger::Time => &self.compactions_time,
         }
     }
 }

@@ -238,7 +238,8 @@ fn spawn_server(store_dir: &std::path::Path, entry: &str) -> Result<ChildServer,
         .ok_or("server exited before announcing its address")?
         .map_err(|e| format!("read server stdout: {e}"))?;
     let addr = line
-        .strip_prefix("LISTENING ")
+        .strip_prefix("READY addr=")
+        .and_then(|rest| rest.split_whitespace().next())
         .ok_or_else(|| format!("unexpected server banner: {line}"))?
         .to_string();
     Ok(ChildServer { child, addr })

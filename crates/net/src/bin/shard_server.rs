@@ -5,10 +5,12 @@
 //! ```
 //!
 //! Cold-starts the entry from the snapshot store (latest epoch; `P2H_STORE_MMAP`
-//! picks the load mode) and serves it until killed. Prints `LISTENING <addr>` on
-//! stdout once bound so a parent process can parse the ephemeral port — the chaos
-//! harness relies on that line, then `kill -9`s this process mid-batch and expects
-//! the router to fail over without a bit of drift.
+//! picks the load mode) and serves it until killed. Prints a one-line parseable
+//! banner `READY addr=<addr> pid=<pid>` on stdout once bound so a parent process
+//! can learn the ephemeral port and the pid in one read — the chaos harness relies
+//! on that line, then `kill -9`s this process mid-batch and expects the router to
+//! fail over without a bit of drift. The listener sets `SO_REUSEADDR`, so a
+//! restarted server can re-bind the killed one's exact port immediately.
 
 use std::io::Write;
 use std::process::ExitCode;
@@ -66,8 +68,9 @@ fn run() -> Result<(), String> {
         server = server.with_shards(shards).map_err(|e| e.to_string())?;
     }
     let handle = server.serve(&args.addr).map_err(|e| format!("bind {}: {e}", args.addr))?;
-    // The parent parses this exact line to learn the ephemeral port.
-    println!("LISTENING {}", handle.addr());
+    // The parent parses this exact one-line banner: the address it will dial and
+    // the pid it will later SIGKILL.
+    println!("READY addr={} pid={}", handle.addr(), std::process::id());
     std::io::stdout().flush().ok();
     // Serve until killed. The chaos tests terminate this process with SIGKILL, so
     // there is deliberately no graceful-shutdown path to hide behind.

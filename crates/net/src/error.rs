@@ -20,6 +20,12 @@ pub enum ErrorCode {
     BadRequest,
     /// The server failed internally while executing the request.
     Internal,
+    /// The front-end's admission queue is full — the request was shed, not queued.
+    /// Retrying after backoff is reasonable; the server's state is untouched.
+    Overloaded,
+    /// The request's deadline expired while it waited in the front-end's queue; it
+    /// was shed without being executed (never a silent drop).
+    DeadlineExceeded,
 }
 
 impl ErrorCode {
@@ -28,6 +34,8 @@ impl ErrorCode {
             ErrorCode::UnknownShard => 1,
             ErrorCode::BadRequest => 2,
             ErrorCode::Internal => 3,
+            ErrorCode::Overloaded => 4,
+            ErrorCode::DeadlineExceeded => 5,
         }
     }
 
@@ -36,6 +44,8 @@ impl ErrorCode {
             1 => Some(ErrorCode::UnknownShard),
             2 => Some(ErrorCode::BadRequest),
             3 => Some(ErrorCode::Internal),
+            4 => Some(ErrorCode::Overloaded),
+            5 => Some(ErrorCode::DeadlineExceeded),
             _ => None,
         }
     }
@@ -47,6 +57,8 @@ impl fmt::Display for ErrorCode {
             ErrorCode::UnknownShard => "unknown-shard",
             ErrorCode::BadRequest => "bad-request",
             ErrorCode::Internal => "internal",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::DeadlineExceeded => "deadline-exceeded",
         };
         f.write_str(name)
     }
@@ -193,7 +205,12 @@ impl NetError {
             | NetError::FrameTooLarge { .. }
             | NetError::DeadlineExceeded { .. }
             | NetError::ShardUnavailable { .. } => true,
-            NetError::Remote { code, .. } => *code == ErrorCode::Internal,
+            // Overloaded is a shed, not a failure: the server is healthy and a retry
+            // after backoff can land once the queue drains. A deadline shed is final —
+            // the budget it missed is gone.
+            NetError::Remote { code, .. } => {
+                matches!(code, ErrorCode::Internal | ErrorCode::Overloaded)
+            }
             NetError::Malformed { .. }
             | NetError::Version { .. }
             | NetError::ReplicaMismatch { .. }

@@ -29,6 +29,7 @@ pub mod metrics;
 pub mod pool;
 pub mod router;
 pub mod server;
+pub mod sys;
 pub mod wire;
 
 pub use backoff::BackoffPolicy;
@@ -37,4 +38,5 @@ pub use metrics::{net_metrics, NetMetrics};
 pub use pool::{Conn, Pool, ServerInfo};
 pub use router::{HedgeConfig, ReplicaSet, RoutedResponse, Router, RouterConfig};
 pub use server::{ServerHandle, ShardServer};
+pub use sys::ensure_reuseaddr;
 pub use wire::{Message, WireQuery, MAX_FRAME_BYTES, PROTOCOL_VERSION};

@@ -113,6 +113,9 @@ impl ShardServer {
     /// Binds `addr` (e.g. `127.0.0.1:0`) and starts serving in background threads.
     pub fn serve(self, addr: &str) -> NetResult<ServerHandle> {
         let listener = TcpListener::bind(addr).map_err(NetError::Io)?;
+        // Restart harnesses re-bind this exact port right after a kill -9; make the
+        // TIME_WAIT-proofing explicit instead of relying on std's default.
+        crate::sys::ensure_reuseaddr(&listener).map_err(NetError::Io)?;
         let bound = listener.local_addr().map_err(NetError::Io)?;
         listener.set_nonblocking(true).map_err(NetError::Io)?;
         let shutdown = Arc::new(AtomicBool::new(false));

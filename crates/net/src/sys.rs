@@ -1,0 +1,116 @@
+//! Raw socket options — the only module in this crate that contains `unsafe` code
+//! (one `setsockopt(2)`/`getsockopt(2)` pair; no `libc` dependency, the symbols live
+//! in the C library `std` already links, same pattern as `p2h_store::mmap`).
+//!
+//! Serving binaries (`shard-server`, `front-server`) are routinely `kill -9`ed by
+//! the chaos harnesses and restarted on the *same* port; without `SO_REUSEADDR` the
+//! kernel's `TIME_WAIT` hold on the old socket makes the re-bind fail for up to a
+//! minute, which the harnesses used to paper over with retry-sleeps. Rust's `std`
+//! sets `SO_REUSEADDR` before binding on Unix, but that is an implementation detail
+//! no document guarantees — [`ensure_reuseaddr`] makes the contract explicit: it
+//! sets the option on the bound listener and reads it back, so a platform or std
+//! change that silently dropped it becomes a hard startup error instead of a flaky
+//! restart harness.
+
+use std::net::TcpListener;
+
+/// Sets `SO_REUSEADDR` on the listener and verifies it stuck.
+///
+/// # Errors
+///
+/// An [`std::io::Error`] when either syscall fails or the read-back reports the
+/// option disabled. On non-Unix platforms this is a no-op returning `Ok(())`.
+pub fn ensure_reuseaddr(listener: &TcpListener) -> std::io::Result<()> {
+    imp::ensure_reuseaddr(listener)
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::net::TcpListener;
+    use std::os::fd::AsRawFd;
+
+    // Linux values; the BSD family (macOS) uses 0xffff/0x0004.
+    #[cfg(target_os = "linux")]
+    const SOL_SOCKET: i32 = 1;
+    #[cfg(target_os = "linux")]
+    const SO_REUSEADDR: i32 = 2;
+    #[cfg(not(target_os = "linux"))]
+    const SOL_SOCKET: i32 = 0xffff;
+    #[cfg(not(target_os = "linux"))]
+    const SO_REUSEADDR: i32 = 0x0004;
+
+    extern "C" {
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            name: i32,
+            value: *const core::ffi::c_void,
+            len: u32,
+        ) -> i32;
+        fn getsockopt(
+            fd: i32,
+            level: i32,
+            name: i32,
+            value: *mut core::ffi::c_void,
+            len: *mut u32,
+        ) -> i32;
+    }
+
+    pub fn ensure_reuseaddr(listener: &TcpListener) -> std::io::Result<()> {
+        let fd = listener.as_raw_fd();
+        let one: i32 = 1;
+        // SAFETY: `fd` is a live socket owned by `listener` for the duration of the
+        // call; the value buffer is a properly sized, properly aligned i32.
+        let rc = unsafe {
+            setsockopt(
+                fd,
+                SOL_SOCKET,
+                SO_REUSEADDR,
+                (&one as *const i32).cast(),
+                std::mem::size_of::<i32>() as u32,
+            )
+        };
+        if rc != 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        let mut got: i32 = 0;
+        let mut len = std::mem::size_of::<i32>() as u32;
+        // SAFETY: same fd; `got`/`len` are live, writable, and correctly sized.
+        let rc = unsafe {
+            getsockopt(fd, SOL_SOCKET, SO_REUSEADDR, (&mut got as *mut i32).cast(), &mut len)
+        };
+        if rc != 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        if got == 0 {
+            return Err(std::io::Error::other("SO_REUSEADDR did not stick"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    use std::net::TcpListener;
+
+    pub fn ensure_reuseaddr(_listener: &TcpListener) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuseaddr_sets_and_verifies() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        ensure_reuseaddr(&listener).unwrap();
+        // The point of the option: a second bind to the same port succeeds
+        // immediately after the first listener is gone.
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        let again = TcpListener::bind(addr).unwrap();
+        ensure_reuseaddr(&again).unwrap();
+    }
+}

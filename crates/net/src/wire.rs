@@ -128,6 +128,64 @@ pub enum Message {
         /// The ping's nonce.
         nonce: u64,
     },
+    /// A single query for the serving front-end's coalescing queue.
+    ///
+    /// Requests carry a client-chosen id and may be pipelined; the front-end
+    /// demultiplexes replies by id, so completions can arrive out of order.
+    FrontQuery {
+        /// Client-chosen request id, echoed in the reply.
+        id: u64,
+        /// Registered index name to serve against.
+        index: String,
+        /// Queueing budget in milliseconds (`0` = unbounded): a request still
+        /// waiting in the coalescing queue when this window closes is shed with a
+        /// typed [`ErrorCode::DeadlineExceeded`] error, never silently dropped.
+        deadline_ms: u64,
+        /// The query and its effective search parameters.
+        query: WireQuery,
+    },
+    /// The answer to a [`Message::FrontQuery`] — bit-identical to serving the same
+    /// query alone, no matter which batch coalescing placed it in.
+    FrontReply {
+        /// Echo of the request id.
+        id: u64,
+        /// The per-query result.
+        result: SearchResult,
+    },
+    /// A typed per-request front-end failure (admission shed, unknown index, …).
+    FrontError {
+        /// Echo of the request id.
+        id: u64,
+        /// The error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Asks the front-end for its process-wide metrics registry.
+    MetricsRequest {
+        /// Client-chosen request id, echoed in the reply.
+        id: u64,
+    },
+    /// The metrics registry in Prometheus text exposition format.
+    MetricsReply {
+        /// Echo of the request id.
+        id: u64,
+        /// `Engine::render_metrics()` output.
+        text: String,
+    },
+    /// Asks the front-end to cold-start a fresh engine from its store directory and
+    /// swap it in under live traffic (zero-downtime reload).
+    Reload {
+        /// Client-chosen request id, echoed in the reply.
+        id: u64,
+    },
+    /// A completed reload: the new engine is serving.
+    ReloadOk {
+        /// Echo of the request id.
+        id: u64,
+        /// Manifest entries the fresh engine registered.
+        entries: u32,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -266,6 +324,52 @@ fn decode_params(dec: &mut Dec<'_>) -> NetResult<SearchParams> {
     })
 }
 
+fn encode_query(enc: &mut Enc, wq: &WireQuery) {
+    enc.f32_bits(wq.norm);
+    enc.u32(wq.coeffs.len() as u32);
+    for &c in &wq.coeffs {
+        enc.f32_bits(c);
+    }
+    encode_params(enc, &wq.params);
+}
+
+fn decode_query(dec: &mut Dec<'_>) -> NetResult<WireQuery> {
+    let norm = dec.f32_bits("query.norm")?;
+    let coeff_count = dec.count(4, "query.coeff_count")?;
+    let mut coeffs = Vec::with_capacity(coeff_count);
+    for _ in 0..coeff_count {
+        coeffs.push(dec.f32_bits("query.coeff")?);
+    }
+    let params = decode_params(dec)?;
+    Ok(WireQuery { coeffs, norm, params })
+}
+
+fn encode_result(enc: &mut Enc, result: &SearchResult) {
+    enc.u32(result.neighbors.len() as u32);
+    for n in &result.neighbors {
+        enc.u64(n.index as u64);
+        enc.u32(n.distance.to_bits());
+    }
+    for word in stats_to_words(&result.stats) {
+        enc.u64(word);
+    }
+}
+
+fn decode_result(dec: &mut Dec<'_>) -> NetResult<SearchResult> {
+    let neighbor_count = dec.count(12, "reply.neighbor_count")?;
+    let mut neighbors = Vec::with_capacity(neighbor_count);
+    for _ in 0..neighbor_count {
+        let index = dec.u64("reply.neighbor.index")? as usize;
+        let distance = f32::from_bits(dec.u32("reply.neighbor.distance")?);
+        neighbors.push(Neighbor { index, distance });
+    }
+    let mut words = [0u64; STAT_FIELDS];
+    for word in &mut words {
+        *word = dec.u64("reply.stats")?;
+    }
+    Ok(SearchResult { neighbors, stats: stats_from_words(words) })
+}
+
 const STAT_FIELDS: usize = 13;
 
 fn stats_to_words(stats: &SearchStats) -> [u64; STAT_FIELDS] {
@@ -312,6 +416,13 @@ impl Message {
     const TAG_ERROR: u8 = 5;
     const TAG_PING: u8 = 6;
     const TAG_PONG: u8 = 7;
+    const TAG_FRONT_QUERY: u8 = 8;
+    const TAG_FRONT_REPLY: u8 = 9;
+    const TAG_FRONT_ERROR: u8 = 10;
+    const TAG_METRICS_REQUEST: u8 = 11;
+    const TAG_METRICS_REPLY: u8 = 12;
+    const TAG_RELOAD: u8 = 13;
+    const TAG_RELOAD_OK: u8 = 14;
 
     /// Encodes this message as a frame payload.
     pub fn encode(&self) -> Vec<u8> {
@@ -333,12 +444,7 @@ impl Message {
                 enc.u32(*shard);
                 enc.u32(queries.len() as u32);
                 for wq in queries {
-                    enc.f32_bits(wq.norm);
-                    enc.u32(wq.coeffs.len() as u32);
-                    for &c in &wq.coeffs {
-                        enc.f32_bits(c);
-                    }
-                    encode_params(&mut enc, &wq.params);
+                    encode_query(&mut enc, wq);
                 }
             }
             Message::ShardReply { shard, answers } => {
@@ -350,14 +456,7 @@ impl Message {
                         None => enc.u8(0),
                         Some(result) => {
                             enc.u8(1);
-                            enc.u32(result.neighbors.len() as u32);
-                            for n in &result.neighbors {
-                                enc.u64(n.index as u64);
-                                enc.u32(n.distance.to_bits());
-                            }
-                            for word in stats_to_words(&result.stats) {
-                                enc.u64(word);
-                            }
+                            encode_result(&mut enc, result);
                         }
                     }
                 }
@@ -374,6 +473,42 @@ impl Message {
             Message::Pong { nonce } => {
                 enc.u8(Self::TAG_PONG);
                 enc.u64(*nonce);
+            }
+            Message::FrontQuery { id, index, deadline_ms, query } => {
+                enc.u8(Self::TAG_FRONT_QUERY);
+                enc.u64(*id);
+                enc.str(index);
+                enc.u64(*deadline_ms);
+                encode_query(&mut enc, query);
+            }
+            Message::FrontReply { id, result } => {
+                enc.u8(Self::TAG_FRONT_REPLY);
+                enc.u64(*id);
+                encode_result(&mut enc, result);
+            }
+            Message::FrontError { id, code, message } => {
+                enc.u8(Self::TAG_FRONT_ERROR);
+                enc.u64(*id);
+                enc.u8(code.to_wire());
+                enc.str(message);
+            }
+            Message::MetricsRequest { id } => {
+                enc.u8(Self::TAG_METRICS_REQUEST);
+                enc.u64(*id);
+            }
+            Message::MetricsReply { id, text } => {
+                enc.u8(Self::TAG_METRICS_REPLY);
+                enc.u64(*id);
+                enc.str(text);
+            }
+            Message::Reload { id } => {
+                enc.u8(Self::TAG_RELOAD);
+                enc.u64(*id);
+            }
+            Message::ReloadOk { id, entries } => {
+                enc.u8(Self::TAG_RELOAD_OK);
+                enc.u64(*id);
+                enc.u32(*entries);
             }
         }
         enc.0
@@ -397,14 +532,7 @@ impl Message {
                 let count = dec.count(8, "query.count")?;
                 let mut queries = Vec::with_capacity(count);
                 for _ in 0..count {
-                    let norm = dec.f32_bits("query.norm")?;
-                    let coeff_count = dec.count(4, "query.coeff_count")?;
-                    let mut coeffs = Vec::with_capacity(coeff_count);
-                    for _ in 0..coeff_count {
-                        coeffs.push(dec.f32_bits("query.coeff")?);
-                    }
-                    let params = decode_params(&mut dec)?;
-                    queries.push(WireQuery { coeffs, norm, params });
+                    queries.push(decode_query(&mut dec)?);
                 }
                 Message::ShardQuery { shard, queries }
             }
@@ -417,18 +545,7 @@ impl Message {
                         answers.push(None);
                         continue;
                     }
-                    let neighbor_count = dec.count(12, "reply.neighbor_count")?;
-                    let mut neighbors = Vec::with_capacity(neighbor_count);
-                    for _ in 0..neighbor_count {
-                        let index = dec.u64("reply.neighbor.index")? as usize;
-                        let distance = f32::from_bits(dec.u32("reply.neighbor.distance")?);
-                        neighbors.push(Neighbor { index, distance });
-                    }
-                    let mut words = [0u64; STAT_FIELDS];
-                    for word in &mut words {
-                        *word = dec.u64("reply.stats")?;
-                    }
-                    answers.push(Some(SearchResult { neighbors, stats: stats_from_words(words) }));
+                    answers.push(Some(decode_result(&mut dec)?));
                 }
                 Message::ShardReply { shard, answers }
             }
@@ -441,6 +558,35 @@ impl Message {
             }
             Self::TAG_PING => Message::Ping { nonce: dec.u64("ping.nonce")? },
             Self::TAG_PONG => Message::Pong { nonce: dec.u64("pong.nonce")? },
+            Self::TAG_FRONT_QUERY => {
+                let id = dec.u64("front.id")?;
+                let index = dec.str("front.index")?;
+                let deadline_ms = dec.u64("front.deadline_ms")?;
+                let query = decode_query(&mut dec)?;
+                Message::FrontQuery { id, index, deadline_ms, query }
+            }
+            Self::TAG_FRONT_REPLY => {
+                let id = dec.u64("front.id")?;
+                Message::FrontReply { id, result: decode_result(&mut dec)? }
+            }
+            Self::TAG_FRONT_ERROR => {
+                let id = dec.u64("front.id")?;
+                let raw = dec.u8("front.error.code")?;
+                let code = ErrorCode::from_wire(raw).ok_or_else(|| NetError::Malformed {
+                    context: format!("front.error.code: unknown code {raw}"),
+                })?;
+                Message::FrontError { id, code, message: dec.str("front.error.message")? }
+            }
+            Self::TAG_METRICS_REQUEST => Message::MetricsRequest { id: dec.u64("metrics.id")? },
+            Self::TAG_METRICS_REPLY => {
+                let id = dec.u64("metrics.id")?;
+                Message::MetricsReply { id, text: dec.str("metrics.text")? }
+            }
+            Self::TAG_RELOAD => Message::Reload { id: dec.u64("reload.id")? },
+            Self::TAG_RELOAD_OK => {
+                let id = dec.u64("reload.id")?;
+                Message::ReloadOk { id, entries: dec.u32("reload.entries")? }
+            }
             other => {
                 return Err(NetError::Malformed { context: format!("unknown message tag {other}") })
             }
@@ -555,6 +701,59 @@ pub fn read_frame<R: Read>(reader: &mut R, site: &str) -> NetResult<Option<Messa
     Message::decode(&payload).map(Some)
 }
 
+/// Encodes `message` as one complete frame (header + payload) into a byte vector,
+/// for callers that manage their own buffered nonblocking writes (the front-end
+/// event loop). No fault site fires here — the caller instruments its own write.
+pub fn frame_bytes(message: &Message) -> Vec<u8> {
+    let payload = message.encode();
+    let crc = crc32(&payload);
+    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Attempts to decode one frame from the front of `buf` — the incremental
+/// counterpart of [`read_frame`] for nonblocking reads that accumulate bytes in a
+/// per-connection buffer.
+///
+/// Returns `Ok(None)` when `buf` does not yet hold a complete frame (read more),
+/// `Ok(Some((message, consumed)))` when a frame decoded (drain `consumed` bytes),
+/// and the same typed errors as [`read_frame`] for hostile input: bad magic,
+/// over-cap length (rejected before the payload is even buffered), CRC mismatch,
+/// or a payload that does not decode. Callers must drop the connection on error —
+/// the stream position is no longer trustworthy.
+pub fn frame_from_buf(buf: &[u8]) -> NetResult<Option<(Message, usize)>> {
+    if buf.len() < HEADER_LEN {
+        // Reject bad magic as soon as the first bytes arrive, not only once a full
+        // header is buffered — a peer speaking another protocol is cut off early.
+        if !MAGIC.starts_with(&buf[..buf.len().min(4)]) {
+            return Err(NetError::Malformed { context: "bad frame magic".into() });
+        }
+        return Ok(None);
+    }
+    if buf[..4] != MAGIC {
+        return Err(NetError::Malformed { context: "bad frame magic".into() });
+    }
+    let len = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")) as u64;
+    if len > MAX_FRAME_BYTES {
+        return Err(NetError::FrameTooLarge { declared: len });
+    }
+    let total = HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let expected_crc = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes"));
+    let payload = &buf[HEADER_LEN..total];
+    let actual_crc = crc32(payload);
+    if actual_crc != expected_crc {
+        return Err(NetError::Corrupt { expected_crc, actual_crc });
+    }
+    Message::decode(payload).map(|message| Some((message, total)))
+}
+
 enum ReadError {
     /// EOF before the first byte of this read.
     CleanEof,
@@ -622,6 +821,85 @@ mod tests {
                 }),
             ],
         });
+    }
+
+    #[test]
+    fn front_messages_round_trip() {
+        let query = HyperplaneQuery::from_normal_and_bias(&[3.0, 4.0], -1.0).unwrap();
+        round_trip(Message::FrontQuery {
+            id: 99,
+            index: "serving".into(),
+            deadline_ms: 250,
+            query: WireQuery::from_query(&query, &SearchParams::exact(5)),
+        });
+        round_trip(Message::FrontReply {
+            id: 99,
+            result: SearchResult {
+                neighbors: vec![Neighbor { index: 3, distance: 1.5 }],
+                stats: SearchStats { nodes_visited: 4, ..Default::default() },
+            },
+        });
+        round_trip(Message::FrontError {
+            id: 99,
+            code: ErrorCode::Overloaded,
+            message: "queue full".into(),
+        });
+        round_trip(Message::FrontError {
+            id: 100,
+            code: ErrorCode::DeadlineExceeded,
+            message: "shed after 250ms".into(),
+        });
+        round_trip(Message::MetricsRequest { id: 1 });
+        round_trip(Message::MetricsReply { id: 1, text: "# HELP …\n".into() });
+        round_trip(Message::Reload { id: 2 });
+        round_trip(Message::ReloadOk { id: 2, entries: 3 });
+    }
+
+    #[test]
+    fn incremental_decode_matches_blocking_decode_at_every_split() {
+        let query = HyperplaneQuery::from_normal_and_bias(&[1.0, -2.0], 0.5).unwrap();
+        let message = Message::FrontQuery {
+            id: 7,
+            index: "idx".into(),
+            deadline_ms: 0,
+            query: WireQuery::from_query(&query, &SearchParams::exact(3)),
+        };
+        let frame = frame_bytes(&message);
+        // Every proper prefix is "incomplete", never an error or a wrong decode.
+        for cut in 1..frame.len() {
+            assert!(
+                frame_from_buf(&frame[..cut]).unwrap().is_none(),
+                "prefix {cut} must be incomplete"
+            );
+        }
+        // The exact frame decodes and consumes exactly its own bytes — even with a
+        // second frame's bytes queued behind it.
+        let mut two = frame.clone();
+        two.extend_from_slice(&frame_bytes(&Message::Ping { nonce: 8 }));
+        let (decoded, consumed) = frame_from_buf(&two).unwrap().unwrap();
+        assert_eq!(decoded, message);
+        assert_eq!(consumed, frame.len());
+        let (second, rest) = frame_from_buf(&two[consumed..]).unwrap().unwrap();
+        assert_eq!(second, Message::Ping { nonce: 8 });
+        assert_eq!(rest, two.len() - consumed);
+    }
+
+    #[test]
+    fn incremental_decode_rejects_hostile_buffers() {
+        // Bad magic is rejected from the very first byte.
+        assert!(matches!(frame_from_buf(b"XYZ"), Err(NetError::Malformed { .. })));
+        // An over-cap length claim is rejected before any payload is buffered.
+        let mut hostile = Vec::new();
+        hostile.extend_from_slice(&MAGIC);
+        hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+        hostile.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(frame_from_buf(&hostile), Err(NetError::FrameTooLarge { .. })));
+        // A flipped payload bit fails the CRC.
+        let mut frame = frame_bytes(&Message::Ping { nonce: 3 });
+        *frame.last_mut().unwrap() ^= 0x10;
+        assert!(matches!(frame_from_buf(&frame), Err(NetError::Corrupt { .. })));
+        // An empty buffer just wants more bytes.
+        assert!(frame_from_buf(&[]).unwrap().is_none());
     }
 
     #[test]

@@ -28,13 +28,20 @@ struct ServerProc {
 
 impl ServerProc {
     fn spawn(store_dir: &std::path::Path) -> Self {
+        Self::spawn_at(store_dir, "127.0.0.1:0")
+    }
+
+    /// Spawns binding `addr` — used to restart a killed replica on its *exact* old
+    /// port (`SO_REUSEADDR` on the server listener makes the immediate re-bind
+    /// work; no retry-sleep needed).
+    fn spawn_at(store_dir: &std::path::Path, addr: &str) -> Self {
         let mut child = Command::new(env!("CARGO_BIN_EXE_shard-server"))
             .arg("--store")
             .arg(store_dir)
             .arg("--entry")
             .arg("chaos")
             .arg("--addr")
-            .arg("127.0.0.1:0")
+            .arg(addr)
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit())
             .spawn()
@@ -45,7 +52,11 @@ impl ServerProc {
             .next()
             .expect("server banner")
             .expect("read banner");
-        let addr = line.strip_prefix("LISTENING ").expect("LISTENING banner").to_string();
+        let addr = line
+            .strip_prefix("READY addr=")
+            .and_then(|rest| rest.split_whitespace().next())
+            .expect("READY banner")
+            .to_string();
         ServerProc { child, addr }
     }
 
@@ -166,10 +177,12 @@ fn kill_dash_nine_mid_batch_keeps_answers_bit_identical() {
     }
     killer.join().unwrap();
 
-    // Restart: a fresh process cold-starts the same entry from the store and is
-    // listed FIRST, so traffic actually exercises it.
-    let replica_a2 = ServerProc::spawn(&store_dir);
-    let router = router_over(&replica_a2.addr, &replica_b.addr);
+    // Restart: a fresh process cold-starts the same entry from the store on the
+    // killed replica's *exact* old port (SO_REUSEADDR makes the immediate re-bind
+    // stick — no retry-sleep), so the ORIGINAL router, which still lists that
+    // address first, starts exercising the restarted process without being rebuilt.
+    let replica_a2 = ServerProc::spawn_at(&store_dir, &replica_a.addr);
+    assert_eq!(replica_a2.addr, replica_a.addr, "restart must reclaim the same port");
     for round in 0..3 {
         let routed = router.route(&queries, &params).unwrap();
         assert_bit_identical(&routed.results, &oracle, &format!("restarted {round}"));

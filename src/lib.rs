@@ -22,6 +22,7 @@
 //! | [`obs`] | `p2h-obs` | observability: lock-free metrics registry, mergeable log-bucket histograms, Prometheus text exposition, sampled query tracing, deterministic fault injection |
 //! | [`net`] | `p2h-net` | fault-tolerant distributed serving: TCP shard servers, replicated router with retries, hedged requests, and replica cross-checking |
 //! | [`live`] | `p2h-live` | online updates: WAL-backed mutable memtable tier over immutable bases, epoch compaction, bit-identical layered serving |
+//! | [`front`] | `p2h-front` | serving front-end: poll(2) event loops, dynamic batching (coalescing), admission control with typed load shedding, zero-downtime engine reloads |
 //!
 //! ## Quickstart
 //!
@@ -265,6 +266,48 @@
 //! fault-injection layer (`P2H_FAULTS`, see `docs/NETWORKING.md`) makes the failure
 //! handling testable end to end.
 //!
+//! ## The serving front-end
+//!
+//! The [`front`] layer puts a production-shaped TCP front door on an engine:
+//! concurrent single queries from many connections **coalesce** into engine
+//! batches under a tunable `max_batch`/`max_delay` policy (answers stay
+//! bit-identical to serving each query alone — batching is pure throughput), a
+//! bounded admission queue sheds overload and lapsed deadlines with **typed**
+//! errors, a `Reload` request swaps in a freshly cold-started engine with zero
+//! dropped requests, and `MetricsRequest` serves the Prometheus registry over the
+//! same socket. See `docs/SERVING.md` for the protocol and operations guide:
+//!
+//! ```
+//! use p2hnns::front::{FrontClient, FrontConfig, FrontServer};
+//! use p2hnns::engine::{BatchRequest, Engine};
+//! use p2hnns::{generate_queries, BcTreeBuilder, DataDistribution, QueryDistribution,
+//!              SearchParams, SyntheticDataset};
+//!
+//! let points = SyntheticDataset::new(
+//!     "quickstart-front", 1_500, 12,
+//!     DataDistribution::GaussianClusters { clusters: 4, std_dev: 1.5 }, 8,
+//! ).generate().unwrap();
+//! let engine = std::sync::Arc::new(Engine::new(2));
+//! engine.registry().register("bc", BcTreeBuilder::new(64).build(&points).unwrap());
+//!
+//! // Bind an ephemeral port and serve in background threads.
+//! let handle = FrontServer::new(engine.clone(), FrontConfig::default())
+//!     .serve("127.0.0.1:0").unwrap();
+//!
+//! let queries = generate_queries(&points, 4, QueryDistribution::DataDifference, 3).unwrap();
+//! let mut client = FrontClient::connect(&handle.addr().to_string()).unwrap();
+//! let params = SearchParams::exact(5);
+//! for query in &queries {
+//!     let served = client.query("bc", query, &params, 0).unwrap().unwrap();
+//!     // Bit-identical to serving the same query alone, whatever batch it rode in.
+//!     let alone = engine
+//!         .serve("bc", &BatchRequest::new(vec![query.clone()], params.clone()))
+//!         .unwrap();
+//!     assert_eq!(served.neighbors, alone.results[0].neighbors);
+//! }
+//! handle.shutdown();
+//! ```
+//!
 //! See the `examples/` directory for end-to-end scenarios (SVM active learning,
 //! maximum-margin style selection, index comparison, batch serving, snapshot-backed
 //! cold-start serving, sharded serving, distributed fault-tolerant serving) and the
@@ -285,6 +328,7 @@ pub use p2h_core as core;
 pub use p2h_data as data;
 pub use p2h_engine as engine;
 pub use p2h_eval as eval;
+pub use p2h_front as front;
 pub use p2h_hash as hash;
 pub use p2h_live as live;
 pub use p2h_net as net;
@@ -310,8 +354,12 @@ pub use p2h_eval::{
     evaluate, evaluate_parallel, sweep_budgets, time_profile, MethodEvaluation, ParallelEvaluation,
     TimeProfile,
 };
+pub use p2h_front::{FrontClient, FrontConfig, FrontServer};
 pub use p2h_hash::{FhIndex, FhParams, NhIndex, NhParams};
-pub use p2h_live::{CompactionReport, LiveError, LiveIndex, LiveResult};
+pub use p2h_live::{
+    CompactionPolicy, CompactionReport, CompactionTrigger, Compactor, LiveError, LiveIndex,
+    LiveResult,
+};
 pub use p2h_net::{
     BackoffPolicy, HedgeConfig, NetError, ReplicaSet, RoutedResponse, Router, RouterConfig,
     ShardServer,
